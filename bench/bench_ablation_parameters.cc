@@ -1,0 +1,155 @@
+// Design-choice ablations beyond Fig. 8: sensitivity of HyTGraph to every
+// major parameter DESIGN.md carries over from the paper — the selection
+// thresholds alpha/beta, the dumpling factor gamma, the filter merge factor
+// k, the partition size, the hub fraction, stream count, and the Section
+// VIII future-work scenario of fast interconnects (NVLink/CXL).
+
+#include "bench_common.h"
+#include "sim/interconnect.h"
+
+namespace {
+
+using namespace hytgraph;
+using namespace hytgraph::bench;
+
+double Run(Algorithm algorithm, const BenchDataset& dataset,
+           const SolverOptions& options) {
+  return MustRunWith(algorithm, dataset, options).total_sim_seconds;
+}
+
+void SweepAlphaBeta(const BenchDataset& dataset) {
+  std::printf("alpha/beta (engine-selection thresholds; paper 0.8/0.4), "
+              "SSSP:\n");
+  TablePrinter table({"alpha", "beta", "sim time (ms)", "vs paper cfg"});
+  SolverOptions paper_cfg = MakeOptions(SystemKind::kHyTGraph, dataset);
+  const double baseline = Run(Algorithm::kSssp, dataset, paper_cfg);
+  for (double alpha : {0.5, 0.8, 1.0}) {
+    for (double beta : {0.2, 0.4, 0.8}) {
+      SolverOptions opts = paper_cfg;
+      opts.alpha = alpha;
+      opts.beta = beta;
+      const double t = Run(Algorithm::kSssp, dataset, opts);
+      table.AddRow({FormatDouble(alpha, 1), FormatDouble(beta, 1),
+                    FormatDouble(t * 1e3, 3),
+                    FormatDouble(t / baseline, 2) + "x"});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepGamma(const BenchDataset& dataset) {
+  std::printf("gamma (zero-copy RTT dumpling factor; paper 0.625), SSSP:\n");
+  TablePrinter table({"gamma", "sim time (ms)"});
+  for (double gamma : {0.0, 0.3, 0.625, 0.9, 1.0}) {
+    SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
+    opts.gamma = gamma;
+    opts.pcie.gamma = gamma;
+    table.AddRow({FormatDouble(gamma, 3),
+                  FormatDouble(Run(Algorithm::kSssp, dataset, opts) * 1e3,
+                               3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepCombineK(const BenchDataset& dataset) {
+  std::printf("combine_k (filter-task merge factor; paper 4), PR:\n");
+  TablePrinter table({"k", "sim time (ms)"});
+  for (int k : {1, 2, 4, 8, 16}) {
+    SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
+    opts.combine_k = k;
+    table.AddRow({std::to_string(k),
+                  FormatDouble(Run(Algorithm::kPageRank, dataset, opts) * 1e3,
+                               3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepPartitionBytes(const BenchDataset& dataset) {
+  std::printf("partition size (paper 32 MB at 2-3.6B edges; auto = "
+              "edge_bytes/256 here), SSSP:\n");
+  TablePrinter table({"partition", "sim time (ms)"});
+  const uint64_t edge_bytes = dataset.graph.num_edges() * 8;
+  for (uint64_t divisor : {16u, 64u, 256u, 1024u}) {
+    SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
+    opts.partition_bytes = std::max<uint64_t>(1024, edge_bytes / divisor);
+    table.AddRow({HumanBytes(opts.partition_bytes),
+                  FormatDouble(Run(Algorithm::kSssp, dataset, opts) * 1e3,
+                               3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepHubFraction(const BenchDataset& dataset) {
+  std::printf("hub fraction (paper 8%%), PR:\n");
+  TablePrinter table({"fraction", "sim time (ms)"});
+  for (double fraction : {0.0, 0.02, 0.08, 0.2}) {
+    SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
+    opts.hub_fraction = fraction;
+    table.AddRow({FormatDouble(100 * fraction, 0) + "%",
+                  FormatDouble(Run(Algorithm::kPageRank, dataset, opts) * 1e3,
+                               3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepStreams(const BenchDataset& dataset) {
+  std::printf("CUDA streams (paper uses multi-stream scheduling), SSSP:\n");
+  TablePrinter table({"streams", "sim time (ms)"});
+  for (int streams : {1, 2, 4, 8}) {
+    SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
+    opts.num_streams = streams;
+    table.AddRow({std::to_string(streams),
+                  FormatDouble(Run(Algorithm::kSssp, dataset, opts) * 1e3,
+                               3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void SweepInterconnects(const BenchDataset& dataset) {
+  std::printf("interconnects (Section VIII future work: with NVLink-class "
+              "links,\nhost memory becomes the ceiling and transfer stops "
+              "dominating), SSSP:\n");
+  TablePrinter table({"link", "effective bw", "HyTGraph (ms)", "EMOGI (ms)"});
+  for (const InterconnectSpec& link : KnownInterconnects()) {
+    double times[2];
+    int i = 0;
+    for (SystemKind system : {SystemKind::kHyTGraph, SystemKind::kEmogi}) {
+      SolverOptions opts = MakeOptions(system, dataset);
+      opts.gpu = WithInterconnect(opts.gpu, link);
+      opts.pcie.effective_bandwidth_fraction = 1.0;  // already derated
+      times[i++] = Run(Algorithm::kSssp, dataset, opts);
+    }
+    table.AddRow({link.name, HumanBandwidth(link.EffectiveBandwidth()),
+                  FormatDouble(times[0] * 1e3, 3),
+                  FormatDouble(times[1] * 1e3, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Parameter ablations (design choices from DESIGN.md)",
+              "Sections V-VI parameters + Section VIII future work");
+  const BenchDataset& fk = LoadBenchDataset("FK");
+  SweepAlphaBeta(fk);
+  SweepGamma(fk);
+  SweepCombineK(fk);
+  SweepPartitionBytes(fk);
+  SweepHubFraction(fk);
+  SweepStreams(fk);
+  SweepInterconnects(fk);
+  std::printf(
+      "Expected shapes: the paper's defaults sit at or near each sweep's\n"
+      "minimum; runtime saturates beyond ~4 streams; past ~NVLink3 the\n"
+      "curves flatten (host memory bound), motivating the paper's future\n"
+      "work on memory-aware cost models.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace hytgraph::bench {
+
+uint32_t ScaleDelta() {
+  const char* env = std::getenv("HYT_BENCH_SCALE_DELTA");
+  if (env == nullptr) return 2;
+  return static_cast<uint32_t>(std::atoi(env));
+}
+
+const BenchDataset& LoadBenchDataset(const std::string& name) {
+  static std::map<std::string, BenchDataset>* cache =
+      new std::map<std::string, BenchDataset>();
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+
+  auto spec = FindDataset(name);
+  HYT_CHECK(spec.ok()) << spec.status().ToString();
+  BenchDataset dataset;
+  dataset.spec = *spec;
+  dataset.spec.scale =
+      dataset.spec.scale > ScaleDelta() ? dataset.spec.scale - ScaleDelta()
+                                        : dataset.spec.scale;
+  auto graph = LoadDataset(dataset.spec);
+  HYT_CHECK(graph.ok()) << graph.status().ToString();
+  dataset.graph = std::move(graph).value();
+  dataset.device_memory = DeviceMemoryBudget(dataset.spec, dataset.graph);
+  return cache->emplace(name, std::move(dataset)).first->second;
+}
+
+SolverOptions MakeOptions(SystemKind system, const BenchDataset& dataset) {
+  SolverOptions opts = SolverOptions::Defaults(system);
+  opts.device_memory_override = dataset.device_memory;
+  return opts;
+}
+
+VertexId PickSource(const CsrGraph& graph) {
+  VertexId best = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.out_degree(v) > graph.out_degree(best)) best = v;
+  }
+  return best;
+}
+
+RunTrace MustRun(Algorithm algorithm, SystemKind system,
+                 const BenchDataset& dataset) {
+  return MustRunWith(algorithm, dataset, MakeOptions(system, dataset));
+}
+
+RunTrace MustRunWith(Algorithm algorithm, const BenchDataset& dataset,
+                     const SolverOptions& options) {
+  auto trace = RunAlgorithmTrace(dataset.graph, algorithm,
+                                 PickSource(dataset.graph), options);
+  HYT_CHECK(trace.ok()) << trace.status().ToString();
+  return std::move(trace).value();
+}
+
+void PrintHeader(const std::string& experiment,
+                 const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("Reproduces: %s (HyTGraph, ICDE 2023)\n", paper_ref.c_str());
+  std::printf("Bench scale delta: -%u (set HYT_BENCH_SCALE_DELTA to change)\n\n",
+              ScaleDelta());
+}
+
+}  // namespace hytgraph::bench

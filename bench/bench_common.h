@@ -1,0 +1,62 @@
+// Shared plumbing for the paper-reproduction bench binaries: dataset loading
+// at bench scale, per-system solver options with dataset-scaled device
+// memory, and run helpers. Every bench prints the rows/series of one paper
+// table or figure.
+//
+// Scale: the paper's graphs have 2-3.6 B edges; the bench default shrinks
+// each dataset by HYT_BENCH_SCALE_DELTA powers of two in vertex count
+// (default 2, i.e. 1/4 the vertices) while the simulator preserves each
+// dataset's oversubscription ratio, so all relative behaviour survives.
+// Set HYT_BENCH_SCALE_DELTA=0 for the full configured scale.
+
+#ifndef HYTGRAPH_BENCH_BENCH_COMMON_H_
+#define HYTGRAPH_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/runner.h"
+#include "core/options.h"
+#include "core/trace.h"
+#include "graph/dataset.h"
+#include "util/string_util.h"
+
+namespace hytgraph::bench {
+
+/// Vertices-scale reduction applied to every dataset (env override).
+uint32_t ScaleDelta();
+
+/// A loaded dataset: graph + the device-memory budget that preserves the
+/// paper's oversubscription ratio.
+struct BenchDataset {
+  DatasetSpec spec;
+  CsrGraph graph;
+  uint64_t device_memory = 0;
+};
+
+/// Loads (and process-wide caches) a paper dataset at bench scale.
+const BenchDataset& LoadBenchDataset(const std::string& name);
+
+/// Solver options for `system` on `dataset`'s scaled device memory.
+SolverOptions MakeOptions(SystemKind system, const BenchDataset& dataset);
+
+/// A deterministic high-degree source vertex for BFS/SSSP/PHP.
+VertexId PickSource(const CsrGraph& graph);
+
+/// Runs (algorithm, system) on a dataset and returns the trace. Aborts on
+/// error (benches are reproduction scripts, not servers).
+RunTrace MustRun(Algorithm algorithm, SystemKind system,
+                 const BenchDataset& dataset);
+
+/// Same but with explicit options (ablation benches tweak flags).
+RunTrace MustRunWith(Algorithm algorithm, const BenchDataset& dataset,
+                     const SolverOptions& options);
+
+/// Prints the standard bench header naming the experiment.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref);
+
+}  // namespace hytgraph::bench
+
+#endif  // HYTGRAPH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,43 @@
+// Fig. 3(b): per-iteration runtime breakdown of ExpTM-compaction (Subway)
+// into compaction / transfer / computation. Early, dense iterations are
+// dominated by CPU compaction — the cost that outweighs the transfer saving
+// when the active fraction is high.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace hytgraph;
+  using namespace hytgraph::bench;
+  PrintHeader(
+      "Fig. 3(b): per-iteration runtime breakdown of ExpTM-compaction",
+      "Fig. 3(b), Section III-A; Subway on FK");
+
+  const BenchDataset& fk = LoadBenchDataset("FK");
+  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
+    const RunTrace trace = MustRun(algorithm, SystemKind::kSubway, fk);
+    std::printf("%s (Subway): %zu iterations\n", AlgorithmName(algorithm),
+                trace.iterations.size());
+    TablePrinter table({"iter", "compaction(ms)", "transfer(ms)",
+                        "compute(ms)", "compaction share"});
+    for (size_t i = 0; i < trace.iterations.size(); ++i) {
+      const auto& it = trace.iterations[i];
+      const double total =
+          it.compaction_seconds + it.transfer_seconds + it.kernel_seconds;
+      if (trace.iterations.size() > 24 && i % 4 != 0) continue;
+      table.AddRow({std::to_string(i),
+                    FormatDouble(it.compaction_seconds * 1e3, 3),
+                    FormatDouble(it.transfer_seconds * 1e3, 3),
+                    FormatDouble(it.kernel_seconds * 1e3, 3),
+                    FormatDouble(100.0 * it.compaction_seconds /
+                                     std::max(1e-12, total),
+                                 1) +
+                        "%"});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: compaction dominates the dense early iterations and\n"
+      "fades as the frontier sparsifies (paper Fig. 3(b)).\n");
+  return 0;
+}

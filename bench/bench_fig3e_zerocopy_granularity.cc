@@ -1,0 +1,30 @@
+// Fig. 3(e): zero-copy throughput versus memory-request granularity. A TLP
+// carries up to 256 outstanding requests; smaller payloads waste round trips
+// on headers, so goodput scales with request size. At 128 B zero-copy
+// matches cudaMemcpy; at 32 B it loses ~4x.
+
+#include "bench_common.h"
+#include "sim/pcie_model.h"
+
+int main() {
+  using namespace hytgraph;
+  bench::PrintHeader(
+      "Fig. 3(e): zero-copy throughput vs memory-request granularity",
+      "Fig. 3(e), Section III-B");
+
+  const PcieModel model{DefaultGpu()};
+  TablePrinter table({"request size", "zero-copy", "cudaMemcpy"});
+  for (uint64_t size : {32u, 64u, 96u, 128u}) {
+    table.AddRow({std::to_string(size) + "-B",
+                  HumanBandwidth(model.ZeroCopyThroughput(size)),
+                  HumanBandwidth(model.effective_bandwidth())});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: 128-B requests reach cudaMemcpy bandwidth (%.1f GB/s\n"
+      "effective of the 16 GB/s PCIe 3.0 x16 theoretical); 32-B requests\n"
+      "drop ~4x — why EMOGI's merged+aligned 128-B access matters and why\n"
+      "low-degree vertices (Fig. 3(f)) keep zero-copy unsaturated.\n",
+      model.effective_bandwidth() / 1e9);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table II: the motivating flip-flop. Subway (ExpTM-compaction) and EMOGI
+// (ImpTM-zero-copy) trade wins depending on (algorithm, dataset):
+//   SK graph:  EMOGI wins SSSP, Subway wins PageRank.
+//   PageRank:  Subway wins on SK, EMOGI wins on UK.
+// No single transfer-management approach dominates — the case for HyTM.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace hytgraph;
+  using namespace hytgraph::bench;
+  PrintHeader("Table II: Runtime comparison of Subway and EMOGI",
+              "Table II (Section I)");
+
+  const BenchDataset& sk = LoadBenchDataset("SK");
+  const BenchDataset& uk = LoadBenchDataset("UK");
+
+  const double subway_sssp_sk =
+      MustRun(Algorithm::kSssp, SystemKind::kSubway, sk).total_sim_seconds;
+  const double emogi_sssp_sk =
+      MustRun(Algorithm::kSssp, SystemKind::kEmogi, sk).total_sim_seconds;
+  const double subway_pr_sk =
+      MustRun(Algorithm::kPageRank, SystemKind::kSubway, sk).total_sim_seconds;
+  const double emogi_pr_sk =
+      MustRun(Algorithm::kPageRank, SystemKind::kEmogi, sk).total_sim_seconds;
+  const double subway_pr_uk =
+      MustRun(Algorithm::kPageRank, SystemKind::kSubway, uk).total_sim_seconds;
+  const double emogi_pr_uk =
+      MustRun(Algorithm::kPageRank, SystemKind::kEmogi, uk).total_sim_seconds;
+
+  std::printf("SK-like graph, varying algorithm:\n");
+  TablePrinter left({"System", "SSSP (s)", "PageRank (s)"});
+  left.AddRow({"Subway", FormatDouble(subway_sssp_sk, 4),
+               FormatDouble(subway_pr_sk, 4)});
+  left.AddRow({"EMOGI", FormatDouble(emogi_sssp_sk, 4),
+               FormatDouble(emogi_pr_sk, 4)});
+  left.Print();
+
+  std::printf("\nPageRank, varying dataset:\n");
+  TablePrinter right({"System", "SK (s)", "UK (s)"});
+  right.AddRow({"Subway", FormatDouble(subway_pr_sk, 4),
+                FormatDouble(subway_pr_uk, 4)});
+  right.AddRow({"EMOGI", FormatDouble(emogi_pr_sk, 4),
+                FormatDouble(emogi_pr_uk, 4)});
+  right.Print();
+
+  std::printf(
+      "\nShape check (paper: EMOGI wins SSSP/SK 7.5 vs 14.6; Subway wins "
+      "PR/SK\n8.7 vs 18.6; EMOGI wins PR/UK 12.4 vs 16.9):\n"
+      "  SSSP on SK:  %s wins\n  PR on SK:    %s wins\n  PR on UK:    %s wins\n",
+      emogi_sssp_sk < subway_sssp_sk ? "EMOGI" : "Subway",
+      subway_pr_sk < emogi_pr_sk ? "Subway" : "EMOGI",
+      emogi_pr_uk < subway_pr_uk ? "EMOGI" : "Subway");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table V: overall runtime of all seven systems x four algorithms x five
+// datasets — the paper's headline comparison. Expected shapes: HyTGraph at
+// or near the top everywhere; UM-based systems win PR/CC/BFS only on SK
+// (the graph that fits); ExpTM-F worst overall; Subway/EMOGI flip-flop.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace hytgraph;
+  using namespace hytgraph::bench;
+  PrintHeader("Table V: comparison with other systems",
+              "Table V, Section VII-B");
+
+  const std::vector<SystemKind> kSystems = {
+      SystemKind::kCpu,    SystemKind::kExpFilter, SystemKind::kImpUm,
+      SystemKind::kGrus,   SystemKind::kSubway,    SystemKind::kEmogi,
+      SystemKind::kHyTGraph,
+  };
+  const std::vector<Algorithm> kAlgorithms = {
+      Algorithm::kPageRank, Algorithm::kSssp, Algorithm::kCc,
+      Algorithm::kBfs};
+  const std::vector<std::string> kDatasets = {"SK", "TW", "FK", "UK", "FS"};
+
+  double speedup_vs_subway = 0;
+  double speedup_vs_emogi = 0;
+  double speedup_vs_grus = 0;
+  int cells = 0;
+
+  for (Algorithm algorithm : kAlgorithms) {
+    std::printf("%s — overall runtime (simulated seconds):\n",
+                AlgorithmName(algorithm));
+    TablePrinter table({"System", "SK", "TW", "FK", "UK", "FS"});
+    std::map<SystemKind, std::vector<double>> results;
+    for (SystemKind system : kSystems) {
+      std::vector<std::string> row{SystemKindName(system)};
+      for (const std::string& name : kDatasets) {
+        const BenchDataset& dataset = LoadBenchDataset(name);
+        const RunTrace trace = MustRun(algorithm, system, dataset);
+        results[system].push_back(trace.total_sim_seconds);
+        row.push_back(FormatDouble(trace.total_sim_seconds, 4));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    for (size_t d = 0; d < kDatasets.size(); ++d) {
+      const double hyt = results[SystemKind::kHyTGraph][d];
+      speedup_vs_subway += results[SystemKind::kSubway][d] / hyt;
+      speedup_vs_emogi += results[SystemKind::kEmogi][d] / hyt;
+      speedup_vs_grus += results[SystemKind::kGrus][d] / hyt;
+      ++cells;
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Average HyTGraph speedup: %.2fX over Subway (paper: 4.61X), "
+      "%.2fX over\nEMOGI (paper: 1.74X), %.2fX over Grus (paper: 2.37X).\n",
+      speedup_vs_subway / cells, speedup_vs_emogi / cells,
+      speedup_vs_grus / cells);
+  return 0;
+}

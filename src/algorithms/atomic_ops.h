@@ -1,0 +1,38 @@
+// Lock-free primitives used by the vertex programs: CAS-loop atomic min
+// (value-selection algorithms) and atomic double add (accumulation
+// algorithms). These are the host-side equivalents of the CUDA atomicMin /
+// atomicAdd the paper's kernels rely on.
+
+#ifndef HYTGRAPH_ALGORITHMS_ATOMIC_OPS_H_
+#define HYTGRAPH_ALGORITHMS_ATOMIC_OPS_H_
+
+#include <atomic>
+
+namespace hytgraph {
+
+/// Atomically sets *target = min(*target, value). Returns true if the
+/// stored value decreased.
+template <typename T>
+bool AtomicMin(std::atomic<T>* target, T value) {
+  T current = target->load(std::memory_order_relaxed);
+  while (value < current) {
+    if (target->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically adds `value` to *target. Returns the previous value.
+inline double AtomicAddDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + value,
+                                        std::memory_order_relaxed)) {
+  }
+  return current;
+}
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ALGORITHMS_ATOMIC_OPS_H_

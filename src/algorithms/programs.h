@@ -1,0 +1,385 @@
+// The paper's four evaluation algorithms (BFS, SSSP, CC, PageRank) plus PHP
+// (Penalized Hitting Probability, Zhang et al. "Maiter" — the other Δ-based
+// algorithm Section VI-A names), expressed as push-mode vertex programs for
+// the solver (see core/solver.h for the Program concept).
+//
+// Two families, exactly the paper's taxonomy (Section III):
+//  * value-selection (BFS, SSSP, CC): values only improve (atomic min), the
+//    frontier shrinks as values converge — the "increase then decrease"
+//    active pattern;
+//  * value-accumulation (PR, PHP): pending deltas accumulate until consumed
+//    — the "monotone decrease" active pattern; these expose DeltaOf() for
+//    Δ-driven contribution scheduling.
+
+#ifndef HYTGRAPH_ALGORITHMS_PROGRAMS_H_
+#define HYTGRAPH_ALGORITHMS_PROGRAMS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "algorithms/atomic_ops.h"
+#include "engine/frontier.h"
+#include "graph/csr_graph.h"
+#include "util/logging.h"
+
+namespace hytgraph {
+
+inline constexpr uint32_t kUnreachable =
+    std::numeric_limits<uint32_t>::max();
+
+/// Breadth-First Search: level of every vertex from a source.
+class BfsProgram {
+ public:
+  using Value = uint32_t;
+  static constexpr bool kNeedsWeights = false;
+  static constexpr bool kHasDelta = false;
+  static constexpr const char* kName = "BFS";
+
+  BfsProgram(const CsrGraph& graph, VertexId source)
+      : source_(source), levels_(graph.num_vertices()) {
+    for (auto& level : levels_) {
+      level.store(kUnreachable, std::memory_order_relaxed);
+    }
+    levels_[source_].store(0, std::memory_order_relaxed);
+  }
+
+  void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
+
+  struct VertexContext {
+    uint32_t level;
+  };
+
+  bool BeginVertex(VertexId u, VertexContext* ctx) {
+    ctx->level = levels_[u].load(std::memory_order_relaxed);
+    return ctx->level != kUnreachable;
+  }
+
+  bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
+                   Weight /*w*/) {
+    return AtomicMin(&levels_[v], ctx.level + 1);
+  }
+
+  /// Snapshot of the level array.
+  std::vector<uint32_t> Values() const {
+    std::vector<uint32_t> out(levels_.size());
+    for (size_t i = 0; i < levels_.size(); ++i) {
+      out[i] = levels_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  VertexId source_;
+  std::vector<std::atomic<uint32_t>> levels_;
+};
+
+/// Single-Source Shortest Paths over non-negative integer weights.
+class SsspProgram {
+ public:
+  using Value = uint32_t;
+  static constexpr bool kNeedsWeights = true;
+  static constexpr bool kHasDelta = false;
+  static constexpr const char* kName = "SSSP";
+
+  SsspProgram(const CsrGraph& graph, VertexId source)
+      : source_(source), dists_(graph.num_vertices()) {
+    for (auto& dist : dists_) {
+      dist.store(kUnreachable, std::memory_order_relaxed);
+    }
+    dists_[source_].store(0, std::memory_order_relaxed);
+  }
+
+  void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
+
+  struct VertexContext {
+    uint32_t dist;
+  };
+
+  bool BeginVertex(VertexId u, VertexContext* ctx) {
+    ctx->dist = dists_[u].load(std::memory_order_relaxed);
+    return ctx->dist != kUnreachable;
+  }
+
+  bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
+                   Weight w) {
+    return AtomicMin(&dists_[v], ctx.dist + w);
+  }
+
+  std::vector<uint32_t> Values() const {
+    std::vector<uint32_t> out(dists_.size());
+    for (size_t i = 0; i < dists_.size(); ++i) {
+      out[i] = dists_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  VertexId source_;
+  std::vector<std::atomic<uint32_t>> dists_;
+};
+
+/// Connected Components by min-label propagation along out-edges. For
+/// undirected (symmetrized) graphs this yields connected components; for
+/// directed inputs it is the standard GPU-framework label propagation the
+/// paper's CC numbers measure.
+class CcProgram {
+ public:
+  using Value = uint32_t;
+  static constexpr bool kNeedsWeights = false;
+  static constexpr bool kHasDelta = false;
+  static constexpr const char* kName = "CC";
+
+  explicit CcProgram(const CsrGraph& graph) : labels_(graph.num_vertices()) {
+    for (size_t v = 0; v < labels_.size(); ++v) {
+      labels_[v].store(static_cast<uint32_t>(v), std::memory_order_relaxed);
+    }
+  }
+
+  void InitFrontier(Frontier* frontier) {
+    for (VertexId v = 0; v < static_cast<VertexId>(labels_.size()); ++v) {
+      frontier->Activate(v);
+    }
+  }
+
+  struct VertexContext {
+    uint32_t label;
+  };
+
+  bool BeginVertex(VertexId u, VertexContext* ctx) {
+    ctx->label = labels_[u].load(std::memory_order_relaxed);
+    return true;
+  }
+
+  bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
+                   Weight /*w*/) {
+    return AtomicMin(&labels_[v], ctx.label);
+  }
+
+  std::vector<uint32_t> Values() const {
+    std::vector<uint32_t> out(labels_.size());
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      out[i] = labels_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<uint32_t>> labels_;
+};
+
+struct PageRankOptions {
+  double damping = 0.85;
+  /// A vertex activates when its pending delta reaches this threshold;
+  /// convergence = no pending delta above it.
+  double epsilon = 1e-6;
+};
+
+/// Δ-based (accumulative) PageRank in the style of Maiter [41]: rank(v)
+/// accumulates consumed deltas; processing v pushes damping*Δ/Do(v) to its
+/// neighbours. Unnormalized formulation: stationary ranks satisfy
+/// r(v) = (1-d) + d * sum_{u->v} r(u)/Do(u).
+class PageRankProgram {
+ public:
+  using Value = double;
+  static constexpr bool kNeedsWeights = false;
+  static constexpr bool kHasDelta = true;
+  static constexpr const char* kName = "PageRank";
+
+  PageRankProgram(const CsrGraph& graph, const PageRankOptions& options = {})
+      : graph_(graph),
+        options_(options),
+        ranks_(graph.num_vertices(), 0.0),
+        deltas_(graph.num_vertices()) {
+    for (auto& delta : deltas_) {
+      delta.store(1.0 - options_.damping, std::memory_order_relaxed);
+    }
+  }
+
+  void InitFrontier(Frontier* frontier) {
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      frontier->Activate(v);
+    }
+  }
+
+  struct VertexContext {
+    double contribution;  // damping * delta / out_degree
+  };
+
+  bool BeginVertex(VertexId u, VertexContext* ctx) {
+    const double delta = deltas_[u].exchange(0.0, std::memory_order_relaxed);
+    if (delta == 0.0) return false;
+    ranks_[u] += delta;  // consume: only this visit owns u's pending mass
+    const EdgeId deg = graph_.out_degree(u);
+    if (deg == 0) return false;  // dangling: mass retained, not pushed
+    ctx->contribution = options_.damping * delta / static_cast<double>(deg);
+    return true;
+  }
+
+  bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
+                   Weight /*w*/) {
+    const double before = AtomicAddDouble(&deltas_[v], ctx.contribution);
+    return before + ctx.contribution >= options_.epsilon;
+  }
+
+  double DeltaOf(VertexId v) const {
+    return deltas_[v].load(std::memory_order_relaxed);
+  }
+
+  std::vector<double> Values() const {
+    // Rank = consumed mass + still-pending mass (so totals are exact even
+    // for sub-epsilon residuals).
+    std::vector<double> out(ranks_.size());
+    for (size_t i = 0; i < ranks_.size(); ++i) {
+      out[i] = ranks_[i] + deltas_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  const CsrGraph& graph_;
+  PageRankOptions options_;
+  std::vector<double> ranks_;
+  std::vector<std::atomic<double>> deltas_;
+};
+
+struct PhpOptions {
+  double damping = 0.8;
+  double epsilon = 1e-6;
+};
+
+/// Penalized Hitting Probability (Maiter [41]): proximity of every vertex to
+/// a source. Δ-accumulative like PageRank, but propagation is weighted by
+/// edge weight over the source vertex's total out-weight, and mass entering
+/// the source is discarded (the "penalty").
+class PhpProgram {
+ public:
+  using Value = double;
+  static constexpr bool kNeedsWeights = true;
+  static constexpr bool kHasDelta = true;
+  static constexpr const char* kName = "PHP";
+
+  PhpProgram(const CsrGraph& graph, VertexId source,
+             const PhpOptions& options = {})
+      : graph_(graph),
+        options_(options),
+        source_(source),
+        values_(graph.num_vertices(), 0.0),
+        deltas_(graph.num_vertices()),
+        weight_sums_(graph.num_vertices(), 0.0) {
+    for (auto& delta : deltas_) delta.store(0.0, std::memory_order_relaxed);
+    deltas_[source_].store(1.0, std::memory_order_relaxed);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      double sum = 0;
+      for (Weight w : graph.weights(v)) sum += w;
+      weight_sums_[v] = sum;
+    }
+  }
+
+  void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
+
+  struct VertexContext {
+    double scaled_delta;  // damping * delta / weight_sum(u)
+  };
+
+  bool BeginVertex(VertexId u, VertexContext* ctx) {
+    const double delta = deltas_[u].exchange(0.0, std::memory_order_relaxed);
+    if (delta == 0.0) return false;
+    values_[u] += delta;
+    if (weight_sums_[u] == 0.0) return false;
+    ctx->scaled_delta = options_.damping * delta / weight_sums_[u];
+    return true;
+  }
+
+  bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
+                   Weight w) {
+    if (v == source_) return false;  // penalty: discard mass entering source
+    const double msg = ctx.scaled_delta * static_cast<double>(w);
+    const double before = AtomicAddDouble(&deltas_[v], msg);
+    return before + msg >= options_.epsilon;
+  }
+
+  double DeltaOf(VertexId v) const {
+    return deltas_[v].load(std::memory_order_relaxed);
+  }
+
+  std::vector<double> Values() const {
+    std::vector<double> out(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i) {
+      out[i] = values_[i] + deltas_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  const CsrGraph& graph_;
+  PhpOptions options_;
+  VertexId source_;
+  std::vector<double> values_;
+  std::vector<std::atomic<double>> deltas_;
+  std::vector<double> weight_sums_;
+};
+
+/// Single-Source Widest Path (a.k.a. maximum-capacity path): the value of v
+/// is the largest bottleneck capacity over all paths source -> v, i.e. a
+/// max-min semiring. A third member of the value-selection family with the
+/// *opposite* monotonicity of SSSP/BFS — values only grow — exercising the
+/// engines under an atomic-max program.
+class SswpProgram {
+ public:
+  using Value = uint32_t;
+  static constexpr bool kNeedsWeights = true;
+  static constexpr bool kHasDelta = false;
+  static constexpr const char* kName = "SSWP";
+
+  SswpProgram(const CsrGraph& graph, VertexId source)
+      : source_(source), widths_(graph.num_vertices()) {
+    for (auto& width : widths_) {
+      width.store(0, std::memory_order_relaxed);
+    }
+    widths_[source_].store(std::numeric_limits<uint32_t>::max(),
+                           std::memory_order_relaxed);
+  }
+
+  void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
+
+  struct VertexContext {
+    uint32_t width;
+  };
+
+  bool BeginVertex(VertexId u, VertexContext* ctx) {
+    ctx->width = widths_[u].load(std::memory_order_relaxed);
+    return ctx->width != 0;
+  }
+
+  bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
+                   Weight w) {
+    const uint32_t candidate = std::min(ctx.width, static_cast<uint32_t>(w));
+    // Atomic max via CAS loop (mirror of AtomicMin).
+    uint32_t current = widths_[v].load(std::memory_order_relaxed);
+    while (candidate > current) {
+      if (widths_[v].compare_exchange_weak(current, candidate,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint32_t> Values() const {
+    std::vector<uint32_t> out(widths_.size());
+    for (size_t i = 0; i < widths_.size(); ++i) {
+      out[i] = widths_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  VertexId source_;
+  std::vector<std::atomic<uint32_t>> widths_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ALGORITHMS_PROGRAMS_H_

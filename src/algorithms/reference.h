@@ -1,0 +1,41 @@
+// Serial reference implementations used to validate the parallel,
+// transfer-managed engines: classic textbook algorithms with no frontier
+// tricks, no asynchrony, no simulator. Tests assert that every SystemKind
+// produces these results (exactly for selection algorithms, within epsilon
+// for accumulation algorithms).
+
+#ifndef HYTGRAPH_ALGORITHMS_REFERENCE_H_
+#define HYTGRAPH_ALGORITHMS_REFERENCE_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace hytgraph {
+
+/// BFS levels from `source` (kUnreachable for unreached vertices).
+std::vector<uint32_t> ReferenceBfs(const CsrGraph& graph, VertexId source);
+
+/// Dijkstra distances from `source` (kUnreachable for unreached vertices).
+std::vector<uint32_t> ReferenceSssp(const CsrGraph& graph, VertexId source);
+
+/// Min-label propagation along out-edges to fixpoint — identical semantics
+/// to CcProgram (true connected components on symmetrized graphs).
+std::vector<uint32_t> ReferenceCc(const CsrGraph& graph);
+
+/// Δ-accumulative PageRank run synchronously to `epsilon` residual.
+std::vector<double> ReferencePageRank(const CsrGraph& graph,
+                                      double damping = 0.85,
+                                      double epsilon = 1e-6);
+
+/// Widest-path (max-min) values from `source` — modified Dijkstra.
+std::vector<uint32_t> ReferenceSswp(const CsrGraph& graph, VertexId source);
+
+/// Synchronous PHP from `source`.
+std::vector<double> ReferencePhp(const CsrGraph& graph, VertexId source,
+                                 double damping = 0.8,
+                                 double epsilon = 1e-6);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ALGORITHMS_REFERENCE_H_

@@ -1,0 +1,208 @@
+#include "algorithms/runner.h"
+
+#include <utility>
+
+#include "algorithms/programs.h"
+#include "core/solver.h"
+#include "graph/hub_sort.h"
+
+namespace hytgraph {
+
+Result<PreparedGraph> PreparedGraph::Make(const CsrGraph& graph,
+                                          const SolverOptions& options) {
+  PreparedGraph prepared;
+  prepared.original_ = &graph;
+  const bool wants_hub_sort =
+      options.system == SystemKind::kHyTGraph &&
+      options.enable_contribution_scheduling && options.hub_fraction > 0;
+  if (wants_hub_sort && graph.num_vertices() > 0) {
+    HYT_ASSIGN_OR_RETURN(HubSortResult sorted,
+                         HubSort(graph, options.hub_fraction));
+    prepared.reordered_ = true;
+    prepared.sorted_graph_ = std::move(sorted.graph);
+    prepared.old_to_new_ = std::move(sorted.old_to_new);
+    prepared.new_to_old_ = std::move(sorted.new_to_old);
+  }
+  return prepared;
+}
+
+namespace {
+
+/// Shared run skeleton: build solver, init, run program, map values back.
+template <typename Program, typename MakeProgram>
+Result<AlgorithmOutput<typename Program::Value>> RunWith(
+    const PreparedGraph& prepared, const SolverOptions& options,
+    MakeProgram make_program) {
+  Solver<Program> solver(prepared.graph(), options);
+  HYT_RETURN_NOT_OK(solver.Init());
+  Program program = make_program(prepared.graph());
+  HYT_ASSIGN_OR_RETURN(RunTrace trace, solver.Run(&program));
+  AlgorithmOutput<typename Program::Value> output;
+  output.values = prepared.MapValuesBack(program.Values());
+  output.trace = std::move(trace);
+  return output;
+}
+
+}  // namespace
+
+Result<AlgorithmOutput<uint32_t>> RunBfsOn(const PreparedGraph& prepared,
+                                           VertexId source,
+                                           const SolverOptions& options) {
+  const VertexId mapped = prepared.MapSource(source);
+  return RunWith<BfsProgram>(prepared, options, [&](const CsrGraph& g) {
+    return BfsProgram(g, mapped);
+  });
+}
+
+Result<AlgorithmOutput<uint32_t>> RunSsspOn(const PreparedGraph& prepared,
+                                            VertexId source,
+                                            const SolverOptions& options) {
+  const VertexId mapped = prepared.MapSource(source);
+  return RunWith<SsspProgram>(prepared, options, [&](const CsrGraph& g) {
+    return SsspProgram(g, mapped);
+  });
+}
+
+Result<AlgorithmOutput<uint32_t>> RunCcOn(const PreparedGraph& prepared,
+                                          const SolverOptions& options) {
+  HYT_ASSIGN_OR_RETURN(
+      auto output,
+      RunWith<CcProgram>(prepared, options,
+                         [&](const CsrGraph& g) { return CcProgram(g); }));
+  if (prepared.reordered()) {
+    // CC labels are vertex ids: translate them back to original ids so they
+    // are meaningful to the caller. (Note: min-label propagation fixpoints
+    // depend on the id order on *directed* graphs — prefer RunCc, which
+    // skips the reordering for CC, when exact label semantics matter.)
+    for (uint32_t& label : output.values) {
+      label = prepared.MapVertexBack(label);
+    }
+  }
+  return output;
+}
+
+Result<AlgorithmOutput<double>> RunPageRankOn(const PreparedGraph& prepared,
+                                              const SolverOptions& options,
+                                              double damping,
+                                              double epsilon) {
+  PageRankOptions pr;
+  pr.damping = damping;
+  pr.epsilon = epsilon;
+  return RunWith<PageRankProgram>(prepared, options, [&](const CsrGraph& g) {
+    return PageRankProgram(g, pr);
+  });
+}
+
+Result<AlgorithmOutput<double>> RunPhpOn(const PreparedGraph& prepared,
+                                         VertexId source,
+                                         const SolverOptions& options,
+                                         double damping, double epsilon) {
+  PhpOptions php;
+  php.damping = damping;
+  php.epsilon = epsilon;
+  const VertexId mapped = prepared.MapSource(source);
+  return RunWith<PhpProgram>(prepared, options, [&](const CsrGraph& g) {
+    return PhpProgram(g, mapped, php);
+  });
+}
+
+Result<AlgorithmOutput<uint32_t>> RunBfs(const CsrGraph& graph,
+                                         VertexId source,
+                                         const SolverOptions& options) {
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph, options));
+  return RunBfsOn(prepared, source, options);
+}
+
+Result<AlgorithmOutput<uint32_t>> RunSssp(const CsrGraph& graph,
+                                          VertexId source,
+                                          const SolverOptions& options) {
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph, options));
+  return RunSsspOn(prepared, source, options);
+}
+
+Result<AlgorithmOutput<uint32_t>> RunCc(const CsrGraph& graph,
+                                        const SolverOptions& options) {
+  // CC's values are vertex labels whose fixpoint depends on the id order, so
+  // the hub-sort relabeling is skipped: results stay in natural-id semantics
+  // (hub-driven task priority still applies at partition granularity).
+  SolverOptions cc_options = options;
+  cc_options.hub_fraction = 0.0;
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph, cc_options));
+  return RunCcOn(prepared, cc_options);
+}
+
+Result<AlgorithmOutput<double>> RunPageRank(const CsrGraph& graph,
+                                            const SolverOptions& options,
+                                            double damping, double epsilon) {
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph, options));
+  return RunPageRankOn(prepared, options, damping, epsilon);
+}
+
+Result<AlgorithmOutput<double>> RunPhp(const CsrGraph& graph, VertexId source,
+                                       const SolverOptions& options,
+                                       double damping, double epsilon) {
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph, options));
+  return RunPhpOn(prepared, source, options, damping, epsilon);
+}
+
+Result<AlgorithmOutput<uint32_t>> RunSswpOn(const PreparedGraph& prepared,
+                                            VertexId source,
+                                            const SolverOptions& options) {
+  const VertexId mapped = prepared.MapSource(source);
+  return RunWith<SswpProgram>(prepared, options, [&](const CsrGraph& g) {
+    return SswpProgram(g, mapped);
+  });
+}
+
+Result<AlgorithmOutput<uint32_t>> RunSswp(const CsrGraph& graph,
+                                          VertexId source,
+                                          const SolverOptions& options) {
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph, options));
+  return RunSswpOn(prepared, source, options);
+}
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPageRank:
+      return "PR";
+    case Algorithm::kSssp:
+      return "SSSP";
+    case Algorithm::kCc:
+      return "CC";
+    case Algorithm::kBfs:
+      return "BFS";
+  }
+  return "?";
+}
+
+Result<RunTrace> RunAlgorithmTrace(const CsrGraph& graph,
+                                   Algorithm algorithm, VertexId source,
+                                   const SolverOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kPageRank: {
+      HYT_ASSIGN_OR_RETURN(auto out, RunPageRank(graph, options));
+      return std::move(out.trace);
+    }
+    case Algorithm::kSssp: {
+      HYT_ASSIGN_OR_RETURN(auto out, RunSssp(graph, source, options));
+      return std::move(out.trace);
+    }
+    case Algorithm::kCc: {
+      HYT_ASSIGN_OR_RETURN(auto out, RunCc(graph, options));
+      return std::move(out.trace);
+    }
+    case Algorithm::kBfs: {
+      HYT_ASSIGN_OR_RETURN(auto out, RunBfs(graph, source, options));
+      return std::move(out.trace);
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace hytgraph

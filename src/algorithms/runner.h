@@ -1,0 +1,129 @@
+// High-level, hub-sort-aware entry points: run algorithm X on graph G as
+// system S and get (values in original vertex ids, execution trace) back.
+// This is the public API the examples and benches use.
+//
+// HyTGraph with contribution-driven scheduling requires the hub-sorted
+// vertex order (Section VI-A); these runners apply the reordering, remap the
+// source, run the solver, and map values back — callers never see relabeled
+// ids. The hub sort is recomputed per call; for repeated runs over one graph
+// build a PreparedGraph once and use the *On overloads.
+
+#ifndef HYTGRAPH_ALGORITHMS_RUNNER_H_
+#define HYTGRAPH_ALGORITHMS_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "core/trace.h"
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// A graph preprocessed for a particular options set: hub-sorted when the
+/// system needs it, plus the id mappings.
+class PreparedGraph {
+ public:
+  /// Prepares `graph` for `options`. The source graph must outlive the
+  /// PreparedGraph (un-sorted preparation keeps a reference, not a copy).
+  static Result<PreparedGraph> Make(const CsrGraph& graph,
+                                    const SolverOptions& options);
+
+  const CsrGraph& graph() const {
+    return reordered_ ? sorted_graph_ : *original_;
+  }
+  bool reordered() const { return reordered_; }
+  VertexId MapSource(VertexId original_id) const {
+    return reordered_ ? old_to_new_[original_id] : original_id;
+  }
+
+  /// Maps a solver-space vertex id back to the original id (identity when
+  /// not reordered). Used for value payloads that are themselves vertex ids
+  /// (CC labels).
+  VertexId MapVertexBack(VertexId solver_id) const {
+    return reordered_ ? new_to_old_[solver_id] : solver_id;
+  }
+
+  /// Maps a value vector from solver (possibly relabeled) ids back to the
+  /// original ids.
+  template <typename T>
+  std::vector<T> MapValuesBack(std::vector<T> values) const {
+    if (!reordered_) return values;
+    std::vector<T> out(values.size());
+    for (size_t new_id = 0; new_id < values.size(); ++new_id) {
+      out[new_to_old_[new_id]] = values[new_id];
+    }
+    return out;
+  }
+
+ private:
+  const CsrGraph* original_ = nullptr;
+  bool reordered_ = false;
+  CsrGraph sorted_graph_;
+  std::vector<VertexId> old_to_new_;
+  std::vector<VertexId> new_to_old_;
+};
+
+template <typename V>
+struct AlgorithmOutput {
+  std::vector<V> values;  // indexed by original vertex id
+  RunTrace trace;
+};
+
+Result<AlgorithmOutput<uint32_t>> RunBfs(const CsrGraph& graph,
+                                         VertexId source,
+                                         const SolverOptions& options);
+Result<AlgorithmOutput<uint32_t>> RunSssp(const CsrGraph& graph,
+                                          VertexId source,
+                                          const SolverOptions& options);
+Result<AlgorithmOutput<uint32_t>> RunCc(const CsrGraph& graph,
+                                        const SolverOptions& options);
+Result<AlgorithmOutput<double>> RunPageRank(const CsrGraph& graph,
+                                            const SolverOptions& options,
+                                            double damping = 0.85,
+                                            double epsilon = 1e-6);
+Result<AlgorithmOutput<double>> RunPhp(const CsrGraph& graph, VertexId source,
+                                       const SolverOptions& options,
+                                       double damping = 0.8,
+                                       double epsilon = 1e-6);
+Result<AlgorithmOutput<uint32_t>> RunSswp(const CsrGraph& graph,
+                                          VertexId source,
+                                          const SolverOptions& options);
+
+/// Overloads on an existing PreparedGraph (no re-sorting). The prepared
+/// graph must have been built with compatible options.
+Result<AlgorithmOutput<uint32_t>> RunBfsOn(const PreparedGraph& prepared,
+                                           VertexId source,
+                                           const SolverOptions& options);
+Result<AlgorithmOutput<uint32_t>> RunSsspOn(const PreparedGraph& prepared,
+                                            VertexId source,
+                                            const SolverOptions& options);
+Result<AlgorithmOutput<uint32_t>> RunCcOn(const PreparedGraph& prepared,
+                                          const SolverOptions& options);
+Result<AlgorithmOutput<double>> RunPageRankOn(const PreparedGraph& prepared,
+                                              const SolverOptions& options,
+                                              double damping = 0.85,
+                                              double epsilon = 1e-6);
+Result<AlgorithmOutput<double>> RunPhpOn(const PreparedGraph& prepared,
+                                         VertexId source,
+                                         const SolverOptions& options,
+                                         double damping = 0.8,
+                                         double epsilon = 1e-6);
+Result<AlgorithmOutput<uint32_t>> RunSswpOn(const PreparedGraph& prepared,
+                                            VertexId source,
+                                            const SolverOptions& options);
+
+/// The four paper algorithms for sweep-style benches.
+enum class Algorithm { kPageRank = 0, kSssp = 1, kCc = 2, kBfs = 3 };
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Runs `algorithm` (source used by BFS/SSSP) and returns just the trace —
+/// the shape benches need.
+Result<RunTrace> RunAlgorithmTrace(const CsrGraph& graph,
+                                   Algorithm algorithm, VertexId source,
+                                   const SolverOptions& options);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ALGORITHMS_RUNNER_H_

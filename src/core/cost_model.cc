@@ -1,0 +1,75 @@
+#include "core/cost_model.h"
+
+#include "util/math_util.h"
+
+namespace hytgraph {
+
+// Formulas (1)-(3) round TLP counts up (the paper's ceil(.)). At paper scale
+// a 32 MB partition spans ~1000 TLPs and the rounding is noise; at simulator
+// scale partitions can be smaller than one 32 KiB TLP and the ceil would
+// flatten every comparison to "1 vs 1". We therefore use the continuous
+// relaxation (fractional TLPs) — identical ordering at paper scale, correct
+// ordering at any scale.
+
+double CostModel::FilterCost(uint64_t partition_edges) const {
+  const uint64_t bytes = partition_edges * options_.bytes_per_edge;
+  return static_cast<double>(bytes) /
+         static_cast<double>(options_.max_request_bytes *
+                             options_.requests_per_tlp);
+}
+
+double CostModel::CompactionCost(uint64_t active_edges,
+                                 uint64_t active_vertices) const {
+  const uint64_t bytes = active_edges * options_.bytes_per_edge +
+                         active_vertices * options_.bytes_per_index;
+  return static_cast<double>(bytes) /
+         static_cast<double>(options_.max_request_bytes *
+                             options_.requests_per_tlp);
+}
+
+double CostModel::ZeroCopyCost(uint64_t zc_requests, uint64_t active_edges,
+                               uint64_t partition_edges) const {
+  const double tlps = static_cast<double>(zc_requests) /
+                      static_cast<double>(options_.requests_per_tlp);
+  const double active_ratio =
+      partition_edges == 0
+          ? 0.0
+          : static_cast<double>(active_edges) /
+                static_cast<double>(partition_edges);
+  const double rtt_zc_over_rtt =
+      options_.gamma + (1.0 - options_.gamma) * active_ratio;
+  return tlps * rtt_zc_over_rtt;
+}
+
+PartitionCosts CostModel::Evaluate(const PartitionStats& stats,
+                                   uint64_t partition_edges) const {
+  PartitionCosts costs;
+  costs.tef = FilterCost(partition_edges) + options_.explicit_overhead_tlps;
+  costs.tec = CompactionCost(stats.active_edges, stats.active_vertices) +
+              options_.explicit_overhead_tlps;
+  costs.tiz =
+      ZeroCopyCost(stats.zc_requests, stats.active_edges, partition_edges);
+
+  if (costs.tec < options_.alpha * costs.tef &&
+      costs.tec < options_.beta * costs.tiz) {
+    costs.choice = EngineKind::kCompaction;
+  } else if (costs.tef < costs.tiz) {
+    costs.choice = EngineKind::kFilter;
+  } else {
+    costs.choice = EngineKind::kZeroCopy;
+  }
+  return costs;
+}
+
+std::vector<PartitionCosts> CostModel::EvaluateAll(
+    const std::vector<Partition>& partitions,
+    const IterationState& state) const {
+  std::vector<PartitionCosts> all(partitions.size());
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    if (!state.stats[p].HasWork()) continue;
+    all[p] = Evaluate(state.stats[p], partitions[p].num_edges());
+  }
+  return all;
+}
+
+}  // namespace hytgraph

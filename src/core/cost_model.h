@@ -1,0 +1,94 @@
+// Cost-aware engine selection (Section V-A). For each partition with active
+// edges, evaluates the three transfer costs of formulas (1)-(3) in units of
+// the saturated-TLP round trip (RTT cancels in every comparison, exactly as
+// the paper notes: "the value of RTT can be arbitrarily specified") and
+// applies the paper's decision procedure:
+//
+//   if  Tec < alpha * Tef  and  Tec < beta * Tiz   -> ExpTM-compaction
+//   elif Tef < Tiz                                 -> ExpTM-filter
+//   else                                           -> ImpTM-zero-copy
+//
+// with alpha = 0.8 (Subway's compaction-worthwhile threshold) and beta = 0.4
+// (compaction beats zero-copy when the active set is dense in vertices but
+// sparse in edges). Tec deliberately counts only the transfer term — the
+// paper leaves Thpt_cpt out of the comparison because irregular host-memory
+// throughput resists modelling (Section V-A, "In practice...").
+
+#ifndef HYTGRAPH_CORE_COST_MODEL_H_
+#define HYTGRAPH_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.h"
+#include "engine/partition_state.h"
+#include "graph/partitioner.h"
+
+namespace hytgraph {
+
+struct CostModelOptions {
+  double alpha = 0.8;
+  double beta = 0.4;
+  double gamma = 0.625;
+  /// d1: bytes per edge entry actually transferred (4 unweighted,
+  /// 8 with weights).
+  uint64_t bytes_per_edge = 4;
+  /// d2: bytes per compacted-index entry.
+  uint64_t bytes_per_index = 8;
+  /// m: max payload of one outstanding request.
+  uint64_t max_request_bytes = 128;
+  /// MR: outstanding requests per TLP.
+  uint64_t requests_per_tlp = 256;
+  /// Per-partition scheduling overhead in RTT (saturated-TLP) units, added
+  /// to the explicit-transfer costs Tef and Tec. Explicit engines pay a
+  /// kernel launch + copy setup per combined task; the zero-copy engine
+  /// amortizes one launch over every ZC partition of the iteration. The
+  /// solver derives this from task_overhead_seconds / combine_k. (A small,
+  /// documented extension of formulas (1)-(2): at paper scale the term is
+  /// negligible, at simulator scale it keeps selection honest.)
+  double explicit_overhead_tlps = 0.0;
+};
+
+/// Costs of one partition in RTT units, plus the chosen engine.
+struct PartitionCosts {
+  double tef = 0;
+  double tec = 0;
+  double tiz = 0;
+  EngineKind choice = EngineKind::kFilter;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CostModelOptions& options) : options_(options) {}
+
+  const CostModelOptions& options() const { return options_; }
+
+  /// Formula (1): saturated TLPs to ship the whole partition.
+  double FilterCost(uint64_t partition_edges) const;
+
+  /// Formula (2), transfer term only: TLPs to ship compacted active edges
+  /// plus the new index.
+  double CompactionCost(uint64_t active_edges, uint64_t active_vertices) const;
+
+  /// Formula (3): zero-copy TLPs weighted by the unsaturated round trip
+  /// RTT_zc / RTT = gamma + (1-gamma) * activeRatio.
+  double ZeroCopyCost(uint64_t zc_requests, uint64_t active_edges,
+                      uint64_t partition_edges) const;
+
+  /// Full evaluation + decision for one partition.
+  PartitionCosts Evaluate(const PartitionStats& stats,
+                          uint64_t partition_edges) const;
+
+  /// Evaluates every active partition; inactive partitions get
+  /// choice=kFilter with all costs zero (they are never scheduled).
+  std::vector<PartitionCosts> EvaluateAll(
+      const std::vector<Partition>& partitions,
+      const IterationState& state) const;
+
+ private:
+  CostModelOptions options_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_CORE_COST_MODEL_H_

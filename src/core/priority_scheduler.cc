@@ -1,0 +1,55 @@
+#include "core/priority_scheduler.h"
+
+#include <algorithm>
+
+namespace hytgraph {
+
+namespace {
+
+/// Engine dispatch rank: filter first, then zero-copy, then compaction
+/// (Section VI-B ordering; compaction's CPU stage overlaps earlier tasks).
+int EngineRank(EngineKind engine) {
+  switch (engine) {
+    case EngineKind::kFilter:
+      return 0;
+    case EngineKind::kZeroCopy:
+      return 1;
+    case EngineKind::kCompaction:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+}  // namespace
+
+void ScheduleTasks(std::vector<Task>* tasks, const IterationState& state,
+                   const PrioritySchedulerOptions& options) {
+  for (Task& task : *tasks) {
+    if (!options.enabled) {
+      task.priority = 0;
+      continue;
+    }
+    if (options.delta_driven) {
+      double delta = 0;
+      for (uint32_t p : task.partitions) delta += state.stats[p].delta_sum;
+      task.priority = delta;
+    } else {
+      // Hub-driven: hub sorting gathered important vertices at the lowest
+      // ids, so lower-numbered partitions rank higher.
+      const uint32_t first =
+          task.partitions.empty() ? 0 : task.partitions.front();
+      task.priority = -static_cast<double>(first);
+    }
+  }
+  // Stable sort keeps submission order among equals (determinism).
+  std::stable_sort(tasks->begin(), tasks->end(),
+                   [](const Task& a, const Task& b) {
+                     const int ra = EngineRank(a.engine);
+                     const int rb = EngineRank(b.engine);
+                     if (ra != rb) return ra < rb;
+                     return a.priority > b.priority;
+                   });
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,40 @@
+// Contribution-driven priority scheduling (Section VI-A). Orders the
+// iteration's tasks so that partitions contributing most to convergence are
+// processed first, letting later tasks observe their updates (asynchronous
+// execution):
+//
+//  * Hub-vertex-driven: after hub sorting, the important vertices occupy the
+//    lowest ids, so tasks covering lower partition ids carry the hubs —
+//    they run first. (Used by traversal/selection algorithms: SSSP, BFS, CC.)
+//  * Delta-driven: for accumulation algorithms (PageRank, PHP) tasks are
+//    ordered by the sum of pending |delta| over their active vertices.
+//
+// Engine classes keep the paper's dispatch order: ExpTM-filter tasks first
+// (priority-ordered), then ImpTM-zero-copy, then ExpTM-compaction (whose CPU
+// stage overlaps the others on the stream timeline).
+
+#ifndef HYTGRAPH_CORE_PRIORITY_SCHEDULER_H_
+#define HYTGRAPH_CORE_PRIORITY_SCHEDULER_H_
+
+#include <vector>
+
+#include "core/task.h"
+#include "engine/partition_state.h"
+
+namespace hytgraph {
+
+struct PrioritySchedulerOptions {
+  /// Master switch (Fig. 8 ablation: CDS off = submission order).
+  bool enabled = true;
+  /// True when the program exposes per-vertex deltas (PR/PHP).
+  bool delta_driven = false;
+};
+
+/// Computes task priorities and sorts `tasks` into dispatch order in place.
+/// `state` supplies per-partition delta sums for delta-driven mode.
+void ScheduleTasks(std::vector<Task>* tasks, const IterationState& state,
+                   const PrioritySchedulerOptions& options);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_CORE_PRIORITY_SCHEDULER_H_

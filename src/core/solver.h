@@ -1,0 +1,509 @@
+// The solver: one iterative vertex-centric execution loop parameterized by
+// (a) a vertex program (algorithms/) and (b) a transfer-management policy
+// (SystemKind). HyTGraph and every baseline of Table V run through this
+// loop on the shared simulator substrate, so measured differences isolate
+// the transfer-management policy — the variable the paper studies.
+//
+// Per iteration:
+//   1. Resolve the frontier against the partitioning (engine/partition_state)
+//   2. Generate tasks: HyTGraph runs cost-aware selection (formulas (1)-(3))
+//      + task combination; baselines force a single engine
+//   3. Order tasks (contribution-driven priority scheduling)
+//   4. Execute: host threads produce exact results while the PCIe/compute
+//      models accumulate simulated time on a multi-stream timeline
+//   5. Swap frontiers; repeat to convergence.
+//
+// Program concept:
+//   struct Program {
+//     using Value = ...;
+//     static constexpr bool kNeedsWeights;  // SSSP/PHP: true
+//     static constexpr bool kHasDelta;      // PR/PHP: true
+//     void InitFrontier(Frontier* frontier);
+//     struct VertexContext {...};
+//     bool BeginVertex(VertexId u, VertexContext* ctx);
+//     bool ProcessEdge(const VertexContext& ctx, VertexId u, VertexId v,
+//                      Weight w);
+//     double DeltaOf(VertexId v) const;     // only if kHasDelta
+//   };
+
+#ifndef HYTGRAPH_CORE_SOLVER_H_
+#define HYTGRAPH_CORE_SOLVER_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/options.h"
+#include "core/priority_scheduler.h"
+#include "core/task.h"
+#include "core/task_combiner.h"
+#include "core/trace.h"
+#include "engine/compactor.h"
+#include "engine/frontier.h"
+#include "engine/kernels.h"
+#include "engine/partition_state.h"
+#include "graph/csr_graph.h"
+#include "graph/partitioner.h"
+#include "sim/compute_model.h"
+#include "sim/device_memory.h"
+#include "sim/pcie_model.h"
+#include "sim/stream_timeline.h"
+#include "sim/transfer_stats.h"
+#include "sim/unified_memory.h"
+#include "sim/zero_copy.h"
+#include "util/math_util.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+template <typename Program>
+class Solver {
+ public:
+  /// `graph` must outlive the solver.
+  Solver(const CsrGraph& graph, SolverOptions options)
+      : graph_(graph), options_(std::move(options)) {}
+
+  /// Validates options, accounts device memory, partitions the graph, and
+  /// sets up the transfer engines. Must be called (successfully) before Run.
+  Status Init() {
+    HYT_RETURN_NOT_OK(options_.Validate());
+
+    bytes_per_edge_ =
+        kBytesPerNeighbor +
+        (Program::kNeedsWeights && graph_.is_weighted() ? sizeof(Weight) : 0);
+
+    // Device memory: vertex-associated data is always resident (paper
+    // Section I assumption); if it does not fit, this platform cannot run
+    // the graph at all (the paper's hyper-scale limitation, Section VIII).
+    device_memory_ =
+        std::make_unique<DeviceMemory>(options_.DeviceMemory());
+    HYT_RETURN_NOT_OK(device_memory_->Allocate(
+        "vertex_data",
+        graph_.VertexDataBytes(sizeof(typename Program::Value))));
+
+    // Partitioning: 32 MB in the paper; auto mode scales to keep the
+    // ~256-partition regime at simulator scale.
+    PartitionerOptions popts;
+    popts.bytes_per_edge = bytes_per_edge_;
+    popts.partition_bytes = options_.partition_bytes;
+    if (popts.partition_bytes == 0) {
+      const uint64_t edge_bytes = graph_.num_edges() * bytes_per_edge_;
+      popts.partition_bytes =
+          std::clamp<uint64_t>(edge_bytes / 256, KiB(64), MiB(32));
+    }
+    HYT_ASSIGN_OR_RETURN(partitions_, PartitionGraph(graph_, popts));
+
+    pcie_ = std::make_unique<PcieModel>(options_.gpu, options_.pcie);
+    zc_access_ = std::make_unique<ZeroCopyAccess>(pcie_.get());
+    gpu_model_ = std::make_unique<GpuComputeModel>(
+        options_.gpu, options_.gpu_bytes_per_edge, options_.gpu_efficiency);
+    cpu_model_ =
+        std::make_unique<CpuComputeModel>(options_.cpu_edges_per_second);
+
+    CostModelOptions cmo;
+    cmo.alpha = options_.alpha;
+    cmo.beta = options_.beta;
+    cmo.gamma = options_.gamma;
+    cmo.bytes_per_edge = bytes_per_edge_;
+    cmo.max_request_bytes = options_.pcie.max_request_bytes;
+    cmo.requests_per_tlp = options_.pcie.requests_per_tlp;
+    // Per-partition share of the per-task launch/setup overhead (transfer +
+    // kernel phases), amortized over combine_k partitions per filter task,
+    // expressed in saturated-TLP round trips.
+    cmo.explicit_overhead_tlps = 2.0 * options_.task_overhead_seconds /
+                                 options_.combine_k /
+                                 pcie_->SaturatedTlpSeconds();
+    cost_model_ = std::make_unique<CostModel>(cmo);
+
+    // Staging budget for loaded subgraphs: whatever device memory the
+    // vertex data left. A compacted subgraph larger than this cannot be
+    // resident at once — Subway must chunk it, and cross-chunk updates wait
+    // for the next global iteration (this is what makes Subway retransfer
+    // on PageRank instead of converging locally in one shot).
+    staging_budget_bytes_ = device_memory_->available();
+
+    if (options_.system == SystemKind::kImpUm ||
+        options_.system == SystemKind::kGrus) {
+      // UM page cache gets whatever device memory the vertex data left.
+      const uint64_t cache_bytes =
+          std::max<uint64_t>(options_.pcie.page_bytes,
+                             device_memory_->available());
+      um_engine_ = std::make_unique<UnifiedMemoryEngine>(
+          graph_.num_edges() * bytes_per_edge_, cache_bytes,
+          options_.pcie.page_bytes);
+    }
+    initialized_ = true;
+    return Status::OK();
+  }
+
+  /// Runs `program` to convergence. Returns the execution trace; program
+  /// state (the values) is the result payload, owned by the caller.
+  Result<RunTrace> Run(Program* program) {
+    if (!initialized_) {
+      return Status::FailedPrecondition("Solver::Init() not called");
+    }
+    stats_.Reset();
+    if (um_engine_ != nullptr) um_engine_->Invalidate();
+
+    const VertexId n = graph_.num_vertices();
+    Frontier frontier_a(n);
+    Frontier frontier_b(n);
+    Frontier* current = &frontier_a;
+    Frontier* next = &frontier_b;
+    program->InitFrontier(current);
+
+    RunTrace trace;
+    for (uint64_t iter = 0; iter < options_.max_iterations; ++iter) {
+      if (current->Empty()) {
+        trace.converged = true;
+        break;
+      }
+      IterationState state = BuildState(*current, program);
+      std::vector<Task> tasks = GenerateTasks(state);
+      SplitOversizedCompactionTasks(&tasks, state);
+
+      PrioritySchedulerOptions pso;
+      pso.enabled = options_.enable_contribution_scheduling;
+      pso.delta_driven = Program::kHasDelta;
+      ScheduleTasks(&tasks, state, pso);
+
+      StreamTimeline timeline(options_.num_streams);
+      IterationTrace it;
+      it.active_vertices = state.total_active_vertices();
+      it.active_edges = state.total_active_edges;
+      it.num_tasks = static_cast<uint32_t>(tasks.size());
+      const TransferStatsSnapshot before = stats_.Snapshot();
+
+      for (const Task& task : tasks) {
+        ExecuteTask(task, state, next, &timeline, &it, program);
+      }
+
+      it.transfers = stats_.Snapshot() - before;
+      it.sim_seconds = timeline.Makespan();
+      it.transfer_seconds = timeline.PcieBusy();
+      it.kernel_seconds = timeline.GpuBusy();
+      it.compaction_seconds = timeline.CpuBusy();
+      trace.total_sim_seconds += it.sim_seconds;
+      trace.iterations.push_back(it);
+
+      std::swap(current, next);
+      next->Clear();
+    }
+    return trace;
+  }
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const PcieModel& pcie() const { return *pcie_; }
+  const GpuComputeModel& gpu_model() const { return *gpu_model_; }
+  const TransferStats& stats() const { return stats_; }
+
+ private:
+  static double DeltaTrampoline(const void* program, VertexId v) {
+    return static_cast<const Program*>(program)->DeltaOf(v);
+  }
+
+  IterationState BuildState(const Frontier& frontier,
+                            const Program* program) const {
+    DeltaFn delta_fn = nullptr;
+    const void* opaque = nullptr;
+    if constexpr (Program::kHasDelta) {
+      delta_fn = &DeltaTrampoline;
+      opaque = program;
+    }
+    return BuildIterationState(graph_, partitions_, frontier, *zc_access_,
+                               Program::kNeedsWeights && graph_.is_weighted(),
+                               delta_fn, opaque);
+  }
+
+  /// Task generation: HyTGraph runs the cost model per partition; every
+  /// baseline forces one engine across all active partitions.
+  std::vector<Task> GenerateTasks(const IterationState& state) const {
+    TaskCombinerOptions tco;
+    tco.combine_k = options_.combine_k;
+    tco.enabled = options_.enable_task_combining;
+
+    switch (options_.system) {
+      case SystemKind::kHyTGraph: {
+        const std::vector<PartitionCosts> costs =
+            cost_model_->EvaluateAll(partitions_, state);
+        return CombineTasks(partitions_, state, costs, tco);
+      }
+      case SystemKind::kExpFilter:
+        return ForcedTasks(state, EngineKind::kFilter,
+                           /*single_task=*/false);
+      case SystemKind::kSubway:
+        return ForcedTasks(state, EngineKind::kCompaction,
+                           /*single_task=*/true);
+      case SystemKind::kEmogi:
+        return ForcedTasks(state, EngineKind::kZeroCopy,
+                           /*single_task=*/true);
+      case SystemKind::kImpUm:
+      case SystemKind::kGrus:
+        return ForcedTasks(state, EngineKind::kUnifiedMemory,
+                           /*single_task=*/true);
+      case SystemKind::kCpu:
+        return ForcedTasks(state, EngineKind::kCpu, /*single_task=*/true);
+    }
+    return {};
+  }
+
+  /// All active partitions under one forced engine. `single_task` merges
+  /// everything into one task; otherwise consecutive partitions group by
+  /// combine_k (the streaming behaviour of filter-based frameworks).
+  std::vector<Task> ForcedTasks(const IterationState& state, EngineKind kind,
+                                bool single_task) const {
+    std::vector<Task> tasks;
+    Task* open = nullptr;
+    for (uint32_t p = 0; p < partitions_.size(); ++p) {
+      if (!state.stats[p].HasWork()) continue;
+      const bool need_new =
+          open == nullptr ||
+          (!single_task && static_cast<int>(open->partitions.size()) >=
+                               options_.combine_k);
+      if (need_new) {
+        tasks.emplace_back();
+        open = &tasks.back();
+        open->engine = kind;
+      }
+      open->partitions.push_back(p);
+      open->active_vertices += state.stats[p].active_vertices;
+      open->active_edges += state.stats[p].active_edges;
+      open->total_edges += partitions_[p].num_edges();
+      open->zc_requests += state.stats[p].zc_requests;
+    }
+    return tasks;
+  }
+
+  /// Splits compaction tasks whose compacted edges exceed the device-memory
+  /// staging budget into chunks of partitions that fit. Each chunk is
+  /// processed (and locally re-rounded) independently; updates crossing
+  /// chunks propagate in the next global iteration — exactly Subway's
+  /// memory-bounded behaviour.
+  void SplitOversizedCompactionTasks(std::vector<Task>* tasks,
+                                     const IterationState& state) const {
+    const uint64_t budget_edges =
+        std::max<uint64_t>(1, staging_budget_bytes_ / bytes_per_edge_);
+    std::vector<Task> result;
+    result.reserve(tasks->size());
+    for (Task& task : *tasks) {
+      if (task.engine != EngineKind::kCompaction ||
+          task.active_edges <= budget_edges) {
+        result.push_back(std::move(task));
+        continue;
+      }
+      Task* chunk = nullptr;
+      for (uint32_t p : task.partitions) {
+        const PartitionStats& stats = state.stats[p];
+        const bool need_new =
+            chunk == nullptr ||
+            (chunk->active_edges > 0 &&
+             chunk->active_edges + stats.active_edges > budget_edges);
+        if (need_new) {
+          result.emplace_back();
+          chunk = &result.back();
+          chunk->engine = EngineKind::kCompaction;
+          chunk->priority = task.priority;
+        }
+        chunk->partitions.push_back(p);
+        chunk->active_vertices += stats.active_vertices;
+        chunk->active_edges += stats.active_edges;
+        chunk->total_edges += partitions_[p].num_edges();
+        chunk->zc_requests += stats.zc_requests;
+      }
+    }
+    *tasks = std::move(result);
+  }
+
+  /// Concatenates the active slices of a task's partitions. Partition ids
+  /// ascend and slices are sorted, so the result is globally sorted.
+  std::vector<VertexId> GatherActives(const Task& task,
+                                      const IterationState& state) const {
+    std::vector<VertexId> actives;
+    actives.reserve(task.active_vertices);
+    for (uint32_t p : task.partitions) {
+      const auto slice = state.Slice(p);
+      actives.insert(actives.end(), slice.begin(), slice.end());
+    }
+    return actives;
+  }
+
+  /// Extra asynchronous rounds: consume re-activations that landed inside
+  /// this task's loaded subgraph. `membership` restricts to vertices whose
+  /// edges are actually on the GPU (compaction loads only the original
+  /// active set; filter loads whole partitions).
+  uint64_t RunExtraRounds(const Task& task,
+                          const std::vector<VertexId>* membership,
+                          Frontier* next, Program* program) {
+    const int max_rounds = options_.extra_rounds < 0
+                               ? options_.max_local_rounds
+                               : options_.extra_rounds;
+    uint64_t edges = 0;
+    for (int round = 0; round < max_rounds; ++round) {
+      std::vector<VertexId> pending;
+      for (uint32_t p : task.partitions) {
+        const Partition& part = partitions_[p];
+        std::vector<VertexId> in_range;
+        next->CollectRange(part.first_vertex, part.last_vertex, &in_range);
+        for (VertexId v : in_range) {
+          if (membership == nullptr ||
+              std::binary_search(membership->begin(), membership->end(), v)) {
+            next->Deactivate(v);
+            pending.push_back(v);
+          }
+        }
+      }
+      if (pending.empty()) break;
+      edges += RunKernel(graph_, pending, *program, next);
+    }
+    return edges;
+  }
+
+  void ExecuteTask(const Task& task, const IterationState& state,
+                   Frontier* next, StreamTimeline* timeline,
+                   IterationTrace* it, Program* program) {
+    const std::vector<VertexId> actives = GatherActives(task, state);
+    const auto count = static_cast<uint32_t>(task.partitions.size());
+    StreamTask st;
+    st.label = EngineKindName(task.engine);
+    it->partitions_active += count;
+
+    switch (task.engine) {
+      case EngineKind::kFilter: {
+        it->partitions_filter += count;
+        const uint64_t bytes = task.total_edges * bytes_per_edge_;
+        const uint64_t tlps = pcie_->ExplicitCopyTlps(bytes);
+        stats_.AddExplicit(bytes, tlps);
+        st.transfer_seconds = pcie_->ExplicitCopySeconds(bytes) +
+                              options_.task_overhead_seconds;
+        uint64_t edges = RunKernel(graph_, actives, *program, next);
+        if (options_.extra_rounds != 0) {
+          // Whole partitions are on the GPU: any vertex in range can be
+          // recomputed without further transfer.
+          edges += RunExtraRounds(task, /*membership=*/nullptr, next, program);
+        }
+        stats_.AddKernelEdges(edges);
+        st.kernel_seconds = gpu_model_->SecondsForEdges(edges) +
+                            options_.task_overhead_seconds;
+        break;
+      }
+      case EngineKind::kCompaction: {
+        it->partitions_compaction += count;
+        CompactionResult compact = CompactActiveEdges(
+            graph_, actives, Program::kNeedsWeights && graph_.is_weighted());
+        it->measured_compaction_seconds += compact.measured_seconds;
+        stats_.AddCompactedBytes(compact.bytes_moved);
+        st.cpu_seconds = static_cast<double>(compact.bytes_moved) /
+                         cpu_model_->compaction_bytes_per_second();
+
+        const uint64_t bytes = compact.sub.TransferBytes();
+        const uint64_t tlps = pcie_->ExplicitCopyTlps(bytes);
+        stats_.AddExplicit(bytes, tlps);
+        st.transfer_seconds = pcie_->ExplicitCopySeconds(bytes) +
+                              options_.task_overhead_seconds;
+
+        uint64_t edges = RunKernelOnSubCsr(compact.sub, *program, next);
+        if (options_.extra_rounds != 0) {
+          // Only the compacted vertices' edges are on the GPU.
+          edges += RunExtraRounds(task, &actives, next, program);
+        }
+        stats_.AddKernelEdges(edges);
+        st.kernel_seconds = gpu_model_->SecondsForEdges(edges) +
+                            options_.task_overhead_seconds;
+        break;
+      }
+      case EngineKind::kZeroCopy: {
+        it->partitions_zero_copy += count;
+        const double ratio =
+            task.total_edges == 0
+                ? 0.0
+                : static_cast<double>(task.active_edges) /
+                      static_cast<double>(task.total_edges);
+        const uint64_t line_bytes =
+            task.zc_requests * options_.pcie.max_request_bytes;
+        stats_.AddZeroCopy(
+            line_bytes, task.zc_requests,
+            CeilDiv(task.zc_requests, options_.pcie.requests_per_tlp));
+        st.transfer_seconds =
+            pcie_->ZeroCopySeconds(task.zc_requests, ratio) +
+            options_.task_overhead_seconds;
+        // No extra rounds: zero-copy loads nothing, re-access would pay the
+        // PCIe cost again (Section VI-A applies to *loaded* subgraphs).
+        const uint64_t edges = RunKernel(graph_, actives, *program, next);
+        stats_.AddKernelEdges(edges);
+        st.kernel_seconds = gpu_model_->SecondsForEdges(edges) +
+                            options_.task_overhead_seconds;
+        st.fused_transfer_kernel = true;
+        break;
+      }
+      case EngineKind::kUnifiedMemory: {
+        it->partitions_um += count;
+        UnifiedMemoryReport report;
+        uint64_t spill_requests = 0;  // Grus: zero-copy fallback
+        for (VertexId v : actives) {
+          const uint64_t begin = graph_.edge_begin(v) * bytes_per_edge_;
+          const uint64_t end = graph_.edge_end(v) * bytes_per_edge_;
+          if (options_.system == SystemKind::kGrus) {
+            if (!um_engine_->TouchIfCacheable(begin, end, &report)) {
+              spill_requests += zc_access_->RequestsForVertex(
+                  graph_, v, Program::kNeedsWeights && graph_.is_weighted());
+            }
+          } else {
+            report += um_engine_->Touch(begin, end);
+          }
+        }
+        stats_.AddUnifiedMemory(report.bytes_migrated, report.faults);
+        it->um_pages_touched += report.pages_touched;
+        double transfer =
+            pcie_->UnifiedMemorySeconds(report.faults, report.faults);
+        if (spill_requests > 0) {
+          const double ratio =
+              task.total_edges == 0
+                  ? 0.0
+                  : static_cast<double>(task.active_edges) /
+                        static_cast<double>(task.total_edges);
+          stats_.AddZeroCopy(
+              spill_requests * options_.pcie.max_request_bytes,
+              spill_requests,
+              CeilDiv(spill_requests, options_.pcie.requests_per_tlp));
+          transfer += pcie_->ZeroCopySeconds(spill_requests, ratio);
+        }
+        st.transfer_seconds = transfer + options_.task_overhead_seconds;
+        const uint64_t edges = RunKernel(graph_, actives, *program, next);
+        stats_.AddKernelEdges(edges);
+        st.kernel_seconds = gpu_model_->SecondsForEdges(edges) +
+                            options_.task_overhead_seconds;
+        break;
+      }
+      case EngineKind::kCpu: {
+        const uint64_t edges = RunKernel(graph_, actives, *program, next);
+        stats_.AddKernelEdges(edges);
+        st.kernel_seconds = cpu_model_->SecondsForEdges(edges);
+        break;
+      }
+    }
+    timeline->Submit(st);
+  }
+
+  const CsrGraph& graph_;
+  SolverOptions options_;
+  uint64_t bytes_per_edge_ = 4;
+  uint64_t staging_budget_bytes_ = 0;
+  bool initialized_ = false;
+
+  std::vector<Partition> partitions_;
+  std::unique_ptr<DeviceMemory> device_memory_;
+  std::unique_ptr<PcieModel> pcie_;
+  std::unique_ptr<ZeroCopyAccess> zc_access_;
+  std::unique_ptr<GpuComputeModel> gpu_model_;
+  std::unique_ptr<CpuComputeModel> cpu_model_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<UnifiedMemoryEngine> um_engine_;
+  TransferStats stats_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_CORE_SOLVER_H_

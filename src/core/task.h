@@ -1,0 +1,42 @@
+// Scheduling units. A Task is a set of partitions bound to the transfer
+// engine the cost model chose for them, produced by the task combiner and
+// consumed by the asynchronous scheduler.
+
+#ifndef HYTGRAPH_CORE_TASK_H_
+#define HYTGRAPH_CORE_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hytgraph {
+
+/// The transfer engines of Table III. kCpu is the no-transfer CPU baseline.
+enum class EngineKind {
+  kFilter = 0,         // ExpTM-filter
+  kCompaction = 1,     // ExpTM-compaction
+  kZeroCopy = 2,       // ImpTM-zero-copy
+  kUnifiedMemory = 3,  // ImpTM-unified-memory
+  kCpu = 4,
+};
+
+/// Short display name ("E-F", "E-C", "I-ZC", "I-UM", "CPU"), Fig. 3 style.
+const char* EngineKindName(EngineKind kind);
+
+struct Task {
+  EngineKind engine = EngineKind::kFilter;
+  /// Partition ids covered by this task (ascending).
+  std::vector<uint32_t> partitions;
+  /// Scheduling priority; larger runs earlier (contribution-driven).
+  double priority = 0;
+
+  /// Aggregates for convenience, filled by the combiner.
+  uint64_t active_vertices = 0;
+  uint64_t active_edges = 0;
+  uint64_t total_edges = 0;    // all edges of covered partitions
+  uint64_t zc_requests = 0;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_CORE_TASK_H_

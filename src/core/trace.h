@@ -1,0 +1,61 @@
+// Execution traces: everything the paper's evaluation section plots. Each
+// solver run yields a RunTrace with one IterationTrace per iteration —
+// engine mix (Fig. 7a/b), per-iteration simulated runtime (Fig. 3g/h, 7c/d),
+// phase breakdowns (Fig. 3b/c), and transfer volumes (Table VI).
+
+#ifndef HYTGRAPH_CORE_TRACE_H_
+#define HYTGRAPH_CORE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/transfer_stats.h"
+
+namespace hytgraph {
+
+struct IterationTrace {
+  uint64_t active_vertices = 0;
+  uint64_t active_edges = 0;
+
+  /// Active partitions dispatched to each engine this iteration.
+  uint32_t partitions_filter = 0;
+  uint32_t partitions_compaction = 0;
+  uint32_t partitions_zero_copy = 0;
+  uint32_t partitions_um = 0;
+  uint32_t partitions_active = 0;
+  uint32_t num_tasks = 0;
+
+  /// Simulated wall time of the iteration (multi-stream makespan).
+  double sim_seconds = 0;
+  /// Per-resource busy time within the iteration.
+  double transfer_seconds = 0;
+  double kernel_seconds = 0;
+  double compaction_seconds = 0;  // modelled CPU compaction
+  /// Measured host wall time of the real compaction work (diagnostic).
+  double measured_compaction_seconds = 0;
+
+  /// Distinct unified-memory pages touched this iteration (hits + faults);
+  /// drives the Fig. 3(d) active-page redundancy analysis.
+  uint64_t um_pages_touched = 0;
+
+  /// Transfer counters for this iteration only.
+  TransferStatsSnapshot transfers;
+};
+
+struct RunTrace {
+  std::vector<IterationTrace> iterations;
+  /// End-to-end simulated runtime (sum of iteration makespans).
+  double total_sim_seconds = 0;
+  bool converged = false;
+
+  uint64_t TotalTransferredBytes() const;
+  uint64_t TotalKernelEdges() const;
+  double TotalTransferSeconds() const;
+  double TotalKernelSeconds() const;
+  double TotalCompactionSeconds() const;
+  uint64_t NumIterations() const { return iterations.size(); }
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_CORE_TRACE_H_

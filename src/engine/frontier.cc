@@ -1,0 +1,23 @@
+#include "engine/frontier.h"
+
+namespace hytgraph {
+
+std::vector<VertexId> Frontier::Collect() const {
+  std::vector<VertexId> out;
+  bitmap_.CollectSetBits(0, bitmap_.size(), &out);
+  return out;
+}
+
+void Frontier::CollectRange(VertexId begin, VertexId end,
+                            std::vector<VertexId>* out) const {
+  bitmap_.CollectSetBits(begin, end, out);
+}
+
+std::vector<VertexId> Frontier::DrainRange(VertexId begin, VertexId end) {
+  std::vector<VertexId> out;
+  bitmap_.CollectSetBits(begin, end, &out);
+  for (VertexId v : out) bitmap_.Clear(v);
+  return out;
+}
+
+}  // namespace hytgraph

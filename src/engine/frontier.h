@@ -1,0 +1,58 @@
+// Active-vertex frontier, bitmap-directed (Section VI-C: "bitmap-directed
+// frontier optimization to reduce the atomic conflict of active vertex
+// maintenance"). The solver keeps two frontiers (current / next) and swaps
+// them between iterations; engines collect sorted active lists from the
+// bitmap.
+
+#ifndef HYTGRAPH_ENGINE_FRONTIER_H_
+#define HYTGRAPH_ENGINE_FRONTIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/atomic_bitmap.h"
+
+namespace hytgraph {
+
+class Frontier {
+ public:
+  explicit Frontier(VertexId num_vertices) : bitmap_(num_vertices) {}
+
+  /// Thread-safe activation; returns true if v was newly activated.
+  bool Activate(VertexId v) { return bitmap_.TestAndSet(v); }
+
+  /// Thread-safe deactivation (used when a vertex's pending update is
+  /// consumed by an extra asynchronous round).
+  void Deactivate(VertexId v) { bitmap_.Clear(v); }
+
+  bool IsActive(VertexId v) const { return bitmap_.Test(v); }
+
+  uint64_t CountActive() const { return bitmap_.Count(); }
+  bool Empty() const { return CountActive() == 0; }
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(bitmap_.size());
+  }
+
+  /// All active vertices, ascending.
+  std::vector<VertexId> Collect() const;
+
+  /// Active vertices within [begin, end), ascending, appended to out.
+  void CollectRange(VertexId begin, VertexId end,
+                    std::vector<VertexId>* out) const;
+
+  /// Collects active vertices in [begin, end) AND clears their bits — the
+  /// primitive behind asynchronous extra rounds (take the pending set,
+  /// consume it).
+  std::vector<VertexId> DrainRange(VertexId begin, VertexId end);
+
+  void Clear() { bitmap_.ClearAll(); }
+
+ private:
+  AtomicBitmap bitmap_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ENGINE_FRONTIER_H_

@@ -1,0 +1,93 @@
+// Host-executed "GPU kernels": push-mode edge relaxation over an active
+// vertex set, parallelized on the thread pool. The vertex program supplies
+// the per-vertex and per-edge behaviour; the kernel supplies iteration
+// order, parallelism, and frontier maintenance. Results are exact — only
+// the *time* of these kernels is taken from the compute model.
+//
+// Program concept (see algorithms/vertex_program.h for implementations):
+//   struct P {
+//     using VertexContext = ...;       // per-source state for one visit
+//     bool BeginVertex(VertexId u, VertexContext* ctx);   // false: skip u
+//     bool ProcessEdge(const VertexContext& ctx, VertexId u, VertexId v,
+//                      Weight w);      // true: v's value changed, activate
+//   };
+
+#ifndef HYTGRAPH_ENGINE_KERNELS_H_
+#define HYTGRAPH_ENGINE_KERNELS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "engine/compactor.h"
+#include "engine/frontier.h"
+#include "graph/csr_graph.h"
+#include "util/thread_pool.h"
+
+namespace hytgraph {
+
+/// Relaxes all out-edges of every vertex in `actives` against `graph`,
+/// activating changed targets in `next`. Returns the number of edges
+/// processed (the kernel-time unit).
+template <typename Program>
+uint64_t RunKernel(const CsrGraph& graph, std::span<const VertexId> actives,
+                   Program& program, Frontier* next) {
+  if (actives.empty()) return 0;
+  std::atomic<uint64_t> edges_processed{0};
+  ThreadPool::Default()->ParallelFor(
+      actives.size(),
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        uint64_t local_edges = 0;
+        for (uint64_t i = begin; i < end; ++i) {
+          const VertexId u = actives[i];
+          typename Program::VertexContext ctx;
+          if (!program.BeginVertex(u, &ctx)) continue;
+          const auto nbrs = graph.neighbors(u);
+          const auto wts = graph.weights(u);
+          local_edges += nbrs.size();
+          for (size_t e = 0; e < nbrs.size(); ++e) {
+            const Weight w = wts.empty() ? Weight{1} : wts[e];
+            if (program.ProcessEdge(ctx, u, nbrs[e], w)) {
+              next->Activate(nbrs[e]);
+            }
+          }
+        }
+        edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
+      },
+      /*min_grain=*/64);
+  return edges_processed.load();
+}
+
+/// Same as RunKernel but over a compacted subgraph (Subway-style GPU-side
+/// processing of the shipped sub-CSR). Identical relaxation semantics.
+template <typename Program>
+uint64_t RunKernelOnSubCsr(const SubCsr& sub, Program& program,
+                           Frontier* next) {
+  if (sub.vertices.empty()) return 0;
+  std::atomic<uint64_t> edges_processed{0};
+  ThreadPool::Default()->ParallelFor(
+      sub.vertices.size(),
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        uint64_t local_edges = 0;
+        for (uint64_t i = begin; i < end; ++i) {
+          const VertexId u = sub.vertices[i];
+          typename Program::VertexContext ctx;
+          if (!program.BeginVertex(u, &ctx)) continue;
+          const EdgeId lo = sub.row_offsets[i];
+          const EdgeId hi = sub.row_offsets[i + 1];
+          local_edges += hi - lo;
+          for (EdgeId e = lo; e < hi; ++e) {
+            const Weight w = sub.weights.empty() ? Weight{1} : sub.weights[e];
+            if (program.ProcessEdge(ctx, u, sub.column_index[e], w)) {
+              next->Activate(sub.column_index[e]);
+            }
+          }
+        }
+        edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
+      },
+      /*min_grain=*/64);
+  return edges_processed.load();
+}
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ENGINE_KERNELS_H_

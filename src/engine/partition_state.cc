@@ -1,0 +1,57 @@
+#include "engine/partition_state.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace hytgraph {
+
+IterationState BuildIterationState(const CsrGraph& graph,
+                                   const std::vector<Partition>& partitions,
+                                   const Frontier& frontier,
+                                   const ZeroCopyAccess& zc_access,
+                                   bool include_weights, DeltaFn delta_fn,
+                                   const void* program) {
+  IterationState state;
+  state.actives = frontier.Collect();
+  const size_t num_partitions = partitions.size();
+  state.slice_offsets.assign(num_partitions + 1, 0);
+  state.stats.assign(num_partitions, PartitionStats{});
+
+  // Partition boundaries in the sorted active list via binary search.
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const auto it =
+        std::lower_bound(state.actives.begin(), state.actives.end(),
+                         partitions[p].first_vertex);
+    state.slice_offsets[p] =
+        static_cast<size_t>(it - state.actives.begin());
+  }
+  state.slice_offsets[num_partitions] = state.actives.size();
+
+  // Per-partition stats in parallel (partitions are independent).
+  ThreadPool::Default()->ParallelFor(
+      num_partitions,
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        for (uint64_t p = begin; p < end; ++p) {
+          PartitionStats& stats = state.stats[p];
+          const auto slice = state.Slice(static_cast<uint32_t>(p));
+          stats.active_vertices = slice.size();
+          for (VertexId v : slice) {
+            stats.active_edges += graph.out_degree(v);
+            stats.zc_requests +=
+                zc_access.RequestsForVertex(graph, v, include_weights);
+            if (delta_fn != nullptr) {
+              stats.delta_sum += delta_fn(program, v);
+            }
+          }
+        }
+      },
+      /*min_grain=*/1);
+
+  for (const PartitionStats& stats : state.stats) {
+    state.total_active_edges += stats.active_edges;
+  }
+  return state;
+}
+
+}  // namespace hytgraph

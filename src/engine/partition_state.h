@@ -1,0 +1,66 @@
+// Per-iteration, per-partition activity statistics: the inputs to cost
+// formulas (1)-(3). Computed in parallel from the frontier at the start of
+// every iteration ("the cost computation between partitions is independent",
+// Section V-A — the paper does it on the GPU; we do it on the pool).
+
+#ifndef HYTGRAPH_ENGINE_PARTITION_STATE_H_
+#define HYTGRAPH_ENGINE_PARTITION_STATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/frontier.h"
+#include "graph/csr_graph.h"
+#include "graph/partitioner.h"
+#include "sim/zero_copy.h"
+
+namespace hytgraph {
+
+struct PartitionStats {
+  uint64_t active_vertices = 0;
+  uint64_t active_edges = 0;
+  /// Zero-copy memory requests to fetch all active runs (formula (3)'s
+  /// sum of ceil(Do(v)*d1/m) + am(v)).
+  uint64_t zc_requests = 0;
+  /// Sum of a program-defined priority weight (e.g. |delta|) over active
+  /// vertices; 0 when the program has no delta notion.
+  double delta_sum = 0;
+
+  bool HasWork() const { return active_vertices > 0; }
+};
+
+/// The frontier of one iteration resolved against the partitioning: the
+/// sorted global active list, per-partition slices of it, and per-partition
+/// stats.
+struct IterationState {
+  std::vector<VertexId> actives;        // sorted ascending
+  std::vector<size_t> slice_offsets;    // per partition: [off[i], off[i+1])
+  std::vector<PartitionStats> stats;
+  uint64_t total_active_edges = 0;
+
+  std::span<const VertexId> Slice(uint32_t partition) const {
+    return std::span<const VertexId>(actives.data() + slice_offsets[partition],
+                                     slice_offsets[partition + 1] -
+                                         slice_offsets[partition]);
+  }
+  uint64_t total_active_vertices() const { return actives.size(); }
+};
+
+/// Optional per-vertex priority weight source (|delta| for PR/PHP).
+using DeltaFn = double (*)(const void* program, VertexId v);
+
+/// Builds the IterationState for `frontier`. `include_weights` controls
+/// whether zero-copy request counts cover the weight array too (weighted
+/// algorithms fetch neighbours + weights). `delta_fn`/`program` may be null.
+IterationState BuildIterationState(const CsrGraph& graph,
+                                   const std::vector<Partition>& partitions,
+                                   const Frontier& frontier,
+                                   const ZeroCopyAccess& zc_access,
+                                   bool include_weights,
+                                   DeltaFn delta_fn = nullptr,
+                                   const void* program = nullptr);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ENGINE_PARTITION_STATE_H_

@@ -1,0 +1,110 @@
+// Compressed Sparse Row graph: the storage format every engine in this
+// library operates on (Fig. 1 of the paper). The `row_offsets` (neighbor
+// index) array is what the paper keeps GPU-resident; `column_index` and
+// `edge_weights` are the host-resident edge-associated arrays whose transfer
+// the whole system is about.
+
+#ifndef HYTGRAPH_GRAPH_CSR_GRAPH_H_
+#define HYTGRAPH_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds a CSR directly from its arrays. `row_offsets` must have
+  /// num_vertices+1 entries, be non-decreasing, start at 0 and end at
+  /// column_index.size(); `edge_weights` must be empty or match
+  /// column_index.size().
+  static Result<CsrGraph> Create(std::vector<EdgeId> row_offsets,
+                                 std::vector<VertexId> column_index,
+                                 std::vector<Weight> edge_weights);
+
+  VertexId num_vertices() const {
+    return row_offsets_.empty()
+               ? 0
+               : static_cast<VertexId>(row_offsets_.size() - 1);
+  }
+  EdgeId num_edges() const { return column_index_.size(); }
+  bool is_weighted() const { return !edge_weights_.empty(); }
+
+  EdgeId out_degree(VertexId v) const {
+    return row_offsets_[v + 1] - row_offsets_[v];
+  }
+
+  /// Start offset of v's neighbour run in column_index.
+  EdgeId edge_begin(VertexId v) const { return row_offsets_[v]; }
+  EdgeId edge_end(VertexId v) const { return row_offsets_[v + 1]; }
+
+  /// Neighbours of v as a view over the host-resident edge array.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(column_index_.data() + row_offsets_[v],
+                                     out_degree(v));
+  }
+
+  /// Weights of v's out-edges; empty span when unweighted.
+  std::span<const Weight> weights(VertexId v) const {
+    if (!is_weighted()) return {};
+    return std::span<const Weight>(edge_weights_.data() + row_offsets_[v],
+                                   out_degree(v));
+  }
+
+  const std::vector<EdgeId>& row_offsets() const { return row_offsets_; }
+  const std::vector<VertexId>& column_index() const { return column_index_; }
+  const std::vector<Weight>& edge_weights() const { return edge_weights_; }
+
+  /// In-degrees (computed lazily once, cached). Needed by hub sorting
+  /// (formula (4) uses Di(v)).
+  const std::vector<uint32_t>& in_degrees() const;
+
+  /// Bytes of the host-resident edge-associated data: column_index plus
+  /// weights if present. This is the quantity compared against GPU memory
+  /// capacity for oversubscription.
+  uint64_t EdgeDataBytes() const {
+    const uint64_t per_edge =
+        kBytesPerNeighbor + (is_weighted() ? sizeof(Weight) : 0);
+    return num_edges() * per_edge;
+  }
+
+  /// Bytes of the GPU-resident vertex-associated data for a `value_bytes`-
+  /// sized vertex value (row offsets + values + activity bitmap).
+  uint64_t VertexDataBytes(uint64_t value_bytes) const {
+    const uint64_t n = num_vertices();
+    return (n + 1) * sizeof(EdgeId) + n * value_bytes + n / 8 + 1;
+  }
+
+  /// Maximum out-degree over all vertices (0 for the empty graph).
+  EdgeId max_out_degree() const;
+  /// Maximum in-degree over all vertices.
+  uint32_t max_in_degree() const;
+
+  /// Structural sanity checks (offsets monotone, targets in range). Used by
+  /// tests and after deserialization.
+  Status Validate() const;
+
+ private:
+  CsrGraph(std::vector<EdgeId> row_offsets, std::vector<VertexId> column_index,
+           std::vector<Weight> edge_weights)
+      : row_offsets_(std::move(row_offsets)),
+        column_index_(std::move(column_index)),
+        edge_weights_(std::move(edge_weights)) {}
+
+  std::vector<EdgeId> row_offsets_;
+  std::vector<VertexId> column_index_;
+  std::vector<Weight> edge_weights_;
+
+  // Lazy caches; logically const.
+  mutable std::vector<uint32_t> in_degrees_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,49 @@
+// Named dataset registry. The paper evaluates five real-world graphs
+// (Table IV: sk-2005, twitter, friendster-konect, uk-2007, friendster-snap).
+// Those crawls are tens of GB and not redistributable here, so each name maps
+// to an R-MAT configuration matched to the original's directedness, average
+// degree and *relative* size, plus a simulated GPU memory budget that
+// reproduces the original oversubscription ratio on an 11 GB 2080Ti
+// (see DESIGN.md, "Substitutions").
+
+#ifndef HYTGRAPH_GRAPH_DATASET_H_
+#define HYTGRAPH_GRAPH_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+struct DatasetSpec {
+  std::string name;          // "SK", "TW", "FK", "UK", "FS"
+  std::string description;   // what it stands in for
+  uint32_t scale;            // RMAT scale (log2 vertices)
+  uint32_t edge_factor;      // average out-degree
+  bool symmetrize;           // undirected originals (FK, FS)
+  double skew_a;             // RMAT 'a' parameter (higher = more skewed)
+  uint64_t seed;
+  /// Simulated GPU device-memory budget chosen so that
+  /// EdgeDataBytes / device_memory matches the paper's ratio on a 2080Ti.
+  /// 0 means "derive from oversubscription_ratio at load time".
+  double oversubscription_ratio;  // edge bytes / device memory
+};
+
+/// All five paper datasets, in Table IV order.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Looks up a dataset spec by short name (case sensitive: "SK" etc).
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates the graph for a spec. Deterministic per spec.
+Result<CsrGraph> LoadDataset(const DatasetSpec& spec);
+
+/// Device-memory bytes to configure the simulator with for this spec, given
+/// the generated graph (edge bytes / oversubscription ratio).
+uint64_t DeviceMemoryBudget(const DatasetSpec& spec, const CsrGraph& graph);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_DATASET_H_

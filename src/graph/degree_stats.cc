@@ -1,0 +1,34 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hytgraph {
+
+DegreeHistogram ComputeDegreeHistogram(const CsrGraph& graph) {
+  DegreeHistogram hist;
+  hist.total = graph.num_vertices();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const EdgeId deg = graph.out_degree(v);
+    const size_t bucket = deg >= 32 ? 4 : static_cast<size_t>(deg / 8);
+    ++hist.counts[bucket];
+  }
+  return hist;
+}
+
+DegreeSummary SummarizeDegrees(const CsrGraph& graph) {
+  DegreeSummary summary;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return summary;
+  std::vector<uint64_t> degrees(n);
+  for (VertexId v = 0; v < n; ++v) degrees[v] = graph.out_degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  summary.mean = static_cast<double>(graph.num_edges()) / n;
+  summary.max = degrees.back();
+  summary.p50 = degrees[n / 2];
+  summary.p90 = degrees[static_cast<size_t>(n * 0.9)];
+  summary.p99 = degrees[static_cast<size_t>(n * 0.99)];
+  return summary;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,51 @@
+// Degree-distribution statistics. Reproduces Fig. 3(f): the fraction of
+// vertices in out-degree buckets [0,8), [8,16), [16,24), [24,32), [32,inf) —
+// the paper's evidence that zero-copy memory requests are mostly unsaturated
+// (74.7% of vertices have < 32 neighbours; a 128-byte request holds 32
+// 4-byte neighbour ids).
+
+#ifndef HYTGRAPH_GRAPH_DEGREE_STATS_H_
+#define HYTGRAPH_GRAPH_DEGREE_STATS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace hytgraph {
+
+struct DegreeHistogram {
+  /// Paper buckets: [0,8), [8,16), [16,24), [24,32), [32,inf).
+  static constexpr int kNumBuckets = 5;
+  std::array<uint64_t, kNumBuckets> counts{};
+  uint64_t total = 0;
+
+  /// Fraction of vertices in bucket b.
+  double Fraction(int b) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(counts[static_cast<size_t>(b)]) /
+                            static_cast<double>(total);
+  }
+  /// Fraction of vertices with out-degree < 32 (buckets 0..3).
+  double FractionUnderSaturation() const {
+    return Fraction(0) + Fraction(1) + Fraction(2) + Fraction(3);
+  }
+};
+
+/// Computes the out-degree histogram of `graph`.
+DegreeHistogram ComputeDegreeHistogram(const CsrGraph& graph);
+
+struct DegreeSummary {
+  double mean = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+};
+
+/// Mean/max/percentile summary of out-degrees.
+DegreeSummary SummarizeDegrees(const CsrGraph& graph);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_DEGREE_STATS_H_

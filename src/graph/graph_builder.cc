@@ -1,0 +1,82 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+namespace hytgraph {
+
+Result<CsrGraph> BuildCsr(VertexId num_vertices, std::vector<Edge> edges,
+                          const BuilderOptions& options) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(e.src) + "," + std::to_string(e.dst) +
+          ") out of range for n=" + std::to_string(num_vertices));
+    }
+  }
+
+  if (options.symmetrize) {
+    const size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      const Edge& e = edges[i];
+      if (e.src != e.dst) {
+        edges.push_back(Edge{e.dst, e.src, e.weight});
+      }
+    }
+  }
+
+  if (options.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) { return e.src == e.dst; }),
+                edges.end());
+  }
+
+  // Stable sort by (src, dst) so neighbour runs are ordered; deterministic.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst, a.weight) < std::tie(b.src, b.dst, b.weight);
+  });
+
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeId> row_offsets(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    ++row_offsets[e.src + 1];
+  }
+  for (size_t i = 1; i < row_offsets.size(); ++i) {
+    row_offsets[i] += row_offsets[i - 1];
+  }
+
+  std::vector<VertexId> column_index(edges.size());
+  std::vector<Weight> edge_weights;
+  if (options.weighted) edge_weights.resize(edges.size());
+  // Edges are sorted by src, so a single pass writes each run contiguously.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    column_index[i] = edges[i].dst;
+    if (options.weighted) edge_weights[i] = edges[i].weight;
+  }
+
+  return CsrGraph::Create(std::move(row_offsets), std::move(column_index),
+                          std::move(edge_weights));
+}
+
+Result<CsrGraph> BuildFromTriples(
+    VertexId num_vertices,
+    const std::vector<std::tuple<VertexId, VertexId, Weight>>& triples,
+    const BuilderOptions& options) {
+  std::vector<Edge> edges;
+  edges.reserve(triples.size());
+  for (const auto& [src, dst, weight] : triples) {
+    edges.push_back(Edge{src, dst, weight});
+  }
+  return BuildCsr(num_vertices, std::move(edges), options);
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,98 @@
+#include "graph/hub_sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hytgraph {
+
+std::vector<double> ComputeHubScores(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  const auto& in_degs = graph.in_degrees();
+  const double do_max = static_cast<double>(graph.max_out_degree());
+  const double di_max = static_cast<double>(graph.max_in_degree());
+  const double denom = std::max(1.0, do_max) * std::max(1.0, di_max);
+  for (VertexId v = 0; v < n; ++v) {
+    scores[v] = static_cast<double>(graph.out_degree(v)) *
+                static_cast<double>(in_degs[v]) / denom;
+  }
+  return scores;
+}
+
+Result<HubSortResult> HubSort(const CsrGraph& graph, double hub_fraction) {
+  if (hub_fraction < 0.0 || hub_fraction > 1.0) {
+    return Status::InvalidArgument("hub_fraction must be in [0, 1]");
+  }
+  const VertexId n = graph.num_vertices();
+  HubSortResult result;
+  result.num_hubs = static_cast<VertexId>(hub_fraction * n);
+
+  const std::vector<double> scores = ComputeHubScores(graph);
+
+  // Select the top-k vertices by score. partial_sort on an index array keeps
+  // this O(n log k); ties broken by vertex id for determinism.
+  std::vector<VertexId> by_score(n);
+  std::iota(by_score.begin(), by_score.end(), VertexId{0});
+  const auto cmp = [&](VertexId a, VertexId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::partial_sort(by_score.begin(), by_score.begin() + result.num_hubs,
+                    by_score.end(), cmp);
+
+  // Hubs keep their relative *natural* order at the front (the paper gathers
+  // hubs but keeps non-hubs in natural order; we sort the chosen hub set by
+  // original id so both halves are natural-ordered).
+  std::vector<VertexId> hubs(by_score.begin(),
+                             by_score.begin() + result.num_hubs);
+  std::sort(hubs.begin(), hubs.end());
+
+  std::vector<bool> is_hub(n, false);
+  for (VertexId h : hubs) is_hub[h] = true;
+
+  result.new_to_old.resize(n);
+  result.old_to_new.resize(n);
+  VertexId next = 0;
+  for (VertexId h : hubs) {
+    result.new_to_old[next] = h;
+    result.old_to_new[h] = next;
+    ++next;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!is_hub[v]) {
+      result.new_to_old[next] = v;
+      result.old_to_new[v] = next;
+      ++next;
+    }
+  }
+
+  // Rebuild the CSR under the new labeling.
+  std::vector<EdgeId> row_offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    row_offsets[new_v + 1] =
+        row_offsets[new_v] + graph.out_degree(result.new_to_old[new_v]);
+  }
+  std::vector<VertexId> column_index(graph.num_edges());
+  std::vector<Weight> edge_weights;
+  if (graph.is_weighted()) edge_weights.resize(graph.num_edges());
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    const VertexId old_v = result.new_to_old[new_v];
+    const auto nbrs = graph.neighbors(old_v);
+    const auto wts = graph.weights(old_v);
+    EdgeId out = row_offsets[new_v];
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      column_index[out] = result.old_to_new[nbrs[i]];
+      if (graph.is_weighted()) edge_weights[out] = wts[i];
+      ++out;
+    }
+  }
+
+  HYT_ASSIGN_OR_RETURN(result.graph,
+                       CsrGraph::Create(std::move(row_offsets),
+                                        std::move(column_index),
+                                        std::move(edge_weights)));
+  return result;
+}
+
+}  // namespace hytgraph

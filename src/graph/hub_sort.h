@@ -1,0 +1,38 @@
+// Hub sorting (Section VI-A of the paper, after Zhang et al., "Making caches
+// work for graph analytics"). Vertices are scored by
+//
+//     H(v) = Do(v) * Di(v) / (Do_max * Di_max)          (formula (4))
+//
+// and the top `hub_fraction` (8% in the paper) are gathered at the front of
+// the vertex id space, preserving their relative order; all other vertices
+// keep their natural order after them. The returned graph is relabeled
+// accordingly. This is a one-off preprocessing step: all algorithms run on
+// the reordered graph, and results can be mapped back with `new_to_old`.
+
+#ifndef HYTGRAPH_GRAPH_HUB_SORT_H_
+#define HYTGRAPH_GRAPH_HUB_SORT_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+struct HubSortResult {
+  CsrGraph graph;                     // relabeled graph
+  std::vector<VertexId> old_to_new;   // old id -> new id
+  std::vector<VertexId> new_to_old;   // new id -> old id
+  VertexId num_hubs = 0;              // hubs occupy new ids [0, num_hubs)
+};
+
+/// Computes importance H(v) for every vertex (formula (4)).
+std::vector<double> ComputeHubScores(const CsrGraph& graph);
+
+/// Reorders `graph` gathering the top `hub_fraction` of vertices by H(v) at
+/// the front. hub_fraction must be in [0, 1].
+Result<HubSortResult> HubSort(const CsrGraph& graph, double hub_fraction = 0.08);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_HUB_SORT_H_

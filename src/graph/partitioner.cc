@@ -1,0 +1,92 @@
+#include "graph/partitioner.h"
+
+#include <string>
+
+#include "util/math_util.h"
+
+namespace hytgraph {
+
+Result<std::vector<Partition>> PartitionGraph(
+    const CsrGraph& graph, const PartitionerOptions& options) {
+  if (options.partition_bytes == 0 || options.bytes_per_edge == 0) {
+    return Status::InvalidArgument(
+        "partition_bytes and bytes_per_edge must be > 0");
+  }
+  const EdgeId edges_per_partition =
+      std::max<EdgeId>(1, options.partition_bytes / options.bytes_per_edge);
+
+  std::vector<Partition> partitions;
+  const VertexId n = graph.num_vertices();
+  VertexId v = 0;
+  while (v < n) {
+    Partition p;
+    p.id = static_cast<uint32_t>(partitions.size());
+    p.first_vertex = v;
+    p.edge_begin = graph.edge_begin(v);
+    // Greedily extend the vertex range while the edge budget holds. Always
+    // take at least one vertex so oversized hubs still get a partition.
+    VertexId end = v + 1;
+    while (end < n &&
+           graph.edge_end(end) - p.edge_begin <= edges_per_partition) {
+      ++end;
+    }
+    p.last_vertex = end;
+    p.edge_end = graph.edge_end(end - 1);
+    partitions.push_back(p);
+    v = end;
+  }
+  if (partitions.empty()) {
+    // Empty graph: one empty partition keeps downstream loops simple.
+    partitions.push_back(Partition{});
+  }
+  return partitions;
+}
+
+Result<std::vector<Partition>> PartitionGraphIntoN(const CsrGraph& graph,
+                                                   uint32_t count) {
+  if (count == 0) return Status::InvalidArgument("count must be > 0");
+  PartitionerOptions options;
+  options.bytes_per_edge = 1;
+  options.partition_bytes =
+      std::max<uint64_t>(1, CeilDiv(graph.num_edges(), count));
+  return PartitionGraph(graph, options);
+}
+
+Status ValidatePartitions(const CsrGraph& graph,
+                          const std::vector<Partition>& partitions) {
+  if (partitions.empty()) {
+    return Status::InvalidArgument("no partitions");
+  }
+  VertexId expected_vertex = 0;
+  EdgeId expected_edge = 0;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const Partition& p = partitions[i];
+    if (p.id != i) {
+      return Status::InvalidArgument("partition id mismatch at " +
+                                     std::to_string(i));
+    }
+    if (p.first_vertex != expected_vertex || p.edge_begin != expected_edge) {
+      return Status::InvalidArgument("partition " + std::to_string(i) +
+                                     " does not start where previous ended");
+    }
+    if (p.last_vertex < p.first_vertex) {
+      return Status::InvalidArgument("partition " + std::to_string(i) +
+                                     " has negative vertex range");
+    }
+    if (p.last_vertex > p.first_vertex &&
+        (p.edge_begin != graph.edge_begin(p.first_vertex) ||
+         p.edge_end != graph.edge_end(p.last_vertex - 1))) {
+      return Status::InvalidArgument("partition " + std::to_string(i) +
+                                     " edge range inconsistent with CSR");
+    }
+    expected_vertex = p.last_vertex;
+    expected_edge = p.edge_end;
+  }
+  if (expected_vertex != graph.num_vertices() ||
+      expected_edge != graph.num_edges()) {
+    return Status::InvalidArgument("partitions do not tile the graph");
+  }
+  return Status::OK();
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,57 @@
+// Chunk-based edge-balanced partitioning (Section IV of the paper, following
+// Scaph/Gemini). The edge-associated arrays are split into N logical
+// partitions, each a range of consecutively numbered vertices holding at
+// most `partition_bytes` of edge data (32 MB by default in HyTGraph, scaled
+// down proportionally here). Partitions are the unit of cost analysis and
+// engine selection.
+
+#ifndef HYTGRAPH_GRAPH_PARTITIONER_H_
+#define HYTGRAPH_GRAPH_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// A contiguous vertex range [first_vertex, last_vertex) whose out-edges
+/// occupy [edge_begin, edge_end) in the CSR edge arrays.
+struct Partition {
+  uint32_t id = 0;
+  VertexId first_vertex = 0;
+  VertexId last_vertex = 0;  // exclusive
+  EdgeId edge_begin = 0;
+  EdgeId edge_end = 0;       // exclusive
+
+  VertexId num_vertices() const { return last_vertex - first_vertex; }
+  EdgeId num_edges() const { return edge_end - edge_begin; }
+};
+
+struct PartitionerOptions {
+  /// Max bytes of edge data per partition (paper default: 32 MB).
+  uint64_t partition_bytes = 32ull << 20;
+  /// Bytes per edge (4 for unweighted column index, 8 with weights).
+  uint64_t bytes_per_edge = 4;
+};
+
+/// Splits `graph` into edge-balanced partitions of consecutive vertices.
+/// Every vertex belongs to exactly one partition; a single vertex whose edge
+/// run alone exceeds partition_bytes still gets its own (oversized)
+/// partition — vertex ranges are never split.
+Result<std::vector<Partition>> PartitionGraph(const CsrGraph& graph,
+                                              const PartitionerOptions& options);
+
+/// Convenience: partitions a graph into (approximately) `count` pieces.
+Result<std::vector<Partition>> PartitionGraphIntoN(const CsrGraph& graph,
+                                                   uint32_t count);
+
+/// Checks that partitions exactly tile the graph (used by tests and after
+/// any reordering).
+Status ValidatePartitions(const CsrGraph& graph,
+                          const std::vector<Partition>& partitions);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_PARTITIONER_H_

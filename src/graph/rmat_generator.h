@@ -1,0 +1,56 @@
+// R-MAT recursive power-law graph generator (Chakrabarti, Zhan, Faloutsos,
+// SIAM DM 2004) — the same generator the paper uses for its synthesized
+// graphs (Table IV, Fig. 9). Also provides a uniform (Erdős–Rényi-style)
+// generator used as a non-skewed control in tests and ablations.
+
+#ifndef HYTGRAPH_GRAPH_RMAT_GENERATOR_H_
+#define HYTGRAPH_GRAPH_RMAT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+struct RmatOptions {
+  /// log2 of the number of vertices.
+  uint32_t scale = 18;
+  /// Average out-degree; num_edges = (1 << scale) * edge_factor.
+  uint32_t edge_factor = 16;
+  /// Quadrant probabilities. Defaults are the standard Graph500/R-MAT
+  /// parameters producing a heavy power-law skew.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+  uint64_t seed = 42;
+  /// Max random edge weight (weights uniform in [1, max_weight]).
+  Weight max_weight = 64;
+  bool weighted = true;
+  /// Add reverse edges (undirected datasets).
+  bool symmetrize = false;
+  /// Shuffle vertex ids to destroy generator locality (real-world graph
+  /// crawls have no such structure).
+  bool permute_vertices = true;
+};
+
+/// Generates an R-MAT graph. Self loops are removed; duplicates kept (like
+/// real crawls, multi-edges exist but are rare at low density).
+Result<CsrGraph> GenerateRmat(const RmatOptions& options);
+
+struct UniformGraphOptions {
+  VertexId num_vertices = 1 << 18;
+  EdgeId num_edges = 1 << 22;
+  uint64_t seed = 42;
+  Weight max_weight = 64;
+  bool weighted = true;
+};
+
+/// Uniform random directed graph (every (src,dst) equally likely).
+Result<CsrGraph> GenerateUniform(const UniformGraphOptions& options);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_RMAT_GENERATOR_H_

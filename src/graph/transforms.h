@@ -1,0 +1,37 @@
+// Structural graph transformations: reversal (pull-direction processing and
+// exact in-degree work), symmetrization (undirected semantics for CC),
+// induced subgraphs (workload extraction), and symmetry checking.
+
+#ifndef HYTGRAPH_GRAPH_TRANSFORMS_H_
+#define HYTGRAPH_GRAPH_TRANSFORMS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// The transpose: edge (u, v, w) becomes (v, u, w). Weights preserved.
+Result<CsrGraph> ReverseGraph(const CsrGraph& graph);
+
+/// Adds the reverse of every edge (skipping self loops), keeping weights.
+/// Idempotent on already-symmetric graphs only if `deduplicate` is true.
+Result<CsrGraph> SymmetrizeGraph(const CsrGraph& graph,
+                                 bool deduplicate = false);
+
+/// The subgraph induced by `vertices` (need not be sorted; duplicates are
+/// an error). Vertices are renumbered 0..k-1 in the order given; edges with
+/// either endpoint outside the set are dropped. Returns the new graph and
+/// writes the old ids per new id to `new_to_old` when non-null.
+Result<CsrGraph> InducedSubgraph(const CsrGraph& graph,
+                                 std::span<const VertexId> vertices,
+                                 std::vector<VertexId>* new_to_old = nullptr);
+
+/// True iff for every edge (u, v) an edge (v, u) exists (weights ignored).
+bool IsSymmetric(const CsrGraph& graph);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_TRANSFORMS_H_

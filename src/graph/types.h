@@ -1,0 +1,39 @@
+// Fundamental identifier and value types shared by the graph substrate.
+//
+// Following the paper's assumptions (Section I): vertex ids and edge weights
+// occupy 4 bytes each (d1 = 4 in cost formulas (1)-(3)); edge offsets are
+// 64-bit so graphs beyond 4B edges are representable (Subway's integer
+// overflow failure in Fig. 9 is exactly the bug this avoids).
+
+#ifndef HYTGRAPH_GRAPH_TYPES_H_
+#define HYTGRAPH_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace hytgraph {
+
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+using Weight = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+/// Bytes per neighbour entry in the edge-associated arrays (the paper's d1).
+inline constexpr uint64_t kBytesPerNeighbor = sizeof(VertexId);
+
+/// Bytes per compacted-index entry (the paper's d2).
+inline constexpr uint64_t kBytesPerIndexEntry = sizeof(EdgeId);
+
+/// One directed, weighted edge in COO form (builder input format).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1;
+
+  bool operator==(const Edge&) const = default;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_TYPES_H_

@@ -1,0 +1,40 @@
+#include "sim/device_memory.h"
+
+#include "util/string_util.h"
+
+namespace hytgraph {
+
+Status DeviceMemory::Allocate(const std::string& name, uint64_t bytes) {
+  if (allocations_.count(name) > 0) {
+    return Status::FailedPrecondition("allocation already exists: " + name);
+  }
+  if (bytes > available()) {
+    return Status::OutOfMemory("cannot allocate " + HumanBytes(bytes) +
+                               " for '" + name + "': " +
+                               HumanBytes(available()) + " of " +
+                               HumanBytes(capacity_) + " available");
+  }
+  allocations_[name] = bytes;
+  used_ += bytes;
+  return Status::OK();
+}
+
+Status DeviceMemory::Free(const std::string& name) {
+  auto it = allocations_.find(name);
+  if (it == allocations_.end()) {
+    return Status::NotFound("no such allocation: " + name);
+  }
+  used_ -= it->second;
+  allocations_.erase(it);
+  return Status::OK();
+}
+
+Result<uint64_t> DeviceMemory::AllocationSize(const std::string& name) const {
+  auto it = allocations_.find(name);
+  if (it == allocations_.end()) {
+    return Status::NotFound("no such allocation: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace hytgraph

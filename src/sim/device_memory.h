@@ -1,0 +1,45 @@
+// Simulated GPU device memory: a capacity accountant. Allocations are named
+// so OOM errors say what did not fit. Engines use it to (a) host the
+// always-resident vertex-associated data and (b) size staging buffers and
+// the unified-memory page cache.
+
+#ifndef HYTGRAPH_SIM_DEVICE_MEMORY_H_
+#define HYTGRAPH_SIM_DEVICE_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace hytgraph {
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_; }
+  uint64_t available() const { return capacity_ - used_; }
+
+  /// Reserves `bytes` under `name`. Fails with OutOfMemory (and a message
+  /// naming the allocation) when it does not fit. Allocating the same name
+  /// twice is a FailedPrecondition.
+  Status Allocate(const std::string& name, uint64_t bytes);
+
+  /// Releases a named allocation. Unknown names are a NotFound error.
+  Status Free(const std::string& name);
+
+  /// Size of a named allocation, or error if absent.
+  Result<uint64_t> AllocationSize(const std::string& name) const;
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::map<std::string, uint64_t> allocations_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SIM_DEVICE_MEMORY_H_

@@ -1,0 +1,42 @@
+#include "sim/gpu_spec.h"
+
+#include "util/math_util.h"
+
+namespace hytgraph {
+
+namespace {
+constexpr double kGBps = 1e9;
+}  // namespace
+
+const std::vector<GpuSpec>& TableOneGpus() {
+  static const std::vector<GpuSpec>* kGpus = new std::vector<GpuSpec>{
+      {"P100", 2016, 732 * kGBps, 16 * kGBps, "Gen3", GiB(16), 3584},
+      {"V100", 2017, 900 * kGBps, 16 * kGBps, "Gen3", GiB(16), 5120},
+      {"A100", 2020, 1900 * kGBps, 32 * kGBps, "Gen4", GiB(40), 6912},
+      {"H100", 2022, 3000 * kGBps, 64 * kGBps, "Gen5", GiB(80), 14592},
+  };
+  return *kGpus;
+}
+
+const std::vector<GpuSpec>& EvaluationGpus() {
+  static const std::vector<GpuSpec>* kGpus = new std::vector<GpuSpec>{
+      {"GTX1080", 2016, 320 * kGBps, 16 * kGBps, "Gen3", GiB(8), 2560},
+      {"P100", 2016, 732 * kGBps, 16 * kGBps, "Gen3", GiB(16), 3584},
+      {"RTX2080Ti", 2018, 616 * kGBps, 16 * kGBps, "Gen3", GiB(11), 4352},
+  };
+  return *kGpus;
+}
+
+const GpuSpec& DefaultGpu() { return EvaluationGpus()[2]; }
+
+Result<GpuSpec> FindGpu(const std::string& name) {
+  for (const GpuSpec& g : EvaluationGpus()) {
+    if (g.name == name) return g;
+  }
+  for (const GpuSpec& g : TableOneGpus()) {
+    if (g.name == name) return g;
+  }
+  return Status::NotFound("unknown GPU: " + name);
+}
+
+}  // namespace hytgraph

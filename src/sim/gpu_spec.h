@@ -1,0 +1,51 @@
+// Named GPU platform descriptions. Carries the numbers in Table I of the
+// paper (memory vs PCIe bandwidth gap from P100 to H100) plus the three
+// evaluation GPUs of Fig. 10 (GTX 1080, Tesla P100, RTX 2080Ti). The
+// simulator consumes these to derive transfer and kernel cost rates.
+
+#ifndef HYTGRAPH_SIM_GPU_SPEC_H_
+#define HYTGRAPH_SIM_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hytgraph {
+
+struct GpuSpec {
+  std::string name;
+  int year = 0;
+  /// Device (global) memory bandwidth, bytes/s.
+  double mem_bandwidth = 0;
+  /// Theoretical PCIe x16 bandwidth, bytes/s (e.g. 16 GB/s for Gen3).
+  double pcie_bandwidth = 0;
+  /// PCIe generation label for display ("Gen3"...).
+  std::string pcie_gen;
+  /// Physical device memory, bytes. Benches typically override this with the
+  /// dataset-scaled budget (see graph/dataset.h) to preserve the paper's
+  /// oversubscription ratio.
+  uint64_t device_memory = 0;
+  /// CUDA core count (scales kernel throughput mildly in the compute model).
+  int cores = 0;
+
+  /// Memory-bandwidth : PCIe-bandwidth ratio (the ~48x gap of Table I).
+  double BandwidthGap() const { return mem_bandwidth / pcie_bandwidth; }
+};
+
+/// Table I GPUs: P100, V100, A100, H100.
+const std::vector<GpuSpec>& TableOneGpus();
+
+/// Fig. 10 evaluation GPUs: GTX1080, P100, RTX2080Ti.
+const std::vector<GpuSpec>& EvaluationGpus();
+
+/// Default evaluation platform (RTX 2080Ti, the paper's main testbed).
+const GpuSpec& DefaultGpu();
+
+/// Lookup by name across both lists.
+Result<GpuSpec> FindGpu(const std::string& name);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SIM_GPU_SPEC_H_

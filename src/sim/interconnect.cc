@@ -1,0 +1,52 @@
+#include "sim/interconnect.h"
+
+#include <algorithm>
+
+namespace hytgraph {
+
+namespace {
+constexpr double kGBps = 1e9;
+// Six-channel DDR4-2933 host: ~140 GB/s peak, ~100 GB/s streaming-read
+// achievable — the Intel Silver 4210 class machine of the paper's testbed.
+constexpr double kHostMemoryBandwidth = 100 * kGBps;
+}  // namespace
+
+double InterconnectSpec::EffectiveBandwidth() const {
+  return std::min(link_bandwidth * efficiency, host_memory_bandwidth);
+}
+
+const std::vector<InterconnectSpec>& KnownInterconnects() {
+  static const std::vector<InterconnectSpec>* kSpecs =
+      new std::vector<InterconnectSpec>{
+          // PCIe efficiency 12.3/16 per EMOGI's measurement.
+          {"PCIe3x16", 16 * kGBps, kHostMemoryBandwidth, 12.3 / 16.0},
+          {"PCIe4x16", 32 * kGBps, kHostMemoryBandwidth, 12.3 / 16.0},
+          {"PCIe5x16", 64 * kGBps, kHostMemoryBandwidth, 12.3 / 16.0},
+          // NVLink sustains ~90% of peak on unidirectional streams.
+          {"NVLink3", 300 * kGBps, kHostMemoryBandwidth, 0.90},
+          {"NVLink4", 900 * kGBps, kHostMemoryBandwidth, 0.90},
+          {"CXL2", 64 * kGBps, kHostMemoryBandwidth, 0.85},
+      };
+  return *kSpecs;
+}
+
+Result<InterconnectSpec> FindInterconnect(const std::string& name) {
+  for (const InterconnectSpec& spec : KnownInterconnects()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown interconnect: " + name);
+}
+
+GpuSpec WithInterconnect(const GpuSpec& gpu,
+                         const InterconnectSpec& interconnect) {
+  GpuSpec out = gpu;
+  out.pcie_gen = interconnect.name;
+  // PcieModel multiplies pcie_bandwidth by its own efficiency fraction; we
+  // want the *effective* bandwidth to equal the interconnect's, so publish
+  // the effective value and let the model's fraction be applied to it by
+  // the caller configuring PcieModelOptions::effective_bandwidth_fraction=1.
+  out.pcie_bandwidth = interconnect.EffectiveBandwidth();
+  return out;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,50 @@
+// Fast host-GPU interconnects (Section VIII, "Adapting to GPU platforms
+// with fast interconnects"): NVLink and CXL replace the PCIe bus with links
+// up to 900 GB/s — at which point host DRAM becomes the new transfer
+// bottleneck (Lutz et al., SIGMOD'20, cited by the paper). This module
+// models that regime: the effective transfer bandwidth is the minimum of
+// the link and the host-memory read bandwidth, so the simulator (and the
+// cost model riding on it) adapts exactly as the paper's future-work
+// section proposes.
+
+#ifndef HYTGRAPH_SIM_INTERCONNECT_H_
+#define HYTGRAPH_SIM_INTERCONNECT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu_spec.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+struct InterconnectSpec {
+  std::string name;
+  /// Peak host<->device link bandwidth, bytes/s.
+  double link_bandwidth = 0;
+  /// Host DRAM sequential-read bandwidth, bytes/s (the new ceiling once the
+  /// link outruns it).
+  double host_memory_bandwidth = 0;
+  /// Achievable fraction of the link peak (protocol efficiency).
+  double efficiency = 1.0;
+
+  /// The bandwidth transfers actually see: the slower of the (derated) link
+  /// and host memory.
+  double EffectiveBandwidth() const;
+};
+
+/// PCIe 3.0/4.0/5.0 x16, NVLink 3.0/4.0, CXL 2.0 — with a 6-channel DDR4
+/// host (~100 GB/s) as the default memory system.
+const std::vector<InterconnectSpec>& KnownInterconnects();
+
+Result<InterconnectSpec> FindInterconnect(const std::string& name);
+
+/// Returns a copy of `gpu` whose transfer path is `interconnect`: the
+/// simulator's PcieModel then derives RTTs from the effective bandwidth.
+/// The returned spec keeps the GPU's memory/compute characteristics.
+GpuSpec WithInterconnect(const GpuSpec& gpu,
+                         const InterconnectSpec& interconnect);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SIM_INTERCONNECT_H_

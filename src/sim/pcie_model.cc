@@ -1,0 +1,53 @@
+#include "sim/pcie_model.h"
+
+#include "util/math_util.h"
+
+namespace hytgraph {
+
+PcieModel::PcieModel(const GpuSpec& gpu, const PcieModelOptions& options)
+    : options_(options) {
+  effective_bandwidth_ =
+      gpu.pcie_bandwidth * options_.effective_bandwidth_fraction;
+  rtt_ = static_cast<double>(options_.requests_per_tlp *
+                             options_.max_request_bytes) /
+         effective_bandwidth_;
+}
+
+uint64_t PcieModel::ExplicitCopyTlps(uint64_t bytes) const {
+  return CeilDiv(bytes,
+                 options_.requests_per_tlp * options_.max_request_bytes);
+}
+
+double PcieModel::ExplicitCopySeconds(uint64_t bytes) const {
+  return static_cast<double>(ExplicitCopyTlps(bytes)) * rtt_;
+}
+
+double PcieModel::ZeroCopyTlpSeconds(double active_ratio) const {
+  if (active_ratio < 0) active_ratio = 0;
+  if (active_ratio > 1) active_ratio = 1;
+  return options_.gamma * rtt_ + (1.0 - options_.gamma) * active_ratio * rtt_;
+}
+
+double PcieModel::ZeroCopySeconds(uint64_t num_requests,
+                                  double active_ratio) const {
+  const uint64_t tlps = CeilDiv(num_requests, options_.requests_per_tlp);
+  return static_cast<double>(tlps) * ZeroCopyTlpSeconds(active_ratio);
+}
+
+double PcieModel::UnifiedMemorySeconds(uint64_t pages, uint64_t faults) const {
+  const double bandwidth =
+      effective_bandwidth_ * options_.um_bandwidth_fraction;
+  return static_cast<double>(pages * options_.page_bytes) / bandwidth +
+         static_cast<double>(faults) * options_.page_fault_overhead;
+}
+
+double PcieModel::ZeroCopyThroughput(uint64_t request_bytes) const {
+  // A TLP always takes (at least) one saturated round trip regardless of
+  // payload: smaller requests waste bandwidth on headers, so goodput scales
+  // linearly with request size (Fig. 3(e)'s observed shape).
+  const double bytes_per_tlp =
+      static_cast<double>(options_.requests_per_tlp * request_bytes);
+  return bytes_per_tlp / rtt_;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,91 @@
+// The PCIe Transaction-Layer-Packet cost model at the heart of the
+// reproduction. Implements the transfer-time formulas of Section V-A
+// verbatim:
+//
+//   Tef_i = ceil( E_i * d1 / m / MR ) * RTT                       (1)
+//   Tec_i = ceil((A_e*d1 + |A|*d2) / m / MR) * RTT + compaction   (2)
+//   Tiz_i = ceil( sum_v( ceil(Do(v)*d1/m) + am(v) ) / MR) * RTT_zc (3)
+//   RTT_zc = gamma*RTT + (1-gamma) * activeRatio * RTT
+//
+// where m = 128 B (max outstanding-request payload), MR = 256 requests per
+// TLP (PCIe 3.0), d1 = 4 B per neighbour, d2 = 8 B per compacted index
+// entry, gamma = 0.625 (the paper's "dumpling factor").
+//
+// RTT itself is derived from the platform's *effective* PCIe bandwidth
+// (the paper measures 12.3 GB/s of the 16 GB/s theoretical):
+//   RTT = (MR * m) / effective_bandwidth.
+
+#ifndef HYTGRAPH_SIM_PCIE_MODEL_H_
+#define HYTGRAPH_SIM_PCIE_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/gpu_spec.h"
+
+namespace hytgraph {
+
+struct PcieModelOptions {
+  /// Max payload of one outstanding memory request (the paper's m).
+  uint64_t max_request_bytes = 128;
+  /// Outstanding requests per TLP (the paper's MR, PCIe 3.0 spec).
+  uint64_t requests_per_tlp = 256;
+  /// Fraction of theoretical PCIe bandwidth achievable with cudaMemcpy
+  /// (12.3 / 16 per EMOGI's measurements, quoted in Section I).
+  double effective_bandwidth_fraction = 12.3 / 16.0;
+  /// The paper's gamma: fixed fraction of a zero-copy TLP's round trip that
+  /// does not shrink with payload (headers, control).
+  double gamma = 0.625;
+  /// Unified memory peak bandwidth as a fraction of cudaMemcpy (73.9% per
+  /// EMOGI, quoted in Section III-B).
+  double um_bandwidth_fraction = 0.739;
+  /// Per-page-fault fixed overhead (TLB invalidation + page-table update),
+  /// seconds. EMOGI attributes UM's slowdown mostly to this.
+  double page_fault_overhead = 2e-6;
+  /// UM migration granularity.
+  uint64_t page_bytes = 4096;
+};
+
+class PcieModel {
+ public:
+  PcieModel(const GpuSpec& gpu, const PcieModelOptions& options = {});
+
+  const PcieModelOptions& options() const { return options_; }
+
+  /// Effective host->device copy bandwidth (bytes/s).
+  double effective_bandwidth() const { return effective_bandwidth_; }
+
+  /// Round-trip time of one fully saturated TLP (seconds).
+  double SaturatedTlpSeconds() const { return rtt_; }
+
+  /// Number of saturated TLPs needed to move `bytes` via cudaMemcpy.
+  uint64_t ExplicitCopyTlps(uint64_t bytes) const;
+
+  /// Seconds for an explicit cudaMemcpy of `bytes` (formula (1) applied to
+  /// raw bytes).
+  double ExplicitCopySeconds(uint64_t bytes) const;
+
+  /// Zero-copy TLP round trip given the fraction of payload that is useful
+  /// (the active-edge proportion of the accessed partition).
+  double ZeroCopyTlpSeconds(double active_ratio) const;
+
+  /// Seconds to serve `num_requests` zero-copy memory requests whose useful
+  /// payload fraction is `active_ratio` (formula (3) given a request count).
+  double ZeroCopySeconds(uint64_t num_requests, double active_ratio) const;
+
+  /// Seconds for unified-memory migration of `pages` pages with `faults`
+  /// page faults (bandwidth term + fault overhead term).
+  double UnifiedMemorySeconds(uint64_t pages, uint64_t faults) const;
+
+  /// Observable zero-copy throughput when every request carries
+  /// `request_bytes` of payload (32/64/96/128) — reproduces Fig. 3(e).
+  double ZeroCopyThroughput(uint64_t request_bytes) const;
+
+ private:
+  PcieModelOptions options_;
+  double effective_bandwidth_;  // bytes/s
+  double rtt_;                  // seconds per saturated TLP
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SIM_PCIE_MODEL_H_

@@ -1,0 +1,72 @@
+#include "sim/stream_timeline.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hytgraph {
+
+StreamTimeline::StreamTimeline(int num_streams) {
+  HYT_CHECK_GT(num_streams, 0);
+  streams_free_.assign(num_streams, 0.0);
+}
+
+ScheduledTask StreamTimeline::Submit(const StreamTask& task) {
+  // Pick the stream that frees earliest (ties -> lowest index for
+  // determinism).
+  int stream = 0;
+  for (int s = 1; s < num_streams(); ++s) {
+    if (streams_free_[s] < streams_free_[stream]) stream = s;
+  }
+
+  double t = streams_free_[stream];
+  ScheduledTask placement;
+  placement.stream = stream;
+  placement.start = t;
+
+  auto run_phase = [&](double duration, double* resource_free,
+                       double* resource_busy) {
+    if (duration <= 0) return;
+    const double start = std::max(t, *resource_free);
+    t = start + duration;
+    *resource_free = t;
+    *resource_busy += duration;
+    serialized_ += duration;
+  };
+
+  run_phase(task.cpu_seconds, &cpu_free_, &cpu_busy_);
+  if (task.fused_transfer_kernel &&
+      (task.transfer_seconds > 0 || task.kernel_seconds > 0)) {
+    // Zero-copy: the kernel and the PCIe traffic are one concurrent phase
+    // holding both resources.
+    const double duration =
+        std::max(task.transfer_seconds, task.kernel_seconds);
+    const double start = std::max({t, pcie_free_, gpu_free_});
+    t = start + duration;
+    pcie_free_ = t;
+    gpu_free_ = t;
+    pcie_busy_ += task.transfer_seconds;
+    gpu_busy_ += task.kernel_seconds;
+    serialized_ += duration;
+  } else {
+    run_phase(task.transfer_seconds, &pcie_free_, &pcie_busy_);
+    run_phase(task.kernel_seconds, &gpu_free_, &gpu_busy_);
+  }
+
+  placement.end = t;
+  streams_free_[stream] = t;
+  makespan_ = std::max(makespan_, t);
+  return placement;
+}
+
+double StreamTimeline::Makespan() const { return makespan_; }
+
+void StreamTimeline::Reset() {
+  std::fill(streams_free_.begin(), streams_free_.end(), 0.0);
+  cpu_free_ = pcie_free_ = gpu_free_ = 0;
+  cpu_busy_ = pcie_busy_ = gpu_busy_ = 0;
+  serialized_ = 0;
+  makespan_ = 0;
+}
+
+}  // namespace hytgraph

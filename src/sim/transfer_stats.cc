@@ -1,0 +1,82 @@
+#include "sim/transfer_stats.h"
+
+namespace hytgraph {
+
+TransferStatsSnapshot TransferStatsSnapshot::operator-(
+    const TransferStatsSnapshot& rhs) const {
+  TransferStatsSnapshot out = *this;
+  out.explicit_bytes -= rhs.explicit_bytes;
+  out.zero_copy_bytes -= rhs.zero_copy_bytes;
+  out.zero_copy_requests -= rhs.zero_copy_requests;
+  out.um_bytes -= rhs.um_bytes;
+  out.page_faults -= rhs.page_faults;
+  out.tlps -= rhs.tlps;
+  out.kernel_edges -= rhs.kernel_edges;
+  out.compacted_bytes -= rhs.compacted_bytes;
+  return out;
+}
+
+TransferStatsSnapshot TransferStatsSnapshot::operator+(
+    const TransferStatsSnapshot& rhs) const {
+  TransferStatsSnapshot out = *this;
+  out.explicit_bytes += rhs.explicit_bytes;
+  out.zero_copy_bytes += rhs.zero_copy_bytes;
+  out.zero_copy_requests += rhs.zero_copy_requests;
+  out.um_bytes += rhs.um_bytes;
+  out.page_faults += rhs.page_faults;
+  out.tlps += rhs.tlps;
+  out.kernel_edges += rhs.kernel_edges;
+  out.compacted_bytes += rhs.compacted_bytes;
+  return out;
+}
+
+void TransferStats::AddExplicit(uint64_t bytes, uint64_t tlps) {
+  explicit_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  tlps_.fetch_add(tlps, std::memory_order_relaxed);
+}
+
+void TransferStats::AddZeroCopy(uint64_t bytes, uint64_t requests,
+                                uint64_t tlps) {
+  zero_copy_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  zero_copy_requests_.fetch_add(requests, std::memory_order_relaxed);
+  tlps_.fetch_add(tlps, std::memory_order_relaxed);
+}
+
+void TransferStats::AddUnifiedMemory(uint64_t bytes, uint64_t faults) {
+  um_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  page_faults_.fetch_add(faults, std::memory_order_relaxed);
+}
+
+void TransferStats::AddKernelEdges(uint64_t edges) {
+  kernel_edges_.fetch_add(edges, std::memory_order_relaxed);
+}
+
+void TransferStats::AddCompactedBytes(uint64_t bytes) {
+  compacted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+TransferStatsSnapshot TransferStats::Snapshot() const {
+  TransferStatsSnapshot s;
+  s.explicit_bytes = explicit_bytes_.load(std::memory_order_relaxed);
+  s.zero_copy_bytes = zero_copy_bytes_.load(std::memory_order_relaxed);
+  s.zero_copy_requests = zero_copy_requests_.load(std::memory_order_relaxed);
+  s.um_bytes = um_bytes_.load(std::memory_order_relaxed);
+  s.page_faults = page_faults_.load(std::memory_order_relaxed);
+  s.tlps = tlps_.load(std::memory_order_relaxed);
+  s.kernel_edges = kernel_edges_.load(std::memory_order_relaxed);
+  s.compacted_bytes = compacted_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TransferStats::Reset() {
+  explicit_bytes_.store(0);
+  zero_copy_bytes_.store(0);
+  zero_copy_requests_.store(0);
+  um_bytes_.store(0);
+  page_faults_.store(0);
+  tlps_.store(0);
+  kernel_edges_.store(0);
+  compacted_bytes_.store(0);
+}
+
+}  // namespace hytgraph

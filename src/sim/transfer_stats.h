@@ -1,0 +1,57 @@
+// Transfer accounting. Every engine records what it moved and how; benches
+// read these counters to reproduce the transfer-volume analyses (Table VI,
+// Fig. 3(a)/(d)).
+
+#ifndef HYTGRAPH_SIM_TRANSFER_STATS_H_
+#define HYTGRAPH_SIM_TRANSFER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hytgraph {
+
+/// Plain snapshot of counters; copyable, computable with +/-.
+struct TransferStatsSnapshot {
+  uint64_t explicit_bytes = 0;    // via cudaMemcpy (filter + compaction)
+  uint64_t zero_copy_bytes = 0;   // payload bytes moved by zero-copy requests
+  uint64_t zero_copy_requests = 0;
+  uint64_t um_bytes = 0;          // page migration bytes
+  uint64_t page_faults = 0;
+  uint64_t tlps = 0;              // total TLPs across all engines
+  uint64_t kernel_edges = 0;      // edges relaxed by kernels
+  uint64_t compacted_bytes = 0;   // bytes written by the CPU compactor
+
+  uint64_t TotalTransferredBytes() const {
+    return explicit_bytes + zero_copy_bytes + um_bytes;
+  }
+
+  TransferStatsSnapshot operator-(const TransferStatsSnapshot& rhs) const;
+  TransferStatsSnapshot operator+(const TransferStatsSnapshot& rhs) const;
+};
+
+/// Thread-safe accumulator.
+class TransferStats {
+ public:
+  void AddExplicit(uint64_t bytes, uint64_t tlps);
+  void AddZeroCopy(uint64_t bytes, uint64_t requests, uint64_t tlps);
+  void AddUnifiedMemory(uint64_t bytes, uint64_t faults);
+  void AddKernelEdges(uint64_t edges);
+  void AddCompactedBytes(uint64_t bytes);
+
+  TransferStatsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> explicit_bytes_{0};
+  std::atomic<uint64_t> zero_copy_bytes_{0};
+  std::atomic<uint64_t> zero_copy_requests_{0};
+  std::atomic<uint64_t> um_bytes_{0};
+  std::atomic<uint64_t> page_faults_{0};
+  std::atomic<uint64_t> tlps_{0};
+  std::atomic<uint64_t> kernel_edges_{0};
+  std::atomic<uint64_t> compacted_bytes_{0};
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SIM_TRANSFER_STATS_H_

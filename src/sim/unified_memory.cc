@@ -1,0 +1,91 @@
+#include "sim/unified_memory.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace hytgraph {
+
+UnifiedMemoryEngine::UnifiedMemoryEngine(uint64_t managed_bytes,
+                                         uint64_t cache_bytes,
+                                         uint64_t page_bytes)
+    : page_bytes_(page_bytes),
+      num_pages_(CeilDiv(managed_bytes, page_bytes)),
+      cache_capacity_(std::max<uint64_t>(1, cache_bytes / page_bytes)),
+      page_state_(num_pages_, 0) {}
+
+UnifiedMemoryReport UnifiedMemoryEngine::Touch(uint64_t begin, uint64_t end) {
+  UnifiedMemoryReport report;
+  if (begin >= end || num_pages_ == 0) return report;
+  const uint64_t first_page = begin / page_bytes_;
+  const uint64_t last_page = std::min((end - 1) / page_bytes_, num_pages_ - 1);
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    ++report.pages_touched;
+    if (page_state_[p] != 0) {
+      page_state_[p] = 2;  // refresh reference bit
+      ++report.hits;
+      continue;
+    }
+    // Fault: make room, migrate.
+    if (resident_count_ >= cache_capacity_) {
+      EvictOne();
+      ++report.evictions;
+    }
+    page_state_[p] = 2;
+    ++resident_count_;
+    ++report.faults;
+  }
+  report.bytes_migrated = report.faults * page_bytes_;
+  return report;
+}
+
+bool UnifiedMemoryEngine::TouchIfCacheable(uint64_t begin, uint64_t end,
+                                           UnifiedMemoryReport* report) {
+  if (begin >= end || num_pages_ == 0) return true;
+  const uint64_t first_page = begin / page_bytes_;
+  const uint64_t last_page = std::min((end - 1) / page_bytes_, num_pages_ - 1);
+  uint64_t missing = 0;
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    if (page_state_[p] == 0) ++missing;
+  }
+  if (resident_count_ + missing > cache_capacity_) return false;
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    ++report->pages_touched;
+    if (page_state_[p] != 0) {
+      ++report->hits;
+    } else {
+      ++resident_count_;
+      ++report->faults;
+    }
+    page_state_[p] = 2;
+  }
+  report->bytes_migrated += missing * page_bytes_;
+  return true;
+}
+
+uint64_t UnifiedMemoryEngine::EvictOne() {
+  // Second-chance CLOCK sweep. Guaranteed to terminate: each pass clears
+  // reference bits, so at most two sweeps find a victim.
+  HYT_CHECK_GT(resident_count_, 0u);
+  while (true) {
+    uint8_t& state = page_state_[clock_hand_];
+    const uint64_t page = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % num_pages_;
+    if (state == 2) {
+      state = 1;  // give a second chance
+    } else if (state == 1) {
+      state = 0;  // evict (read-mostly: discarded, no writeback)
+      --resident_count_;
+      return page;
+    }
+  }
+}
+
+void UnifiedMemoryEngine::Invalidate() {
+  std::fill(page_state_.begin(), page_state_.end(), 0);
+  resident_count_ = 0;
+  clock_hand_ = 0;
+}
+
+}  // namespace hytgraph

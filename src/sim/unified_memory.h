@@ -1,0 +1,83 @@
+// Unified-memory engine simulation (Section II-C). The host-resident edge
+// arrays form one linear managed address space split into 4 KiB pages. A
+// touched non-resident page triggers a fault: it is migrated to device
+// memory (evicting the coldest page when the cache is full) and later
+// accesses hit for free. With cudaMemAdviseSetReadMostly (the paper's
+// configuration), evicted pages are discarded, never written back.
+//
+// Eviction is second-chance CLOCK: O(1) amortized, a faithful stand-in for
+// the driver's LRU-approximate policy.
+
+#ifndef HYTGRAPH_SIM_UNIFIED_MEMORY_H_
+#define HYTGRAPH_SIM_UNIFIED_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/pcie_model.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+struct UnifiedMemoryReport {
+  uint64_t pages_touched = 0;   // distinct page touches (hits + faults)
+  uint64_t faults = 0;          // pages migrated this call
+  uint64_t hits = 0;            // already-resident touches
+  uint64_t evictions = 0;
+  uint64_t bytes_migrated = 0;  // faults * page_bytes
+
+  UnifiedMemoryReport& operator+=(const UnifiedMemoryReport& rhs) {
+    pages_touched += rhs.pages_touched;
+    faults += rhs.faults;
+    hits += rhs.hits;
+    evictions += rhs.evictions;
+    bytes_migrated += rhs.bytes_migrated;
+    return *this;
+  }
+};
+
+class UnifiedMemoryEngine {
+ public:
+  /// Manages `managed_bytes` of host data with `cache_bytes` of device
+  /// memory available for page caching.
+  UnifiedMemoryEngine(uint64_t managed_bytes, uint64_t cache_bytes,
+                      uint64_t page_bytes = 4096);
+
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t cache_capacity_pages() const { return cache_capacity_; }
+  uint64_t resident_pages() const { return resident_count_; }
+
+  /// Whether the entire managed range fits in the cache (the paper's "small
+  /// graph" regime where UM wins: everything transfers exactly once).
+  bool FullyCacheable() const { return cache_capacity_ >= num_pages_; }
+
+  /// Touches byte range [begin, end): faults in missing pages, refreshes
+  /// reference bits on hits. Returns what happened.
+  UnifiedMemoryReport Touch(uint64_t begin, uint64_t end);
+
+  /// Grus-style no-eviction touch: caches the range's missing pages only if
+  /// they all fit without evicting anything (already-resident pages still
+  /// get their reference bits refreshed and `report->hits`). Returns false —
+  /// leaving residency unchanged for the missing pages — when the cache is
+  /// too full, in which case the caller should fall back to zero-copy.
+  bool TouchIfCacheable(uint64_t begin, uint64_t end,
+                        UnifiedMemoryReport* report);
+
+  /// Marks every page non-resident (fresh run).
+  void Invalidate();
+
+ private:
+  uint64_t EvictOne();  // returns evicted page index
+
+  uint64_t page_bytes_;
+  uint64_t num_pages_;
+  uint64_t cache_capacity_;  // in pages
+  uint64_t resident_count_ = 0;
+  uint64_t clock_hand_ = 0;
+  // 0 = absent, 1 = resident (ref clear), 2 = resident (ref set).
+  std::vector<uint8_t> page_state_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SIM_UNIFIED_MEMORY_H_

@@ -1,0 +1,31 @@
+#include "sim/zero_copy.h"
+
+namespace hytgraph {
+
+uint64_t ZeroCopyAccess::RequestsForRun(uint64_t first_entry, uint64_t deg,
+                                        uint64_t entry_bytes) const {
+  if (deg == 0) return 0;
+  const uint64_t line = model_->options().max_request_bytes;
+  const uint64_t first_byte = first_entry * entry_bytes;
+  const uint64_t last_byte = first_byte + deg * entry_bytes - 1;
+  return last_byte / line - first_byte / line + 1;
+}
+
+uint64_t ZeroCopyAccess::RequestsForVertex(const CsrGraph& graph, VertexId v,
+                                           bool include_weights) const {
+  const uint64_t deg = graph.out_degree(v);
+  const uint64_t begin = graph.edge_begin(v);
+  uint64_t requests = RequestsForRun(begin, deg, kBytesPerNeighbor);
+  if (include_weights && graph.is_weighted()) {
+    requests += RequestsForRun(begin, deg, sizeof(Weight));
+  }
+  return requests;
+}
+
+uint64_t ZeroCopyAccess::LineBytesForVertex(const CsrGraph& graph, VertexId v,
+                                            bool include_weights) const {
+  return RequestsForVertex(graph, v, include_weights) *
+         model_->options().max_request_bytes;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,48 @@
+// Zero-copy access accounting (EMOGI-style merged & aligned access,
+// Section II-C / III-B). Each active vertex's neighbour run is fetched with
+// one memory request per 128-byte cache line it touches; a run that starts
+// mid-line costs one extra transaction — the paper's am(v) misalignment
+// term. This module converts (edge offset, degree) into request counts.
+
+#ifndef HYTGRAPH_SIM_ZERO_COPY_H_
+#define HYTGRAPH_SIM_ZERO_COPY_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "sim/pcie_model.h"
+
+namespace hytgraph {
+
+class ZeroCopyAccess {
+ public:
+  explicit ZeroCopyAccess(const PcieModel* model) : model_(model) {}
+
+  /// Memory requests needed to fetch `deg` neighbour entries of `entry_bytes`
+  /// each, starting at array element offset `first_entry`: the number of
+  /// `max_request_bytes` lines the byte range [first*eb, (first+deg)*eb)
+  /// touches. This equals ceil(deg*d1/m) + am(v) from formula (3).
+  uint64_t RequestsForRun(uint64_t first_entry, uint64_t deg,
+                          uint64_t entry_bytes = kBytesPerNeighbor) const;
+
+  /// Requests to fetch vertex v's neighbours (and weights when the graph is
+  /// weighted and `include_weights`; the weight array is a second run with
+  /// identical geometry).
+  uint64_t RequestsForVertex(const CsrGraph& graph, VertexId v,
+                             bool include_weights) const;
+
+  /// Payload bytes actually moved for vertex v (deg * entry bytes, doubled
+  /// when weights ride along). Unlike explicit copy there is no slack: only
+  /// the touched lines move, but whole lines move, so we also expose the
+  /// line-granular byte count used in transfer-volume accounting.
+  uint64_t LineBytesForVertex(const CsrGraph& graph, VertexId v,
+                              bool include_weights) const;
+
+ private:
+  const PcieModel* model_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SIM_ZERO_COPY_H_

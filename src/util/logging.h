@@ -1,0 +1,84 @@
+// Minimal leveled logging plus CHECK macros. Logging is intentionally tiny:
+// benches and examples print their own tables; the library itself logs only
+// warnings and above by default.
+
+#ifndef HYTGRAPH_UTIL_LOGGING_H_
+#define HYTGRAPH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hytgraph {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line via operator<< and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process in the destructor. Used by the
+/// CHECK family for unrecoverable internal invariant violations (anything a
+/// caller could plausibly trigger returns Status instead).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HYT_LOG(level)                                                \
+  ::hytgraph::internal::LogMessage(::hytgraph::LogLevel::k##level,    \
+                                   __FILE__, __LINE__)
+
+/// Aborts with a message when an internal invariant is violated.
+#define HYT_CHECK(condition)                                          \
+  if (!(condition))                                                   \
+  ::hytgraph::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define HYT_CHECK_EQ(a, b) HYT_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HYT_CHECK_NE(a, b) HYT_CHECK((a) != (b))
+#define HYT_CHECK_LT(a, b) HYT_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HYT_CHECK_LE(a, b) HYT_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HYT_CHECK_GT(a, b) HYT_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define HYT_CHECK_GE(a, b) HYT_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_LOGGING_H_

@@ -1,0 +1,27 @@
+// Small integer math helpers used throughout the transfer cost formulas.
+
+#ifndef HYTGRAPH_UTIL_MATH_UTIL_H_
+#define HYTGRAPH_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace hytgraph {
+
+/// ceil(a / b) for non-negative integers; b must be > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr uint64_t RoundUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+/// Rounds `a` down to a multiple of `b` (b > 0).
+constexpr uint64_t RoundDown(uint64_t a, uint64_t b) { return a / b * b; }
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr uint64_t KiB(uint64_t n) { return n << 10; }
+constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_MATH_UTIL_H_

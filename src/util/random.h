@@ -1,0 +1,56 @@
+// Deterministic, seedable pseudo-random number generation. All randomized
+// components of the library (RMAT generation, weight assignment, sampling)
+// draw from these generators so that every experiment is reproducible
+// bit-for-bit from its seed.
+
+#ifndef HYTGRAPH_UTIL_RANDOM_H_
+#define HYTGRAPH_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace hytgraph {
+
+/// SplitMix64: used to expand a user seed into stream seeds. Passes BigCrush;
+/// see Steele et al., "Fast splittable pseudorandom number generators".
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator. Fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_RANDOM_H_

@@ -1,0 +1,65 @@
+#include "util/status.h"
+
+namespace hytgraph {
+
+namespace {
+const std::string kEmptyString;  // NOLINT: returned by reference for OK
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfMemory:
+      return "Out of memory";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(msg)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return state_ == nullptr ? kEmptyString : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(state_->code);
+  if (!state_->msg.empty()) {
+    result += ": ";
+    result += state_->msg;
+  }
+  return result;
+}
+
+}  // namespace hytgraph

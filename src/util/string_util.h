@@ -1,0 +1,46 @@
+// Formatting helpers for the bench/table output layer.
+
+#ifndef HYTGRAPH_UTIL_STRING_UTIL_H_
+#define HYTGRAPH_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hytgraph {
+
+/// "1.5 GiB", "32.0 MiB", "512 B" — binary units.
+std::string HumanBytes(uint64_t bytes);
+
+/// "12.3 GB/s" — decimal units, matching PCIe marketing convention.
+std::string HumanBandwidth(double bytes_per_sec);
+
+/// Fixed-precision double, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double value, int precision);
+
+/// Joins parts with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Simple fixed-width ASCII table writer used by the bench binaries so every
+/// reproduced paper table prints in a consistent layout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_STRING_UTIL_H_

@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace hytgraph {
+
+struct ThreadPool::TaskBatch {
+  const std::function<void(int, uint64_t, uint64_t)>* fn = nullptr;
+  uint64_t n = 0;
+  uint64_t chunk = 0;
+  int num_shards = 0;
+  std::atomic<int> remaining{0};
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    TaskBatch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (batch_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      batch = batch_;
+    }
+    if (worker_id < batch->num_shards) {
+      const uint64_t begin = static_cast<uint64_t>(worker_id) * batch->chunk;
+      const uint64_t end = std::min(batch->n, begin + batch->chunk);
+      if (begin < end) (*batch->fn)(worker_id, begin, end);
+    }
+    if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t n,
+    const std::function<void(int shard, uint64_t begin, uint64_t end)>& fn,
+    uint64_t min_grain) {
+  if (n == 0) return;
+  const int workers = num_threads();
+  if (n <= min_grain || workers <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  TaskBatch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  batch.num_shards =
+      static_cast<int>(std::min<uint64_t>(workers, CeilDiv(n, min_grain)));
+  batch.chunk = CeilDiv(n, batch.num_shards);
+  batch.remaining.store(workers);  // every worker decrements, shard or not
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch.remaining.load() == 0; });
+    batch_ = nullptr;
+  }
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,60 @@
+// A fixed-size thread pool with a blocked-range ParallelFor. The pool backs
+// the host-side "GPU kernel" execution as well as the CPU compaction engine.
+//
+// Determinism note: ParallelFor uses static chunking (each worker owns a
+// fixed contiguous range), so per-shard partial results can be combined in
+// shard order to obtain deterministic reductions.
+
+#ifndef HYTGRAPH_UTIL_THREAD_POOL_H_
+#define HYTGRAPH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hytgraph {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means
+  /// hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(shard, begin, end) on every shard covering [0, n) with static
+  /// contiguous chunking, and blocks until all shards complete. `shard` is in
+  /// [0, num_shards) where num_shards <= num_threads(). Small `n` degrades to
+  /// a serial call on the calling thread.
+  void ParallelFor(uint64_t n,
+                   const std::function<void(int shard, uint64_t begin,
+                                            uint64_t end)>& fn,
+                   uint64_t min_grain = 1024);
+
+  /// Process-wide default pool (created on first use with all cores).
+  static ThreadPool* Default();
+
+ private:
+  struct TaskBatch;
+
+  void WorkerLoop(int worker_id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  TaskBatch* batch_ = nullptr;  // current batch, guarded by mu_
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,47 @@
+// Wall-clock timing for the measured (as opposed to modelled) parts of the
+// system: CPU compaction, host kernel execution, end-to-end bench runs.
+
+#ifndef HYTGRAPH_UTIL_TIMER_H_
+#define HYTGRAPH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hytgraph {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals. Used for
+/// per-phase breakdowns (compaction vs transfer vs compute).
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_ += timer_.Seconds(); }
+  double TotalSeconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_TIMER_H_

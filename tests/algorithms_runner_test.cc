@@ -1,0 +1,138 @@
+// The high-level runner API: PreparedGraph preparation/mapping semantics,
+// hub-sort transparency, and the Algorithm dispatch used by benches.
+
+#include "algorithms/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/reference.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+
+TEST(PreparedGraphTest, HyTGraphWithCdsReorders) {
+  const CsrGraph g = SmallRmat(9, 6);
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  auto prepared = PreparedGraph::Make(g, opts);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(prepared->reordered());
+  EXPECT_EQ(prepared->graph().num_edges(), g.num_edges());
+}
+
+TEST(PreparedGraphTest, BaselinesDoNotReorder) {
+  const CsrGraph g = SmallRmat(9, 6);
+  for (SystemKind system : {SystemKind::kEmogi, SystemKind::kSubway,
+                            SystemKind::kExpFilter, SystemKind::kCpu}) {
+    auto prepared =
+        PreparedGraph::Make(g, SolverOptions::Defaults(system));
+    ASSERT_TRUE(prepared.ok());
+    EXPECT_FALSE(prepared->reordered()) << SystemKindName(system);
+    EXPECT_EQ(&prepared->graph(), &g);  // zero-copy reference
+  }
+}
+
+TEST(PreparedGraphTest, CdsDisabledSkipsReorder) {
+  const CsrGraph g = SmallRmat(9, 6);
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  opts.enable_contribution_scheduling = false;
+  auto prepared = PreparedGraph::Make(g, opts);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->reordered());
+}
+
+TEST(PreparedGraphTest, MapSourceAndBackAreConsistent) {
+  const CsrGraph g = SmallRmat(9, 6);
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  auto prepared = PreparedGraph::Make(g, opts);
+  ASSERT_TRUE(prepared.ok());
+  for (VertexId v = 0; v < g.num_vertices(); v += 37) {
+    EXPECT_EQ(prepared->MapVertexBack(prepared->MapSource(v)), v);
+  }
+}
+
+TEST(PreparedGraphTest, MapValuesBackInvertsRelabeling) {
+  const CsrGraph g = SmallRmat(8, 4);
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  auto prepared = PreparedGraph::Make(g, opts);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->reordered());
+  // Value of solver-vertex i := i; mapping back must place new-id i at
+  // original position new_to_old[i], i.e. values_back[v] == MapSource(v).
+  std::vector<uint32_t> solver_values(g.num_vertices());
+  for (VertexId i = 0; i < g.num_vertices(); ++i) solver_values[i] = i;
+  const auto back = prepared->MapValuesBack(std::move(solver_values));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(back[v], prepared->MapSource(v));
+  }
+}
+
+TEST(RunnerTest, HubSortIsInvisibleInResults) {
+  // The same SSSP through the reordering runner and through a non-reordering
+  // baseline must agree exactly (both equal the reference).
+  const CsrGraph g = SmallRmat(9, 8, 13);
+  const VertexId source = 5;
+  auto hyt = RunSssp(g, source, SolverOptions::Defaults(SystemKind::kHyTGraph));
+  auto emogi = RunSssp(g, source, SolverOptions::Defaults(SystemKind::kEmogi));
+  ASSERT_TRUE(hyt.ok());
+  ASSERT_TRUE(emogi.ok());
+  EXPECT_EQ(hyt->values, emogi->values);
+  EXPECT_EQ(hyt->values, ReferenceSssp(g, source));
+}
+
+TEST(RunnerTest, CcReturnsNaturalIdLabels) {
+  const CsrGraph g = testing::TwoCyclesGraph(12);
+  auto out = RunCc(g, SolverOptions::Defaults(SystemKind::kHyTGraph));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->values, ReferenceCc(g));
+  // Labels are representatives: each label is a member of its component.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(out->values[out->values[v]], out->values[v]);
+  }
+}
+
+TEST(RunnerTest, AlgorithmNamesStable) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kPageRank), "PR");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kSssp), "SSSP");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kCc), "CC");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBfs), "BFS");
+}
+
+TEST(RunnerTest, RunAlgorithmTraceDispatchesAllFour) {
+  const CsrGraph g = PaperFigure1Graph();
+  const SolverOptions opts = SolverOptions::Defaults(SystemKind::kEmogi);
+  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp,
+                              Algorithm::kCc, Algorithm::kBfs}) {
+    auto trace = RunAlgorithmTrace(g, algorithm, 0, opts);
+    ASSERT_TRUE(trace.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(trace->converged);
+    EXPECT_GT(trace->NumIterations(), 0u);
+  }
+}
+
+TEST(RunnerTest, ErrorsPropagateThroughRunners) {
+  const CsrGraph g = PaperFigure1Graph();
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  opts.device_memory_override = 1;  // nothing fits
+  EXPECT_TRUE(RunBfs(g, 0, opts).status().IsOutOfMemory());
+  EXPECT_TRUE(RunPageRank(g, opts).status().IsOutOfMemory());
+  EXPECT_TRUE(RunSswp(g, 0, opts).status().IsOutOfMemory());
+}
+
+TEST(RunnerTest, ReusedPreparedGraphMatchesOneShotRunners) {
+  const CsrGraph g = SmallRmat(8, 6, 3);
+  const SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  auto prepared = PreparedGraph::Make(g, opts);
+  ASSERT_TRUE(prepared.ok());
+  auto via_prepared = RunBfsOn(*prepared, 2, opts);
+  auto one_shot = RunBfs(g, 2, opts);
+  ASSERT_TRUE(via_prepared.ok());
+  ASSERT_TRUE(one_shot.ok());
+  EXPECT_EQ(via_prepared->values, one_shot->values);
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,100 @@
+// SSWP (widest path): the max-min selection algorithm added beyond the
+// paper's four. Validates the program semantics, the reference, and
+// end-to-end agreement across every system.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/programs.h"
+#include "algorithms/reference.h"
+#include "algorithms/runner.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+
+TEST(ReferenceSswpTest, Figure1Widths) {
+  const CsrGraph g = PaperFigure1Graph();
+  const auto widths = ReferenceSswp(g, 0);
+  EXPECT_EQ(widths[0], std::numeric_limits<uint32_t>::max());
+  // a->b: width 2. a->c direct: 6; via b: min(2,3)=2 -> 6 wins.
+  EXPECT_EQ(widths[1], 2u);
+  EXPECT_EQ(widths[2], 6u);
+  // d only via b: min(2,1) = 1.
+  EXPECT_EQ(widths[3], 1u);
+  // e: via c: min(6,1)=1; via d: min(1,1)=1.
+  EXPECT_EQ(widths[4], 1u);
+  // f: via c: min(6,4)=4; via e: min(1,2)=1 -> 4.
+  EXPECT_EQ(widths[5], 4u);
+}
+
+TEST(ReferenceSswpTest, UnreachableStaysZero) {
+  const CsrGraph g = testing::ChainGraph(5, 9);
+  const auto widths = ReferenceSswp(g, 2);
+  EXPECT_EQ(widths[0], 0u);
+  EXPECT_EQ(widths[1], 0u);
+  EXPECT_EQ(widths[3], 9u);
+  EXPECT_EQ(widths[4], 9u);
+}
+
+TEST(ReferenceSswpTest, BottleneckIsPathMinimum) {
+  // 0 -[10]-> 1 -[3]-> 2 -[10]-> 3: width of 3 is the bottleneck 3.
+  auto g = BuildFromTriples(4, {{0, 1, 10}, {1, 2, 3}, {2, 3, 10}});
+  ASSERT_TRUE(g.ok());
+  const auto widths = ReferenceSswp(*g, 0);
+  EXPECT_EQ(widths[3], 3u);
+}
+
+TEST(SswpProgramTest, ProcessEdgeIsAtomicMax) {
+  const CsrGraph g = PaperFigure1Graph();
+  SswpProgram program(g, 0);
+  SswpProgram::VertexContext ctx;
+  ASSERT_TRUE(program.BeginVertex(0, &ctx));
+  EXPECT_TRUE(program.ProcessEdge(ctx, 0, 1, 2));
+  EXPECT_EQ(program.Values()[1], 2u);
+  // A narrower path does not overwrite.
+  EXPECT_FALSE(program.ProcessEdge(ctx, 0, 1, 1));
+  EXPECT_EQ(program.Values()[1], 2u);
+  // A wider one does.
+  EXPECT_TRUE(program.ProcessEdge(ctx, 0, 1, 5));
+  EXPECT_EQ(program.Values()[1], 5u);
+}
+
+TEST(SswpProgramTest, UnreachedVerticesAreSkipped) {
+  const CsrGraph g = PaperFigure1Graph();
+  SswpProgram program(g, 0);
+  SswpProgram::VertexContext ctx;
+  EXPECT_FALSE(program.BeginVertex(4, &ctx));  // width still 0
+}
+
+class SswpSystemsTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(SswpSystemsTest, MatchesReferenceEverywhere) {
+  const CsrGraph g = SmallRmat(9, 8, 31);
+  SolverOptions opts = SolverOptions::Defaults(GetParam());
+  VertexId source = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(source)) source = v;
+  }
+  const auto out = RunSswp(g, source, opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->values, ReferenceSswp(g, source));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SswpSystemsTest,
+    ::testing::Values(SystemKind::kHyTGraph, SystemKind::kExpFilter,
+                      SystemKind::kSubway, SystemKind::kEmogi,
+                      SystemKind::kImpUm, SystemKind::kGrus, SystemKind::kCpu),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name = SystemKindName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hytgraph

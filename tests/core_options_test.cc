@@ -1,0 +1,94 @@
+#include "core/options.h"
+
+#include "core/task.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace hytgraph {
+namespace {
+
+TEST(OptionsTest, PaperDefaultsCarriedVerbatim) {
+  const SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  EXPECT_DOUBLE_EQ(opts.alpha, 0.8);
+  EXPECT_DOUBLE_EQ(opts.beta, 0.4);
+  EXPECT_DOUBLE_EQ(opts.gamma, 0.625);
+  EXPECT_EQ(opts.combine_k, 4);
+  EXPECT_DOUBLE_EQ(opts.hub_fraction, 0.08);
+  EXPECT_EQ(opts.extra_rounds, 1);  // "recomputes ... only once"
+  EXPECT_TRUE(opts.enable_task_combining);
+  EXPECT_TRUE(opts.enable_contribution_scheduling);
+  EXPECT_EQ(opts.gpu.name, "RTX2080Ti");
+}
+
+TEST(OptionsTest, SubwayDefaultsAreMultiRound) {
+  const SolverOptions opts = SolverOptions::Defaults(SystemKind::kSubway);
+  EXPECT_EQ(opts.extra_rounds, -1);
+  EXPECT_FALSE(opts.enable_task_combining);
+  EXPECT_FALSE(opts.enable_contribution_scheduling);
+}
+
+TEST(OptionsTest, SynchronousBaselinesHaveNoExtraRounds) {
+  for (SystemKind kind : {SystemKind::kEmogi, SystemKind::kExpFilter,
+                          SystemKind::kImpUm, SystemKind::kGrus,
+                          SystemKind::kCpu}) {
+    EXPECT_EQ(SolverOptions::Defaults(kind).extra_rounds, 0)
+        << SystemKindName(kind);
+  }
+}
+
+TEST(OptionsTest, DeviceMemoryOverride) {
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  EXPECT_EQ(opts.DeviceMemory(), GiB(11));
+  opts.device_memory_override = MiB(64);
+  EXPECT_EQ(opts.DeviceMemory(), MiB(64));
+}
+
+TEST(OptionsTest, ValidateCatchesBadValues) {
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  EXPECT_TRUE(opts.Validate().ok());
+  auto broken = opts;
+  broken.alpha = 0;
+  EXPECT_FALSE(broken.Validate().ok());
+  broken = opts;
+  broken.beta = 2.0;
+  EXPECT_FALSE(broken.Validate().ok());
+  broken = opts;
+  broken.gamma = -0.1;
+  EXPECT_FALSE(broken.Validate().ok());
+  broken = opts;
+  broken.combine_k = 0;
+  EXPECT_FALSE(broken.Validate().ok());
+  broken = opts;
+  broken.num_streams = 0;
+  EXPECT_FALSE(broken.Validate().ok());
+  broken = opts;
+  broken.max_iterations = 0;
+  EXPECT_FALSE(broken.Validate().ok());
+  broken = opts;
+  broken.gpu = GpuSpec{};
+  EXPECT_FALSE(broken.Validate().ok());
+}
+
+TEST(SystemKindTest, NamesRoundTrip) {
+  for (SystemKind kind : {SystemKind::kHyTGraph, SystemKind::kExpFilter,
+                          SystemKind::kSubway, SystemKind::kEmogi,
+                          SystemKind::kImpUm, SystemKind::kGrus,
+                          SystemKind::kCpu}) {
+    auto parsed = ParseSystemKind(SystemKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_TRUE(ParseSystemKind("bogus").status().IsNotFound());
+}
+
+TEST(EngineKindTest, NamesMatchFigure3Legend) {
+  EXPECT_STREQ(EngineKindName(EngineKind::kFilter), "E-F");
+  EXPECT_STREQ(EngineKindName(EngineKind::kCompaction), "E-C");
+  EXPECT_STREQ(EngineKindName(EngineKind::kZeroCopy), "I-ZC");
+  EXPECT_STREQ(EngineKindName(EngineKind::kUnifiedMemory), "I-UM");
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,107 @@
+#include "core/priority_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace hytgraph {
+namespace {
+
+Task MakeTask(EngineKind engine, std::vector<uint32_t> partitions) {
+  Task t;
+  t.engine = engine;
+  t.partitions = std::move(partitions);
+  return t;
+}
+
+IterationState StateWithDeltas(const std::vector<double>& deltas) {
+  IterationState state;
+  state.stats.resize(deltas.size());
+  for (size_t p = 0; p < deltas.size(); ++p) {
+    state.stats[p].delta_sum = deltas[p];
+    state.stats[p].active_vertices = 1;
+  }
+  return state;
+}
+
+TEST(PrioritySchedulerTest, EngineClassOrderIsFilterZcCompaction) {
+  std::vector<Task> tasks;
+  tasks.push_back(MakeTask(EngineKind::kCompaction, {0}));
+  tasks.push_back(MakeTask(EngineKind::kZeroCopy, {1}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {2}));
+  PrioritySchedulerOptions opts;
+  ScheduleTasks(&tasks, StateWithDeltas({0, 0, 0}), opts);
+  EXPECT_EQ(tasks[0].engine, EngineKind::kFilter);
+  EXPECT_EQ(tasks[1].engine, EngineKind::kZeroCopy);
+  EXPECT_EQ(tasks[2].engine, EngineKind::kCompaction);
+}
+
+TEST(PrioritySchedulerTest, HubDrivenOrdersByLowestPartitionFirst) {
+  // After hub sorting, hubs live in the lowest-numbered partitions.
+  std::vector<Task> tasks;
+  tasks.push_back(MakeTask(EngineKind::kFilter, {8, 9}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {0, 1}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {4, 5}));
+  PrioritySchedulerOptions opts;
+  opts.delta_driven = false;
+  ScheduleTasks(&tasks, StateWithDeltas(std::vector<double>(10, 0)), opts);
+  EXPECT_EQ(tasks[0].partitions.front(), 0u);
+  EXPECT_EQ(tasks[1].partitions.front(), 4u);
+  EXPECT_EQ(tasks[2].partitions.front(), 8u);
+}
+
+TEST(PrioritySchedulerTest, DeltaDrivenOrdersByPendingMass) {
+  std::vector<Task> tasks;
+  tasks.push_back(MakeTask(EngineKind::kFilter, {0}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {1}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {2}));
+  PrioritySchedulerOptions opts;
+  opts.delta_driven = true;
+  ScheduleTasks(&tasks, StateWithDeltas({1.0, 9.0, 4.0}), opts);
+  EXPECT_EQ(tasks[0].partitions.front(), 1u);  // delta 9
+  EXPECT_EQ(tasks[1].partitions.front(), 2u);  // delta 4
+  EXPECT_EQ(tasks[2].partitions.front(), 0u);  // delta 1
+}
+
+TEST(PrioritySchedulerTest, DeltaSumsAggregateAcrossTaskPartitions) {
+  std::vector<Task> tasks;
+  tasks.push_back(MakeTask(EngineKind::kFilter, {0, 1}));  // 1 + 2 = 3
+  tasks.push_back(MakeTask(EngineKind::kFilter, {2}));     // 5
+  PrioritySchedulerOptions opts;
+  opts.delta_driven = true;
+  ScheduleTasks(&tasks, StateWithDeltas({1.0, 2.0, 5.0}), opts);
+  EXPECT_EQ(tasks[0].partitions.front(), 2u);
+  EXPECT_DOUBLE_EQ(tasks[0].priority, 5.0);
+  EXPECT_DOUBLE_EQ(tasks[1].priority, 3.0);
+}
+
+TEST(PrioritySchedulerTest, DisabledKeepsSubmissionOrderWithinEngine) {
+  std::vector<Task> tasks;
+  tasks.push_back(MakeTask(EngineKind::kFilter, {9}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {0}));
+  PrioritySchedulerOptions opts;
+  opts.enabled = false;
+  ScheduleTasks(&tasks, StateWithDeltas(std::vector<double>(10, 0)), opts);
+  // Stable sort, equal priorities: original order preserved.
+  EXPECT_EQ(tasks[0].partitions.front(), 9u);
+  EXPECT_EQ(tasks[1].partitions.front(), 0u);
+}
+
+TEST(PrioritySchedulerTest, EngineOrderDominatesPriority) {
+  // Even a huge-delta compaction task runs after filter tasks.
+  std::vector<Task> tasks;
+  tasks.push_back(MakeTask(EngineKind::kCompaction, {0}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {1}));
+  PrioritySchedulerOptions opts;
+  opts.delta_driven = true;
+  ScheduleTasks(&tasks, StateWithDeltas({1000.0, 0.001}), opts);
+  EXPECT_EQ(tasks[0].engine, EngineKind::kFilter);
+}
+
+TEST(PrioritySchedulerTest, EmptyTaskListIsFine) {
+  std::vector<Task> tasks;
+  PrioritySchedulerOptions opts;
+  ScheduleTasks(&tasks, StateWithDeltas({}), opts);
+  EXPECT_TRUE(tasks.empty());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,54 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace hytgraph {
+namespace {
+
+IterationTrace MakeIteration(double transfer, double kernel,
+                             double compaction, uint64_t explicit_bytes,
+                             uint64_t kernel_edges) {
+  IterationTrace it;
+  it.transfer_seconds = transfer;
+  it.kernel_seconds = kernel;
+  it.compaction_seconds = compaction;
+  it.transfers.explicit_bytes = explicit_bytes;
+  it.transfers.kernel_edges = kernel_edges;
+  it.sim_seconds = transfer + kernel + compaction;
+  return it;
+}
+
+TEST(RunTraceTest, EmptyTraceIsZero) {
+  RunTrace trace;
+  EXPECT_EQ(trace.NumIterations(), 0u);
+  EXPECT_EQ(trace.TotalTransferredBytes(), 0u);
+  EXPECT_EQ(trace.TotalKernelEdges(), 0u);
+  EXPECT_EQ(trace.TotalTransferSeconds(), 0.0);
+  EXPECT_EQ(trace.TotalKernelSeconds(), 0.0);
+  EXPECT_EQ(trace.TotalCompactionSeconds(), 0.0);
+}
+
+TEST(RunTraceTest, TotalsSumIterations) {
+  RunTrace trace;
+  trace.iterations.push_back(MakeIteration(1.0, 0.5, 0.25, 1000, 10));
+  trace.iterations.push_back(MakeIteration(2.0, 1.5, 0.75, 500, 20));
+  EXPECT_EQ(trace.NumIterations(), 2u);
+  EXPECT_DOUBLE_EQ(trace.TotalTransferSeconds(), 3.0);
+  EXPECT_DOUBLE_EQ(trace.TotalKernelSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.TotalCompactionSeconds(), 1.0);
+  EXPECT_EQ(trace.TotalTransferredBytes(), 1500u);
+  EXPECT_EQ(trace.TotalKernelEdges(), 30u);
+}
+
+TEST(RunTraceTest, TransferredBytesSpanAllEngines) {
+  RunTrace trace;
+  IterationTrace it;
+  it.transfers.explicit_bytes = 100;
+  it.transfers.zero_copy_bytes = 200;
+  it.transfers.um_bytes = 400;
+  trace.iterations.push_back(it);
+  EXPECT_EQ(trace.TotalTransferredBytes(), 700u);
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,75 @@
+#include "engine/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hytgraph {
+namespace {
+
+TEST(FrontierTest, ActivateOnceSemantics) {
+  Frontier f(100);
+  EXPECT_TRUE(f.Empty());
+  EXPECT_TRUE(f.Activate(5));
+  EXPECT_FALSE(f.Activate(5));  // already active
+  EXPECT_TRUE(f.IsActive(5));
+  EXPECT_EQ(f.CountActive(), 1u);
+}
+
+TEST(FrontierTest, CollectIsSortedAscending) {
+  Frontier f(200);
+  for (VertexId v : {150u, 3u, 77u, 3u, 199u}) f.Activate(v);
+  EXPECT_EQ(f.Collect(), (std::vector<VertexId>{3, 77, 150, 199}));
+}
+
+TEST(FrontierTest, CollectRangeIsHalfOpen) {
+  Frontier f(100);
+  for (VertexId v : {10u, 20u, 30u}) f.Activate(v);
+  std::vector<VertexId> out;
+  f.CollectRange(10, 30, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{10, 20}));
+}
+
+TEST(FrontierTest, DrainRangeRemovesAndReturns) {
+  Frontier f(100);
+  for (VertexId v : {10u, 20u, 30u, 50u}) f.Activate(v);
+  const auto drained = f.DrainRange(0, 40);
+  EXPECT_EQ(drained, (std::vector<VertexId>{10, 20, 30}));
+  EXPECT_EQ(f.CountActive(), 1u);
+  EXPECT_TRUE(f.IsActive(50));
+  EXPECT_FALSE(f.IsActive(20));
+}
+
+TEST(FrontierTest, DeactivateAllowsReactivation) {
+  Frontier f(10);
+  f.Activate(3);
+  f.Deactivate(3);
+  EXPECT_FALSE(f.IsActive(3));
+  EXPECT_TRUE(f.Activate(3));
+}
+
+TEST(FrontierTest, ClearEmptiesEverything) {
+  Frontier f(64);
+  for (VertexId v = 0; v < 64; v += 2) f.Activate(v);
+  f.Clear();
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(FrontierTest, ConcurrentActivationExactlyOneWinner) {
+  Frontier f(1 << 12);
+  std::atomic<uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (VertexId v = 0; v < f.num_vertices(); ++v) {
+        if (f.Activate(v)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), f.num_vertices());
+  EXPECT_EQ(f.CountActive(), f.num_vertices());
+}
+
+}  // namespace
+}  // namespace hytgraph

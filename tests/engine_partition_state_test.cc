@@ -1,0 +1,114 @@
+#include "engine/partition_state.h"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+using testing::StarGraph;
+
+class PartitionStateTest : public ::testing::Test {
+ protected:
+  PartitionStateTest() : model_(DefaultGpu()), access_(&model_) {}
+  PcieModel model_;
+  ZeroCopyAccess access_;
+};
+
+TEST_F(PartitionStateTest, SlicesPartitionTheActiveList) {
+  const CsrGraph g = SmallRmat(10, 8);
+  auto parts = PartitionGraphIntoN(g, 16).value();
+  Frontier f(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); v += 7) f.Activate(v);
+  const IterationState state =
+      BuildIterationState(g, parts, f, access_, /*include_weights=*/false);
+
+  EXPECT_EQ(state.total_active_vertices(), f.CountActive());
+  uint64_t sliced = 0;
+  for (uint32_t p = 0; p < parts.size(); ++p) {
+    const auto slice = state.Slice(p);
+    sliced += slice.size();
+    for (VertexId v : slice) {
+      EXPECT_GE(v, parts[p].first_vertex);
+      EXPECT_LT(v, parts[p].last_vertex);
+    }
+  }
+  EXPECT_EQ(sliced, state.total_active_vertices());
+}
+
+TEST_F(PartitionStateTest, ActiveEdgesSumDegrees) {
+  const CsrGraph g = StarGraph(100);
+  auto parts = PartitionGraphIntoN(g, 4).value();
+  Frontier f(g.num_vertices());
+  f.Activate(0);   // hub: 99 out-edges
+  f.Activate(50);  // leaf: 0 out-edges
+  const IterationState state =
+      BuildIterationState(g, parts, f, access_, false);
+  EXPECT_EQ(state.total_active_edges, 99u);
+  EXPECT_EQ(state.stats[0].active_edges, 99u);
+  EXPECT_EQ(state.stats[0].active_vertices, 1u);
+}
+
+TEST_F(PartitionStateTest, ZcRequestsMatchZeroCopyAccess) {
+  const CsrGraph g = SmallRmat(9, 8);
+  auto parts = PartitionGraphIntoN(g, 8).value();
+  Frontier f(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); v += 13) f.Activate(v);
+  const IterationState state = BuildIterationState(g, parts, f, access_, true);
+  uint64_t expected = 0;
+  for (VertexId v : f.Collect()) {
+    expected += access_.RequestsForVertex(g, v, true);
+  }
+  uint64_t got = 0;
+  for (const auto& stats : state.stats) got += stats.zc_requests;
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(PartitionStateTest, WeightedRequestsExceedUnweighted) {
+  const CsrGraph g = SmallRmat(9, 8);
+  auto parts = PartitionGraphIntoN(g, 8).value();
+  Frontier f(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); v += 5) f.Activate(v);
+  const auto weighted = BuildIterationState(g, parts, f, access_, true);
+  const auto unweighted = BuildIterationState(g, parts, f, access_, false);
+  uint64_t w = 0;
+  uint64_t u = 0;
+  for (const auto& s : weighted.stats) w += s.zc_requests;
+  for (const auto& s : unweighted.stats) u += s.zc_requests;
+  EXPECT_GT(w, u);
+}
+
+TEST_F(PartitionStateTest, DeltaSumsUseCallback) {
+  const CsrGraph g = StarGraph(10);
+  auto parts = PartitionGraphIntoN(g, 2).value();
+  Frontier f(g.num_vertices());
+  f.Activate(1);
+  f.Activate(2);
+  struct FakeProgram {
+    double DeltaOf(VertexId v) const { return static_cast<double>(v) * 1.5; }
+  } program;
+  auto delta_fn = +[](const void* p, VertexId v) {
+    return static_cast<const FakeProgram*>(p)->DeltaOf(v);
+  };
+  const IterationState state =
+      BuildIterationState(g, parts, f, access_, false, delta_fn, &program);
+  double total = 0;
+  for (const auto& s : state.stats) total += s.delta_sum;
+  EXPECT_DOUBLE_EQ(total, 1.5 + 3.0);
+}
+
+TEST_F(PartitionStateTest, EmptyFrontierYieldsEmptyState) {
+  const CsrGraph g = SmallRmat(8, 4);
+  auto parts = PartitionGraphIntoN(g, 4).value();
+  Frontier f(g.num_vertices());
+  const IterationState state =
+      BuildIterationState(g, parts, f, access_, false);
+  EXPECT_EQ(state.total_active_vertices(), 0u);
+  EXPECT_EQ(state.total_active_edges, 0u);
+  for (const auto& s : state.stats) EXPECT_FALSE(s.HasWork());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,89 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace hytgraph {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSortedRuns) {
+  auto g = BuildCsr(4, {{2, 1, 5}, {0, 3, 1}, {0, 1, 2}, {2, 0, 7}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 4u);
+  EXPECT_EQ(g->neighbors(0)[0], 1u);
+  EXPECT_EQ(g->neighbors(0)[1], 3u);
+  EXPECT_EQ(g->weights(0)[0], 2u);
+  EXPECT_EQ(g->neighbors(2)[0], 0u);
+  EXPECT_EQ(g->neighbors(2)[1], 1u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_FALSE(BuildCsr(2, {{0, 2, 1}}).ok());
+  EXPECT_FALSE(BuildCsr(2, {{5, 0, 1}}).ok());
+}
+
+TEST(GraphBuilderTest, SelfLoopRemoval) {
+  BuilderOptions opts;
+  opts.remove_self_loops = true;
+  auto g = BuildCsr(3, {{0, 0, 1}, {0, 1, 1}, {2, 2, 1}}, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, Deduplicate) {
+  BuilderOptions opts;
+  opts.deduplicate = true;
+  auto g = BuildCsr(3, {{0, 1, 4}, {0, 1, 9}, {1, 2, 1}}, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->weights(0)[0], 4u);  // lowest weight survives the sort+unique
+}
+
+TEST(GraphBuilderTest, SymmetrizeAddsReverseEdges) {
+  BuilderOptions opts;
+  opts.symmetrize = true;
+  auto g = BuildCsr(3, {{0, 1, 7}, {1, 2, 3}}, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 4u);
+  EXPECT_EQ(g->neighbors(1)[0], 0u);  // reverse of 0->1
+  EXPECT_EQ(g->weights(1)[0], 7u);    // same weight both directions
+}
+
+TEST(GraphBuilderTest, SymmetrizeSkipsSelfLoops) {
+  BuilderOptions opts;
+  opts.symmetrize = true;
+  auto g = BuildCsr(2, {{0, 0, 1}}, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);  // self loop not duplicated
+}
+
+TEST(GraphBuilderTest, UnweightedBuild) {
+  BuilderOptions opts;
+  opts.weighted = false;
+  auto g = BuildCsr(3, {{0, 1, 42}}, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->is_weighted());
+}
+
+TEST(GraphBuilderTest, IsolatedVerticesAllowed) {
+  auto g = BuildCsr(10, {{0, 9, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 10u);
+  for (VertexId v = 1; v < 9; ++v) EXPECT_EQ(g->out_degree(v), 0u);
+}
+
+TEST(GraphBuilderTest, EmptyEdgeList) {
+  auto g = BuildCsr(5, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_EQ(g->num_vertices(), 5u);
+}
+
+TEST(GraphBuilderTest, TriplesConvenience) {
+  auto g = BuildFromTriples(3, {{0, 1, 2}, {1, 2, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->weights(1)[0], 3u);
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,90 @@
+#include "graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+
+TEST(CsrGraphTest, EmptyGraph) {
+  auto g = CsrGraph::Create({0}, {}, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);  // one offset entry = zero vertices
+  EXPECT_EQ(g->num_edges(), 0u);
+  auto g1 = CsrGraph::Create({0, 0}, {}, {});
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(g1->num_vertices(), 1u);
+  EXPECT_EQ(g1->out_degree(0), 0u);
+}
+
+TEST(CsrGraphTest, Figure1Structure) {
+  const CsrGraph g = PaperFigure1Graph();
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_EQ(g.out_degree(0), 2u);  // a -> {b, c}
+  const auto nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  const auto wts = g.weights(0);
+  EXPECT_EQ(wts[0], 2u);
+  EXPECT_EQ(wts[1], 6u);
+}
+
+TEST(CsrGraphTest, RejectsBadOffsets) {
+  EXPECT_FALSE(CsrGraph::Create({}, {}, {}).ok());
+  EXPECT_FALSE(CsrGraph::Create({1, 2}, {0}, {}).ok());   // not starting at 0
+  EXPECT_FALSE(CsrGraph::Create({0, 2}, {0}, {}).ok());   // end mismatch
+  EXPECT_FALSE(CsrGraph::Create({0, 2, 1}, {0, 0}, {}).ok());  // decreasing
+}
+
+TEST(CsrGraphTest, RejectsOutOfRangeTargets) {
+  EXPECT_FALSE(CsrGraph::Create({0, 1}, {5}, {}).ok());
+}
+
+TEST(CsrGraphTest, RejectsWeightSizeMismatch) {
+  EXPECT_FALSE(CsrGraph::Create({0, 1, 1}, {1}, {1, 2}).ok());
+}
+
+TEST(CsrGraphTest, InDegreesComputedOnce) {
+  const CsrGraph g = PaperFigure1Graph();
+  const auto& in = g.in_degrees();
+  // c (=2) receives from a, b, d: in-degree 3.
+  EXPECT_EQ(in[2], 3u);
+  EXPECT_EQ(in[0], 1u);  // f->a
+  uint64_t total = 0;
+  for (uint32_t d : in) total += d;
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(CsrGraphTest, MaxDegrees) {
+  const CsrGraph g = PaperFigure1Graph();
+  EXPECT_EQ(g.max_out_degree(), 2u);  // every vertex has <= 2 out-edges
+  EXPECT_EQ(g.max_in_degree(), 3u);   // c receives from a, b, d
+}
+
+TEST(CsrGraphTest, EdgeDataBytes) {
+  const CsrGraph g = PaperFigure1Graph();
+  // 10 edges * (4B neighbour + 4B weight).
+  EXPECT_EQ(g.EdgeDataBytes(), 10u * 8u);
+}
+
+TEST(CsrGraphTest, VertexDataBytesScalesWithValueSize) {
+  const CsrGraph g = PaperFigure1Graph();
+  EXPECT_GT(g.VertexDataBytes(8), g.VertexDataBytes(4));
+  // Offsets alone: (n+1) * 8 bytes.
+  EXPECT_GE(g.VertexDataBytes(4), (6u + 1u) * 8u);
+}
+
+TEST(CsrGraphTest, UnweightedWeightsSpanIsEmpty) {
+  auto g = CsrGraph::Create({0, 1, 1}, {1}, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->is_weighted());
+  EXPECT_TRUE(g->weights(0).empty());
+}
+
+}  // namespace
+}  // namespace hytgraph

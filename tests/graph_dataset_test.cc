@@ -1,0 +1,124 @@
+#include "graph/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.h"
+
+namespace hytgraph {
+namespace {
+
+TEST(DatasetTest, FiveDatasetsInTableFourOrder) {
+  const auto& specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "SK");
+  EXPECT_EQ(specs[1].name, "TW");
+  EXPECT_EQ(specs[2].name, "FK");
+  EXPECT_EQ(specs[3].name, "UK");
+  EXPECT_EQ(specs[4].name, "FS");
+}
+
+TEST(DatasetTest, FindByName) {
+  auto fk = FindDataset("FK");
+  ASSERT_TRUE(fk.ok());
+  EXPECT_TRUE(fk->symmetrize);  // friendster is undirected
+  EXPECT_FALSE(FindDataset("nope").ok());
+}
+
+TEST(DatasetTest, OnlySkFitsInDeviceMemory) {
+  // The paper's key regime: SK's neighbour array fits the 2080Ti; all other
+  // graphs oversubscribe. Our ratios must preserve that.
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name == "SK") {
+      EXPECT_LT(spec.oversubscription_ratio, 1.0);
+    } else {
+      EXPECT_GT(spec.oversubscription_ratio, 1.0);
+    }
+  }
+}
+
+TEST(DatasetTest, LoadIsDeterministicAndValid) {
+  auto spec = FindDataset("SK");
+  ASSERT_TRUE(spec.ok());
+  // Shrink for test speed: same generator path, smaller scale.
+  DatasetSpec small = *spec;
+  small.scale = 10;
+  auto a = LoadDataset(small);
+  auto b = LoadDataset(small);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Validate().ok());
+  EXPECT_EQ(a->column_index(), b->column_index());
+}
+
+TEST(DatasetTest, UndirectedDatasetsAreSymmetrized) {
+  DatasetSpec fs = FindDataset("FS").value();
+  fs.scale = 9;
+  auto g = LoadDataset(fs);
+  ASSERT_TRUE(g.ok());
+  // Every edge must have its reverse.
+  for (VertexId u = 0; u < g->num_vertices(); ++u) {
+    for (VertexId v : g->neighbors(u)) {
+      const auto nbrs = g->neighbors(v);
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), u) != nbrs.end())
+          << u << "->" << v << " has no reverse";
+    }
+  }
+}
+
+TEST(DatasetTest, DeviceMemoryBudgetMatchesRatio) {
+  DatasetSpec uk = FindDataset("UK").value();
+  uk.scale = 10;
+  auto g = LoadDataset(uk);
+  ASSERT_TRUE(g.ok());
+  const uint64_t budget = DeviceMemoryBudget(uk, *g);
+  const double ratio =
+      static_cast<double>(g->num_edges() * kBytesPerNeighbor) /
+      static_cast<double>(budget);
+  EXPECT_NEAR(ratio, uk.oversubscription_ratio, 0.01);
+}
+
+TEST(DatasetTest, DegreesTrackTableFour) {
+  // Average degrees should land near the paper's |E|/|V| column.
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    DatasetSpec small = spec;
+    small.scale = 10;
+    auto g = LoadDataset(small);
+    ASSERT_TRUE(g.ok());
+    const double avg_degree =
+        static_cast<double>(g->num_edges()) / g->num_vertices();
+    const double expected =
+        spec.symmetrize ? 2.0 * spec.edge_factor : spec.edge_factor;
+    EXPECT_NEAR(avg_degree, expected, expected * 0.05) << spec.name;
+  }
+}
+
+TEST(DegreeStatsTest, HistogramBucketsSumToTotal) {
+  DatasetSpec tw = FindDataset("TW").value();
+  tw.scale = 10;
+  auto g = LoadDataset(tw);
+  ASSERT_TRUE(g.ok());
+  const DegreeHistogram hist = ComputeDegreeHistogram(*g);
+  uint64_t sum = 0;
+  for (uint64_t c : hist.counts) sum += c;
+  EXPECT_EQ(sum, hist.total);
+  EXPECT_EQ(hist.total, g->num_vertices());
+  double frac = 0;
+  for (int b = 0; b < DegreeHistogram::kNumBuckets; ++b) {
+    frac += hist.Fraction(b);
+  }
+  EXPECT_NEAR(frac, 1.0, 1e-9);
+}
+
+TEST(DegreeStatsTest, PowerLawGraphsAreMostlyUnderSaturation) {
+  // The Fig. 3(f) observation: most vertices have < 32 neighbours, so
+  // zero-copy requests are mostly unsaturated.
+  DatasetSpec fk = FindDataset("FK").value();
+  fk.scale = 11;
+  auto g = LoadDataset(fk);
+  ASSERT_TRUE(g.ok());
+  const DegreeHistogram hist = ComputeDegreeHistogram(*g);
+  EXPECT_GT(hist.FractionUnderSaturation(), 0.5);
+}
+
+}  // namespace
+}  // namespace hytgraph

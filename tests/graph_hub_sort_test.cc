@@ -1,0 +1,123 @@
+#include "graph/hub_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/reference.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+
+TEST(HubScoreTest, Formula4OnFigure1) {
+  const CsrGraph g = PaperFigure1Graph();
+  const auto scores = ComputeHubScores(g);
+  // H(v) = Do*Di / (Do_max * Di_max); Do_max=2, Di_max=3 (vertex c).
+  // c: Do=2, Di=3 -> 6/6 = 1.0, the unique maximum.
+  EXPECT_DOUBLE_EQ(scores[2], 1.0);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_GE(scores[v], 0.0);
+    EXPECT_LE(scores[v], 1.0);
+  }
+}
+
+TEST(HubSortTest, GathersTopFractionAtFront) {
+  const CsrGraph g = SmallRmat(11, 8);
+  auto sorted = HubSort(g, 0.08);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->num_hubs, static_cast<VertexId>(0.08 * g.num_vertices()));
+  // Every gathered hub must score >= every non-hub (top-k selection).
+  const auto scores = ComputeHubScores(g);
+  double min_hub_score = 1e300;
+  for (VertexId new_id = 0; new_id < sorted->num_hubs; ++new_id) {
+    min_hub_score =
+        std::min(min_hub_score, scores[sorted->new_to_old[new_id]]);
+  }
+  for (VertexId new_id = sorted->num_hubs; new_id < g.num_vertices();
+       ++new_id) {
+    EXPECT_LE(scores[sorted->new_to_old[new_id]], min_hub_score + 1e-12);
+  }
+}
+
+TEST(HubSortTest, MappingsAreInverse) {
+  const CsrGraph g = SmallRmat(10, 4);
+  auto sorted = HubSort(g, 0.1);
+  ASSERT_TRUE(sorted.ok());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sorted->new_to_old[sorted->old_to_new[v]], v);
+    EXPECT_EQ(sorted->old_to_new[sorted->new_to_old[v]], v);
+  }
+}
+
+TEST(HubSortTest, PreservesGraphStructure) {
+  const CsrGraph g = SmallRmat(10, 4);
+  auto sorted = HubSort(g, 0.08);
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->graph.num_edges(), g.num_edges());
+  ASSERT_EQ(sorted->graph.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(sorted->graph.Validate().ok());
+  // Edge (u,v,w) exists in the original iff (map(u),map(v),w) exists in the
+  // sorted graph. Compare multisets per vertex.
+  for (VertexId old_u = 0; old_u < g.num_vertices(); ++old_u) {
+    const VertexId new_u = sorted->old_to_new[old_u];
+    auto old_nbrs = g.neighbors(old_u);
+    auto new_nbrs = sorted->graph.neighbors(new_u);
+    ASSERT_EQ(old_nbrs.size(), new_nbrs.size());
+    std::vector<VertexId> expected;
+    expected.reserve(old_nbrs.size());
+    for (VertexId v : old_nbrs) expected.push_back(sorted->old_to_new[v]);
+    std::vector<VertexId> actual(new_nbrs.begin(), new_nbrs.end());
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(expected, actual);
+  }
+}
+
+TEST(HubSortTest, AlgorithmResultsUnchangedUnderRelabeling) {
+  // BFS levels must be permutation-equivariant: level_old(v) ==
+  // level_new(map(v)).
+  const CsrGraph g = SmallRmat(10, 6);
+  auto sorted = HubSort(g, 0.08);
+  ASSERT_TRUE(sorted.ok());
+  const VertexId source = 3;
+  const auto old_levels = ReferenceBfs(g, source);
+  const auto new_levels =
+      ReferenceBfs(sorted->graph, sorted->old_to_new[source]);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(old_levels[v], new_levels[sorted->old_to_new[v]]);
+  }
+}
+
+TEST(HubSortTest, NonHubsKeepNaturalOrder) {
+  const CsrGraph g = SmallRmat(9, 4);
+  auto sorted = HubSort(g, 0.05);
+  ASSERT_TRUE(sorted.ok());
+  // The non-hub tail of new_to_old must be strictly increasing (natural
+  // order preserved, Section VI-A).
+  for (VertexId i = sorted->num_hubs + 1; i < g.num_vertices(); ++i) {
+    EXPECT_GT(sorted->new_to_old[i], sorted->new_to_old[i - 1]);
+  }
+}
+
+TEST(HubSortTest, ZeroFractionIsIdentityPermutation) {
+  const CsrGraph g = PaperFigure1Graph();
+  auto sorted = HubSort(g, 0.0);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->num_hubs, 0u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sorted->old_to_new[v], v);
+  }
+}
+
+TEST(HubSortTest, RejectsBadFraction) {
+  const CsrGraph g = PaperFigure1Graph();
+  EXPECT_FALSE(HubSort(g, -0.1).ok());
+  EXPECT_FALSE(HubSort(g, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,112 @@
+#include "graph/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+using testing::StarGraph;
+
+TEST(PartitionerTest, PartitionsTileTheGraph) {
+  const CsrGraph g = SmallRmat(10, 8);
+  PartitionerOptions opts;
+  opts.partition_bytes = 4096;
+  opts.bytes_per_edge = 4;
+  auto parts = PartitionGraph(g, opts);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_GT(parts->size(), 1u);
+  EXPECT_TRUE(ValidatePartitions(g, *parts).ok());
+}
+
+TEST(PartitionerTest, RespectsEdgeBudget) {
+  const CsrGraph g = SmallRmat(10, 8);
+  PartitionerOptions opts;
+  opts.partition_bytes = 8192;
+  opts.bytes_per_edge = 4;
+  const EdgeId budget = opts.partition_bytes / opts.bytes_per_edge;
+  auto parts = PartitionGraph(g, opts);
+  ASSERT_TRUE(parts.ok());
+  for (const Partition& p : *parts) {
+    // Only single-vertex (hub) partitions may exceed the budget.
+    if (p.num_vertices() > 1) EXPECT_LE(p.num_edges(), budget);
+  }
+}
+
+TEST(PartitionerTest, OversizedHubGetsOwnPartition) {
+  // Star hub has 999 out-edges; budget of 100 edges forces it alone.
+  const CsrGraph g = StarGraph(1000);
+  PartitionerOptions opts;
+  opts.partition_bytes = 400;  // 100 edges at 4 B
+  opts.bytes_per_edge = 4;
+  auto parts = PartitionGraph(g, opts);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ((*parts)[0].num_vertices(), 1u);
+  EXPECT_EQ((*parts)[0].num_edges(), 999u);
+  EXPECT_TRUE(ValidatePartitions(g, *parts).ok());
+}
+
+TEST(PartitionerTest, WeightedEdgesHalveTheEdgeBudget) {
+  const CsrGraph g = SmallRmat(10, 8);
+  PartitionerOptions opts4;
+  opts4.partition_bytes = 16384;
+  opts4.bytes_per_edge = 4;
+  PartitionerOptions opts8 = opts4;
+  opts8.bytes_per_edge = 8;
+  auto parts4 = PartitionGraph(g, opts4);
+  auto parts8 = PartitionGraph(g, opts8);
+  ASSERT_TRUE(parts4.ok());
+  ASSERT_TRUE(parts8.ok());
+  EXPECT_GT(parts8->size(), parts4->size());
+}
+
+TEST(PartitionerTest, IntoNApproximatesCount) {
+  const CsrGraph g = SmallRmat(12, 8);
+  auto parts = PartitionGraphIntoN(g, 256);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_GE(parts->size(), 200u);
+  EXPECT_LE(parts->size(), 320u);
+  EXPECT_TRUE(ValidatePartitions(g, *parts).ok());
+}
+
+TEST(PartitionerTest, SinglePartitionWhenBudgetHuge) {
+  const CsrGraph g = PaperFigure1Graph();
+  PartitionerOptions opts;
+  opts.partition_bytes = 1 << 30;
+  auto parts = PartitionGraph(g, opts);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 1u);
+  EXPECT_EQ((*parts)[0].num_edges(), g.num_edges());
+}
+
+TEST(PartitionerTest, RejectsZeroBudget) {
+  const CsrGraph g = PaperFigure1Graph();
+  PartitionerOptions opts;
+  opts.partition_bytes = 0;
+  EXPECT_FALSE(PartitionGraph(g, opts).ok());
+  EXPECT_FALSE(PartitionGraphIntoN(g, 0).ok());
+}
+
+TEST(PartitionerTest, ValidateCatchesGaps) {
+  const CsrGraph g = PaperFigure1Graph();
+  auto parts = PartitionGraphIntoN(g, 3);
+  ASSERT_TRUE(parts.ok());
+  std::vector<Partition> broken = *parts;
+  broken.pop_back();
+  EXPECT_FALSE(ValidatePartitions(g, broken).ok());
+}
+
+TEST(PartitionerTest, ValidateCatchesIdMismatch) {
+  const CsrGraph g = PaperFigure1Graph();
+  auto parts = PartitionGraphIntoN(g, 3);
+  ASSERT_TRUE(parts.ok());
+  std::vector<Partition> broken = *parts;
+  broken[1].id = 7;
+  EXPECT_FALSE(ValidatePartitions(g, broken).ok());
+}
+
+}  // namespace
+}  // namespace hytgraph

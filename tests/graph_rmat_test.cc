@@ -1,0 +1,137 @@
+#include "graph/rmat_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.h"
+
+namespace hytgraph {
+namespace {
+
+TEST(RmatTest, ProducesRequestedSize) {
+  RmatOptions opts;
+  opts.scale = 10;
+  opts.edge_factor = 8;
+  auto g = GenerateRmat(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 1u << 10);
+  EXPECT_EQ(g->num_edges(), (1ull << 10) * 8);
+  EXPECT_TRUE(g->Validate().ok());
+}
+
+TEST(RmatTest, DeterministicPerSeed) {
+  RmatOptions opts;
+  opts.scale = 9;
+  opts.edge_factor = 4;
+  opts.seed = 99;
+  auto a = GenerateRmat(opts);
+  auto b = GenerateRmat(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->column_index(), b->column_index());
+  EXPECT_EQ(a->edge_weights(), b->edge_weights());
+}
+
+TEST(RmatTest, DifferentSeedsDiffer) {
+  RmatOptions opts;
+  opts.scale = 9;
+  opts.edge_factor = 4;
+  opts.seed = 1;
+  auto a = GenerateRmat(opts);
+  opts.seed = 2;
+  auto b = GenerateRmat(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->column_index(), b->column_index());
+}
+
+TEST(RmatTest, NoSelfLoops) {
+  RmatOptions opts;
+  opts.scale = 9;
+  opts.edge_factor = 8;
+  opts.permute_vertices = false;
+  auto g = GenerateRmat(opts);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (VertexId u : g->neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(RmatTest, PowerLawSkew) {
+  // With Graph500 parameters the degree distribution must be heavy-tailed:
+  // most vertices below the mean, max far above it (the paper's Fig. 3(f)
+  // premise for unsaturated zero-copy requests).
+  RmatOptions opts;
+  opts.scale = 12;
+  opts.edge_factor = 16;
+  auto g = GenerateRmat(opts);
+  ASSERT_TRUE(g.ok());
+  const DegreeSummary summary = SummarizeDegrees(*g);
+  EXPECT_LT(summary.p50, static_cast<uint64_t>(summary.mean));
+  EXPECT_GT(summary.max, static_cast<uint64_t>(summary.mean * 20));
+}
+
+TEST(RmatTest, WeightsInRange) {
+  RmatOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 4;
+  opts.max_weight = 10;
+  auto g = GenerateRmat(opts);
+  ASSERT_TRUE(g.ok());
+  for (Weight w : g->edge_weights()) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 10u);
+  }
+}
+
+TEST(RmatTest, SymmetrizeDoublesEdges) {
+  RmatOptions opts;
+  opts.scale = 8;
+  opts.edge_factor = 4;
+  opts.symmetrize = true;
+  auto g = GenerateRmat(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), (1ull << 8) * 4 * 2);
+}
+
+TEST(RmatTest, RejectsInvalidOptions) {
+  RmatOptions opts;
+  opts.scale = 0;
+  EXPECT_FALSE(GenerateRmat(opts).ok());
+  opts.scale = 40;
+  EXPECT_FALSE(GenerateRmat(opts).ok());
+  opts.scale = 10;
+  opts.a = 0.9;
+  opts.b = 0.2;
+  opts.c = 0.2;
+  EXPECT_FALSE(GenerateRmat(opts).ok());
+}
+
+TEST(UniformGraphTest, ProducesRequestedSize) {
+  UniformGraphOptions opts;
+  opts.num_vertices = 1000;
+  opts.num_edges = 5000;
+  auto g = GenerateUniform(opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 1000u);
+  EXPECT_EQ(g->num_edges(), 5000u);
+}
+
+TEST(UniformGraphTest, NearUniformDegrees) {
+  UniformGraphOptions opts;
+  opts.num_vertices = 1 << 10;
+  opts.num_edges = 1 << 15;  // mean degree 32
+  auto g = GenerateUniform(opts);
+  ASSERT_TRUE(g.ok());
+  const DegreeSummary summary = SummarizeDegrees(*g);
+  // Binomial degrees: max is close to the mean, unlike RMAT.
+  EXPECT_LT(summary.max, static_cast<uint64_t>(summary.mean * 3));
+}
+
+TEST(UniformGraphTest, RejectsZeroVertices) {
+  UniformGraphOptions opts;
+  opts.num_vertices = 0;
+  EXPECT_FALSE(GenerateUniform(opts).ok());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,117 @@
+#include "graph/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+
+TEST(ReverseGraphTest, TransposesEdges) {
+  const CsrGraph g = PaperFigure1Graph();
+  auto rev = ReverseGraph(g);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ(rev->num_edges(), g.num_edges());
+  // a->b (weight 2) becomes b->a (weight 2).
+  const auto nbrs = rev->neighbors(1);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(rev->weights(1)[0], 2u);
+  // c has in-degree 3 in g -> out-degree 3 in reverse.
+  EXPECT_EQ(rev->out_degree(2), 3u);
+}
+
+TEST(ReverseGraphTest, DoubleReverseIsOriginal) {
+  const CsrGraph g = SmallRmat(9, 6);
+  auto once = ReverseGraph(g);
+  ASSERT_TRUE(once.ok());
+  auto twice = ReverseGraph(*once);
+  ASSERT_TRUE(twice.ok());
+  // Same structure (neighbour runs may be reordered within a vertex; they
+  // are in fact produced in ascending source order, matching the builder's
+  // sorted runs).
+  EXPECT_EQ(twice->row_offsets(), g.row_offsets());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = g.neighbors(v);
+    auto b = twice->neighbors(v);
+    std::vector<VertexId> sa(a.begin(), a.end());
+    std::vector<VertexId> sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    EXPECT_EQ(sa, sb);
+  }
+}
+
+TEST(ReverseGraphTest, DegreesSwap) {
+  const CsrGraph g = SmallRmat(8, 4);
+  auto rev = ReverseGraph(g);
+  ASSERT_TRUE(rev.ok());
+  const auto& in_degrees = g.in_degrees();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(rev->out_degree(v), in_degrees[v]);
+  }
+}
+
+TEST(SymmetrizeTest, MakesGraphSymmetric) {
+  const CsrGraph g = PaperFigure1Graph();
+  EXPECT_FALSE(IsSymmetric(g));
+  auto sym = SymmetrizeGraph(g);
+  ASSERT_TRUE(sym.ok());
+  EXPECT_TRUE(IsSymmetric(*sym));
+  EXPECT_EQ(sym->num_edges(), 2 * g.num_edges());
+}
+
+TEST(SymmetrizeTest, DeduplicateCollapsesExistingReverseEdges) {
+  // 0<->1 both directions already present: symmetrize + dedup keeps 2 edges.
+  auto g = BuildFromTriples(2, {{0, 1, 5}, {1, 0, 5}});
+  ASSERT_TRUE(g.ok());
+  auto sym = SymmetrizeGraph(*g, /*deduplicate=*/true);
+  ASSERT_TRUE(sym.ok());
+  EXPECT_EQ(sym->num_edges(), 2u);
+  EXPECT_TRUE(IsSymmetric(*sym));
+}
+
+TEST(IsSymmetricTest, DetectsSymmetry) {
+  EXPECT_TRUE(IsSymmetric(SmallRmat(7, 4, 3, /*symmetrize=*/true)));
+  EXPECT_FALSE(IsSymmetric(testing::ChainGraph(5)));
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  const CsrGraph g = PaperFigure1Graph();
+  // Take {a, b, d} = {0, 1, 3}: internal edges a->b and b->d survive;
+  // edges to c/e are dropped.
+  std::vector<VertexId> vertices = {0, 1, 3};
+  std::vector<VertexId> new_to_old;
+  auto sub = InducedSubgraph(g, vertices, &new_to_old);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_vertices(), 3u);
+  EXPECT_EQ(sub->num_edges(), 2u);
+  EXPECT_EQ(new_to_old, vertices);
+  EXPECT_EQ(sub->neighbors(0)[0], 1u);  // a->b
+  EXPECT_EQ(sub->weights(0)[0], 2u);
+  EXPECT_EQ(sub->neighbors(1)[0], 2u);  // b->d (d renumbered to 2)
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicatesAndOutOfRange) {
+  const CsrGraph g = PaperFigure1Graph();
+  EXPECT_FALSE(InducedSubgraph(g, std::vector<VertexId>{0, 0}).ok());
+  EXPECT_FALSE(InducedSubgraph(g, std::vector<VertexId>{99}).ok());
+}
+
+TEST(InducedSubgraphTest, FullSetIsRelabeledOriginal) {
+  const CsrGraph g = SmallRmat(7, 4);
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  auto sub = InducedSubgraph(g, all);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_edges(), g.num_edges());
+  EXPECT_EQ(sub->row_offsets(), g.row_offsets());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,170 @@
+// Property-style sweeps (TEST_P over seeds / parameters): invariants that
+// must hold for any input — accounting consistency, determinism, monotone
+// cost behaviour, ablation sanity.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/programs.h"
+#include "algorithms/reference.h"
+#include "algorithms/runner.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, SsspCorrectOnRandomGraphs) {
+  const CsrGraph graph = SmallRmat(9, 8, GetParam());
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  opts.partition_bytes = 4096;
+  const auto out = RunSssp(graph, 0, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->values, ReferenceSssp(graph, 0));
+}
+
+TEST_P(SeedSweepTest, TraceTransferBytesMatchStatsSums) {
+  const CsrGraph graph = SmallRmat(9, 8, GetParam());
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  opts.partition_bytes = 4096;
+  const auto out = RunSssp(graph, 0, opts);
+  ASSERT_TRUE(out.ok());
+  uint64_t per_iter = 0;
+  for (const auto& it : out->trace.iterations) {
+    per_iter += it.transfers.TotalTransferredBytes();
+  }
+  EXPECT_EQ(per_iter, out->trace.TotalTransferredBytes());
+}
+
+TEST_P(SeedSweepTest, SelectionAlgorithmsAreRunToRunDeterministic) {
+  // Min-based algorithms must be bitwise deterministic despite parallelism.
+  const CsrGraph graph = SmallRmat(9, 8, GetParam());
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  const auto a = RunSssp(graph, 0, opts);
+  const auto b = RunSssp(graph, 0, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->values, b->values);
+}
+
+TEST_P(SeedSweepTest, SimulatedTimeIsDeterministic) {
+  const CsrGraph graph = SmallRmat(9, 8, GetParam());
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  const auto a = RunBfs(graph, 0, opts);
+  const auto b = RunBfs(graph, 0, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->trace.total_sim_seconds, b->trace.total_sim_seconds);
+  EXPECT_EQ(a->trace.TotalTransferredBytes(),
+            b->trace.TotalTransferredBytes());
+}
+
+TEST_P(SeedSweepTest, KernelEdgesAtLeastReachableEdges) {
+  // Every out-edge of every reached vertex is relaxed at least once.
+  const CsrGraph graph = SmallRmat(8, 6, GetParam());
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kEmogi);
+  const auto out = RunBfs(graph, 0, opts);
+  ASSERT_TRUE(out.ok());
+  const auto levels = ReferenceBfs(graph, 0);
+  uint64_t reachable_edges = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (levels[v] != kUnreachable) reachable_edges += graph.out_degree(v);
+  }
+  EXPECT_GE(out->trace.TotalKernelEdges(), reachable_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class StreamCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamCountTest, MoreStreamsNeverSlowTheSimulation) {
+  // Synchronous filter baseline: many tasks per iteration, so stream count
+  // matters, and no extra-round asynchrony to perturb trajectories. Greedy
+  // earliest-stream placement is a heuristic (like the CUDA runtime
+  // scheduler) and parallel relaxation order jitters kernel trajectories
+  // slightly, hence the small tolerance.
+  const CsrGraph graph = SmallRmat(10, 8, 42);
+  SolverOptions one = SolverOptions::Defaults(SystemKind::kExpFilter);
+  one.partition_bytes = 4096;
+  one.num_streams = 1;
+  SolverOptions many = one;
+  many.num_streams = GetParam();
+  const auto t1 = RunAlgorithmTrace(graph, Algorithm::kBfs, 1, one);
+  const auto tn = RunAlgorithmTrace(graph, Algorithm::kBfs, 1, many);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(tn.ok());
+  EXPECT_LE(tn->total_sim_seconds, t1->total_sim_seconds * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, StreamCountTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+class PartitionSizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionSizeTest, ResultsIndependentOfPartitioning) {
+  const CsrGraph graph = SmallRmat(9, 8, 77);
+  SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  opts.partition_bytes = GetParam();
+  const auto out = RunSssp(graph, 0, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->values, ReferenceSssp(graph, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionBytes, PartitionSizeTest,
+                         ::testing::Values(512, 4096, 65536, 1 << 22));
+
+TEST(AblationPropertyTest, TaskCombiningReducesTaskCount) {
+  const CsrGraph graph = SmallRmat(11, 8, 9);
+  SolverOptions with_tc = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  with_tc.partition_bytes = 2048;
+  with_tc.enable_contribution_scheduling = false;
+  SolverOptions without_tc = with_tc;
+  without_tc.enable_task_combining = false;
+
+  const auto a = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0, with_tc);
+  const auto b = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0, without_tc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  uint64_t tasks_with = 0;
+  uint64_t tasks_without = 0;
+  for (const auto& it : a->iterations) tasks_with += it.num_tasks;
+  for (const auto& it : b->iterations) tasks_without += it.num_tasks;
+  EXPECT_LT(tasks_with, tasks_without);
+  // Fewer tasks means less per-task overhead: simulated time improves.
+  EXPECT_LT(a->total_sim_seconds, b->total_sim_seconds);
+}
+
+TEST(AblationPropertyTest, FeatureFlagsDoNotChangeResults) {
+  const CsrGraph graph = SmallRmat(9, 8, 15);
+  for (bool tc : {false, true}) {
+    for (bool cds : {false, true}) {
+      SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+      opts.enable_task_combining = tc;
+      opts.enable_contribution_scheduling = cds;
+      opts.extra_rounds = cds ? 1 : 0;
+      const auto out = RunSssp(graph, 0, opts);
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(out->values, ReferenceSssp(graph, 0))
+          << "tc=" << tc << " cds=" << cds;
+    }
+  }
+}
+
+TEST(OverheadPropertyTest, TaskOverheadMonotonicallyIncreasesRuntime) {
+  const CsrGraph graph = SmallRmat(9, 8, 19);
+  double previous = 0;
+  for (double overhead : {0.0, 1e-5, 1e-4, 1e-3}) {
+    SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+    opts.task_overhead_seconds = overhead;
+    const auto trace = RunAlgorithmTrace(graph, Algorithm::kBfs, 0, opts);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_GE(trace->total_sim_seconds, previous);
+    previous = trace->total_sim_seconds;
+  }
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,166 @@
+// Cross-system behavioural assertions: the qualitative results the paper's
+// evaluation hinges on must emerge from the simulator. These are the
+// "shape" tests — who wins where, and why.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/runner.h"
+#include "graph/dataset.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+SolverOptions Opts(SystemKind system, uint64_t device_memory = 0) {
+  SolverOptions opts = SolverOptions::Defaults(system);
+  if (device_memory != 0) opts.device_memory_override = device_memory;
+  return opts;
+}
+
+class SystemBehaviorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new CsrGraph(SmallRmat(13, 12, /*seed=*/21));
+    // Oversubscribed device: edge data ~2.2x device memory (FK-like).
+    device_memory_ = graph_->num_edges() * 4 * 10 / 22;
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+
+  double SimSeconds(SystemKind system, Algorithm algorithm) {
+    auto trace =
+        RunAlgorithmTrace(*graph_, algorithm, 0, Opts(system, device_memory_));
+    HYT_CHECK(trace.ok()) << trace.status().ToString();
+    return trace->total_sim_seconds;
+  }
+
+  static CsrGraph* graph_;
+  static uint64_t device_memory_;
+};
+
+CsrGraph* SystemBehaviorTest::graph_ = nullptr;
+uint64_t SystemBehaviorTest::device_memory_ = 0;
+
+TEST_F(SystemBehaviorTest, ExpFilterIsWorstForSparseTraversal) {
+  // BFS frontiers are sparse most iterations: shipping whole partitions
+  // (ExpTM-F) must lose to zero-copy (EMOGI) — Table V's consistent result.
+  EXPECT_GT(SimSeconds(SystemKind::kExpFilter, Algorithm::kBfs),
+            SimSeconds(SystemKind::kEmogi, Algorithm::kBfs));
+}
+
+TEST_F(SystemBehaviorTest, HyTGraphBeatsEveryBaselineOnSssp) {
+  const double hyt = SimSeconds(SystemKind::kHyTGraph, Algorithm::kSssp);
+  for (SystemKind baseline :
+       {SystemKind::kExpFilter, SystemKind::kSubway, SystemKind::kEmogi,
+        SystemKind::kImpUm}) {
+    EXPECT_LT(hyt, SimSeconds(baseline, Algorithm::kSssp) * 1.05)
+        << SystemKindName(baseline);
+  }
+}
+
+TEST_F(SystemBehaviorTest, HyTGraphCompetitiveOnPageRank) {
+  const double hyt = SimSeconds(SystemKind::kHyTGraph, Algorithm::kPageRank);
+  for (SystemKind baseline : {SystemKind::kExpFilter, SystemKind::kSubway,
+                              SystemKind::kEmogi, SystemKind::kImpUm}) {
+    EXPECT_LT(hyt, SimSeconds(baseline, Algorithm::kPageRank) * 1.10)
+        << SystemKindName(baseline);
+  }
+}
+
+TEST_F(SystemBehaviorTest, GpuSystemsBeatCpuBaseline) {
+  const double cpu = SimSeconds(SystemKind::kCpu, Algorithm::kPageRank);
+  EXPECT_GT(cpu / SimSeconds(SystemKind::kHyTGraph, Algorithm::kPageRank),
+            1.5);
+}
+
+TEST_F(SystemBehaviorTest, UnifiedMemoryThrashesWhenOversubscribed) {
+  // On the oversubscribed graph, UM must be slower than zero-copy for
+  // PageRank (the Table V large-graph pattern).
+  EXPECT_GT(SimSeconds(SystemKind::kImpUm, Algorithm::kPageRank),
+            SimSeconds(SystemKind::kEmogi, Algorithm::kPageRank) * 0.9);
+}
+
+TEST(SystemBehaviorSmallGraphTest, UnifiedMemoryWinsWhenGraphFits) {
+  // The SK regime: edge data fits in device memory, so after the first
+  // sweep UM transfers nothing while EMOGI re-fetches every iteration.
+  const CsrGraph graph = SmallRmat(11, 10, /*seed=*/33);
+  const uint64_t roomy = graph.EdgeDataBytes() * 4;
+
+  auto um = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+                              Opts(SystemKind::kImpUm, roomy));
+  auto zc = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+                              Opts(SystemKind::kEmogi, roomy));
+  ASSERT_TRUE(um.ok());
+  ASSERT_TRUE(zc.ok());
+  EXPECT_LT(um->TotalTransferredBytes(), zc->TotalTransferredBytes());
+}
+
+TEST(SystemBehaviorSmallGraphTest, GrusCachesLikeUmButSpillsGracefully) {
+  const CsrGraph graph = SmallRmat(11, 10, /*seed=*/33);
+  // Device memory holds only ~40% of edge data: Grus caches what fits and
+  // zero-copies the rest — it must transfer less than pure re-migration UM
+  // thrash and run without errors.
+  const uint64_t tight = graph.EdgeDataBytes() * 4 / 10;
+  auto grus = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+                                Opts(SystemKind::kGrus, tight));
+  auto um = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+                              Opts(SystemKind::kImpUm, tight));
+  ASSERT_TRUE(grus.ok());
+  ASSERT_TRUE(um.ok());
+  const auto grus_total = grus->iterations.back().transfers;
+  (void)grus_total;
+  EXPECT_GT(um->TotalTransferredBytes(), 0u);
+  EXPECT_GT(grus->TotalTransferredBytes(), 0u);
+}
+
+TEST_F(SystemBehaviorTest, TransferVolumes_SubwayMinimalForPageRank) {
+  // Table VI: compaction moves the least data for PageRank-style dense
+  // workloads; ExpTM-F moves by far the most.
+  auto filter = RunAlgorithmTrace(*graph_, Algorithm::kPageRank, 0,
+                                  Opts(SystemKind::kExpFilter, device_memory_));
+  auto subway = RunAlgorithmTrace(*graph_, Algorithm::kPageRank, 0,
+                                  Opts(SystemKind::kSubway, device_memory_));
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE(subway.ok());
+  EXPECT_GT(filter->TotalTransferredBytes(),
+            subway->TotalTransferredBytes());
+}
+
+TEST_F(SystemBehaviorTest, HyTGraphTransfersLessThanExpFilter) {
+  auto hyt = RunAlgorithmTrace(*graph_, Algorithm::kSssp, 0,
+                               Opts(SystemKind::kHyTGraph, device_memory_));
+  auto filter = RunAlgorithmTrace(*graph_, Algorithm::kSssp, 0,
+                                  Opts(SystemKind::kExpFilter, device_memory_));
+  ASSERT_TRUE(hyt.ok());
+  ASSERT_TRUE(filter.ok());
+  EXPECT_LT(hyt->TotalTransferredBytes(), filter->TotalTransferredBytes());
+}
+
+TEST_F(SystemBehaviorTest, EngineMixEvolvesAcrossPageRankIterations) {
+  // Fig. 7(a): early dense iterations prefer explicit transfer; as vertices
+  // converge the zero-copy share must grow.
+  auto trace = RunAlgorithmTrace(*graph_, Algorithm::kPageRank, 0,
+                                 Opts(SystemKind::kHyTGraph, device_memory_));
+  ASSERT_TRUE(trace.ok());
+  ASSERT_GT(trace->NumIterations(), 3u);
+  const auto& first = trace->iterations.front();
+  const auto& last = trace->iterations.back();
+  const double first_zc_share =
+      first.partitions_active == 0
+          ? 0
+          : static_cast<double>(first.partitions_zero_copy) /
+                first.partitions_active;
+  const double last_zc_share =
+      last.partitions_active == 0
+          ? 0
+          : static_cast<double>(last.partitions_zero_copy) /
+                last.partitions_active;
+  EXPECT_GT(last_zc_share, first_zc_share);
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,62 @@
+#include "sim/device_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace hytgraph {
+namespace {
+
+TEST(DeviceMemoryTest, TracksUsage) {
+  DeviceMemory mem(GiB(1));
+  EXPECT_EQ(mem.capacity(), GiB(1));
+  EXPECT_EQ(mem.used(), 0u);
+  ASSERT_TRUE(mem.Allocate("a", MiB(100)).ok());
+  EXPECT_EQ(mem.used(), MiB(100));
+  EXPECT_EQ(mem.available(), GiB(1) - MiB(100));
+}
+
+TEST(DeviceMemoryTest, OomNamesTheAllocation) {
+  DeviceMemory mem(MiB(1));
+  const Status status = mem.Allocate("vertex_data", MiB(2));
+  ASSERT_TRUE(status.IsOutOfMemory());
+  EXPECT_NE(status.message().find("vertex_data"), std::string::npos);
+}
+
+TEST(DeviceMemoryTest, DuplicateNameIsFailedPrecondition) {
+  DeviceMemory mem(MiB(10));
+  ASSERT_TRUE(mem.Allocate("buf", MiB(1)).ok());
+  EXPECT_TRUE(mem.Allocate("buf", MiB(1)).IsFailedPrecondition());
+}
+
+TEST(DeviceMemoryTest, FreeReturnsCapacity) {
+  DeviceMemory mem(MiB(4));
+  ASSERT_TRUE(mem.Allocate("a", MiB(3)).ok());
+  EXPECT_TRUE(mem.Allocate("b", MiB(2)).IsOutOfMemory());
+  ASSERT_TRUE(mem.Free("a").ok());
+  EXPECT_TRUE(mem.Allocate("b", MiB(2)).ok());
+}
+
+TEST(DeviceMemoryTest, FreeUnknownIsNotFound) {
+  DeviceMemory mem(MiB(1));
+  EXPECT_TRUE(mem.Free("ghost").IsNotFound());
+}
+
+TEST(DeviceMemoryTest, AllocationSizeLookup) {
+  DeviceMemory mem(MiB(8));
+  ASSERT_TRUE(mem.Allocate("x", 12345).ok());
+  auto size = mem.AllocationSize("x");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 12345u);
+  EXPECT_TRUE(mem.AllocationSize("y").status().IsNotFound());
+}
+
+TEST(DeviceMemoryTest, ExactFitSucceeds) {
+  DeviceMemory mem(1000);
+  EXPECT_TRUE(mem.Allocate("exact", 1000).ok());
+  EXPECT_EQ(mem.available(), 0u);
+  EXPECT_TRUE(mem.Allocate("more", 1).IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,80 @@
+#include "sim/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/compute_model.h"
+#include "util/math_util.h"
+
+namespace hytgraph {
+namespace {
+
+TEST(GpuSpecTest, TableOneContainsFourGenerations) {
+  const auto& gpus = TableOneGpus();
+  ASSERT_EQ(gpus.size(), 4u);
+  EXPECT_EQ(gpus[0].name, "P100");
+  EXPECT_EQ(gpus[3].name, "H100");
+}
+
+TEST(GpuSpecTest, BandwidthGapStaysNear48x) {
+  // Table I's point: PCIe generations have not closed the gap.
+  for (const GpuSpec& gpu : TableOneGpus()) {
+    EXPECT_GT(gpu.BandwidthGap(), 40.0) << gpu.name;
+    EXPECT_LT(gpu.BandwidthGap(), 60.0) << gpu.name;
+  }
+}
+
+TEST(GpuSpecTest, TableOneValuesMatchPaper) {
+  const GpuSpec& p100 = TableOneGpus()[0];
+  EXPECT_NEAR(p100.mem_bandwidth, 732e9, 1e6);
+  EXPECT_NEAR(p100.pcie_bandwidth, 16e9, 1e6);
+  EXPECT_NEAR(p100.BandwidthGap(), 45.75, 0.1);
+  const GpuSpec& h100 = TableOneGpus()[3];
+  EXPECT_NEAR(h100.BandwidthGap(), 46.9, 0.5);
+}
+
+TEST(GpuSpecTest, EvaluationGpusMatchSectionSevenSetup) {
+  const auto& gpus = EvaluationGpus();
+  ASSERT_EQ(gpus.size(), 3u);
+  EXPECT_EQ(gpus[0].name, "GTX1080");
+  EXPECT_EQ(gpus[0].device_memory, GiB(8));
+  EXPECT_EQ(gpus[0].cores, 2560);
+  EXPECT_EQ(gpus[2].name, "RTX2080Ti");
+  EXPECT_EQ(gpus[2].device_memory, GiB(11));
+  EXPECT_EQ(gpus[2].cores, 4352);
+}
+
+TEST(GpuSpecTest, DefaultIs2080Ti) {
+  EXPECT_EQ(DefaultGpu().name, "RTX2080Ti");
+}
+
+TEST(GpuSpecTest, FindGpuSearchesBothLists) {
+  EXPECT_TRUE(FindGpu("GTX1080").ok());
+  EXPECT_TRUE(FindGpu("H100").ok());
+  EXPECT_TRUE(FindGpu("nonexistent").status().IsNotFound());
+}
+
+TEST(ComputeModelTest, GpuThroughputScalesWithBandwidth) {
+  const GpuComputeModel fast(FindGpu("P100").value());
+  const GpuComputeModel slow(FindGpu("GTX1080").value());
+  EXPECT_NEAR(fast.edges_per_second() / slow.edges_per_second(),
+              732.0 / 320.0, 1e-6);
+}
+
+TEST(ComputeModelTest, GpuBeatsCpuByExpectedFactor) {
+  const GpuComputeModel gpu(DefaultGpu());
+  const CpuComputeModel cpu;
+  const double ratio = gpu.edges_per_second() / (1e9 * 0.3);
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 30.0);
+  EXPECT_GT(cpu.SecondsForEdges(1000000), gpu.SecondsForEdges(1000000));
+}
+
+TEST(ComputeModelTest, SecondsLinearInEdges) {
+  const GpuComputeModel gpu(DefaultGpu());
+  EXPECT_NEAR(gpu.SecondsForEdges(2000) / gpu.SecondsForEdges(1000), 2.0,
+              1e-9);
+  EXPECT_EQ(gpu.SecondsForEdges(0), 0.0);
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,71 @@
+#include "sim/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/pcie_model.h"
+#include "util/math_util.h"
+
+namespace hytgraph {
+namespace {
+
+TEST(InterconnectTest, KnownLinksPresent) {
+  EXPECT_GE(KnownInterconnects().size(), 6u);
+  EXPECT_TRUE(FindInterconnect("NVLink4").ok());
+  EXPECT_TRUE(FindInterconnect("CXL2").ok());
+  EXPECT_TRUE(FindInterconnect("token-ring").status().IsNotFound());
+}
+
+TEST(InterconnectTest, Pcie3MatchesTheBaselineModel) {
+  auto pcie3 = FindInterconnect("PCIe3x16").value();
+  EXPECT_NEAR(pcie3.EffectiveBandwidth(), 12.3e9, 1e7);
+}
+
+TEST(InterconnectTest, SlowLinksAreLinkBound) {
+  auto pcie4 = FindInterconnect("PCIe4x16").value();
+  EXPECT_LT(pcie4.EffectiveBandwidth(), pcie4.host_memory_bandwidth);
+  EXPECT_NEAR(pcie4.EffectiveBandwidth(), 32e9 * 12.3 / 16.0, 1e7);
+}
+
+TEST(InterconnectTest, NvLink4IsHostMemoryBound) {
+  // Section VIII: with a 900 GB/s link, host DRAM (~100 GB/s) is the new
+  // bottleneck — the effective bandwidth must clamp to it.
+  auto nvlink = FindInterconnect("NVLink4").value();
+  EXPECT_EQ(nvlink.EffectiveBandwidth(), nvlink.host_memory_bandwidth);
+  // NVLink3 (300 GB/s * 0.9 = 270 > 100) is also memory bound.
+  auto nvlink3 = FindInterconnect("NVLink3").value();
+  EXPECT_EQ(nvlink3.EffectiveBandwidth(), nvlink3.host_memory_bandwidth);
+}
+
+TEST(InterconnectTest, WithInterconnectRewiresTheGpu) {
+  auto nvlink = FindInterconnect("NVLink4").value();
+  const GpuSpec rewired = WithInterconnect(DefaultGpu(), nvlink);
+  EXPECT_EQ(rewired.pcie_gen, "NVLink4");
+  EXPECT_EQ(rewired.pcie_bandwidth, nvlink.EffectiveBandwidth());
+  // GPU-side characteristics untouched.
+  EXPECT_EQ(rewired.mem_bandwidth, DefaultGpu().mem_bandwidth);
+  EXPECT_EQ(rewired.device_memory, DefaultGpu().device_memory);
+}
+
+TEST(InterconnectTest, FasterLinkShrinksTransferTime) {
+  auto nvlink = FindInterconnect("NVLink4").value();
+  PcieModelOptions pmo;
+  pmo.effective_bandwidth_fraction = 1.0;  // spec already derated
+  const PcieModel fast(WithInterconnect(DefaultGpu(), nvlink), pmo);
+  const PcieModel slow(DefaultGpu());
+  // 12.3 GB/s -> 100 GB/s: ~8.1x faster copies.
+  EXPECT_NEAR(slow.ExplicitCopySeconds(GiB(1)) /
+                  fast.ExplicitCopySeconds(GiB(1)),
+              100.0 / 12.3, 0.2);
+}
+
+TEST(InterconnectTest, BandwidthGapNarrowsButPersists) {
+  // Even memory-bound NVLink4 leaves a ~6x gap to the 2080Ti's GDDR6 —
+  // transfer management still matters, just less (Section VIII's point).
+  auto nvlink = FindInterconnect("NVLink4").value();
+  const GpuSpec rewired = WithInterconnect(DefaultGpu(), nvlink);
+  EXPECT_GT(rewired.BandwidthGap(), 3.0);
+  EXPECT_LT(rewired.BandwidthGap(), DefaultGpu().BandwidthGap());
+}
+
+}  // namespace
+}  // namespace hytgraph

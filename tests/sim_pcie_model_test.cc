@@ -1,0 +1,107 @@
+#include "sim/pcie_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace hytgraph {
+namespace {
+
+PcieModel DefaultModel() { return PcieModel(DefaultGpu()); }
+
+TEST(PcieModelTest, EffectiveBandwidthMatchesEmogiMeasurement) {
+  const PcieModel model = DefaultModel();
+  // 16 GB/s theoretical * (12.3/16) = 12.3 GB/s in practice (Section I).
+  EXPECT_NEAR(model.effective_bandwidth(), 12.3e9, 1e6);
+}
+
+TEST(PcieModelTest, SaturatedTlpCarries32KiB) {
+  const PcieModel model = DefaultModel();
+  // RTT = MR * m / bandwidth = 256 * 128 / 12.3e9.
+  EXPECT_NEAR(model.SaturatedTlpSeconds(), 32768.0 / 12.3e9, 1e-12);
+}
+
+TEST(PcieModelTest, ExplicitCopyTlpCount) {
+  const PcieModel model = DefaultModel();
+  EXPECT_EQ(model.ExplicitCopyTlps(0), 0u);
+  EXPECT_EQ(model.ExplicitCopyTlps(1), 1u);
+  EXPECT_EQ(model.ExplicitCopyTlps(32768), 1u);
+  EXPECT_EQ(model.ExplicitCopyTlps(32769), 2u);
+  EXPECT_EQ(model.ExplicitCopyTlps(MiB(32)), MiB(32) / 32768);
+}
+
+TEST(PcieModelTest, ExplicitCopyTimeIsLinearInBytes) {
+  const PcieModel model = DefaultModel();
+  const double t1 = model.ExplicitCopySeconds(MiB(1));
+  const double t2 = model.ExplicitCopySeconds(MiB(2));
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+  // 1 GiB at 12.3 GB/s ~ 87 ms.
+  EXPECT_NEAR(model.ExplicitCopySeconds(GiB(1)), 1.074e9 / 12.3e9, 1e-3);
+}
+
+TEST(PcieModelTest, ZeroCopyRttInterpolatesWithGamma) {
+  const PcieModel model = DefaultModel();
+  const double rtt = model.SaturatedTlpSeconds();
+  // activeRatio=1: full RTT. activeRatio=0: gamma * RTT (header-only floor).
+  EXPECT_NEAR(model.ZeroCopyTlpSeconds(1.0), rtt, 1e-15);
+  EXPECT_NEAR(model.ZeroCopyTlpSeconds(0.0), 0.625 * rtt, 1e-15);
+  EXPECT_NEAR(model.ZeroCopyTlpSeconds(0.5), (0.625 + 0.375 * 0.5) * rtt,
+              1e-15);
+}
+
+TEST(PcieModelTest, ZeroCopyRatioClamped) {
+  const PcieModel model = DefaultModel();
+  EXPECT_EQ(model.ZeroCopyTlpSeconds(-1.0), model.ZeroCopyTlpSeconds(0.0));
+  EXPECT_EQ(model.ZeroCopyTlpSeconds(2.0), model.ZeroCopyTlpSeconds(1.0));
+}
+
+TEST(PcieModelTest, ZeroCopySecondsBatchesRequestsIntoTlps) {
+  const PcieModel model = DefaultModel();
+  // 256 requests = 1 TLP; 257 = 2 TLPs.
+  const double one = model.ZeroCopySeconds(256, 1.0);
+  const double two = model.ZeroCopySeconds(257, 1.0);
+  EXPECT_NEAR(two / one, 2.0, 1e-9);
+}
+
+TEST(PcieModelTest, UnifiedMemorySlowerThanExplicitCopy) {
+  const PcieModel model = DefaultModel();
+  const uint64_t pages = 1000;
+  const uint64_t bytes = pages * 4096;
+  // Same byte volume: UM pays the 73.9% bandwidth plus per-fault overhead.
+  EXPECT_GT(model.UnifiedMemorySeconds(pages, pages),
+            model.ExplicitCopySeconds(bytes));
+}
+
+TEST(PcieModelTest, UnifiedMemoryFaultOverheadVisible) {
+  const PcieModel model = DefaultModel();
+  const double no_faults = model.UnifiedMemorySeconds(1000, 0);
+  const double faults = model.UnifiedMemorySeconds(1000, 1000);
+  EXPECT_NEAR(faults - no_faults, 1000 * 2e-6, 1e-9);
+}
+
+TEST(PcieModelTest, ZeroCopyThroughputReproducesFig3eShape) {
+  const PcieModel model = DefaultModel();
+  const double t32 = model.ZeroCopyThroughput(32);
+  const double t64 = model.ZeroCopyThroughput(64);
+  const double t96 = model.ZeroCopyThroughput(96);
+  const double t128 = model.ZeroCopyThroughput(128);
+  // Monotone in request size; 128 B reaches cudaMemcpy-level bandwidth;
+  // 32 B loses ~4x (Fig. 3(e)).
+  EXPECT_LT(t32, t64);
+  EXPECT_LT(t64, t96);
+  EXPECT_LT(t96, t128);
+  EXPECT_NEAR(t128, model.effective_bandwidth(), 1e6);
+  EXPECT_NEAR(t128 / t32, 4.0, 0.01);
+}
+
+TEST(PcieModelTest, FasterPcieGenScalesEverything) {
+  GpuSpec h100 = FindGpu("H100").value();
+  const PcieModel gen5(h100);
+  const PcieModel gen3 = DefaultModel();
+  EXPECT_NEAR(gen3.ExplicitCopySeconds(GiB(1)) /
+                  gen5.ExplicitCopySeconds(GiB(1)),
+              4.0, 0.05);  // 64 GB/s vs 16 GB/s
+}
+
+}  // namespace
+}  // namespace hytgraph

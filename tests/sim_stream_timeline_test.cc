@@ -1,0 +1,108 @@
+#include "sim/stream_timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace hytgraph {
+namespace {
+
+TEST(StreamTimelineTest, SingleTaskSerializesPhases) {
+  StreamTimeline timeline(4);
+  const auto placement =
+      timeline.Submit({"t", /*cpu=*/1.0, /*transfer=*/2.0, /*kernel=*/3.0});
+  EXPECT_EQ(placement.start, 0.0);
+  EXPECT_EQ(placement.end, 6.0);
+  EXPECT_EQ(timeline.Makespan(), 6.0);
+  EXPECT_EQ(timeline.SerializedSeconds(), 6.0);
+}
+
+TEST(StreamTimelineTest, TwoStreamsOverlapDifferentResources) {
+  // Fig. 6 behaviour: task B's transfer overlaps task A's kernel.
+  StreamTimeline timeline(2);
+  timeline.Submit({"A", 0, 1.0, 1.0});
+  timeline.Submit({"B", 0, 1.0, 1.0});
+  // A: transfer [0,1) kernel [1,2). B: transfer [1,2) kernel [2,3).
+  EXPECT_EQ(timeline.Makespan(), 3.0);
+  EXPECT_EQ(timeline.SerializedSeconds(), 4.0);  // overlap saved 1s
+}
+
+TEST(StreamTimelineTest, SingleStreamSerializesEverything) {
+  StreamTimeline timeline(1);
+  timeline.Submit({"A", 0, 1.0, 1.0});
+  timeline.Submit({"B", 0, 1.0, 1.0});
+  EXPECT_EQ(timeline.Makespan(), 4.0);
+}
+
+TEST(StreamTimelineTest, CpuCompactionHidesUnderOtherStreams) {
+  // Compaction (CPU) of task B overlaps A's transfer+kernel completely.
+  StreamTimeline timeline(2);
+  timeline.Submit({"A", 0, 2.0, 2.0});
+  timeline.Submit({"B", /*cpu=*/3.0, 0.5, 0.5});
+  // B: cpu [0,3) under A's transfer+kernel, transfer [3,3.5), kernel waits
+  // for the GPU (A holds it until 4): [4,4.5).
+  EXPECT_EQ(timeline.Makespan(), 4.5);
+  EXPECT_EQ(timeline.CpuBusy(), 3.0);
+  EXPECT_EQ(timeline.PcieBusy(), 2.5);
+  EXPECT_EQ(timeline.GpuBusy(), 2.5);
+}
+
+TEST(StreamTimelineTest, PcieIsExclusive) {
+  // Two transfer-only tasks on different streams still serialize on PCIe.
+  StreamTimeline timeline(4);
+  timeline.Submit({"A", 0, 2.0, 0});
+  timeline.Submit({"B", 0, 2.0, 0});
+  EXPECT_EQ(timeline.Makespan(), 4.0);
+}
+
+TEST(StreamTimelineTest, FusedTaskHoldsBothResourcesForMaxDuration) {
+  StreamTimeline timeline(2);
+  StreamTask zc;
+  zc.label = "zc";
+  zc.transfer_seconds = 3.0;
+  zc.kernel_seconds = 1.0;
+  zc.fused_transfer_kernel = true;
+  const auto placement = timeline.Submit(zc);
+  EXPECT_EQ(placement.end, 3.0);  // max, not sum
+  EXPECT_EQ(timeline.PcieBusy(), 3.0);
+  EXPECT_EQ(timeline.GpuBusy(), 1.0);
+  // A following task waits for both resources.
+  const auto after = timeline.Submit({"next", 0, 1.0, 1.0});
+  EXPECT_EQ(after.start, 0.0);   // stream 1 free at 0...
+  EXPECT_EQ(after.end, 5.0);     // ...but PCIe not free until 3.
+}
+
+TEST(StreamTimelineTest, PicksEarliestFreeStream) {
+  StreamTimeline timeline(2);
+  timeline.Submit({"long", 0, 0, 10.0});
+  timeline.Submit({"short", 1.0, 0, 0});  // -> stream 1, ends at 1
+  const auto third = timeline.Submit({"third", 1.0, 0, 0});
+  EXPECT_EQ(third.stream, 1);  // stream 1 frees earliest
+  EXPECT_EQ(third.start, 1.0);
+}
+
+TEST(StreamTimelineTest, ResetClearsClock) {
+  StreamTimeline timeline(2);
+  timeline.Submit({"A", 1, 1, 1});
+  timeline.Reset();
+  EXPECT_EQ(timeline.Makespan(), 0.0);
+  EXPECT_EQ(timeline.CpuBusy(), 0.0);
+  const auto placement = timeline.Submit({"B", 0, 1, 0});
+  EXPECT_EQ(placement.start, 0.0);
+}
+
+TEST(StreamTimelineTest, ZeroDurationTaskIsInstant) {
+  StreamTimeline timeline(2);
+  const auto placement = timeline.Submit({"empty", 0, 0, 0});
+  EXPECT_EQ(placement.start, placement.end);
+  EXPECT_EQ(timeline.Makespan(), 0.0);
+}
+
+TEST(StreamTimelineTest, ManyStreamsBoundedByResourceSerialization) {
+  // With unlimited streams, N transfer+kernel tasks pipeline: makespan =
+  // N * transfer + kernel (PCIe is the bottleneck resource).
+  StreamTimeline timeline(16);
+  for (int i = 0; i < 8; ++i) timeline.Submit({"t", 0, 1.0, 0.5});
+  EXPECT_NEAR(timeline.Makespan(), 8.0 + 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace hytgraph

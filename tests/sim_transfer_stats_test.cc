@@ -1,0 +1,69 @@
+#include "sim/transfer_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hytgraph {
+namespace {
+
+TEST(TransferStatsTest, AccumulatesPerEngine) {
+  TransferStats stats;
+  stats.AddExplicit(1000, 2);
+  stats.AddZeroCopy(512, 4, 1);
+  stats.AddUnifiedMemory(4096, 1);
+  stats.AddKernelEdges(99);
+  stats.AddCompactedBytes(333);
+  const auto s = stats.Snapshot();
+  EXPECT_EQ(s.explicit_bytes, 1000u);
+  EXPECT_EQ(s.zero_copy_bytes, 512u);
+  EXPECT_EQ(s.zero_copy_requests, 4u);
+  EXPECT_EQ(s.um_bytes, 4096u);
+  EXPECT_EQ(s.page_faults, 1u);
+  EXPECT_EQ(s.tlps, 3u);
+  EXPECT_EQ(s.kernel_edges, 99u);
+  EXPECT_EQ(s.compacted_bytes, 333u);
+  EXPECT_EQ(s.TotalTransferredBytes(), 1000u + 512u + 4096u);
+}
+
+TEST(TransferStatsTest, SnapshotArithmetic) {
+  TransferStats stats;
+  stats.AddExplicit(100, 1);
+  const auto before = stats.Snapshot();
+  stats.AddExplicit(50, 1);
+  stats.AddZeroCopy(10, 1, 1);
+  const auto delta = stats.Snapshot() - before;
+  EXPECT_EQ(delta.explicit_bytes, 50u);
+  EXPECT_EQ(delta.zero_copy_bytes, 10u);
+  EXPECT_EQ(delta.tlps, 2u);
+  const auto sum = before + delta;
+  EXPECT_EQ(sum.explicit_bytes, 150u);
+}
+
+TEST(TransferStatsTest, ResetZeroesEverything) {
+  TransferStats stats;
+  stats.AddExplicit(100, 1);
+  stats.AddKernelEdges(5);
+  stats.Reset();
+  const auto s = stats.Snapshot();
+  EXPECT_EQ(s.explicit_bytes, 0u);
+  EXPECT_EQ(s.kernel_edges, 0u);
+  EXPECT_EQ(s.TotalTransferredBytes(), 0u);
+}
+
+TEST(TransferStatsTest, ThreadSafeAccumulation) {
+  TransferStats stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < 1000; ++i) stats.AddExplicit(1, 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(stats.Snapshot().explicit_bytes, 8000u);
+  EXPECT_EQ(stats.Snapshot().tlps, 8000u);
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,99 @@
+#include "util/atomic_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hytgraph {
+namespace {
+
+TEST(AtomicBitmapTest, StartsAllClear) {
+  AtomicBitmap bitmap(100);
+  EXPECT_EQ(bitmap.size(), 100u);
+  EXPECT_EQ(bitmap.Count(), 0u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_FALSE(bitmap.Test(i));
+}
+
+TEST(AtomicBitmapTest, TestAndSetReportsFirstSetterOnly) {
+  AtomicBitmap bitmap(64);
+  EXPECT_TRUE(bitmap.TestAndSet(5));
+  EXPECT_FALSE(bitmap.TestAndSet(5));
+  EXPECT_TRUE(bitmap.Test(5));
+  EXPECT_EQ(bitmap.Count(), 1u);
+}
+
+TEST(AtomicBitmapTest, ClearBit) {
+  AtomicBitmap bitmap(64);
+  bitmap.TestAndSet(10);
+  bitmap.Clear(10);
+  EXPECT_FALSE(bitmap.Test(10));
+  EXPECT_TRUE(bitmap.TestAndSet(10));  // settable again
+}
+
+TEST(AtomicBitmapTest, CountRangeRespectsWordBoundaries) {
+  AtomicBitmap bitmap(256);
+  // Bits straddling word boundaries: 63, 64, 127, 128, 200.
+  for (uint64_t i : {63u, 64u, 127u, 128u, 200u}) bitmap.TestAndSet(i);
+  EXPECT_EQ(bitmap.Count(), 5u);
+  EXPECT_EQ(bitmap.CountRange(0, 64), 1u);
+  EXPECT_EQ(bitmap.CountRange(64, 128), 2u);
+  EXPECT_EQ(bitmap.CountRange(63, 65), 2u);
+  EXPECT_EQ(bitmap.CountRange(128, 256), 2u);
+  EXPECT_EQ(bitmap.CountRange(100, 100), 0u);
+  EXPECT_EQ(bitmap.CountRange(201, 256), 0u);
+}
+
+TEST(AtomicBitmapTest, CollectSetBitsSortedAndBounded) {
+  AtomicBitmap bitmap(300);
+  for (uint64_t i : {1u, 63u, 64u, 130u, 299u}) bitmap.TestAndSet(i);
+  std::vector<uint32_t> out;
+  bitmap.CollectSetBits(0, 300, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 63, 64, 130, 299}));
+  out.clear();
+  bitmap.CollectSetBits(64, 299, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{64, 130}));
+}
+
+TEST(AtomicBitmapTest, ClearAllResets) {
+  AtomicBitmap bitmap(128);
+  for (uint64_t i = 0; i < 128; i += 3) bitmap.TestAndSet(i);
+  bitmap.ClearAll();
+  EXPECT_EQ(bitmap.Count(), 0u);
+}
+
+TEST(AtomicBitmapTest, ResetChangesSize) {
+  AtomicBitmap bitmap(10);
+  bitmap.TestAndSet(3);
+  bitmap.Reset(500);
+  EXPECT_EQ(bitmap.size(), 500u);
+  EXPECT_EQ(bitmap.Count(), 0u);
+}
+
+TEST(AtomicBitmapTest, ConcurrentSettersProduceExactlyOneWinnerPerBit) {
+  AtomicBitmap bitmap(1 << 14);
+  constexpr int kThreads = 8;
+  std::vector<uint64_t> wins(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bitmap, &wins, t] {
+      for (uint64_t i = 0; i < bitmap.size(); ++i) {
+        if (bitmap.TestAndSet(i)) ++wins[t];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total_wins = 0;
+  for (uint64_t w : wins) total_wins += w;
+  EXPECT_EQ(total_wins, bitmap.size());
+  EXPECT_EQ(bitmap.Count(), bitmap.size());
+}
+
+TEST(AtomicBitmapDeathTest, OutOfRangeAborts) {
+  AtomicBitmap bitmap(8);
+  EXPECT_DEATH(bitmap.TestAndSet(8), "Check failed");
+  EXPECT_DEATH(bitmap.Test(100), "Check failed");
+}
+
+}  // namespace
+}  // namespace hytgraph

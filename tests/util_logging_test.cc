@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hytgraph {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  HYT_LOG(Debug) << "invisible " << 42;
+  HYT_LOG(Info) << "also invisible";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  HYT_LOG(Warning) << "warning with value " << 3.14;
+  SetLogLevel(original);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  HYT_CHECK(true) << "never printed";
+  HYT_CHECK_EQ(2 + 2, 4);
+  HYT_CHECK_NE(1, 2);
+  HYT_CHECK_LT(1, 2);
+  HYT_CHECK_LE(2, 2);
+  HYT_CHECK_GT(3, 2);
+  HYT_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ HYT_CHECK(false) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ HYT_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace hytgraph

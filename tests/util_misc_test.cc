@@ -1,0 +1,98 @@
+// math_util, timer, string_util.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace hytgraph {
+namespace {
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(128, 128), 1u);
+  EXPECT_EQ(CeilDiv(129, 128), 2u);
+}
+
+TEST(MathUtilTest, RoundUpDown) {
+  EXPECT_EQ(RoundUp(5, 4), 8u);
+  EXPECT_EQ(RoundUp(8, 4), 8u);
+  EXPECT_EQ(RoundDown(5, 4), 4u);
+  EXPECT_EQ(RoundDown(8, 4), 8u);
+}
+
+TEST(MathUtilTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+}
+
+TEST(MathUtilTest, ByteUnits) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(32), 32ull << 20);
+  EXPECT_EQ(GiB(11), 11ull << 30);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 0.015);
+}
+
+TEST(TimerTest, AccumulatingTimerSums) {
+  AccumulatingTimer timer;
+  for (int i = 0; i < 3; ++i) {
+    timer.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    timer.Stop();
+  }
+  EXPECT_GE(timer.TotalSeconds(), 0.010);
+  timer.Reset();
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KiB");
+  EXPECT_EQ(HumanBytes(32ull << 20), "32.0 MiB");
+  EXPECT_EQ(HumanBytes(11ull << 30), "11.0 GiB");
+}
+
+TEST(StringUtilTest, HumanBandwidth) {
+  EXPECT_EQ(HumanBandwidth(12.3e9), "12.3 GB/s");
+  EXPECT_EQ(HumanBandwidth(500.0), "500.0 B/s");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hytgraph

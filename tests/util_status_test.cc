@@ -1,0 +1,110 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hytgraph {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad alpha");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad alpha");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::IOError("disk");
+  Status b = a;  // copy construct
+  EXPECT_EQ(a, b);
+  Status c;
+  c = a;  // copy assign
+  EXPECT_EQ(c.message(), "disk");
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_FALSE(c.ok());  // deep copy, not shared
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "Out of memory");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(std::move(r).ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+namespace {
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+Status UseHalf(int x, int* out) {
+  HYT_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+}  // namespace
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(UseHalf(7, &out).IsInvalidArgument());
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto fn = [](bool fail) -> Status {
+    HYT_RETURN_NOT_OK(fail ? Status::Internal("x") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(fn(false).ok());
+  EXPECT_TRUE(fn(true).IsInternal());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,109 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hytgraph {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(10000);
+  pool.ParallelFor(
+      touched.size(),
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          touched[i].fetch_add(1);
+        }
+      },
+      /*min_grain=*/1);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, SmallInputRunsSerially) {
+  ThreadPool pool(8);
+  int shard_seen = -1;
+  pool.ParallelFor(
+      10,
+      [&](int shard, uint64_t begin, uint64_t end) {
+        shard_seen = shard;
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 10u);
+      },
+      /*min_grain=*/1024);
+  EXPECT_EQ(shard_seen, 0);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](int, uint64_t, uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ShardsAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  pool.ParallelFor(
+      100000,
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        ranges.emplace_back(begin, end);
+      },
+      /*min_grain=*/1);
+  std::sort(ranges.begin(), ranges.end());
+  uint64_t expected = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected);
+    EXPECT_LT(begin, end);
+    expected = end;
+  }
+  EXPECT_EQ(expected, 100000u);
+}
+
+TEST(ThreadPoolTest, DeterministicShardedReduction) {
+  // Static chunking means per-shard partials combine identically run to run.
+  ThreadPool pool(6);
+  auto reduce = [&] {
+    std::vector<double> partials(pool.num_threads(), 0.0);
+    pool.ParallelFor(
+        50000,
+        [&](int shard, uint64_t begin, uint64_t end) {
+          for (uint64_t i = begin; i < end; ++i) {
+            partials[shard] += 1.0 / (1.0 + static_cast<double>(i));
+          }
+        },
+        /*min_grain=*/1);
+    return std::accumulate(partials.begin(), partials.end(), 0.0);
+  };
+  const double first = reduce();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(reduce(), first);  // bitwise equal, not just near
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(
+        1000,
+        [&](int, uint64_t begin, uint64_t end) {
+          total.fetch_add(end - begin);
+        },
+        /*min_grain=*/1);
+  }
+  EXPECT_EQ(total.load(), 50000u);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
+  EXPECT_EQ(ThreadPool::Default(), ThreadPool::Default());
+  EXPECT_GT(ThreadPool::Default()->num_threads(), 0);
+}
+
+}  // namespace
+}  // namespace hytgraph
