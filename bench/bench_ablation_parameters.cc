@@ -12,7 +12,7 @@ namespace {
 using namespace hytgraph;
 using namespace hytgraph::bench;
 
-double Run(Algorithm algorithm, const BenchDataset& dataset,
+double Run(AlgorithmId algorithm, const BenchDataset& dataset,
            const SolverOptions& options) {
   return MustRunWith(algorithm, dataset, options).total_sim_seconds;
 }
@@ -22,13 +22,13 @@ void SweepAlphaBeta(const BenchDataset& dataset) {
               "SSSP:\n");
   TablePrinter table({"alpha", "beta", "sim time (ms)", "vs paper cfg"});
   SolverOptions paper_cfg = MakeOptions(SystemKind::kHyTGraph, dataset);
-  const double baseline = Run(Algorithm::kSssp, dataset, paper_cfg);
+  const double baseline = Run(AlgorithmId::kSssp, dataset, paper_cfg);
   for (double alpha : {0.5, 0.8, 1.0}) {
     for (double beta : {0.2, 0.4, 0.8}) {
       SolverOptions opts = paper_cfg;
       opts.alpha = alpha;
       opts.beta = beta;
-      const double t = Run(Algorithm::kSssp, dataset, opts);
+      const double t = Run(AlgorithmId::kSssp, dataset, opts);
       table.AddRow({FormatDouble(alpha, 1), FormatDouble(beta, 1),
                     FormatDouble(t * 1e3, 3),
                     FormatDouble(t / baseline, 2) + "x"});
@@ -46,7 +46,7 @@ void SweepGamma(const BenchDataset& dataset) {
     opts.gamma = gamma;
     opts.pcie.gamma = gamma;
     table.AddRow({FormatDouble(gamma, 3),
-                  FormatDouble(Run(Algorithm::kSssp, dataset, opts) * 1e3,
+                  FormatDouble(Run(AlgorithmId::kSssp, dataset, opts) * 1e3,
                                3)});
   }
   table.Print();
@@ -60,7 +60,7 @@ void SweepCombineK(const BenchDataset& dataset) {
     SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
     opts.combine_k = k;
     table.AddRow({std::to_string(k),
-                  FormatDouble(Run(Algorithm::kPageRank, dataset, opts) * 1e3,
+                  FormatDouble(Run(AlgorithmId::kPageRank, dataset, opts) * 1e3,
                                3)});
   }
   table.Print();
@@ -71,12 +71,12 @@ void SweepPartitionBytes(const BenchDataset& dataset) {
   std::printf("partition size (paper 32 MB at 2-3.6B edges; auto = "
               "edge_bytes/256 here), SSSP:\n");
   TablePrinter table({"partition", "sim time (ms)"});
-  const uint64_t edge_bytes = dataset.graph.num_edges() * 8;
+  const uint64_t edge_bytes = dataset.graph().num_edges() * 8;
   for (uint64_t divisor : {16u, 64u, 256u, 1024u}) {
     SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
     opts.partition_bytes = std::max<uint64_t>(1024, edge_bytes / divisor);
     table.AddRow({HumanBytes(opts.partition_bytes),
-                  FormatDouble(Run(Algorithm::kSssp, dataset, opts) * 1e3,
+                  FormatDouble(Run(AlgorithmId::kSssp, dataset, opts) * 1e3,
                                3)});
   }
   table.Print();
@@ -90,9 +90,12 @@ void SweepHubFraction(const BenchDataset& dataset) {
     SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
     opts.hub_fraction = fraction;
     table.AddRow({FormatDouble(100 * fraction, 0) + "%",
-                  FormatDouble(Run(Algorithm::kPageRank, dataset, opts) * 1e3,
+                  FormatDouble(Run(AlgorithmId::kPageRank, dataset, opts) * 1e3,
                                3)});
   }
+  // Each fraction memoized its own hub-sorted graph copy; drop them rather
+  // than holding ~4x the graph for the rest of the process.
+  dataset.engine->ClearPreparedCache();
   table.Print();
   std::printf("\n");
 }
@@ -104,7 +107,7 @@ void SweepStreams(const BenchDataset& dataset) {
     SolverOptions opts = MakeOptions(SystemKind::kHyTGraph, dataset);
     opts.num_streams = streams;
     table.AddRow({std::to_string(streams),
-                  FormatDouble(Run(Algorithm::kSssp, dataset, opts) * 1e3,
+                  FormatDouble(Run(AlgorithmId::kSssp, dataset, opts) * 1e3,
                                3)});
   }
   table.Print();
@@ -123,7 +126,7 @@ void SweepInterconnects(const BenchDataset& dataset) {
       SolverOptions opts = MakeOptions(system, dataset);
       opts.gpu = WithInterconnect(opts.gpu, link);
       opts.pcie.effective_bandwidth_fraction = 1.0;  // already derated
-      times[i++] = Run(Algorithm::kSssp, dataset, opts);
+      times[i++] = Run(AlgorithmId::kSssp, dataset, opts);
     }
     table.AddRow({link.name, HumanBandwidth(link.EffectiveBandwidth()),
                   FormatDouble(times[0] * 1e3, 3),

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <utility>
 
+#include "graph/degree_stats.h"
 #include "util/logging.h"
 
 namespace hytgraph::bench {
@@ -28,8 +31,16 @@ const BenchDataset& LoadBenchDataset(const std::string& name) {
                                         : dataset.spec.scale;
   auto graph = LoadDataset(dataset.spec);
   HYT_CHECK(graph.ok()) << graph.status().ToString();
-  dataset.graph = std::move(graph).value();
-  dataset.device_memory = DeviceMemoryBudget(dataset.spec, dataset.graph);
+  dataset.device_memory =
+      DeviceMemoryBudget(dataset.spec, *graph);
+
+  // Engine defaults: the paper-faithful HyTGraph configuration at this
+  // dataset's memory budget. Benches running other systems/configurations
+  // pass explicit options per query; the preparation cache is shared.
+  SolverOptions defaults = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  defaults.device_memory_override = dataset.device_memory;
+  dataset.engine = std::make_unique<Engine>(std::move(graph).value(),
+                                            std::move(defaults));
   return cache->emplace(name, std::move(dataset)).first->second;
 }
 
@@ -40,24 +51,21 @@ SolverOptions MakeOptions(SystemKind system, const BenchDataset& dataset) {
 }
 
 VertexId PickSource(const CsrGraph& graph) {
-  VertexId best = 0;
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    if (graph.out_degree(v) > graph.out_degree(best)) best = v;
-  }
-  return best;
+  return HighestOutDegreeVertex(graph);
 }
 
-RunTrace MustRun(Algorithm algorithm, SystemKind system,
+RunTrace MustRun(AlgorithmId algorithm, SystemKind system,
                  const BenchDataset& dataset) {
   return MustRunWith(algorithm, dataset, MakeOptions(system, dataset));
 }
 
-RunTrace MustRunWith(Algorithm algorithm, const BenchDataset& dataset,
+RunTrace MustRunWith(AlgorithmId algorithm, const BenchDataset& dataset,
                      const SolverOptions& options) {
-  auto trace = RunAlgorithmTrace(dataset.graph, algorithm,
-                                 PickSource(dataset.graph), options);
-  HYT_CHECK(trace.ok()) << trace.status().ToString();
-  return std::move(trace).value();
+  Query query;
+  query.algorithm = algorithm;  // source defaults to the engine's pick
+  auto result = dataset.engine->Run(query, options);
+  HYT_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result->trace);
 }
 
 void PrintHeader(const std::string& experiment,

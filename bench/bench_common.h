@@ -3,6 +3,11 @@
 // memory, and run helpers. Every bench prints the rows/series of one paper
 // table or figure.
 //
+// Each loaded dataset is wrapped in an Engine (core/engine.h), so repeated
+// runs over one graph — the normal bench shape: many systems x many
+// configurations — share one cached hub-sort preparation instead of
+// re-sorting per run.
+//
 // Scale: the paper's graphs have 2-3.6 B edges; the bench default shrinks
 // each dataset by HYT_BENCH_SCALE_DELTA powers of two in vertex count
 // (default 2, i.e. 1/4 the vertices) while the simulator preserves each
@@ -13,11 +18,11 @@
 #define HYTGRAPH_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "algorithms/runner.h"
+#include "core/engine.h"
 #include "core/options.h"
 #include "core/trace.h"
 #include "graph/dataset.h"
@@ -28,12 +33,15 @@ namespace hytgraph::bench {
 /// Vertices-scale reduction applied to every dataset (env override).
 uint32_t ScaleDelta();
 
-/// A loaded dataset: graph + the device-memory budget that preserves the
+/// A loaded dataset: an Engine owning the graph (with the preparation
+/// cache all runs share) plus the device-memory budget that preserves the
 /// paper's oversubscription ratio.
 struct BenchDataset {
   DatasetSpec spec;
-  CsrGraph graph;
   uint64_t device_memory = 0;
+  std::unique_ptr<Engine> engine;
+
+  const CsrGraph& graph() const { return engine->graph(); }
 };
 
 /// Loads (and process-wide caches) a paper dataset at bench scale.
@@ -42,16 +50,16 @@ const BenchDataset& LoadBenchDataset(const std::string& name);
 /// Solver options for `system` on `dataset`'s scaled device memory.
 SolverOptions MakeOptions(SystemKind system, const BenchDataset& dataset);
 
-/// A deterministic high-degree source vertex for BFS/SSSP/PHP.
+/// A deterministic high-degree source vertex for BFS/SSSP/PHP/SSWP.
 VertexId PickSource(const CsrGraph& graph);
 
 /// Runs (algorithm, system) on a dataset and returns the trace. Aborts on
 /// error (benches are reproduction scripts, not servers).
-RunTrace MustRun(Algorithm algorithm, SystemKind system,
+RunTrace MustRun(AlgorithmId algorithm, SystemKind system,
                  const BenchDataset& dataset);
 
 /// Same but with explicit options (ablation benches tweak flags).
-RunTrace MustRunWith(Algorithm algorithm, const BenchDataset& dataset,
+RunTrace MustRunWith(AlgorithmId algorithm, const BenchDataset& dataset,
                      const SolverOptions& options);
 
 /// Prints the standard bench header naming the experiment.

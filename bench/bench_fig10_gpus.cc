@@ -19,7 +19,7 @@ int main() {
       {"HyTGraph", SystemKind::kHyTGraph},
   };
 
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
+  for (AlgorithmId algorithm : {AlgorithmId::kPageRank, AlgorithmId::kSssp}) {
     std::printf("%s — speedup normalized to Subway:\n",
                 AlgorithmName(algorithm));
     TablePrinter table({"GPU", "Subway", "Grus", "EMOGI", "HyTGraph"});

@@ -12,9 +12,9 @@ int main() {
               "Fig. 3(a), Section III-A; FK, 256 partitions");
 
   const BenchDataset& fk = LoadBenchDataset("FK");
-  const EdgeId total_edges = fk.graph.num_edges();
+  const EdgeId total_edges = fk.graph().num_edges();
 
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
+  for (AlgorithmId algorithm : {AlgorithmId::kPageRank, AlgorithmId::kSssp}) {
     SolverOptions opts = MakeOptions(SystemKind::kExpFilter, fk);
     // 256 partitions, as the paper configures this experiment.
     opts.partition_bytes =

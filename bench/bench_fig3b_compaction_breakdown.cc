@@ -13,7 +13,7 @@ int main() {
       "Fig. 3(b), Section III-A; Subway on FK");
 
   const BenchDataset& fk = LoadBenchDataset("FK");
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
+  for (AlgorithmId algorithm : {AlgorithmId::kPageRank, AlgorithmId::kSssp}) {
     const RunTrace trace = MustRun(algorithm, SystemKind::kSubway, fk);
     std::printf("%s (Subway): %zu iterations\n", AlgorithmName(algorithm),
                 trace.iterations.size());

@@ -16,7 +16,7 @@ int main() {
   int count = 0;
   for (const char* name : {"SK", "TW", "FK", "UK", "FS"}) {
     const BenchDataset& dataset = LoadBenchDataset(name);
-    const RunTrace trace = MustRun(Algorithm::kSssp, SystemKind::kSubway,
+    const RunTrace trace = MustRun(AlgorithmId::kSssp, SystemKind::kSubway,
                                    dataset);
     const double compaction = trace.TotalCompactionSeconds();
     const double transfer = trace.TotalTransferSeconds();

@@ -13,10 +13,10 @@ int main() {
               "Fig. 3(d), Section III-B; FK");
 
   const BenchDataset& fk = LoadBenchDataset("FK");
-  const EdgeId total_edges = fk.graph.num_edges();
+  const EdgeId total_edges = fk.graph().num_edges();
 
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
-    const bool weighted = algorithm == Algorithm::kSssp;
+  for (AlgorithmId algorithm : {AlgorithmId::kPageRank, AlgorithmId::kSssp}) {
+    const bool weighted = algorithm == AlgorithmId::kSssp;
     const uint64_t bytes_per_edge = weighted ? 8 : 4;
     const uint64_t total_pages =
         (total_edges * bytes_per_edge + 4095) / 4096;
@@ -47,7 +47,7 @@ int main() {
         "(paper: %.1f%%)\n\n",
         100.0 * static_cast<double>(active_edge_bytes) /
             std::max<uint64_t>(1, touched_page_bytes),
-        algorithm == Algorithm::kSssp ? 54.5 : 65.0);
+        algorithm == AlgorithmId::kSssp ? 54.5 : 65.0);
   }
   return 0;
 }

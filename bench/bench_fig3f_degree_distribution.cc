@@ -18,7 +18,7 @@ int main() {
   double under8_sum = 0;
   for (const char* name : {"SK", "TW", "FK", "UK", "FS"}) {
     const BenchDataset& dataset = LoadBenchDataset(name);
-    const DegreeHistogram hist = ComputeDegreeHistogram(dataset.graph);
+    const DegreeHistogram hist = ComputeDegreeHistogram(dataset.graph());
     std::vector<std::string> row{name};
     for (int b = 0; b < DegreeHistogram::kNumBuckets; ++b) {
       row.push_back(FormatDouble(100.0 * hist.Fraction(b), 1) + "%");

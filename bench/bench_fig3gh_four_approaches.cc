@@ -21,7 +21,7 @@ int main() {
       {"I-UM", SystemKind::kImpUm},
   };
 
-  for (Algorithm algorithm : {Algorithm::kSssp, Algorithm::kPageRank}) {
+  for (AlgorithmId algorithm : {AlgorithmId::kSssp, AlgorithmId::kPageRank}) {
     std::printf("%s on FK:\n", AlgorithmName(algorithm));
     std::map<std::string, RunTrace> traces;
     size_t max_iters = 0;

@@ -15,7 +15,7 @@ int main() {
 
   const BenchDataset& fk = LoadBenchDataset("FK");
 
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
+  for (AlgorithmId algorithm : {AlgorithmId::kPageRank, AlgorithmId::kSssp}) {
     RunTrace hyt = MustRun(algorithm, SystemKind::kHyTGraph, fk);
     std::printf("(a/b) %s — HyTGraph engine mix per iteration:\n",
                 AlgorithmName(algorithm));

@@ -16,11 +16,11 @@ int main() {
 
   double tc_gain[4] = {0, 0, 0, 0};
   double cds_gain[4] = {0, 0, 0, 0};
-  const Algorithm kAlgorithms[] = {Algorithm::kPageRank, Algorithm::kSssp,
-                                   Algorithm::kCc, Algorithm::kBfs};
+  const AlgorithmId kAlgorithms[] = {AlgorithmId::kPageRank, AlgorithmId::kSssp,
+                                   AlgorithmId::kCc, AlgorithmId::kBfs};
 
   for (int a = 0; a < 4; ++a) {
-    const Algorithm algorithm = kAlgorithms[a];
+    const AlgorithmId algorithm = kAlgorithms[a];
     std::printf("%s — normalized speedup over plain Hybrid:\n",
                 AlgorithmName(algorithm));
     TablePrinter table({"dataset", "Hybrid", "Hybrid+TC", "Hybrid+TC+CDS"});

@@ -32,7 +32,8 @@ int main() {
       {"HyTGraph", SystemKind::kHyTGraph},
   };
 
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
+  for (AlgorithmId algorithm :
+       {AlgorithmId::kPageRank, AlgorithmId::kSssp}) {
     std::printf("%s — runtime (s) vs graph size:\n",
                 AlgorithmName(algorithm));
     TablePrinter table({"edges", "Grus", "Subway", "EMOGI", "HyTGraph"});
@@ -48,11 +49,14 @@ int main() {
 
       BenchDataset dataset;
       dataset.spec.name = "RMAT";
-      dataset.graph = std::move(graph).value();
       dataset.device_memory = device_memory;
+      SolverOptions defaults = SolverOptions::Defaults(SystemKind::kHyTGraph);
+      defaults.device_memory_override = device_memory;
+      dataset.engine = std::make_unique<Engine>(std::move(graph).value(),
+                                                std::move(defaults));
 
       std::vector<std::string> row{
-          std::to_string(dataset.graph.num_edges() >> 20) + "M"};
+          std::to_string(dataset.graph().num_edges() >> 20) + "M"};
       for (const auto& [label, system] : kSystems) {
         const RunTrace trace = MustRun(algorithm, system, dataset);
         row.push_back(FormatDouble(trace.total_sim_seconds, 4));

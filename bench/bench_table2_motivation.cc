@@ -16,17 +16,17 @@ int main() {
   const BenchDataset& uk = LoadBenchDataset("UK");
 
   const double subway_sssp_sk =
-      MustRun(Algorithm::kSssp, SystemKind::kSubway, sk).total_sim_seconds;
+      MustRun(AlgorithmId::kSssp, SystemKind::kSubway, sk).total_sim_seconds;
   const double emogi_sssp_sk =
-      MustRun(Algorithm::kSssp, SystemKind::kEmogi, sk).total_sim_seconds;
+      MustRun(AlgorithmId::kSssp, SystemKind::kEmogi, sk).total_sim_seconds;
   const double subway_pr_sk =
-      MustRun(Algorithm::kPageRank, SystemKind::kSubway, sk).total_sim_seconds;
+      MustRun(AlgorithmId::kPageRank, SystemKind::kSubway, sk).total_sim_seconds;
   const double emogi_pr_sk =
-      MustRun(Algorithm::kPageRank, SystemKind::kEmogi, sk).total_sim_seconds;
+      MustRun(AlgorithmId::kPageRank, SystemKind::kEmogi, sk).total_sim_seconds;
   const double subway_pr_uk =
-      MustRun(Algorithm::kPageRank, SystemKind::kSubway, uk).total_sim_seconds;
+      MustRun(AlgorithmId::kPageRank, SystemKind::kSubway, uk).total_sim_seconds;
   const double emogi_pr_uk =
-      MustRun(Algorithm::kPageRank, SystemKind::kEmogi, uk).total_sim_seconds;
+      MustRun(AlgorithmId::kPageRank, SystemKind::kEmogi, uk).total_sim_seconds;
 
   std::printf("SK-like graph, varying algorithm:\n");
   TablePrinter left({"System", "SSSP (s)", "PageRank (s)"});

@@ -18,15 +18,15 @@ int main() {
       {"HyTGraph", SystemKind::kHyTGraph},
   };
 
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp}) {
-    const uint64_t bytes_per_edge = algorithm == Algorithm::kSssp ? 8 : 4;
+  for (AlgorithmId algorithm : {AlgorithmId::kPageRank, AlgorithmId::kSssp}) {
+    const uint64_t bytes_per_edge = algorithm == AlgorithmId::kSssp ? 8 : 4;
     std::printf("%s — transfer volume / edge volume:\n",
                 AlgorithmName(algorithm));
     TablePrinter table({"dataset", "ExpTM-F", "Subway", "EMOGI", "HyTGraph"});
     for (const char* name : {"SK", "TW", "FK", "UK", "FS"}) {
       const BenchDataset& dataset = LoadBenchDataset(name);
       const double edge_volume = static_cast<double>(
-          dataset.graph.num_edges() * bytes_per_edge);
+          dataset.graph().num_edges() * bytes_per_edge);
       std::vector<std::string> row{name};
       for (const auto& [label, system] : kSystems) {
         const RunTrace trace = MustRun(algorithm, system, dataset);

@@ -118,8 +118,10 @@ int main(int argc, char** argv) {
     SolverOptions options = SolverOptions::Defaults(system);
     options.device_memory_override = graph.EdgeDataBytes() / 2;
 
-    // Custom programs use the Solver directly (the Run* helpers in
-    // algorithms/runner.h are just this pattern wrapped per algorithm).
+    // Custom programs use the Solver directly; the built-in algorithms
+    // wrap this same pattern behind the Engine/Query facade (core/engine.h)
+    // via the registry in algorithms/registry.h — add an entry there to
+    // make a new program queryable/batchable through the Engine.
     Solver<InfluenceSpreadProgram> solver(graph, options);
     if (Status s = solver.Init(); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());

@@ -1,11 +1,12 @@
 // hytgraph_cli — run any algorithm under any transfer-management system on
 // a named paper dataset or a generated RMAT graph, from the command line.
+// Built on the Engine/Query API: one Engine owns the graph, queries go
+// through it, and batched multi-source runs share one cached preparation.
 //
 //   hytgraph_cli --dataset FK --algorithm sssp --system HyTGraph
 //   hytgraph_cli --rmat-scale 18 --edge-factor 16 --algorithm pr \
 //                --system EMOGI --device-memory-mb 64
-//   hytgraph_cli --dataset UK --algorithm bfs --system HyTGraph \
-//                --interconnect NVLink4 --trace
+//   hytgraph_cli --dataset UK --algorithm bfs --batch-sources 8 --trace
 //
 // Prints the result summary, total simulated time, transfer volume, and
 // (with --trace) the per-iteration engine mix.
@@ -13,12 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
+#include <vector>
 
-#include "algorithms/programs.h"
-#include "algorithms/runner.h"
+#include "core/engine.h"
 #include "graph/dataset.h"
+#include "graph/degree_stats.h"
 #include "graph/rmat_generator.h"
 #include "sim/interconnect.h"
 #include "util/string_util.h"
@@ -35,7 +36,8 @@ struct CliOptions {
   std::string system = "HyTGraph";
   std::string interconnect;
   uint64_t device_memory_mb = 0;
-  int64_t source = -1;  // -1: highest out-degree vertex
+  int64_t source = -1;  // -1: engine default (highest out-degree vertex)
+  int batch_sources = 0;  // >0: batch over the top-N out-degree sources
   int streams = 4;
   bool trace = false;
   uint64_t seed = 42;
@@ -55,6 +57,8 @@ void PrintUsage() {
       "                               NVLink4|CXL2 (default PCIe3x16)\n"
       "  --device-memory-mb N         simulated GPU memory (default: spec)\n"
       "  --source V                   source vertex (default: max-degree)\n"
+      "  --batch-sources N            run N queries from the top-N degree\n"
+      "                               sources as one batch\n"
       "  --streams N                  CUDA streams (default 4)\n"
       "  --trace                      print per-iteration engine mix\n");
 }
@@ -93,6 +97,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->device_memory_mb = std::strtoull(value, nullptr, 10);
     } else if (arg == "--source") {
       cli->source = std::atoll(value);
+    } else if (arg == "--batch-sources") {
+      cli->batch_sources = std::atoi(value);
     } else if (arg == "--streams") {
       cli->streams = std::atoi(value);
     } else {
@@ -101,6 +107,37 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
     }
   }
   return true;
+}
+
+/// One-line result summary: reached-vertex count for the value-selection
+/// family, total mass for the value-accumulation family.
+std::string Summarize(const QueryResult& result) {
+  const AlgorithmInfo& info = GetAlgorithmInfo(result.algorithm);
+  if (result.is_f64()) {
+    double total = 0;
+    for (double v : result.f64()) total += v;
+    return std::string(info.name) + ": total mass " + FormatDouble(total, 3);
+  }
+  uint64_t reached = 0;
+  for (uint32_t v : result.u32()) {
+    if (v != kUnreachable && v != 0) ++reached;
+  }
+  return std::string(info.name) + ": " + std::to_string(reached) +
+         " vertices with nontrivial values";
+}
+
+void PrintTrace(const RunTrace& trace) {
+  TablePrinter table({"iter", "active", "E-F", "E-C", "I-ZC", "I-UM", "ms"});
+  for (size_t i = 0; i < trace.iterations.size(); ++i) {
+    const IterationTrace& it = trace.iterations[i];
+    table.AddRow({std::to_string(i), std::to_string(it.active_vertices),
+                  std::to_string(it.partitions_filter),
+                  std::to_string(it.partitions_compaction),
+                  std::to_string(it.partitions_zero_copy),
+                  std::to_string(it.partitions_um),
+                  FormatDouble(it.sim_seconds * 1e3, 3)});
+  }
+  table.Print();
 }
 
 }  // namespace
@@ -142,7 +179,15 @@ int main(int argc, char** argv) {
     default_device_memory = graph.EdgeDataBytes() / 2;  // 2x oversubscribed
   }
 
-  // --- Options ---
+  // --- Query ---
+  auto algorithm = ParseAlgorithmName(cli.algorithm);
+  if (!algorithm.ok()) {
+    std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+
+  // --- Engine options ---
   auto system = ParseSystemKind(cli.system);
   if (!system.ok()) {
     std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
@@ -163,100 +208,97 @@ int main(int argc, char** argv) {
     options.pcie.effective_bandwidth_fraction = 1.0;  // already derated
   }
 
-  VertexId source = 0;
-  if (cli.source >= 0) {
-    source = static_cast<VertexId>(cli.source);
-    if (source >= graph.num_vertices()) {
-      std::fprintf(stderr, "source %u out of range\n", source);
-      return 1;
-    }
-  } else {
-    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-      if (graph.out_degree(v) > graph.out_degree(source)) source = v;
-    }
+  if (cli.source >= 0 &&
+      static_cast<uint64_t>(cli.source) >= graph.num_vertices()) {
+    std::fprintf(stderr, "source %lld out of range\n",
+                 static_cast<long long>(cli.source));
+    return 1;
   }
 
+  Engine engine(std::move(graph), options);
   std::printf("graph: %u vertices, %llu edges (%s); device memory %s; "
               "system %s; link %s\n",
-              graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()),
-              HumanBytes(graph.EdgeDataBytes()).c_str(),
+              engine.graph().num_vertices(),
+              static_cast<unsigned long long>(engine.graph().num_edges()),
+              HumanBytes(engine.graph().EdgeDataBytes()).c_str(),
               HumanBytes(options.DeviceMemory()).c_str(),
-              SystemKindName(*system),
-              options.gpu.pcie_gen.c_str());
+              SystemKindName(*system), options.gpu.pcie_gen.c_str());
 
-  // --- Run ---
-  RunTrace trace;
-  std::string summary;
-  auto finish_u32 = [&](Result<AlgorithmOutput<uint32_t>> out,
-                        const char* what) -> int {
-    if (!out.ok()) {
-      std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+  Query query;
+  query.algorithm = *algorithm;
+  if (cli.source >= 0) query.source = static_cast<VertexId>(cli.source);
+  // --source -1 leaves query.source at kInvalidVertex: the Engine resolves
+  // it to DefaultSource() (the highest out-degree vertex).
+
+  // --- Batched multi-source execution ---
+  if (cli.batch_sources > 0) {
+    if (!GetAlgorithmInfo(*algorithm).needs_source) {
+      std::fprintf(stderr,
+                   "--batch-sources needs a source-seeded algorithm "
+                   "(bfs|sssp|php|sswp), not %s\n",
+                   AlgorithmName(*algorithm));
+      return 2;
+    }
+    // An explicit --source leads the batch; the rest are the highest
+    // out-degree vertices (skipping duplicates).
+    std::vector<VertexId> sources;
+    if (cli.source >= 0) sources.push_back(static_cast<VertexId>(cli.source));
+    for (VertexId v : TopOutDegreeVertices(
+             engine.graph(), static_cast<size_t>(cli.batch_sources))) {
+      if (sources.size() >= static_cast<size_t>(cli.batch_sources)) break;
+      if (sources.empty() || v != sources.front()) sources.push_back(v);
+    }
+    std::vector<Query> batch(sources.size(), query);
+    for (size_t i = 0; i < sources.size(); ++i) batch[i].source = sources[i];
+
+    auto results = engine.RunBatch(batch);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
       return 1;
     }
-    uint64_t reached = 0;
-    for (uint32_t v : out->values) {
-      if (v != kUnreachable && v != 0) ++reached;
-    }
-    trace = std::move(out->trace);
-    summary = std::string(what) + ": " + std::to_string(reached) +
-              " vertices with nontrivial values";
-    return 0;
-  };
-  auto finish_f64 = [&](Result<AlgorithmOutput<double>> out,
-                        const char* what) -> int {
-    if (!out.ok()) {
-      std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
-      return 1;
-    }
-    double total = 0;
-    for (double v : out->values) total += v;
-    trace = std::move(out->trace);
-    summary = std::string(what) + ": total mass " + FormatDouble(total, 3);
-    return 0;
-  };
-
-  int rc = 1;
-  if (cli.algorithm == "pr") {
-    rc = finish_f64(RunPageRank(graph, options), "PageRank");
-  } else if (cli.algorithm == "sssp") {
-    rc = finish_u32(RunSssp(graph, source, options), "SSSP");
-  } else if (cli.algorithm == "bfs") {
-    rc = finish_u32(RunBfs(graph, source, options), "BFS");
-  } else if (cli.algorithm == "cc") {
-    rc = finish_u32(RunCc(graph, options), "CC");
-  } else if (cli.algorithm == "php") {
-    rc = finish_f64(RunPhp(graph, source, options), "PHP");
-  } else if (cli.algorithm == "sswp") {
-    rc = finish_u32(RunSswp(graph, source, options), "SSWP");
-  } else {
-    std::fprintf(stderr, "unknown algorithm: %s\n", cli.algorithm.c_str());
-    PrintUsage();
-    return 2;
-  }
-  if (rc != 0) return rc;
-
-  std::printf("%s\n", summary.c_str());
-  std::printf("iterations: %llu   simulated time: %.4f ms   transferred: "
-              "%s   kernel edges: %llu\n",
-              static_cast<unsigned long long>(trace.NumIterations()),
-              trace.total_sim_seconds * 1e3,
-              HumanBytes(trace.TotalTransferredBytes()).c_str(),
-              static_cast<unsigned long long>(trace.TotalKernelEdges()));
-
-  if (cli.trace) {
-    TablePrinter table({"iter", "active", "E-F", "E-C", "I-ZC", "I-UM",
-                        "ms"});
-    for (size_t i = 0; i < trace.iterations.size(); ++i) {
-      const IterationTrace& it = trace.iterations[i];
-      table.AddRow({std::to_string(i), std::to_string(it.active_vertices),
-                    std::to_string(it.partitions_filter),
-                    std::to_string(it.partitions_compaction),
-                    std::to_string(it.partitions_zero_copy),
-                    std::to_string(it.partitions_um),
-                    FormatDouble(it.sim_seconds * 1e3, 3)});
+    TablePrinter table({"source", "out-deg", "summary", "iters", "sim ms",
+                        "prep"});
+    double total_sim = 0;
+    for (const QueryResult& result : *results) {
+      total_sim += result.trace.total_sim_seconds;
+      table.AddRow(
+          {std::to_string(result.source),
+           std::to_string(engine.graph().out_degree(result.source)),
+           Summarize(result), std::to_string(result.trace.NumIterations()),
+           FormatDouble(result.trace.total_sim_seconds * 1e3, 3),
+           result.prepared_cache_hit ? "cached" : "prepared"});
     }
     table.Print();
+    const EngineCacheStats stats = engine.cache_stats();
+    std::printf("batch of %zu: %.4f ms simulated total; preparation cache "
+                "%llu hit(s), %llu miss(es), %llu entr%s\n",
+                results->size(), total_sim * 1e3,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.entries),
+                stats.entries == 1 ? "y" : "ies");
+    if (cli.trace && !results->empty()) {
+      std::printf("trace of the first query only (source %u):\n",
+                  results->front().source);
+      PrintTrace(results->front().trace);
+    }
+    return 0;
   }
+
+  // --- Single query ---
+  auto result = engine.Run(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", Summarize(*result).c_str());
+  std::printf("iterations: %llu   simulated time: %.4f ms   transferred: "
+              "%s   kernel edges: %llu\n",
+              static_cast<unsigned long long>(result->trace.NumIterations()),
+              result->trace.total_sim_seconds * 1e3,
+              HumanBytes(result->trace.TotalTransferredBytes()).c_str(),
+              static_cast<unsigned long long>(
+                  result->trace.TotalKernelEdges()));
+  if (cli.trace) PrintTrace(result->trace);
   return 0;
 }

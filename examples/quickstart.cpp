@@ -1,16 +1,19 @@
-// Quickstart: build a graph, run SSSP under HyTGraph's hybrid transfer
-// management on a simulated RTX 2080Ti, and inspect the execution trace.
+// Quickstart: build a graph, hand it to an Engine, run SSSP under
+// HyTGraph's hybrid transfer management on a simulated RTX 2080Ti, and
+// inspect the execution trace.
 //
 //   ./quickstart
 //
 // This is the 60-second tour of the public API:
-//   graph/   — CSR graphs, builders, generators
-//   core/    — SolverOptions (which system, which GPU, which knobs)
-//   algorithms/runner.h — RunBfs / RunSssp / RunCc / RunPageRank / RunPhp
+//   graph/          — CSR graphs, builders, generators
+//   core/options.h  — SolverOptions (which system, which GPU, which knobs)
+//   core/engine.h   — Engine + Query: the one entry point for running
+//                     algorithms (registry-dispatched, preparation-cached,
+//                     batchable)
 
 #include <cstdio>
 
-#include "algorithms/runner.h"
+#include "core/engine.h"
 #include "graph/graph_builder.h"
 #include "util/string_util.h"
 
@@ -27,19 +30,23 @@ int main() {
                  graph_result.status().ToString().c_str());
     return 1;
   }
-  const CsrGraph graph = std::move(graph_result).value();
-  std::printf("Graph: %u vertices, %llu edges (%s of edge data)\n",
-              graph.num_vertices(),
-              static_cast<unsigned long long>(graph.num_edges()),
-              HumanBytes(graph.EdgeDataBytes()).c_str());
 
-  // 2. Pick a system and platform. Defaults(kHyTGraph) is the paper's full
+  // 2. Hand the graph to an Engine. Defaults(kHyTGraph) is the paper's full
   //    configuration: hybrid transfer management + task combining +
-  //    contribution-driven scheduling on a simulated RTX 2080Ti.
-  SolverOptions options = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  //    contribution-driven scheduling on a simulated RTX 2080Ti. The Engine
+  //    owns the graph and caches the hub-sort preparation across queries.
+  Engine engine(std::move(graph_result).value(),
+                SolverOptions::Defaults(SystemKind::kHyTGraph));
+  std::printf("Graph: %u vertices, %llu edges (%s of edge data)\n",
+              engine.graph().num_vertices(),
+              static_cast<unsigned long long>(engine.graph().num_edges()),
+              HumanBytes(engine.graph().EdgeDataBytes()).c_str());
 
   // 3. Run single-source shortest paths from vertex 0 ("a").
-  auto result = RunSssp(graph, /*source=*/0, options);
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 0;
+  auto result = engine.Run(query);
   if (!result.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  result.status().ToString().c_str());
@@ -49,8 +56,8 @@ int main() {
   std::printf("\nShortest distances from 'a' (paper Fig. 1 expects "
               "0 2 4 3 4 6):\n");
   const char* names = "abcdef";
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    std::printf("  %c: %u\n", names[v], result->values[v]);
+  for (VertexId v = 0; v < engine.graph().num_vertices(); ++v) {
+    std::printf("  %c: %u\n", names[v], result->u32()[v]);
   }
 
   // 4. Inspect the execution trace the simulator produced.
@@ -67,6 +74,17 @@ int main() {
                 i, static_cast<unsigned long long>(it.active_vertices),
                 it.partitions_filter, it.partitions_compaction,
                 it.partitions_zero_copy);
+  }
+
+  // 5. Run it again: the second query reuses the cached preparation (no
+  //    hub re-sort) and produces identical values.
+  auto again = engine.Run(query);
+  if (again.ok()) {
+    std::printf("\nSecond identical query: preparation %s (cache: %llu "
+                "hit(s), %llu miss(es))\n",
+                again->prepared_cache_hit ? "reused from cache" : "rebuilt",
+                static_cast<unsigned long long>(again->cache_stats.hits),
+                static_cast<unsigned long long>(again->cache_stats.misses));
   }
   return 0;
 }

@@ -2,7 +2,8 @@
 // paper's introduction motivates. Generates a friendster-like power-law
 // network that oversubscribes the simulated GPU ~2x, finds influencers with
 // delta-PageRank, measures reach with BFS, and compares HyTGraph against
-// the single-approach baselines it hybridizes.
+// the single-approach baselines it hybridizes — all through one Engine, so
+// the hub-sort preparation is built once and shared across the queries.
 //
 //   ./social_network_analysis [scale]   (default scale 14: 16k vertices)
 
@@ -11,8 +12,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "algorithms/programs.h"
-#include "algorithms/runner.h"
+#include "core/engine.h"
 #include "graph/rmat_generator.h"
 #include "util/string_util.h"
 
@@ -32,10 +32,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
     return 1;
   }
-  const CsrGraph graph = std::move(graph_result).value();
 
   // Oversubscribe the simulated GPU 2x, like FK vs the 2080Ti.
-  const uint64_t device_memory = graph.EdgeDataBytes() / 2;
+  const uint64_t device_memory = graph_result->EdgeDataBytes() / 2;
+  SolverOptions options = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  options.device_memory_override = device_memory;
+
+  Engine engine(std::move(graph_result).value(), options);
+  const CsrGraph& graph = engine.graph();
   std::printf("Network: %u users, %llu friendships, %s edge data on a GPU "
               "with %s\n\n",
               graph.num_vertices(),
@@ -43,20 +47,18 @@ int main(int argc, char** argv) {
               HumanBytes(graph.EdgeDataBytes()).c_str(),
               HumanBytes(device_memory).c_str());
 
-  SolverOptions options = SolverOptions::Defaults(SystemKind::kHyTGraph);
-  options.device_memory_override = device_memory;
-
   // --- Influencer ranking with delta-PageRank ---
-  auto pr = RunPageRank(graph, options);
+  auto pr = engine.Run({.algorithm = AlgorithmId::kPageRank});
   if (!pr.ok()) {
     std::fprintf(stderr, "%s\n", pr.status().ToString().c_str());
     return 1;
   }
+  const std::vector<double>& ranks = pr->f64();
   std::vector<VertexId> by_rank(graph.num_vertices());
   for (VertexId v = 0; v < graph.num_vertices(); ++v) by_rank[v] = v;
   std::partial_sort(by_rank.begin(), by_rank.begin() + 5, by_rank.end(),
                     [&](VertexId a, VertexId b) {
-                      return pr->values[a] > pr->values[b];
+                      return ranks[a] > ranks[b];
                     });
   std::printf("Top influencers by PageRank (%llu iterations, %.3f ms "
               "simulated):\n",
@@ -64,25 +66,27 @@ int main(int argc, char** argv) {
               pr->trace.total_sim_seconds * 1e3);
   for (int i = 0; i < 5; ++i) {
     std::printf("  user %-8u rank %.4f  (%llu friends)\n", by_rank[i],
-                pr->values[by_rank[i]],
+                ranks[by_rank[i]],
                 static_cast<unsigned long long>(graph.out_degree(by_rank[i])));
   }
 
   // --- Reach analysis: BFS hops from the top influencer ---
-  auto bfs = RunBfs(graph, by_rank[0], options);
+  auto bfs = engine.Run(
+      {.algorithm = AlgorithmId::kBfs, .source = by_rank[0]});
   if (!bfs.ok()) {
     std::fprintf(stderr, "%s\n", bfs.status().ToString().c_str());
     return 1;
   }
   std::vector<uint64_t> per_hop(8, 0);
   uint64_t reached = 0;
-  for (uint32_t level : bfs->values) {
+  for (uint32_t level : bfs->u32()) {
     if (level == kUnreachable) continue;
     ++reached;
     if (level < per_hop.size()) ++per_hop[level];
   }
-  std::printf("\nReach of user %u: %.1f%% of the network\n", by_rank[0],
-              100.0 * reached / graph.num_vertices());
+  std::printf("\nReach of user %u: %.1f%% of the network (preparation %s)\n",
+              by_rank[0], 100.0 * reached / graph.num_vertices(),
+              bfs->prepared_cache_hit ? "cached" : "rebuilt");
   for (size_t hop = 0; hop < per_hop.size() && per_hop[hop] > 0; ++hop) {
     std::printf("  %zu hops: %llu users\n", hop,
                 static_cast<unsigned long long>(per_hop[hop]));
@@ -96,7 +100,7 @@ int main(int argc, char** argv) {
         SystemKind::kImpUm, SystemKind::kHyTGraph}) {
     SolverOptions baseline = SolverOptions::Defaults(system);
     baseline.device_memory_override = device_memory;
-    auto run = RunPageRank(graph, baseline);
+    auto run = engine.Run({.algorithm = AlgorithmId::kPageRank}, baseline);
     if (!run.ok()) continue;
     table.AddRow({SystemKindName(system),
                   FormatDouble(run->trace.total_sim_seconds * 1e3, 3) + " ms",

@@ -1,0 +1,153 @@
+#include "algorithms/registry.h"
+
+#include <cctype>
+
+#include "algorithms/runner.h"
+#include "util/logging.h"
+
+namespace hytgraph {
+
+namespace {
+
+/// Adapts a typed AlgorithmOutput<V> into the type-erased AlgorithmRun.
+template <typename V>
+Result<AlgorithmRun> Erase(Result<AlgorithmOutput<V>> output) {
+  if (!output.ok()) return output.status();
+  AlgorithmRun run;
+  run.values = std::move(output->values);
+  run.trace = std::move(output->trace);
+  return run;
+}
+
+Result<AlgorithmRun> RunPr(const PreparedGraph& prepared, VertexId /*source*/,
+                           const AlgoParams& params,
+                           const SolverOptions& options) {
+  return Erase(RunPageRankOn(prepared, options, params.pagerank.damping,
+                             params.pagerank.epsilon));
+}
+
+Result<AlgorithmRun> RunSsspEntry(const PreparedGraph& prepared,
+                                  VertexId source, const AlgoParams&,
+                                  const SolverOptions& options) {
+  return Erase(RunSsspOn(prepared, source, options));
+}
+
+Result<AlgorithmRun> RunCcEntry(const PreparedGraph& prepared,
+                                VertexId /*source*/, const AlgoParams&,
+                                const SolverOptions& options) {
+  return Erase(RunCcOn(prepared, options));
+}
+
+Result<AlgorithmRun> RunBfsEntry(const PreparedGraph& prepared,
+                                 VertexId source, const AlgoParams&,
+                                 const SolverOptions& options) {
+  return Erase(RunBfsOn(prepared, source, options));
+}
+
+Result<AlgorithmRun> RunPhpEntry(const PreparedGraph& prepared,
+                                 VertexId source, const AlgoParams& params,
+                                 const SolverOptions& options) {
+  return Erase(RunPhpOn(prepared, source, options, params.php.damping,
+                        params.php.epsilon));
+}
+
+Result<AlgorithmRun> RunSswpEntry(const PreparedGraph& prepared,
+                                  VertexId source, const AlgoParams&,
+                                  const SolverOptions& options) {
+  return Erase(RunSswpOn(prepared, source, options));
+}
+
+constexpr const char* kPrAliases[] = {"pr", "pagerank"};
+constexpr const char* kSsspAliases[] = {"sssp", "shortest-paths"};
+constexpr const char* kCcAliases[] = {"cc", "wcc", "components"};
+constexpr const char* kBfsAliases[] = {"bfs"};
+constexpr const char* kPhpAliases[] = {"php", "hitting-probability"};
+constexpr const char* kSswpAliases[] = {"sswp", "widest-path"};
+
+constexpr AlgorithmInfo kRegistry[] = {
+    {AlgorithmId::kPageRank, "PR", "PageRank", kPrAliases,
+     /*needs_source=*/false, /*needs_weights=*/false, /*value_is_f64=*/true,
+     &RunPr},
+    {AlgorithmId::kSssp, "SSSP", "Single-Source Shortest Paths",
+     kSsspAliases, /*needs_source=*/true, /*needs_weights=*/true,
+     /*value_is_f64=*/false, &RunSsspEntry},
+    {AlgorithmId::kCc, "CC", "Connected Components", kCcAliases,
+     /*needs_source=*/false, /*needs_weights=*/false, /*value_is_f64=*/false,
+     &RunCcEntry},
+    {AlgorithmId::kBfs, "BFS", "Breadth-First Search", kBfsAliases,
+     /*needs_source=*/true, /*needs_weights=*/false, /*value_is_f64=*/false,
+     &RunBfsEntry},
+    {AlgorithmId::kPhp, "PHP", "Penalized Hitting Probability", kPhpAliases,
+     /*needs_source=*/true, /*needs_weights=*/true, /*value_is_f64=*/true,
+     &RunPhpEntry},
+    {AlgorithmId::kSswp, "SSWP", "Single-Source Widest Path", kSswpAliases,
+     /*needs_source=*/true, /*needs_weights=*/true, /*value_is_f64=*/false,
+     &RunSswpEntry},
+};
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const AlgorithmInfo> AlgorithmRegistry() { return kRegistry; }
+
+const AlgorithmInfo* FindAlgorithmInfo(AlgorithmId id) {
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (info.id == id) return &info;
+  }
+  return nullptr;
+}
+
+const AlgorithmInfo& GetAlgorithmInfo(AlgorithmId id) {
+  const AlgorithmInfo* info = FindAlgorithmInfo(id);
+  HYT_CHECK(info != nullptr)
+      << "unknown AlgorithmId " << static_cast<int>(id);
+  return *info;
+}
+
+const char* AlgorithmName(AlgorithmId id) { return GetAlgorithmInfo(id).name; }
+
+Result<AlgorithmId> ParseAlgorithmName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (lower == ToLower(info.name) || lower == ToLower(info.full_name)) {
+      return info.id;
+    }
+    for (const char* alias : info.aliases) {
+      if (lower == alias) return info.id;
+    }
+  }
+  return Status::NotFound("unknown algorithm: " + name);
+}
+
+SolverOptions EffectiveOptions(AlgorithmId id, const SolverOptions& options) {
+  SolverOptions effective = options;
+  if (id == AlgorithmId::kCc) {
+    // CC labels are vertex ids whose min-label fixpoint depends on the id
+    // order on directed graphs: skip the hub-sort relabeling so results
+    // stay in natural-id semantics (hub-driven task priority still applies
+    // at partition granularity).
+    effective.hub_fraction = 0.0;
+  }
+  return effective;
+}
+
+Result<AlgorithmRun> RunAlgorithmOn(const PreparedGraph& prepared,
+                                    AlgorithmId id, VertexId source,
+                                    const AlgoParams& params,
+                                    const SolverOptions& options) {
+  const AlgorithmInfo* info = FindAlgorithmInfo(id);
+  if (info == nullptr) {
+    return Status::InvalidArgument("unknown algorithm id: " +
+                                   std::to_string(static_cast<int>(id)));
+  }
+  return info->run(prepared, source, params, options);
+}
+
+}  // namespace hytgraph

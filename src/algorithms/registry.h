@@ -1,0 +1,128 @@
+// The algorithm registry: one descriptor per built-in algorithm, keyed by
+// AlgorithmId. This is the single source of truth the Engine facade, the
+// CLI, and the bench sweeps dispatch through — adding an algorithm means
+// adding one entry here (and its program in programs.h), not a new set of
+// free functions.
+//
+// Each entry carries the canonical short name (stable, used in tables and
+// traces), parse aliases, the execution traits the engine needs (does it
+// take a source vertex? does it transfer edge weights?), and a type-erased
+// run hook over a PreparedGraph.
+
+#ifndef HYTGRAPH_ALGORITHMS_REGISTRY_H_
+#define HYTGRAPH_ALGORITHMS_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "algorithms/programs.h"
+#include "core/options.h"
+#include "core/trace.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+class PreparedGraph;  // algorithms/runner.h
+
+/// Every built-in algorithm. The first four (the paper's evaluation set)
+/// keep their historical enum values; PHP and SSWP extend the sweep so no
+/// path silently skips them.
+enum class AlgorithmId {
+  kPageRank = 0,
+  kSssp = 1,
+  kCc = 2,
+  kBfs = 3,
+  kPhp = 4,
+  kSswp = 5,
+};
+
+/// All registered algorithms, in registry order (sweep over this instead of
+/// hand-maintained subsets).
+inline constexpr AlgorithmId kAllAlgorithms[] = {
+    AlgorithmId::kPageRank, AlgorithmId::kSssp, AlgorithmId::kCc,
+    AlgorithmId::kBfs,      AlgorithmId::kPhp,  AlgorithmId::kSswp,
+};
+
+/// Typed per-algorithm parameters. Replaces the loose `damping`/`epsilon`
+/// defaults that used to ride on the Run* signatures: a Query carries one
+/// AlgoParams and each algorithm reads only its own member.
+struct AlgoParams {
+  PageRankOptions pagerank;
+  PhpOptions php;
+};
+
+/// Type-erased algorithm values: the value-selection family (BFS, SSSP, CC,
+/// SSWP) produces uint32_t per vertex, the value-accumulation family
+/// (PageRank, PHP) produces double.
+using QueryValues =
+    std::variant<std::vector<uint32_t>, std::vector<double>>;
+
+/// What a registry run returns: values (indexed by original vertex id) plus
+/// the execution trace.
+struct AlgorithmRun {
+  QueryValues values;
+  RunTrace trace;
+};
+
+struct AlgorithmInfo {
+  AlgorithmId id;
+  /// Canonical short name ("PR", "SSSP", ...) — stable across releases,
+  /// printed in bench tables.
+  const char* name;
+  /// Human-readable long name ("PageRank", ...).
+  const char* full_name;
+  /// Lower-case parse aliases (canonical name also parses, any case).
+  std::span<const char* const> aliases;
+  /// Whether the algorithm is seeded from a source vertex (BFS, SSSP, PHP,
+  /// SSWP) or runs over all vertices (PR, CC).
+  bool needs_source;
+  /// Whether edge weights must be transferred (SSSP, PHP, SSWP).
+  bool needs_weights;
+  /// Whether values are double (PR, PHP) rather than uint32_t.
+  bool value_is_f64;
+  /// Runs the algorithm on an already-prepared graph. `source` is in
+  /// original vertex ids and ignored when !needs_source.
+  Result<AlgorithmRun> (*run)(const PreparedGraph& prepared, VertexId source,
+                              const AlgoParams& params,
+                              const SolverOptions& options);
+};
+
+/// The full registry, in kAllAlgorithms order.
+std::span<const AlgorithmInfo> AlgorithmRegistry();
+
+/// Looks up an algorithm, or nullptr for an id outside the registry (an
+/// unchecked int from config/serialization). Fallible entry points
+/// (Engine, RunAlgorithmOn) use this to reject unknown ids.
+const AlgorithmInfo* FindAlgorithmInfo(AlgorithmId id);
+
+/// Registry entry for a known-valid id; check-fails on an unknown one.
+const AlgorithmInfo& GetAlgorithmInfo(AlgorithmId id);
+
+/// Canonical short name of an algorithm ("PR", "SSSP", "CC", "BFS", "PHP",
+/// "SSWP").
+const char* AlgorithmName(AlgorithmId id);
+
+/// Parses an algorithm name or alias, case-insensitively ("pr", "PageRank",
+/// "sswp", ...). Mirrors ParseSystemKind.
+Result<AlgorithmId> ParseAlgorithmName(const std::string& name);
+
+/// Per-algorithm options fixups applied before preparation and execution:
+/// CC pins hub_fraction to 0 because its labels are vertex ids whose
+/// fixpoint depends on the id order (see RunCc).
+SolverOptions EffectiveOptions(AlgorithmId id, const SolverOptions& options);
+
+/// Type-erased dispatch: runs `id` on `prepared` (which must have been
+/// built with EffectiveOptions(id, options)-compatible options).
+Result<AlgorithmRun> RunAlgorithmOn(const PreparedGraph& prepared,
+                                    AlgorithmId id, VertexId source,
+                                    const AlgoParams& params,
+                                    const SolverOptions& options);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_ALGORITHMS_REGISTRY_H_

@@ -12,10 +12,7 @@ Result<PreparedGraph> PreparedGraph::Make(const CsrGraph& graph,
                                           const SolverOptions& options) {
   PreparedGraph prepared;
   prepared.original_ = &graph;
-  const bool wants_hub_sort =
-      options.system == SystemKind::kHyTGraph &&
-      options.enable_contribution_scheduling && options.hub_fraction > 0;
-  if (wants_hub_sort && graph.num_vertices() > 0) {
+  if (WantsReorder(options) && graph.num_vertices() > 0) {
     HYT_ASSIGN_OR_RETURN(HubSortResult sorted,
                          HubSort(graph, options.hub_fraction));
     prepared.reordered_ = true;
@@ -124,11 +121,10 @@ Result<AlgorithmOutput<uint32_t>> RunSssp(const CsrGraph& graph,
 
 Result<AlgorithmOutput<uint32_t>> RunCc(const CsrGraph& graph,
                                         const SolverOptions& options) {
-  // CC's values are vertex labels whose fixpoint depends on the id order, so
-  // the hub-sort relabeling is skipped: results stay in natural-id semantics
-  // (hub-driven task priority still applies at partition granularity).
-  SolverOptions cc_options = options;
-  cc_options.hub_fraction = 0.0;
+  // EffectiveOptions skips the hub-sort relabeling for CC so labels stay in
+  // natural-id semantics (see the registry's per-algorithm fixups).
+  const SolverOptions cc_options =
+      EffectiveOptions(AlgorithmId::kCc, options);
   HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
                        PreparedGraph::Make(graph, cc_options));
   return RunCcOn(prepared, cc_options);
@@ -167,42 +163,16 @@ Result<AlgorithmOutput<uint32_t>> RunSswp(const CsrGraph& graph,
   return RunSswpOn(prepared, source, options);
 }
 
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kPageRank:
-      return "PR";
-    case Algorithm::kSssp:
-      return "SSSP";
-    case Algorithm::kCc:
-      return "CC";
-    case Algorithm::kBfs:
-      return "BFS";
-  }
-  return "?";
-}
-
 Result<RunTrace> RunAlgorithmTrace(const CsrGraph& graph,
-                                   Algorithm algorithm, VertexId source,
+                                   AlgorithmId algorithm, VertexId source,
                                    const SolverOptions& options) {
-  switch (algorithm) {
-    case Algorithm::kPageRank: {
-      HYT_ASSIGN_OR_RETURN(auto out, RunPageRank(graph, options));
-      return std::move(out.trace);
-    }
-    case Algorithm::kSssp: {
-      HYT_ASSIGN_OR_RETURN(auto out, RunSssp(graph, source, options));
-      return std::move(out.trace);
-    }
-    case Algorithm::kCc: {
-      HYT_ASSIGN_OR_RETURN(auto out, RunCc(graph, options));
-      return std::move(out.trace);
-    }
-    case Algorithm::kBfs: {
-      HYT_ASSIGN_OR_RETURN(auto out, RunBfs(graph, source, options));
-      return std::move(out.trace);
-    }
-  }
-  return Status::InvalidArgument("unknown algorithm");
+  const SolverOptions effective = EffectiveOptions(algorithm, options);
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph, effective));
+  HYT_ASSIGN_OR_RETURN(
+      AlgorithmRun run,
+      RunAlgorithmOn(prepared, algorithm, source, AlgoParams{}, effective));
+  return std::move(run.trace);
 }
 
 }  // namespace hytgraph

@@ -1,12 +1,18 @@
-// High-level, hub-sort-aware entry points: run algorithm X on graph G as
-// system S and get (values in original vertex ids, execution trace) back.
-// This is the public API the examples and benches use.
+// Hub-sort-aware execution plumbing: PreparedGraph (a graph preprocessed
+// for one options set) and per-algorithm runners over it.
+//
+// NOTE: the public facade of this library is `hytgraph::Engine`
+// (core/engine.h). The Engine owns the graph, memoizes PreparedGraph
+// instances across queries (so repeated queries never re-run the hub sort),
+// dispatches through the algorithm registry (algorithms/registry.h), and
+// batches multi-source query sets on the thread pool. The free functions
+// below are retained as thin deprecated shims for existing callers; new
+// code should construct an Engine and submit Query objects instead.
 //
 // HyTGraph with contribution-driven scheduling requires the hub-sorted
 // vertex order (Section VI-A); these runners apply the reordering, remap the
 // source, run the solver, and map values back — callers never see relabeled
-// ids. The hub sort is recomputed per call; for repeated runs over one graph
-// build a PreparedGraph once and use the *On overloads.
+// ids.
 
 #ifndef HYTGRAPH_ALGORITHMS_RUNNER_H_
 #define HYTGRAPH_ALGORITHMS_RUNNER_H_
@@ -14,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algorithms/registry.h"
 #include "core/options.h"
 #include "core/trace.h"
 #include "graph/csr_graph.h"
@@ -25,6 +32,16 @@ namespace hytgraph {
 /// system needs it, plus the id mappings.
 class PreparedGraph {
  public:
+  /// Whether `options` calls for the hub-sorted vertex order (the expensive
+  /// part of preparation). Exposed so the Engine can fingerprint
+  /// preparations: all options sets for which this is false share one
+  /// identity preparation.
+  static bool WantsReorder(const SolverOptions& options) {
+    return options.system == SystemKind::kHyTGraph &&
+           options.enable_contribution_scheduling &&
+           options.hub_fraction > 0;
+  }
+
   /// Prepares `graph` for `options`. The source graph must outlive the
   /// PreparedGraph (un-sorted preparation keeps a reference, not a copy).
   static Result<PreparedGraph> Make(const CsrGraph& graph,
@@ -71,6 +88,8 @@ struct AlgorithmOutput {
   RunTrace trace;
 };
 
+/// Deprecated one-shot shims: prefer Engine::Run (core/engine.h), which
+/// caches the preparation these recompute on every call.
 Result<AlgorithmOutput<uint32_t>> RunBfs(const CsrGraph& graph,
                                          VertexId source,
                                          const SolverOptions& options);
@@ -92,7 +111,9 @@ Result<AlgorithmOutput<uint32_t>> RunSswp(const CsrGraph& graph,
                                           const SolverOptions& options);
 
 /// Overloads on an existing PreparedGraph (no re-sorting). The prepared
-/// graph must have been built with compatible options.
+/// graph must have been built with compatible options. These back the
+/// algorithm registry's run hooks; call them through Engine/RunAlgorithmOn
+/// rather than directly.
 Result<AlgorithmOutput<uint32_t>> RunBfsOn(const PreparedGraph& prepared,
                                            VertexId source,
                                            const SolverOptions& options);
@@ -114,14 +135,15 @@ Result<AlgorithmOutput<uint32_t>> RunSswpOn(const PreparedGraph& prepared,
                                             VertexId source,
                                             const SolverOptions& options);
 
-/// The four paper algorithms for sweep-style benches.
-enum class Algorithm { kPageRank = 0, kSssp = 1, kCc = 2, kBfs = 3 };
-const char* AlgorithmName(Algorithm algorithm);
+/// Deprecated alias: the sweep enum is now AlgorithmId (all six algorithms,
+/// see algorithms/registry.h).
+using Algorithm = AlgorithmId;
 
-/// Runs `algorithm` (source used by BFS/SSSP) and returns just the trace —
-/// the shape benches need.
+/// Runs `algorithm` (source used by the source-seeded algorithms) and
+/// returns just the trace — the shape benches need. Dispatches through the
+/// registry, so all six algorithms are covered.
 Result<RunTrace> RunAlgorithmTrace(const CsrGraph& graph,
-                                   Algorithm algorithm, VertexId source,
+                                   AlgorithmId algorithm, VertexId source,
                                    const SolverOptions& options);
 
 }  // namespace hytgraph

@@ -1,0 +1,166 @@
+#include "core/engine.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "graph/degree_stats.h"
+#include "util/thread_pool.h"
+
+namespace hytgraph {
+
+namespace {
+
+/// Cache key for a preparation. Everything that does not call for the hub
+/// sort shares one identity preparation; hub-sorted preparations are keyed
+/// by the fraction that shaped the order.
+std::string PreparationFingerprint(const SolverOptions& options) {
+  if (!PreparedGraph::WantsReorder(options)) return "identity";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "hub-sorted:%.17g", options.hub_fraction);
+  return buf;
+}
+
+}  // namespace
+
+Engine::Engine(CsrGraph graph, SolverOptions default_options)
+    : graph_(std::move(graph)),
+      default_options_(std::move(default_options)),
+      default_source_(HighestOutDegreeVertex(graph_)) {}
+
+Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
+    const SolverOptions& effective, bool* cache_hit) {
+  const std::string key = PreparationFingerprint(effective);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prepared_.find(key);
+    if (it != prepared_.end()) {
+      ++stats_.hits;
+      *cache_hit = true;
+      return it->second;
+    }
+  }
+
+  // Miss: build outside the lock — the hub sort is the expensive step this
+  // cache exists to amortize, and holding mu_ across it would block every
+  // concurrent cache-hit query. Two threads racing on the same key build
+  // twice; the first insert wins and the loser's copy is discarded.
+  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
+                       PreparedGraph::Make(graph_, effective));
+  auto shared = std::make_shared<const PreparedGraph>(std::move(prepared));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = prepared_.emplace(key, std::move(shared));
+  // Either way this query performed a build, so it reports a miss; when a
+  // racing thread inserted first, its copy is kept and ours is discarded.
+  ++stats_.misses;
+  stats_.entries = prepared_.size();
+  *cache_hit = false;
+  return it->second;
+}
+
+Result<Engine::PlannedQuery> Engine::Plan(const Query& query,
+                                          const SolverOptions& base) {
+  const AlgorithmInfo* info = FindAlgorithmInfo(query.algorithm);
+  if (info == nullptr) {
+    return Status::InvalidArgument(
+        "unknown algorithm id: " +
+        std::to_string(static_cast<int>(query.algorithm)));
+  }
+
+  PlannedQuery plan;
+  plan.query = query;
+  plan.options = EffectiveOptions(query.algorithm, base);
+  if (info->needs_source) {
+    plan.source =
+        query.source == kInvalidVertex ? default_source_ : query.source;
+    if (plan.source == kInvalidVertex || plan.source >= graph_.num_vertices()) {
+      return Status::InvalidArgument(
+          std::string(info->name) + " query needs a source vertex in [0, " +
+          std::to_string(graph_.num_vertices()) + ")");
+    }
+  }
+  HYT_ASSIGN_OR_RETURN(plan.prepared,
+                       GetPrepared(plan.options, &plan.cache_hit));
+  return plan;
+}
+
+Result<QueryResult> Engine::Execute(const PlannedQuery& plan) const {
+  HYT_ASSIGN_OR_RETURN(
+      AlgorithmRun run,
+      RunAlgorithmOn(*plan.prepared, plan.query.algorithm, plan.source,
+                     plan.query.params, plan.options));
+  QueryResult result;
+  result.algorithm = plan.query.algorithm;
+  result.source =
+      GetAlgorithmInfo(plan.query.algorithm).needs_source ? plan.source
+                                                          : kInvalidVertex;
+  result.values = std::move(run.values);
+  result.trace = std::move(run.trace);
+  result.prepared_cache_hit = plan.cache_hit;
+  result.cache_stats = cache_stats();
+  return result;
+}
+
+Result<QueryResult> Engine::Run(const Query& query) {
+  return Run(query, default_options_);
+}
+
+Result<QueryResult> Engine::Run(const Query& query,
+                                const SolverOptions& options) {
+  HYT_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(query, options));
+  return Execute(plan);
+}
+
+Result<std::vector<QueryResult>> Engine::RunBatch(
+    const std::vector<Query>& queries) {
+  return RunBatch(queries, default_options_);
+}
+
+Result<std::vector<QueryResult>> Engine::RunBatch(
+    const std::vector<Query>& queries, const SolverOptions& options) {
+  // Plan sequentially first: resolving the cache up front means every
+  // distinct preparation is built exactly once, and the hit/miss ordering
+  // is deterministic regardless of how the pool schedules execution.
+  std::vector<PlannedQuery> plans;
+  plans.reserve(queries.size());
+  for (const Query& query : queries) {
+    HYT_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(query, options));
+    plans.push_back(std::move(plan));
+  }
+
+  std::vector<QueryResult> results(plans.size());
+  std::vector<Status> statuses(plans.size());
+  ThreadPool::Default()->ParallelFor(
+      plans.size(),
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          // Inside a pool worker the solver's kernel-level ParallelFor
+          // degrades to serial loops, so queries are the parallel unit.
+          Result<QueryResult> result = Execute(plans[i]);
+          if (result.ok()) {
+            results[i] = std::move(result).value();
+          } else {
+            statuses[i] = result.status();
+          }
+        }
+      },
+      /*min_grain=*/1);
+
+  for (const Status& status : statuses) {
+    HYT_RETURN_NOT_OK(status);
+  }
+  return results;
+}
+
+EngineCacheStats Engine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Engine::ClearPreparedCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  prepared_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace hytgraph

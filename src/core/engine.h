@@ -1,0 +1,155 @@
+// hytgraph::Engine — the one public entry point of the library.
+//
+// The Engine owns a CsrGraph and serves typed Query objects against it:
+//
+//   Engine engine(std::move(graph));                 // HyTGraph defaults
+//   auto sssp = engine.Run({.algorithm = AlgorithmId::kSssp, .source = 0});
+//   auto ranks = engine.Run({.algorithm = AlgorithmId::kPageRank});
+//
+// Three things distinguish it from calling the solver directly:
+//
+//  * Cached preparation. The hub-sorted vertex order HyTGraph's
+//    contribution-driven scheduling needs (Section VI-A) is expensive to
+//    build; the Engine memoizes PreparedGraph instances keyed by an options
+//    fingerprint, so repeated queries — and every query of a batch — reuse
+//    one preparation. QueryResult reports per-query hit/miss plus the
+//    engine-wide counters.
+//
+//  * Registry dispatch. Queries name an AlgorithmId; the Engine resolves it
+//    through the algorithm registry (algorithms/registry.h), which covers
+//    all six built-in algorithms with typed per-algorithm parameters.
+//
+//  * Batched execution. RunBatch fans a vector of queries (same or mixed
+//    algorithms, multiple sources) out over the process thread pool;
+//    per-query results are deterministic and identical to sequential Run
+//    calls (bitwise for the value-selection family, whose fixpoints are
+//    schedule-independent).
+//
+// Thread safety: Run/RunBatch may be called concurrently from multiple
+// threads; the prepared-graph cache is internally synchronized.
+
+#ifndef HYTGRAPH_CORE_ENGINE_H_
+#define HYTGRAPH_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "algorithms/runner.h"
+#include "core/options.h"
+#include "core/trace.h"
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// One unit of work: which algorithm, from where, with which parameters.
+struct Query {
+  AlgorithmId algorithm = AlgorithmId::kSssp;
+  /// Source vertex for the source-seeded algorithms (BFS, SSSP, PHP, SSWP).
+  /// kInvalidVertex selects the engine default (highest out-degree vertex);
+  /// ignored by PR and CC.
+  VertexId source = kInvalidVertex;
+  AlgoParams params;
+};
+
+/// Engine-wide preparation-cache counters.
+struct EngineCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+};
+
+/// The result of one query: values in original vertex ids, the execution
+/// trace, and what the preparation cache did for this query.
+struct QueryResult {
+  AlgorithmId algorithm = AlgorithmId::kSssp;
+  /// The resolved source (kInvalidVertex for algorithms without one).
+  VertexId source = kInvalidVertex;
+  QueryValues values;
+  RunTrace trace;
+  /// True when this query reused a cached PreparedGraph (no hub re-sort).
+  bool prepared_cache_hit = false;
+  /// Engine-wide cache counters snapshotted after this query resolved.
+  EngineCacheStats cache_stats;
+
+  bool is_f64() const {
+    return std::holds_alternative<std::vector<double>>(values);
+  }
+  const std::vector<uint32_t>& u32() const {
+    return std::get<std::vector<uint32_t>>(values);
+  }
+  const std::vector<double>& f64() const {
+    return std::get<std::vector<double>>(values);
+  }
+};
+
+class Engine {
+ public:
+  /// Takes ownership of `graph`. `default_options` configure queries that
+  /// do not pass explicit options (and the simulated platform for those
+  /// that do not care).
+  explicit Engine(CsrGraph graph,
+                  SolverOptions default_options =
+                      SolverOptions::Defaults(SystemKind::kHyTGraph));
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const CsrGraph& graph() const { return graph_; }
+  const SolverOptions& default_options() const { return default_options_; }
+
+  /// The source used when a query does not name one: the highest
+  /// out-degree vertex (kInvalidVertex on an empty graph).
+  VertexId DefaultSource() const { return default_source_; }
+
+  /// Runs one query under the engine default options.
+  Result<QueryResult> Run(const Query& query);
+  /// Runs one query under explicit options (ablations, baseline systems).
+  Result<QueryResult> Run(const Query& query, const SolverOptions& options);
+
+  /// Executes `queries` concurrently on the process thread pool, sharing
+  /// cached preparations. Results are index-aligned with `queries` and
+  /// identical to sequential Run calls; the first failing query's status is
+  /// returned on error.
+  Result<std::vector<QueryResult>> RunBatch(const std::vector<Query>& queries);
+  Result<std::vector<QueryResult>> RunBatch(const std::vector<Query>& queries,
+                                            const SolverOptions& options);
+
+  EngineCacheStats cache_stats() const;
+
+  /// Drops all memoized preparations (counters are kept).
+  void ClearPreparedCache();
+
+ private:
+  /// A query resolved against the cache and ready to execute.
+  struct PlannedQuery {
+    Query query;
+    SolverOptions options;  // effective (per-algorithm fixups applied)
+    std::shared_ptr<const PreparedGraph> prepared;
+    bool cache_hit = false;
+    VertexId source = kInvalidVertex;
+  };
+
+  Result<PlannedQuery> Plan(const Query& query, const SolverOptions& base);
+  Result<std::shared_ptr<const PreparedGraph>> GetPrepared(
+      const SolverOptions& effective, bool* cache_hit);
+  Result<QueryResult> Execute(const PlannedQuery& plan) const;
+
+  CsrGraph graph_;
+  SolverOptions default_options_;
+  VertexId default_source_ = kInvalidVertex;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const PreparedGraph>> prepared_;
+  EngineCacheStats stats_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_CORE_ENGINE_H_

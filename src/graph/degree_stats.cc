@@ -31,4 +31,29 @@ DegreeSummary SummarizeDegrees(const CsrGraph& graph) {
   return summary;
 }
 
+VertexId HighestOutDegreeVertex(const CsrGraph& graph) {
+  if (graph.num_vertices() == 0) return kInvalidVertex;
+  VertexId best = 0;
+  for (VertexId v = 1; v < graph.num_vertices(); ++v) {
+    if (graph.out_degree(v) > graph.out_degree(best)) best = v;
+  }
+  return best;
+}
+
+std::vector<VertexId> TopOutDegreeVertices(const CsrGraph& graph,
+                                           size_t count) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> vertices(n);
+  for (VertexId v = 0; v < n; ++v) vertices[v] = v;
+  count = std::min<size_t>(count, n);
+  std::partial_sort(vertices.begin(), vertices.begin() + count,
+                    vertices.end(), [&](VertexId a, VertexId b) {
+                      const EdgeId da = graph.out_degree(a);
+                      const EdgeId db = graph.out_degree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  vertices.resize(count);
+  return vertices;
+}
+
 }  // namespace hytgraph

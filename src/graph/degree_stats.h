@@ -46,6 +46,16 @@ struct DegreeSummary {
 /// Mean/max/percentile summary of out-degrees.
 DegreeSummary SummarizeDegrees(const CsrGraph& graph);
 
+/// The vertex with the highest out-degree (lowest id wins ties) — the
+/// conventional deterministic source for BFS/SSSP/PHP/SSWP runs. Returns
+/// kInvalidVertex on an empty graph.
+VertexId HighestOutDegreeVertex(const CsrGraph& graph);
+
+/// The `count` distinct vertices with the highest out-degrees, descending
+/// (lowest id wins ties) — the source set batched multi-source runs use.
+std::vector<VertexId> TopOutDegreeVertices(const CsrGraph& graph,
+                                           size_t count);
+
 }  // namespace hytgraph
 
 #endif  // HYTGRAPH_GRAPH_DEGREE_STATS_H_

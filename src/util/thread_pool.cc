@@ -8,6 +8,13 @@
 
 namespace hytgraph {
 
+namespace {
+/// Set for the lifetime of every pool worker thread; nested ParallelFor
+/// calls detect it and degrade to a serial loop (a worker blocking on a
+/// nested submission would deadlock the batch it is part of).
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
 struct ThreadPool::TaskBatch {
   const std::function<void(int, uint64_t, uint64_t)>* fn = nullptr;
   uint64_t n = 0;
@@ -37,6 +44,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(int worker_id) {
+  tls_in_pool_worker = true;
   uint64_t seen_epoch = 0;
   while (true) {
     TaskBatch* batch = nullptr;
@@ -67,10 +75,14 @@ void ThreadPool::ParallelFor(
     uint64_t min_grain) {
   if (n == 0) return;
   const int workers = num_threads();
-  if (n <= min_grain || workers <= 1) {
+  if (tls_in_pool_worker || n <= min_grain || workers <= 1) {
     fn(0, 0, n);
     return;
   }
+  // One batch in flight at a time: concurrent top-level callers (e.g. two
+  // Engine queries on user threads) queue here rather than clobbering
+  // batch_.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
   TaskBatch batch;
   batch.fn = &fn;
   batch.n = n;
@@ -95,5 +107,7 @@ ThreadPool* ThreadPool::Default() {
   static ThreadPool* pool = new ThreadPool();
   return pool;
 }
+
+bool ThreadPool::InWorkerThread() { return tls_in_pool_worker; }
 
 }  // namespace hytgraph

@@ -1,9 +1,15 @@
 // A fixed-size thread pool with a blocked-range ParallelFor. The pool backs
-// the host-side "GPU kernel" execution as well as the CPU compaction engine.
+// the host-side "GPU kernel" execution, the CPU compaction engine, and the
+// Engine's batched query fan-out.
 //
 // Determinism note: ParallelFor uses static chunking (each worker owns a
 // fixed contiguous range), so per-shard partial results can be combined in
 // shard order to obtain deterministic reductions.
+//
+// Reentrancy: ParallelFor may be called from inside a pool worker (e.g. a
+// batched query executing its solver kernels); the nested call degrades to
+// a serial loop on the calling worker instead of deadlocking on a nested
+// submission. Concurrent top-level callers serialize their batches.
 
 #ifndef HYTGRAPH_UTIL_THREAD_POOL_H_
 #define HYTGRAPH_UTIL_THREAD_POOL_H_
@@ -41,12 +47,17 @@ class ThreadPool {
   /// Process-wide default pool (created on first use with all cores).
   static ThreadPool* Default();
 
+  /// True when the calling thread is a pool worker (of any pool). Nested
+  /// ParallelFor calls from workers run serially.
+  static bool InWorkerThread();
+
  private:
   struct TaskBatch;
 
   void WorkerLoop(int worker_id);
 
   std::vector<std::thread> threads_;
+  std::mutex submit_mu_;  // serializes top-level ParallelFor submissions
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

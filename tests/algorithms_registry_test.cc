@@ -1,0 +1,122 @@
+// The algorithm registry: all six algorithms are present with stable names,
+// parseable aliases, correct execution traits, and a working type-erased
+// dispatch (including PHP and SSWP, which the old four-way sweep skipped).
+
+#include "algorithms/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/runner.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+
+TEST(RegistryTest, CoversAllSixAlgorithms) {
+  EXPECT_EQ(AlgorithmRegistry().size(), 6u);
+  EXPECT_EQ(std::size(kAllAlgorithms), 6u);
+  for (AlgorithmId id : kAllAlgorithms) {
+    EXPECT_EQ(GetAlgorithmInfo(id).id, id);
+    EXPECT_NE(GetAlgorithmInfo(id).run, nullptr);
+  }
+}
+
+TEST(RegistryTest, NamesAreStable) {
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kPageRank), "PR");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kSssp), "SSSP");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kCc), "CC");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kBfs), "BFS");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kPhp), "PHP");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kSswp), "SSWP");
+}
+
+TEST(RegistryTest, ParseAcceptsNamesAndAliases) {
+  // Canonical names, any case.
+  for (AlgorithmId id : kAllAlgorithms) {
+    auto parsed = ParseAlgorithmName(AlgorithmName(id));
+    ASSERT_TRUE(parsed.ok()) << AlgorithmName(id);
+    EXPECT_EQ(*parsed, id);
+  }
+  // CLI-style lower-case aliases.
+  EXPECT_EQ(*ParseAlgorithmName("pr"), AlgorithmId::kPageRank);
+  EXPECT_EQ(*ParseAlgorithmName("PageRank"), AlgorithmId::kPageRank);
+  EXPECT_EQ(*ParseAlgorithmName("sssp"), AlgorithmId::kSssp);
+  EXPECT_EQ(*ParseAlgorithmName("cc"), AlgorithmId::kCc);
+  EXPECT_EQ(*ParseAlgorithmName("wcc"), AlgorithmId::kCc);
+  EXPECT_EQ(*ParseAlgorithmName("bfs"), AlgorithmId::kBfs);
+  EXPECT_EQ(*ParseAlgorithmName("php"), AlgorithmId::kPhp);
+  EXPECT_EQ(*ParseAlgorithmName("sswp"), AlgorithmId::kSswp);
+  EXPECT_EQ(*ParseAlgorithmName("widest-path"), AlgorithmId::kSswp);
+
+  EXPECT_TRUE(ParseAlgorithmName("dijkstra").status().IsNotFound());
+}
+
+TEST(RegistryTest, ExecutionTraitsMatchThePrograms) {
+  EXPECT_FALSE(GetAlgorithmInfo(AlgorithmId::kPageRank).needs_source);
+  EXPECT_FALSE(GetAlgorithmInfo(AlgorithmId::kCc).needs_source);
+  for (AlgorithmId id : {AlgorithmId::kBfs, AlgorithmId::kSssp,
+                         AlgorithmId::kPhp, AlgorithmId::kSswp}) {
+    EXPECT_TRUE(GetAlgorithmInfo(id).needs_source) << AlgorithmName(id);
+  }
+
+  EXPECT_TRUE(GetAlgorithmInfo(AlgorithmId::kPageRank).value_is_f64);
+  EXPECT_TRUE(GetAlgorithmInfo(AlgorithmId::kPhp).value_is_f64);
+  EXPECT_FALSE(GetAlgorithmInfo(AlgorithmId::kBfs).value_is_f64);
+  EXPECT_FALSE(GetAlgorithmInfo(AlgorithmId::kSswp).value_is_f64);
+
+  EXPECT_EQ(GetAlgorithmInfo(AlgorithmId::kSssp).needs_weights,
+            SsspProgram::kNeedsWeights);
+  EXPECT_EQ(GetAlgorithmInfo(AlgorithmId::kPhp).needs_weights,
+            PhpProgram::kNeedsWeights);
+  EXPECT_EQ(GetAlgorithmInfo(AlgorithmId::kBfs).needs_weights,
+            BfsProgram::kNeedsWeights);
+}
+
+TEST(RegistryTest, EffectiveOptionsPinCcHubFractionToZero) {
+  const SolverOptions base = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  ASSERT_GT(base.hub_fraction, 0.0);
+  EXPECT_EQ(EffectiveOptions(AlgorithmId::kCc, base).hub_fraction, 0.0);
+  EXPECT_EQ(EffectiveOptions(AlgorithmId::kSssp, base).hub_fraction,
+            base.hub_fraction);
+}
+
+TEST(RegistryTest, DispatchRunsEveryAlgorithm) {
+  const CsrGraph graph = PaperFigure1Graph();
+  const SolverOptions options = SolverOptions::Defaults(SystemKind::kEmogi);
+  for (AlgorithmId id : kAllAlgorithms) {
+    auto prepared =
+        PreparedGraph::Make(graph, EffectiveOptions(id, options));
+    ASSERT_TRUE(prepared.ok());
+    auto run = RunAlgorithmOn(*prepared, id, /*source=*/0, AlgoParams{},
+                              EffectiveOptions(id, options));
+    ASSERT_TRUE(run.ok()) << AlgorithmName(id) << ": "
+                          << run.status().ToString();
+    EXPECT_TRUE(run->trace.converged) << AlgorithmName(id);
+    const bool is_f64 =
+        std::holds_alternative<std::vector<double>>(run->values);
+    EXPECT_EQ(is_f64, GetAlgorithmInfo(id).value_is_f64)
+        << AlgorithmName(id);
+    const size_t n = is_f64
+                         ? std::get<std::vector<double>>(run->values).size()
+                         : std::get<std::vector<uint32_t>>(run->values).size();
+    EXPECT_EQ(n, graph.num_vertices()) << AlgorithmName(id);
+  }
+}
+
+TEST(RegistryTest, TraceSweepCoversPhpAndSswp) {
+  // The old Algorithm enum silently skipped PHP and SSWP; the trace entry
+  // point must now dispatch them.
+  const CsrGraph graph = PaperFigure1Graph();
+  const SolverOptions options = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  for (AlgorithmId id : {AlgorithmId::kPhp, AlgorithmId::kSswp}) {
+    auto trace = RunAlgorithmTrace(graph, id, /*source=*/0, options);
+    ASSERT_TRUE(trace.ok()) << AlgorithmName(id);
+    EXPECT_TRUE(trace->converged);
+    EXPECT_GT(trace->NumIterations(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -95,17 +95,18 @@ TEST(RunnerTest, CcReturnsNaturalIdLabels) {
 }
 
 TEST(RunnerTest, AlgorithmNamesStable) {
-  EXPECT_STREQ(AlgorithmName(Algorithm::kPageRank), "PR");
-  EXPECT_STREQ(AlgorithmName(Algorithm::kSssp), "SSSP");
-  EXPECT_STREQ(AlgorithmName(Algorithm::kCc), "CC");
-  EXPECT_STREQ(AlgorithmName(Algorithm::kBfs), "BFS");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kPageRank), "PR");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kSssp), "SSSP");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kCc), "CC");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kBfs), "BFS");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kPhp), "PHP");
+  EXPECT_STREQ(AlgorithmName(AlgorithmId::kSswp), "SSWP");
 }
 
-TEST(RunnerTest, RunAlgorithmTraceDispatchesAllFour) {
+TEST(RunnerTest, RunAlgorithmTraceDispatchesAllSix) {
   const CsrGraph g = PaperFigure1Graph();
   const SolverOptions opts = SolverOptions::Defaults(SystemKind::kEmogi);
-  for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kSssp,
-                              Algorithm::kCc, Algorithm::kBfs}) {
+  for (AlgorithmId algorithm : kAllAlgorithms) {
     auto trace = RunAlgorithmTrace(g, algorithm, 0, opts);
     ASSERT_TRUE(trace.ok()) << AlgorithmName(algorithm);
     EXPECT_TRUE(trace->converged);

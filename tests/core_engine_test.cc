@@ -1,0 +1,275 @@
+// The Engine/Query facade: preparation caching (a second query with the
+// same options must hit and produce identical values), registry dispatch,
+// default-source resolution, and batched execution determinism vs
+// sequential runs across all six algorithms.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "algorithms/reference.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+using testing::StarGraph;
+
+SolverOptions HyTGraphDefaults() {
+  return SolverOptions::Defaults(SystemKind::kHyTGraph);
+}
+
+TEST(EngineTest, SecondIdenticalQueryHitsPreparedCache) {
+  Engine engine(SmallRmat(9, 6), HyTGraphDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 3;
+
+  auto first = engine.Run(query);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->prepared_cache_hit);
+  EXPECT_EQ(first->cache_stats.misses, 1u);
+  EXPECT_EQ(first->cache_stats.hits, 0u);
+  EXPECT_EQ(first->cache_stats.entries, 1u);
+
+  auto second = engine.Run(query);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->prepared_cache_hit);  // no hub re-sort
+  EXPECT_EQ(second->cache_stats.misses, 1u);
+  EXPECT_EQ(second->cache_stats.hits, 1u);
+  EXPECT_EQ(second->cache_stats.entries, 1u);
+  EXPECT_EQ(first->u32(), second->u32());
+}
+
+TEST(EngineTest, CacheKeyIsThePreparationFingerprint) {
+  Engine engine(SmallRmat(9, 6), HyTGraphDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = 0;
+
+  // HyTGraph defaults: hub-sorted preparation.
+  ASSERT_TRUE(engine.Run(query).ok());
+  // A different hub fraction is a different preparation.
+  SolverOptions other_hub = HyTGraphDefaults();
+  other_hub.hub_fraction = 0.16;
+  ASSERT_TRUE(engine.Run(query, other_hub).ok());
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+
+  // All non-reordering systems share one identity preparation.
+  auto emogi = engine.Run(query, SolverOptions::Defaults(SystemKind::kEmogi));
+  ASSERT_TRUE(emogi.ok());
+  EXPECT_FALSE(emogi->prepared_cache_hit);
+  auto subway =
+      engine.Run(query, SolverOptions::Defaults(SystemKind::kSubway));
+  ASSERT_TRUE(subway.ok());
+  EXPECT_TRUE(subway->prepared_cache_hit);
+  EXPECT_EQ(engine.cache_stats().entries, 3u);
+
+  // CC pins hub_fraction to 0, so it also reuses the identity preparation
+  // even under hub-sorting defaults.
+  Query cc;
+  cc.algorithm = AlgorithmId::kCc;
+  auto cc_result = engine.Run(cc);
+  ASSERT_TRUE(cc_result.ok());
+  EXPECT_TRUE(cc_result->prepared_cache_hit);
+  EXPECT_EQ(engine.cache_stats().entries, 3u);
+}
+
+TEST(EngineTest, MatchesReferenceImplementations) {
+  const CsrGraph reference_graph = PaperFigure1Graph();
+  Engine engine(PaperFigure1Graph(), HyTGraphDefaults());
+
+  Query sssp;
+  sssp.algorithm = AlgorithmId::kSssp;
+  sssp.source = 0;
+  auto result = engine.Run(sssp);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->u32(), ReferenceSssp(reference_graph, 0));
+  EXPECT_EQ(result->u32(), (std::vector<uint32_t>{0, 2, 4, 3, 4, 6}));
+}
+
+TEST(EngineTest, DefaultSourceIsHighestOutDegreeVertex) {
+  Engine engine(StarGraph(16), HyTGraphDefaults());
+  EXPECT_EQ(engine.DefaultSource(), 0u);
+
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;  // no source named
+  auto result = engine.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->source, 0u);
+  EXPECT_EQ(result->u32()[5], 1u);  // every spoke is one hop from the hub
+}
+
+TEST(EngineTest, SourcelessAlgorithmsIgnoreTheSource) {
+  Engine engine(testing::TwoCyclesGraph(12), HyTGraphDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kCc;
+  auto result = engine.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->source, kInvalidVertex);
+  EXPECT_EQ(result->u32(), ReferenceCc(engine.graph()));
+}
+
+TEST(EngineTest, UnknownAlgorithmIdIsRejected) {
+  // An unchecked int from config/serialization must not silently dispatch
+  // to some registry entry.
+  Engine engine(PaperFigure1Graph(), HyTGraphDefaults());
+  Query query;
+  query.algorithm = static_cast<AlgorithmId>(99);
+  EXPECT_TRUE(engine.Run(query).status().IsInvalidArgument());
+}
+
+TEST(EngineTest, OutOfRangeSourceIsRejected) {
+  Engine engine(PaperFigure1Graph(), HyTGraphDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = 1000;
+  EXPECT_TRUE(engine.Run(query).status().IsInvalidArgument());
+}
+
+TEST(EngineTest, TypedParamsReachTheAlgorithm) {
+  Engine engine(SmallRmat(8, 6), HyTGraphDefaults());
+  Query strict;
+  strict.algorithm = AlgorithmId::kPageRank;
+  strict.params.pagerank.epsilon = 1e-8;
+  Query loose;
+  loose.algorithm = AlgorithmId::kPageRank;
+  loose.params.pagerank.epsilon = 1e-2;
+  auto strict_run = engine.Run(strict);
+  auto loose_run = engine.Run(loose);
+  ASSERT_TRUE(strict_run.ok());
+  ASSERT_TRUE(loose_run.ok());
+  // A tighter epsilon must not converge faster.
+  EXPECT_GE(strict_run->trace.NumIterations(),
+            loose_run->trace.NumIterations());
+}
+
+TEST(EngineTest, ErrorsPropagate) {
+  SolverOptions tiny = HyTGraphDefaults();
+  tiny.device_memory_override = 1;  // nothing fits
+  Engine engine(PaperFigure1Graph(), tiny);
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = 0;
+  EXPECT_TRUE(engine.Run(query).status().IsOutOfMemory());
+}
+
+TEST(EngineBatchTest, MultiSourceBatchSharesOnePreparation) {
+  Engine engine(SmallRmat(9, 6), HyTGraphDefaults());
+  std::vector<Query> queries;
+  for (VertexId source : {0u, 7u, 31u, 100u}) {
+    Query query;
+    query.algorithm = AlgorithmId::kSssp;
+    query.source = source;
+    queries.push_back(query);
+  }
+
+  auto batch = engine.RunBatch(queries);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), queries.size());
+
+  const EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);  // one hub sort for the whole batch
+  EXPECT_EQ(stats.hits, queries.size() - 1);
+  EXPECT_FALSE((*batch)[0].prepared_cache_hit);
+  for (size_t i = 1; i < batch->size(); ++i) {
+    EXPECT_TRUE((*batch)[i].prepared_cache_hit);
+  }
+}
+
+TEST(EngineBatchTest, BatchMatchesSequentialAcrossAllSixAlgorithms) {
+  // A weighted graph so SSSP/PHP/SSWP exercise real weights. Run every
+  // registered algorithm once as a batch and once sequentially: the
+  // value-selection family must match bitwise (its fixpoints are
+  // schedule-independent); the accumulation family within a tolerance
+  // (floating-point reduction order differs between nested-serial and
+  // parallel kernels).
+  std::vector<Query> queries;
+  for (AlgorithmId id : kAllAlgorithms) {
+    Query query;
+    query.algorithm = id;
+    query.source = 1;
+    queries.push_back(query);
+  }
+
+  Engine engine(SmallRmat(8, 6, 3), HyTGraphDefaults());
+  auto batch = engine.RunBatch(queries);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), queries.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = engine.Run(queries[i]);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    const QueryResult& batched = (*batch)[i];
+    ASSERT_EQ(batched.is_f64(), sequential->is_f64());
+    if (batched.is_f64()) {
+      ASSERT_EQ(batched.f64().size(), sequential->f64().size());
+      for (size_t v = 0; v < batched.f64().size(); ++v) {
+        EXPECT_NEAR(batched.f64()[v], sequential->f64()[v], 1e-3)
+            << AlgorithmName(queries[i].algorithm) << " vertex " << v;
+      }
+    } else {
+      EXPECT_EQ(batched.u32(), sequential->u32())
+          << AlgorithmName(queries[i].algorithm);
+    }
+  }
+}
+
+TEST(EngineBatchTest, BatchIsDeterministicAcrossRepeats) {
+  Engine engine(SmallRmat(8, 6, 11), HyTGraphDefaults());
+  std::vector<Query> queries;
+  for (VertexId source : {2u, 3u, 5u, 8u, 13u, 21u}) {
+    Query query;
+    query.algorithm = AlgorithmId::kBfs;
+    query.source = source;
+    queries.push_back(query);
+  }
+  auto first = engine.RunBatch(queries);
+  auto second = engine.RunBatch(queries);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ((*first)[i].u32(), (*second)[i].u32()) << "query " << i;
+  }
+}
+
+TEST(EngineBatchTest, BatchPropagatesQueryErrors) {
+  Engine engine(PaperFigure1Graph(), HyTGraphDefaults());
+  Query good;
+  good.algorithm = AlgorithmId::kBfs;
+  good.source = 0;
+  Query bad;
+  bad.algorithm = AlgorithmId::kBfs;
+  bad.source = 1000;  // out of range
+  auto batch = engine.RunBatch({good, bad});
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+}
+
+TEST(EngineBatchTest, EmptyBatchIsFine) {
+  Engine engine(PaperFigure1Graph(), HyTGraphDefaults());
+  auto batch = engine.RunBatch({});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(EngineTest, ClearPreparedCacheForcesRebuild) {
+  Engine engine(SmallRmat(9, 6), HyTGraphDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 0;
+  ASSERT_TRUE(engine.Run(query).ok());
+  engine.ClearPreparedCache();
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+  auto again = engine.Run(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->prepared_cache_hit);
+  EXPECT_EQ(again->cache_stats.misses, 2u);
+}
+
+}  // namespace
+}  // namespace hytgraph

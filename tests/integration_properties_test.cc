@@ -6,7 +6,7 @@
 
 #include "algorithms/programs.h"
 #include "algorithms/reference.h"
-#include "algorithms/runner.h"
+#include "core/engine.h"
 #include "test_graphs.h"
 
 namespace hytgraph {
@@ -14,22 +14,34 @@ namespace {
 
 using testing::SmallRmat;
 
+/// Runs one query through a fresh Engine (the public API). The engine gets
+/// a copy of the graph so the caller keeps the original for reference
+/// checks.
+Result<QueryResult> RunVia(const CsrGraph& graph, AlgorithmId algorithm,
+                           VertexId source, const SolverOptions& options) {
+  Engine engine(CsrGraph(graph), options);
+  Query query;
+  query.algorithm = algorithm;
+  query.source = source;
+  return engine.Run(query);
+}
+
 class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SeedSweepTest, SsspCorrectOnRandomGraphs) {
   const CsrGraph graph = SmallRmat(9, 8, GetParam());
   SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
   opts.partition_bytes = 4096;
-  const auto out = RunSssp(graph, 0, opts);
+  const auto out = RunVia(graph, AlgorithmId::kSssp, 0, opts);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->values, ReferenceSssp(graph, 0));
+  EXPECT_EQ(out->u32(), ReferenceSssp(graph, 0));
 }
 
 TEST_P(SeedSweepTest, TraceTransferBytesMatchStatsSums) {
   const CsrGraph graph = SmallRmat(9, 8, GetParam());
   SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
   opts.partition_bytes = 4096;
-  const auto out = RunSssp(graph, 0, opts);
+  const auto out = RunVia(graph, AlgorithmId::kSssp, 0, opts);
   ASSERT_TRUE(out.ok());
   uint64_t per_iter = 0;
   for (const auto& it : out->trace.iterations) {
@@ -42,18 +54,18 @@ TEST_P(SeedSweepTest, SelectionAlgorithmsAreRunToRunDeterministic) {
   // Min-based algorithms must be bitwise deterministic despite parallelism.
   const CsrGraph graph = SmallRmat(9, 8, GetParam());
   SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
-  const auto a = RunSssp(graph, 0, opts);
-  const auto b = RunSssp(graph, 0, opts);
+  const auto a = RunVia(graph, AlgorithmId::kSssp, 0, opts);
+  const auto b = RunVia(graph, AlgorithmId::kSssp, 0, opts);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_EQ(a->values, b->values);
+  EXPECT_EQ(a->u32(), b->u32());
 }
 
 TEST_P(SeedSweepTest, SimulatedTimeIsDeterministic) {
   const CsrGraph graph = SmallRmat(9, 8, GetParam());
   SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
-  const auto a = RunBfs(graph, 0, opts);
-  const auto b = RunBfs(graph, 0, opts);
+  const auto a = RunVia(graph, AlgorithmId::kBfs, 0, opts);
+  const auto b = RunVia(graph, AlgorithmId::kBfs, 0, opts);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a->trace.total_sim_seconds, b->trace.total_sim_seconds);
@@ -65,7 +77,7 @@ TEST_P(SeedSweepTest, KernelEdgesAtLeastReachableEdges) {
   // Every out-edge of every reached vertex is relaxed at least once.
   const CsrGraph graph = SmallRmat(8, 6, GetParam());
   SolverOptions opts = SolverOptions::Defaults(SystemKind::kEmogi);
-  const auto out = RunBfs(graph, 0, opts);
+  const auto out = RunVia(graph, AlgorithmId::kBfs, 0, opts);
   ASSERT_TRUE(out.ok());
   const auto levels = ReferenceBfs(graph, 0);
   uint64_t reachable_edges = 0;
@@ -92,8 +104,8 @@ TEST_P(StreamCountTest, MoreStreamsNeverSlowTheSimulation) {
   one.num_streams = 1;
   SolverOptions many = one;
   many.num_streams = GetParam();
-  const auto t1 = RunAlgorithmTrace(graph, Algorithm::kBfs, 1, one);
-  const auto tn = RunAlgorithmTrace(graph, Algorithm::kBfs, 1, many);
+  const auto t1 = RunAlgorithmTrace(graph, AlgorithmId::kBfs, 1, one);
+  const auto tn = RunAlgorithmTrace(graph, AlgorithmId::kBfs, 1, many);
   ASSERT_TRUE(t1.ok());
   ASSERT_TRUE(tn.ok());
   EXPECT_LE(tn->total_sim_seconds, t1->total_sim_seconds * 1.05);
@@ -108,9 +120,9 @@ TEST_P(PartitionSizeTest, ResultsIndependentOfPartitioning) {
   const CsrGraph graph = SmallRmat(9, 8, 77);
   SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
   opts.partition_bytes = GetParam();
-  const auto out = RunSssp(graph, 0, opts);
+  const auto out = RunVia(graph, AlgorithmId::kSssp, 0, opts);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->values, ReferenceSssp(graph, 0));
+  EXPECT_EQ(out->u32(), ReferenceSssp(graph, 0));
 }
 
 INSTANTIATE_TEST_SUITE_P(PartitionBytes, PartitionSizeTest,
@@ -124,8 +136,8 @@ TEST(AblationPropertyTest, TaskCombiningReducesTaskCount) {
   SolverOptions without_tc = with_tc;
   without_tc.enable_task_combining = false;
 
-  const auto a = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0, with_tc);
-  const auto b = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0, without_tc);
+  const auto a = RunAlgorithmTrace(graph, AlgorithmId::kPageRank, 0, with_tc);
+  const auto b = RunAlgorithmTrace(graph, AlgorithmId::kPageRank, 0, without_tc);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   uint64_t tasks_with = 0;
@@ -145,9 +157,9 @@ TEST(AblationPropertyTest, FeatureFlagsDoNotChangeResults) {
       opts.enable_task_combining = tc;
       opts.enable_contribution_scheduling = cds;
       opts.extra_rounds = cds ? 1 : 0;
-      const auto out = RunSssp(graph, 0, opts);
+      const auto out = RunVia(graph, AlgorithmId::kSssp, 0, opts);
       ASSERT_TRUE(out.ok());
-      EXPECT_EQ(out->values, ReferenceSssp(graph, 0))
+      EXPECT_EQ(out->u32(), ReferenceSssp(graph, 0))
           << "tc=" << tc << " cds=" << cds;
     }
   }
@@ -159,7 +171,7 @@ TEST(OverheadPropertyTest, TaskOverheadMonotonicallyIncreasesRuntime) {
   for (double overhead : {0.0, 1e-5, 1e-4, 1e-3}) {
     SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
     opts.task_overhead_seconds = overhead;
-    const auto trace = RunAlgorithmTrace(graph, Algorithm::kBfs, 0, opts);
+    const auto trace = RunAlgorithmTrace(graph, AlgorithmId::kBfs, 0, opts);
     ASSERT_TRUE(trace.ok());
     EXPECT_GE(trace->total_sim_seconds, previous);
     previous = trace->total_sim_seconds;

@@ -31,7 +31,7 @@ class SystemBehaviorTest : public ::testing::Test {
     graph_ = nullptr;
   }
 
-  double SimSeconds(SystemKind system, Algorithm algorithm) {
+  double SimSeconds(SystemKind system, AlgorithmId algorithm) {
     auto trace =
         RunAlgorithmTrace(*graph_, algorithm, 0, Opts(system, device_memory_));
     HYT_CHECK(trace.ok()) << trace.status().ToString();
@@ -48,40 +48,40 @@ uint64_t SystemBehaviorTest::device_memory_ = 0;
 TEST_F(SystemBehaviorTest, ExpFilterIsWorstForSparseTraversal) {
   // BFS frontiers are sparse most iterations: shipping whole partitions
   // (ExpTM-F) must lose to zero-copy (EMOGI) — Table V's consistent result.
-  EXPECT_GT(SimSeconds(SystemKind::kExpFilter, Algorithm::kBfs),
-            SimSeconds(SystemKind::kEmogi, Algorithm::kBfs));
+  EXPECT_GT(SimSeconds(SystemKind::kExpFilter, AlgorithmId::kBfs),
+            SimSeconds(SystemKind::kEmogi, AlgorithmId::kBfs));
 }
 
 TEST_F(SystemBehaviorTest, HyTGraphBeatsEveryBaselineOnSssp) {
-  const double hyt = SimSeconds(SystemKind::kHyTGraph, Algorithm::kSssp);
+  const double hyt = SimSeconds(SystemKind::kHyTGraph, AlgorithmId::kSssp);
   for (SystemKind baseline :
        {SystemKind::kExpFilter, SystemKind::kSubway, SystemKind::kEmogi,
         SystemKind::kImpUm}) {
-    EXPECT_LT(hyt, SimSeconds(baseline, Algorithm::kSssp) * 1.05)
+    EXPECT_LT(hyt, SimSeconds(baseline, AlgorithmId::kSssp) * 1.05)
         << SystemKindName(baseline);
   }
 }
 
 TEST_F(SystemBehaviorTest, HyTGraphCompetitiveOnPageRank) {
-  const double hyt = SimSeconds(SystemKind::kHyTGraph, Algorithm::kPageRank);
+  const double hyt = SimSeconds(SystemKind::kHyTGraph, AlgorithmId::kPageRank);
   for (SystemKind baseline : {SystemKind::kExpFilter, SystemKind::kSubway,
                               SystemKind::kEmogi, SystemKind::kImpUm}) {
-    EXPECT_LT(hyt, SimSeconds(baseline, Algorithm::kPageRank) * 1.10)
+    EXPECT_LT(hyt, SimSeconds(baseline, AlgorithmId::kPageRank) * 1.10)
         << SystemKindName(baseline);
   }
 }
 
 TEST_F(SystemBehaviorTest, GpuSystemsBeatCpuBaseline) {
-  const double cpu = SimSeconds(SystemKind::kCpu, Algorithm::kPageRank);
-  EXPECT_GT(cpu / SimSeconds(SystemKind::kHyTGraph, Algorithm::kPageRank),
+  const double cpu = SimSeconds(SystemKind::kCpu, AlgorithmId::kPageRank);
+  EXPECT_GT(cpu / SimSeconds(SystemKind::kHyTGraph, AlgorithmId::kPageRank),
             1.5);
 }
 
 TEST_F(SystemBehaviorTest, UnifiedMemoryThrashesWhenOversubscribed) {
   // On the oversubscribed graph, UM must be slower than zero-copy for
   // PageRank (the Table V large-graph pattern).
-  EXPECT_GT(SimSeconds(SystemKind::kImpUm, Algorithm::kPageRank),
-            SimSeconds(SystemKind::kEmogi, Algorithm::kPageRank) * 0.9);
+  EXPECT_GT(SimSeconds(SystemKind::kImpUm, AlgorithmId::kPageRank),
+            SimSeconds(SystemKind::kEmogi, AlgorithmId::kPageRank) * 0.9);
 }
 
 TEST(SystemBehaviorSmallGraphTest, UnifiedMemoryWinsWhenGraphFits) {
@@ -90,9 +90,9 @@ TEST(SystemBehaviorSmallGraphTest, UnifiedMemoryWinsWhenGraphFits) {
   const CsrGraph graph = SmallRmat(11, 10, /*seed=*/33);
   const uint64_t roomy = graph.EdgeDataBytes() * 4;
 
-  auto um = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+  auto um = RunAlgorithmTrace(graph, AlgorithmId::kPageRank, 0,
                               Opts(SystemKind::kImpUm, roomy));
-  auto zc = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+  auto zc = RunAlgorithmTrace(graph, AlgorithmId::kPageRank, 0,
                               Opts(SystemKind::kEmogi, roomy));
   ASSERT_TRUE(um.ok());
   ASSERT_TRUE(zc.ok());
@@ -105,9 +105,9 @@ TEST(SystemBehaviorSmallGraphTest, GrusCachesLikeUmButSpillsGracefully) {
   // zero-copies the rest — it must transfer less than pure re-migration UM
   // thrash and run without errors.
   const uint64_t tight = graph.EdgeDataBytes() * 4 / 10;
-  auto grus = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+  auto grus = RunAlgorithmTrace(graph, AlgorithmId::kPageRank, 0,
                                 Opts(SystemKind::kGrus, tight));
-  auto um = RunAlgorithmTrace(graph, Algorithm::kPageRank, 0,
+  auto um = RunAlgorithmTrace(graph, AlgorithmId::kPageRank, 0,
                               Opts(SystemKind::kImpUm, tight));
   ASSERT_TRUE(grus.ok());
   ASSERT_TRUE(um.ok());
@@ -120,9 +120,9 @@ TEST(SystemBehaviorSmallGraphTest, GrusCachesLikeUmButSpillsGracefully) {
 TEST_F(SystemBehaviorTest, TransferVolumes_SubwayMinimalForPageRank) {
   // Table VI: compaction moves the least data for PageRank-style dense
   // workloads; ExpTM-F moves by far the most.
-  auto filter = RunAlgorithmTrace(*graph_, Algorithm::kPageRank, 0,
+  auto filter = RunAlgorithmTrace(*graph_, AlgorithmId::kPageRank, 0,
                                   Opts(SystemKind::kExpFilter, device_memory_));
-  auto subway = RunAlgorithmTrace(*graph_, Algorithm::kPageRank, 0,
+  auto subway = RunAlgorithmTrace(*graph_, AlgorithmId::kPageRank, 0,
                                   Opts(SystemKind::kSubway, device_memory_));
   ASSERT_TRUE(filter.ok());
   ASSERT_TRUE(subway.ok());
@@ -131,9 +131,9 @@ TEST_F(SystemBehaviorTest, TransferVolumes_SubwayMinimalForPageRank) {
 }
 
 TEST_F(SystemBehaviorTest, HyTGraphTransfersLessThanExpFilter) {
-  auto hyt = RunAlgorithmTrace(*graph_, Algorithm::kSssp, 0,
+  auto hyt = RunAlgorithmTrace(*graph_, AlgorithmId::kSssp, 0,
                                Opts(SystemKind::kHyTGraph, device_memory_));
-  auto filter = RunAlgorithmTrace(*graph_, Algorithm::kSssp, 0,
+  auto filter = RunAlgorithmTrace(*graph_, AlgorithmId::kSssp, 0,
                                   Opts(SystemKind::kExpFilter, device_memory_));
   ASSERT_TRUE(hyt.ok());
   ASSERT_TRUE(filter.ok());
@@ -143,7 +143,7 @@ TEST_F(SystemBehaviorTest, HyTGraphTransfersLessThanExpFilter) {
 TEST_F(SystemBehaviorTest, EngineMixEvolvesAcrossPageRankIterations) {
   // Fig. 7(a): early dense iterations prefer explicit transfer; as vertices
   // converge the zero-copy share must grow.
-  auto trace = RunAlgorithmTrace(*graph_, Algorithm::kPageRank, 0,
+  auto trace = RunAlgorithmTrace(*graph_, AlgorithmId::kPageRank, 0,
                                  Opts(SystemKind::kHyTGraph, device_memory_));
   ASSERT_TRUE(trace.ok());
   ASSERT_GT(trace->NumIterations(), 3u);

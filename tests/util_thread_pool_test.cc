@@ -105,5 +105,54 @@ TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
   EXPECT_GT(ThreadPool::Default()->num_threads(), 0);
 }
 
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerialInsteadOfDeadlocking) {
+  // The Engine's batched queries run ParallelFor from inside pool workers
+  // (kernel loops nested under the per-query fan-out). The nested call must
+  // run serially on the calling worker and still cover every index.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> inner_total{0};
+  std::atomic<int> nested_parallel{0};
+  pool.ParallelFor(
+      8,
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        EXPECT_TRUE(ThreadPool::InWorkerThread());
+        for (uint64_t i = begin; i < end; ++i) {
+          pool.ParallelFor(
+              1000,
+              [&](int inner_shard, uint64_t ib, uint64_t ie) {
+                if (inner_shard != 0) nested_parallel.fetch_add(1);
+                inner_total.fetch_add(ie - ib);
+              },
+              /*min_grain=*/1);
+        }
+      },
+      /*min_grain=*/1);
+  EXPECT_EQ(inner_total.load(), 8000u);
+  EXPECT_EQ(nested_parallel.load(), 0);  // nested calls stayed serial
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPoolTest, ConcurrentTopLevelCallersSerializeSafely) {
+  // Two user threads driving the same pool must not clobber each other's
+  // batches (Engine::Run may be called concurrently).
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  auto driver = [&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(
+          5000,
+          [&](int, uint64_t begin, uint64_t end) {
+            total.fetch_add(end - begin);
+          },
+          /*min_grain=*/1);
+    }
+  };
+  std::thread a(driver);
+  std::thread b(driver);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2u * 20u * 5000u);
+}
+
 }  // namespace
 }  // namespace hytgraph
