@@ -18,11 +18,13 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "dynamic/mutation.h"
 #include "graph/dataset.h"
 #include "graph/degree_stats.h"
 #include "graph/rmat_generator.h"
 #include "sim/interconnect.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 using namespace hytgraph;
 
@@ -41,6 +43,7 @@ struct CliOptions {
   int streams = 4;
   bool trace = false;
   uint64_t seed = 42;
+  std::string mutations;  // replay file of edge mutation batches
 };
 
 void PrintUsage() {
@@ -60,7 +63,13 @@ void PrintUsage() {
       "  --batch-sources N            run N queries from the top-N degree\n"
       "                               sources as one batch\n"
       "  --streams N                  CUDA streams (default 4)\n"
-      "  --trace                      print per-iteration engine mix\n");
+      "  --trace                      print per-iteration engine mix\n"
+      "  --mutations FILE             after the initial query, replay edge\n"
+      "                               mutation batches ('+ u v [w]' inserts,\n"
+      "                               '- u v' deletes, blank line commits a\n"
+      "                               batch) and re-run the query after each\n"
+      "                               batch, incrementally where the\n"
+      "                               algorithm allows\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* cli) {
@@ -99,6 +108,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->source = std::atoll(value);
     } else if (arg == "--batch-sources") {
       cli->batch_sources = std::atoi(value);
+    } else if (arg == "--mutations") {
+      cli->mutations = value;
     } else if (arg == "--streams") {
       cli->streams = std::atoi(value);
     } else {
@@ -230,6 +241,12 @@ int main(int argc, char** argv) {
   // --source -1 leaves query.source at kInvalidVertex: the Engine resolves
   // it to DefaultSource() (the highest out-degree vertex).
 
+  if (cli.batch_sources > 0 && !cli.mutations.empty()) {
+    std::fprintf(stderr,
+                 "--mutations replays a single query; drop --batch-sources\n");
+    return 2;
+  }
+
   // --- Batched multi-source execution ---
   if (cli.batch_sources > 0) {
     if (!GetAlgorithmInfo(*algorithm).needs_source) {
@@ -300,5 +317,47 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   result->trace.TotalKernelEdges()));
   if (cli.trace) PrintTrace(result->trace);
+
+  // --- Mutation replay ---
+  if (!cli.mutations.empty()) {
+    auto batches = MutationBatch::ParseReplayFile(cli.mutations);
+    if (!batches.ok()) {
+      std::fprintf(stderr, "%s\n", batches.status().ToString().c_str());
+      return 1;
+    }
+    // Pin the resolved source so every replayed query warm-starts from the
+    // previous epoch's result.
+    if (GetAlgorithmInfo(*algorithm).needs_source) {
+      query.source = result->source;
+    }
+    std::printf("\nreplaying %zu mutation batch(es) from %s\n",
+                batches->size(), cli.mutations.c_str());
+    TablePrinter table({"epoch", "+edges", "-edges", "pending delta",
+                        "compacted", "mode", "wall ms", "summary"});
+    QueryResult last = std::move(result).value();
+    for (const MutationBatch& batch : *batches) {
+      auto applied = engine.ApplyMutations(batch);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "%s\n", applied.status().ToString().c_str());
+        return 1;
+      }
+      WallTimer timer;
+      auto rerun = engine.RunIncremental(query, last);
+      const double wall_ms = timer.Millis();
+      if (!rerun.ok()) {
+        std::fprintf(stderr, "%s\n", rerun.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({std::to_string(applied->epoch),
+                    std::to_string(applied->inserted),
+                    std::to_string(applied->deleted),
+                    std::to_string(applied->pending_delta_edges),
+                    applied->compacted ? "yes" : "no",
+                    rerun->incremental ? "incremental" : "full",
+                    FormatDouble(wall_ms, 3), Summarize(*rerun)});
+      last = std::move(*rerun);
+    }
+    table.Print();
+  }
   return 0;
 }

@@ -103,49 +103,6 @@ Result<AlgorithmOutput<double>> RunPhpOn(const PreparedGraph& prepared,
   });
 }
 
-Result<AlgorithmOutput<uint32_t>> RunBfs(const CsrGraph& graph,
-                                         VertexId source,
-                                         const SolverOptions& options) {
-  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(graph, options));
-  return RunBfsOn(prepared, source, options);
-}
-
-Result<AlgorithmOutput<uint32_t>> RunSssp(const CsrGraph& graph,
-                                          VertexId source,
-                                          const SolverOptions& options) {
-  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(graph, options));
-  return RunSsspOn(prepared, source, options);
-}
-
-Result<AlgorithmOutput<uint32_t>> RunCc(const CsrGraph& graph,
-                                        const SolverOptions& options) {
-  // EffectiveOptions skips the hub-sort relabeling for CC so labels stay in
-  // natural-id semantics (see the registry's per-algorithm fixups).
-  const SolverOptions cc_options =
-      EffectiveOptions(AlgorithmId::kCc, options);
-  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(graph, cc_options));
-  return RunCcOn(prepared, cc_options);
-}
-
-Result<AlgorithmOutput<double>> RunPageRank(const CsrGraph& graph,
-                                            const SolverOptions& options,
-                                            double damping, double epsilon) {
-  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(graph, options));
-  return RunPageRankOn(prepared, options, damping, epsilon);
-}
-
-Result<AlgorithmOutput<double>> RunPhp(const CsrGraph& graph, VertexId source,
-                                       const SolverOptions& options,
-                                       double damping, double epsilon) {
-  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(graph, options));
-  return RunPhpOn(prepared, source, options, damping, epsilon);
-}
-
 Result<AlgorithmOutput<uint32_t>> RunSswpOn(const PreparedGraph& prepared,
                                             VertexId source,
                                             const SolverOptions& options) {
@@ -153,14 +110,6 @@ Result<AlgorithmOutput<uint32_t>> RunSswpOn(const PreparedGraph& prepared,
   return RunWith<SswpProgram>(prepared, options, [&](const CsrGraph& g) {
     return SswpProgram(g, mapped);
   });
-}
-
-Result<AlgorithmOutput<uint32_t>> RunSswp(const CsrGraph& graph,
-                                          VertexId source,
-                                          const SolverOptions& options) {
-  HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(graph, options));
-  return RunSswpOn(prepared, source, options);
 }
 
 Result<RunTrace> RunAlgorithmTrace(const CsrGraph& graph,

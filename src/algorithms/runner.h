@@ -5,9 +5,12 @@
 // (core/engine.h). The Engine owns the graph, memoizes PreparedGraph
 // instances across queries (so repeated queries never re-run the hub sort),
 // dispatches through the algorithm registry (algorithms/registry.h), and
-// batches multi-source query sets on the thread pool. The free functions
-// below are retained as thin deprecated shims for existing callers; new
-// code should construct an Engine and submit Query objects instead.
+// batches multi-source query sets on the thread pool. The Run*On overloads
+// below operate on an explicit PreparedGraph and back the registry's run
+// hooks; construct an Engine and submit Query objects instead of calling
+// them directly. (The old one-shot free functions RunBfs/RunSssp/... that
+// re-prepared the graph on every call were removed after all callers
+// migrated to the Engine.)
 //
 // HyTGraph with contribution-driven scheduling requires the hub-sorted
 // vertex order (Section VI-A); these runners apply the reordering, remap the
@@ -88,28 +91,6 @@ struct AlgorithmOutput {
   RunTrace trace;
 };
 
-/// Deprecated one-shot shims: prefer Engine::Run (core/engine.h), which
-/// caches the preparation these recompute on every call.
-Result<AlgorithmOutput<uint32_t>> RunBfs(const CsrGraph& graph,
-                                         VertexId source,
-                                         const SolverOptions& options);
-Result<AlgorithmOutput<uint32_t>> RunSssp(const CsrGraph& graph,
-                                          VertexId source,
-                                          const SolverOptions& options);
-Result<AlgorithmOutput<uint32_t>> RunCc(const CsrGraph& graph,
-                                        const SolverOptions& options);
-Result<AlgorithmOutput<double>> RunPageRank(const CsrGraph& graph,
-                                            const SolverOptions& options,
-                                            double damping = 0.85,
-                                            double epsilon = 1e-6);
-Result<AlgorithmOutput<double>> RunPhp(const CsrGraph& graph, VertexId source,
-                                       const SolverOptions& options,
-                                       double damping = 0.8,
-                                       double epsilon = 1e-6);
-Result<AlgorithmOutput<uint32_t>> RunSswp(const CsrGraph& graph,
-                                          VertexId source,
-                                          const SolverOptions& options);
-
 /// Overloads on an existing PreparedGraph (no re-sorting). The prepared
 /// graph must have been built with compatible options. These back the
 /// algorithm registry's run hooks; call them through Engine/RunAlgorithmOn
@@ -134,10 +115,6 @@ Result<AlgorithmOutput<double>> RunPhpOn(const PreparedGraph& prepared,
 Result<AlgorithmOutput<uint32_t>> RunSswpOn(const PreparedGraph& prepared,
                                             VertexId source,
                                             const SolverOptions& options);
-
-/// Deprecated alias: the sweep enum is now AlgorithmId (all six algorithms,
-/// see algorithms/registry.h).
-using Algorithm = AlgorithmId;
 
 /// Runs `algorithm` (source used by the source-seeded algorithms) and
 /// returns just the trace — the shape benches need. Dispatches through the

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "dynamic/incremental.h"
 #include "graph/degree_stats.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace hytgraph {
@@ -12,7 +14,9 @@ namespace {
 
 /// Cache key for a preparation. Everything that does not call for the hub
 /// sort shares one identity preparation; hub-sorted preparations are keyed
-/// by the fraction that shaped the order.
+/// by the fraction that shaped the order. (Entries additionally carry the
+/// epoch they were built against; a fingerprint match from a stale epoch is
+/// invalidated lazily on lookup.)
 std::string PreparationFingerprint(const SolverOptions& options) {
   if (!PreparedGraph::WantsReorder(options)) return "identity";
   char buf[48];
@@ -22,21 +26,135 @@ std::string PreparationFingerprint(const SolverOptions& options) {
 
 }  // namespace
 
-Engine::Engine(CsrGraph graph, SolverOptions default_options)
-    : graph_(std::move(graph)),
-      default_options_(std::move(default_options)),
-      default_source_(HighestOutDegreeVertex(graph_)) {}
+Engine::Engine(CsrGraph graph, SolverOptions default_options,
+               CompactionPolicy compaction)
+    : default_options_(std::move(default_options)),
+      overlay_(std::make_shared<const CsrGraph>(std::move(graph))),
+      snapshot_(overlay_.base_ptr()),
+      default_source_(HighestOutDegreeVertex(*snapshot_)),
+      compactor_(compaction) {}
+
+Engine::SnapshotRef Engine::CurrentSnapshotRefLocked() const {
+  if (snapshot_epoch_ != epoch_) {
+    // Read-triggered compaction: a full query (or graph() access) needs a
+    // plain CSR of the current epoch. Fold the overlay and promote the
+    // result to the new base — the rebuild was paid, keeping the delta
+    // would only repeat it on the next fold.
+    auto folded = compactor_.Fold(overlay_);
+    HYT_CHECK(folded.ok()) << "snapshot fold failed: "
+                           << folded.status().ToString();
+    snapshot_ =
+        std::make_shared<const CsrGraph>(std::move(folded).value());
+    overlay_.Reset(snapshot_);
+    snapshot_epoch_ = epoch_;
+    default_source_ = HighestOutDegreeVertex(*snapshot_);
+  }
+  return SnapshotRef{snapshot_, epoch_, default_source_};
+}
+
+Engine::SnapshotRef Engine::CurrentSnapshotRef() const {
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    if (snapshot_epoch_ == epoch_) {
+      return SnapshotRef{snapshot_, epoch_, default_source_};
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return CurrentSnapshotRefLocked();
+}
+
+const CsrGraph& Engine::graph() const { return *CurrentSnapshotRef().graph; }
+
+std::shared_ptr<const CsrGraph> Engine::Snapshot() const {
+  return CurrentSnapshotRef().graph;
+}
+
+VertexId Engine::DefaultSource() const {
+  return CurrentSnapshotRef().default_source;
+}
+
+uint64_t Engine::epoch() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return epoch_;
+}
+
+uint64_t Engine::pending_delta_edges() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return overlay_.delta_edges();
+}
+
+SnapshotCompactor::Stats Engine::compactor_stats() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return compactor_.stats();
+}
+
+Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+
+  MutationResult result;
+  if (batch.empty()) {
+    result.epoch = epoch_;
+    result.pending_delta_edges = overlay_.delta_edges();
+    return result;
+  }
+
+  HYT_ASSIGN_OR_RETURN(DeltaOverlay::ApplyStats applied,
+                       overlay_.Apply(batch));
+  if (applied.inserted == 0 && applied.deleted == 0) {
+    // Every mutation was a no-op (deletions of absent edges): the graph is
+    // unchanged, so don't bump the epoch — a bump would force a pointless
+    // refold and re-preparation on the next query.
+    result.epoch = epoch_;
+    result.pending_delta_edges = overlay_.delta_edges();
+    return result;
+  }
+  ++epoch_;
+
+  EpochDelta log_entry;
+  log_entry.epoch = epoch_;
+  log_entry.structural_deletes = applied.deleted > 0;
+  for (const EdgeMutation& m : batch.mutations()) {
+    if (m.op == MutationOp::kInsertEdge) {
+      log_entry.insert_sources.push_back(m.src);
+    }
+  }
+  mutation_log_.push_back(std::move(log_entry));
+
+  result.epoch = epoch_;
+  result.inserted = applied.inserted;
+  result.deleted = applied.deleted;
+  if (compactor_.ShouldCompact(overlay_)) {
+    (void)CurrentSnapshotRefLocked();  // folds and promotes
+    result.compacted = true;
+  }
+  result.pending_delta_edges = overlay_.delta_edges();
+  return result;
+}
 
 Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
-    const SolverOptions& effective, bool* cache_hit) {
+    const SolverOptions& effective, const SnapshotRef& snapshot,
+    bool* cache_hit) {
   const std::string key = PreparationFingerprint(effective);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = prepared_.find(key);
     if (it != prepared_.end()) {
-      ++stats_.hits;
-      *cache_hit = true;
-      return it->second;
+      if (it->second.epoch == snapshot.epoch) {
+        ++stats_.hits;
+        *cache_hit = true;
+        return it->second.prepared;
+      }
+      if (it->second.epoch < snapshot.epoch) {
+        // Lazy epoch invalidation: the entry was built against an older
+        // snapshot. In-flight queries that planned against it still hold
+        // their own shared_ptr; dropping the cache reference is safe.
+        prepared_.erase(it);
+        ++stats_.invalidated;
+        stats_.entries = prepared_.size();
+      }
+      // An entry from a *newer* epoch (a concurrent mutation raced this
+      // plan) is left alone; this query builds an uncached preparation for
+      // its pinned snapshot below.
     }
   }
 
@@ -45,17 +163,29 @@ Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
   // concurrent cache-hit query. Two threads racing on the same key build
   // twice; the first insert wins and the loser's copy is discarded.
   HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(graph_, effective));
+                       PreparedGraph::Make(*snapshot.graph, effective));
   auto shared = std::make_shared<const PreparedGraph>(std::move(prepared));
 
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = prepared_.emplace(key, std::move(shared));
-  // Either way this query performed a build, so it reports a miss; when a
-  // racing thread inserted first, its copy is kept and ours is discarded.
+  auto it = prepared_.find(key);
+  if (it == prepared_.end()) {
+    prepared_.emplace(
+        key, CacheEntry{snapshot.epoch, snapshot.graph, shared});
+  } else if (it->second.epoch == snapshot.epoch) {
+    // A racing thread inserted first for the same epoch; keep its copy.
+    shared = it->second.prepared;
+  } else if (it->second.epoch < snapshot.epoch) {
+    // A racing thread re-inserted a stale entry while this one built
+    // against the newer epoch; replace it so the fresh preparation is not
+    // thrown away and rebuilt on the next lookup.
+    it->second = CacheEntry{snapshot.epoch, snapshot.graph, shared};
+    ++stats_.invalidated;
+  }
+  // Either way this query performed a build, so it reports a miss.
   ++stats_.misses;
   stats_.entries = prepared_.size();
   *cache_hit = false;
-  return it->second;
+  return shared;
 }
 
 Result<Engine::PlannedQuery> Engine::Plan(const Query& query,
@@ -67,20 +197,24 @@ Result<Engine::PlannedQuery> Engine::Plan(const Query& query,
         std::to_string(static_cast<int>(query.algorithm)));
   }
 
+  const SnapshotRef snapshot = CurrentSnapshotRef();
   PlannedQuery plan;
   plan.query = query;
   plan.options = EffectiveOptions(query.algorithm, base);
+  plan.snapshot = snapshot.graph;
+  plan.epoch = snapshot.epoch;
   if (info->needs_source) {
-    plan.source =
-        query.source == kInvalidVertex ? default_source_ : query.source;
-    if (plan.source == kInvalidVertex || plan.source >= graph_.num_vertices()) {
+    plan.source = query.source == kInvalidVertex ? snapshot.default_source
+                                                 : query.source;
+    if (plan.source == kInvalidVertex ||
+        plan.source >= snapshot.graph->num_vertices()) {
       return Status::InvalidArgument(
           std::string(info->name) + " query needs a source vertex in [0, " +
-          std::to_string(graph_.num_vertices()) + ")");
+          std::to_string(snapshot.graph->num_vertices()) + ")");
     }
   }
   HYT_ASSIGN_OR_RETURN(plan.prepared,
-                       GetPrepared(plan.options, &plan.cache_hit));
+                       GetPrepared(plan.options, snapshot, &plan.cache_hit));
   return plan;
 }
 
@@ -98,6 +232,7 @@ Result<QueryResult> Engine::Execute(const PlannedQuery& plan) const {
   result.trace = std::move(run.trace);
   result.prepared_cache_hit = plan.cache_hit;
   result.cache_stats = cache_stats();
+  result.epoch = plan.epoch;
   return result;
 }
 
@@ -111,6 +246,101 @@ Result<QueryResult> Engine::Run(const Query& query,
   return Execute(plan);
 }
 
+Result<QueryResult> Engine::RunIncremental(const Query& query,
+                                           const QueryResult& previous) {
+  const AlgorithmInfo* info = FindAlgorithmInfo(query.algorithm);
+  if (info == nullptr) {
+    return Status::InvalidArgument(
+        "unknown algorithm id: " +
+        std::to_string(static_cast<int>(query.algorithm)));
+  }
+  if (previous.algorithm != query.algorithm) {
+    return Status::InvalidArgument(
+        std::string("previous result is for ") +
+        AlgorithmName(previous.algorithm) + ", query asks for " +
+        info->name);
+  }
+
+  if (SupportsIncremental(query.algorithm)) {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    if (previous.epoch > epoch_) {
+      return Status::InvalidArgument(
+          "previous result is from epoch " + std::to_string(previous.epoch) +
+          ", engine is at epoch " + std::to_string(epoch_));
+    }
+    const VertexId n = overlay_.num_vertices();
+
+    // Warm starts are only valid for the exact query the previous result
+    // answered: same algorithm (checked above) and same source. A query
+    // without an explicit source inherits the previous result's.
+    VertexId source = kInvalidVertex;
+    if (info->needs_source) {
+      source =
+          query.source == kInvalidVertex ? previous.source : query.source;
+      if (source == kInvalidVertex || source >= n) {
+        return Status::InvalidArgument(
+            std::string(info->name) +
+            " incremental query needs a source vertex in [0, " +
+            std::to_string(n) + ")");
+      }
+      if (previous.source != source) {
+        return Status::InvalidArgument(
+            "previous result is for source " +
+            std::to_string(previous.source) + ", query names source " +
+            std::to_string(source));
+      }
+    }
+    if (previous.is_f64() || previous.u32().size() != n) {
+      return Status::InvalidArgument(
+          "previous values do not match this engine's graph (" +
+          std::to_string(n) + " vertices)");
+    }
+
+    // Gather the delta since the previous result. Any epoch that removed
+    // an edge breaks the monotone warm-start bound: fall back.
+    bool deletes_since = false;
+    std::vector<VertexId> seeds;
+    for (const EpochDelta& delta : mutation_log_) {
+      if (delta.epoch <= previous.epoch) continue;
+      if (delta.structural_deletes) {
+        deletes_since = true;
+        break;
+      }
+      seeds.insert(seeds.end(), delta.insert_sources.begin(),
+                   delta.insert_sources.end());
+    }
+
+    if (!deletes_since) {
+      QueryResult result;
+      result.algorithm = query.algorithm;
+      result.source = info->needs_source ? source : kInvalidVertex;
+      result.epoch = epoch_;
+      result.incremental = true;
+
+      std::vector<uint32_t> values = previous.u32();
+      if (previous.epoch < epoch_) {
+        HYT_ASSIGN_OR_RETURN(
+            IncrementalStats stats,
+            IncrementalRecompute(overlay_, query.algorithm, source, seeds,
+                                 &values));
+        IterationTrace it;
+        it.active_vertices = stats.relaxed_vertices;
+        it.active_edges = stats.traversed_edges;
+        result.trace.iterations.push_back(it);
+      }
+      // previous.epoch == epoch_: the graph is unchanged, the previous
+      // values already are the fixpoint.
+      result.trace.converged = true;
+      result.values = std::move(values);
+      result.cache_stats = cache_stats();
+      return result;
+    }
+  }
+
+  // Fallback: PR/PHP (no monotone warm start) or a delta with deletions.
+  return Run(query);
+}
+
 Result<std::vector<QueryResult>> Engine::RunBatch(
     const std::vector<Query>& queries) {
   return RunBatch(queries, default_options_);
@@ -120,7 +350,9 @@ Result<std::vector<QueryResult>> Engine::RunBatch(
     const std::vector<Query>& queries, const SolverOptions& options) {
   // Plan sequentially first: resolving the cache up front means every
   // distinct preparation is built exactly once, and the hit/miss ordering
-  // is deterministic regardless of how the pool schedules execution.
+  // is deterministic regardless of how the pool schedules execution. Each
+  // plan pins the snapshot it resolved against, so mutations landing while
+  // the batch executes cannot pull the graph out from under it.
   std::vector<PlannedQuery> plans;
   plans.reserve(queries.size());
   for (const Query& query : queries) {

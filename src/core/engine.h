@@ -1,12 +1,12 @@
 // hytgraph::Engine — the one public entry point of the library.
 //
-// The Engine owns a CsrGraph and serves typed Query objects against it:
+// The Engine owns a graph and serves typed Query objects against it:
 //
 //   Engine engine(std::move(graph));                 // HyTGraph defaults
 //   auto sssp = engine.Run({.algorithm = AlgorithmId::kSssp, .source = 0});
 //   auto ranks = engine.Run({.algorithm = AlgorithmId::kPageRank});
 //
-// Three things distinguish it from calling the solver directly:
+// Four things distinguish it from calling the solver directly:
 //
 //  * Cached preparation. The hub-sorted vertex order HyTGraph's
 //    contribution-driven scheduling needs (Section VI-A) is expensive to
@@ -25,8 +25,26 @@
 //    calls (bitwise for the value-selection family, whose fixpoints are
 //    schedule-independent).
 //
-// Thread safety: Run/RunBatch may be called concurrently from multiple
-// threads; the prepared-graph cache is internally synchronized.
+//  * Dynamic mutation with epoch-versioned snapshots. ApplyMutations
+//    applies a MutationBatch (src/dynamic/) to a DeltaOverlay over the
+//    immutable base CSR and bumps the engine epoch. Prepared-graph cache
+//    entries are tagged with the epoch they were built against and
+//    invalidated lazily on next lookup; queries pin the snapshot of the
+//    epoch they planned against via shared ownership, so in-flight batches
+//    keep running to completion on their snapshot while mutations land.
+//    The overlay is folded into a fresh base CSR by the SnapshotCompactor —
+//    eagerly when the delta crosses the CompactionPolicy threshold, or on
+//    the first full query against a stale snapshot. RunIncremental
+//    recomputes BFS/SSSP/CC/SSWP after insert-only deltas by warm-starting
+//    from a previous result and re-activating only the touched vertices
+//    (falling back to a full recompute for PR/PHP or when the delta
+//    contains deletions).
+//
+// Thread safety: Run/RunBatch/RunIncremental/ApplyMutations may be called
+// concurrently from multiple threads; the prepared cache and the mutation
+// state are internally synchronized. References returned by graph() are
+// valid until the next mutation-driven compaction — hold Snapshot() to pin
+// a graph version across mutations.
 
 #ifndef HYTGRAPH_CORE_ENGINE_H_
 #define HYTGRAPH_CORE_ENGINE_H_
@@ -35,6 +53,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -43,6 +62,9 @@
 #include "algorithms/runner.h"
 #include "core/options.h"
 #include "core/trace.h"
+#include "dynamic/delta_overlay.h"
+#include "dynamic/mutation.h"
+#include "dynamic/snapshot_compactor.h"
 #include "graph/csr_graph.h"
 #include "util/status.h"
 
@@ -63,6 +85,8 @@ struct EngineCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t entries = 0;
+  /// Entries dropped lazily because their epoch no longer matched.
+  uint64_t invalidated = 0;
 };
 
 /// The result of one query: values in original vertex ids, the execution
@@ -77,6 +101,11 @@ struct QueryResult {
   bool prepared_cache_hit = false;
   /// Engine-wide cache counters snapshotted after this query resolved.
   EngineCacheStats cache_stats;
+  /// The graph epoch this result reflects (0 before any mutation).
+  uint64_t epoch = 0;
+  /// True when the result came from an incremental warm-start rather than
+  /// a full solver run.
+  bool incremental = false;
 
   bool is_f64() const {
     return std::holds_alternative<std::vector<double>>(values);
@@ -89,29 +118,76 @@ struct QueryResult {
   }
 };
 
+/// What one ApplyMutations call did.
+struct MutationResult {
+  /// Epoch after the batch (each non-empty batch bumps it by one).
+  uint64_t epoch = 0;
+  uint64_t inserted = 0;
+  uint64_t deleted = 0;
+  /// True when the batch pushed the delta over the CompactionPolicy
+  /// threshold and the overlay was folded into a fresh base snapshot.
+  bool compacted = false;
+  /// Pending delta edges after the batch (0 right after a fold).
+  uint64_t pending_delta_edges = 0;
+};
+
 class Engine {
  public:
   /// Takes ownership of `graph`. `default_options` configure queries that
   /// do not pass explicit options (and the simulated platform for those
-  /// that do not care).
+  /// that do not care); `compaction` governs when pending mutation deltas
+  /// are folded into a fresh base snapshot.
   explicit Engine(CsrGraph graph,
                   SolverOptions default_options =
-                      SolverOptions::Defaults(SystemKind::kHyTGraph));
+                      SolverOptions::Defaults(SystemKind::kHyTGraph),
+                  CompactionPolicy compaction = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  const CsrGraph& graph() const { return graph_; }
+  /// The graph at the current epoch (folding pending mutations if needed).
+  /// The reference is valid until the next mutation lands; use Snapshot()
+  /// to pin a version.
+  const CsrGraph& graph() const;
+
+  /// Shared ownership of the current-epoch snapshot. Holders keep reading
+  /// a consistent graph while later mutations produce new snapshots.
+  std::shared_ptr<const CsrGraph> Snapshot() const;
+
   const SolverOptions& default_options() const { return default_options_; }
 
   /// The source used when a query does not name one: the highest
-  /// out-degree vertex (kInvalidVertex on an empty graph).
-  VertexId DefaultSource() const { return default_source_; }
+  /// out-degree vertex of the current snapshot (kInvalidVertex on an empty
+  /// graph).
+  VertexId DefaultSource() const;
+
+  /// Monotone graph-version counter; each non-empty ApplyMutations batch
+  /// bumps it by one.
+  uint64_t epoch() const;
+
+  /// Pending (not yet folded) delta edges in the overlay.
+  uint64_t pending_delta_edges() const;
+
+  /// Applies an ordered batch of edge mutations, bumping the epoch.
+  /// In-flight queries keep their pinned snapshots; prepared-cache entries
+  /// from older epochs are invalidated lazily on their next lookup.
+  Result<MutationResult> ApplyMutations(const MutationBatch& batch);
 
   /// Runs one query under the engine default options.
   Result<QueryResult> Run(const Query& query);
   /// Runs one query under explicit options (ablations, baseline systems).
   Result<QueryResult> Run(const Query& query, const SolverOptions& options);
+
+  /// Advances `previous` (a result for the same query from an earlier
+  /// epoch) to the current epoch. When the algorithm is monotone under the
+  /// delta (BFS/SSSP/CC/SSWP, insert-only mutations since previous.epoch),
+  /// this warm-starts from the previous values and re-activates only the
+  /// vertices touched by the delta — no CSR rebuild, no full traversal.
+  /// Otherwise (PR/PHP, or the delta contains deletions) it transparently
+  /// falls back to a full recompute; QueryResult::incremental reports which
+  /// path ran. Values are identical to a full recompute either way.
+  Result<QueryResult> RunIncremental(const Query& query,
+                                     const QueryResult& previous);
 
   /// Executes `queries` concurrently on the process thread pool, sharing
   /// cached preparations. Results are index-aligned with `queries` and
@@ -123,30 +199,76 @@ class Engine {
 
   EngineCacheStats cache_stats() const;
 
-  /// Drops all memoized preparations (counters are kept).
+  /// Fold statistics of the snapshot compactor (write- plus read-triggered).
+  SnapshotCompactor::Stats compactor_stats() const;
+
+  /// Drops all memoized preparations. Counters (hits/misses/invalidated)
+  /// are preserved; only `entries` resets.
   void ClearPreparedCache();
 
  private:
+  /// The current epoch's materialized graph plus the metadata a query plan
+  /// needs, captured atomically.
+  struct SnapshotRef {
+    std::shared_ptr<const CsrGraph> graph;
+    uint64_t epoch = 0;
+    VertexId default_source = kInvalidVertex;
+  };
+
   /// A query resolved against the cache and ready to execute.
   struct PlannedQuery {
     Query query;
     SolverOptions options;  // effective (per-algorithm fixups applied)
     std::shared_ptr<const PreparedGraph> prepared;
+    /// Pins the snapshot `prepared` references for the whole execution.
+    std::shared_ptr<const CsrGraph> snapshot;
+    uint64_t epoch = 0;
     bool cache_hit = false;
     VertexId source = kInvalidVertex;
   };
 
+  /// Per-epoch record of what changed, for incremental seed computation.
+  struct EpochDelta {
+    uint64_t epoch = 0;
+    /// Whether any edge was actually removed this epoch (forces fallback).
+    bool structural_deletes = false;
+    /// Sources of the inserted edges (the incremental seed set).
+    std::vector<VertexId> insert_sources;
+  };
+
+  /// Returns the current-epoch snapshot, folding a stale overlay first
+  /// (read-triggered compaction; the fold is promoted to the new base).
+  SnapshotRef CurrentSnapshotRef() const;
+  SnapshotRef CurrentSnapshotRefLocked() const;  // graph_mu_ held exclusively
+
   Result<PlannedQuery> Plan(const Query& query, const SolverOptions& base);
   Result<std::shared_ptr<const PreparedGraph>> GetPrepared(
-      const SolverOptions& effective, bool* cache_hit);
+      const SolverOptions& effective, const SnapshotRef& snapshot,
+      bool* cache_hit);
   Result<QueryResult> Execute(const PlannedQuery& plan) const;
 
-  CsrGraph graph_;
   SolverOptions default_options_;
-  VertexId default_source_ = kInvalidVertex;
+
+  /// Guards the mutation state below. Mutable so logically-const reads
+  /// (graph(), Snapshot()) can materialize lazily.
+  mutable std::shared_mutex graph_mu_;
+  mutable DeltaOverlay overlay_;  // pending delta over the last folded base
+  mutable std::shared_ptr<const CsrGraph> snapshot_;  // current-epoch view
+  mutable uint64_t snapshot_epoch_ = 0;
+  uint64_t epoch_ = 0;
+  mutable VertexId default_source_ = kInvalidVertex;
+  mutable SnapshotCompactor compactor_;
+  std::vector<EpochDelta> mutation_log_;
+
+  struct CacheEntry {
+    uint64_t epoch = 0;
+    /// Keeps the graph the preparation references alive.
+    std::shared_ptr<const CsrGraph> snapshot;
+    std::shared_ptr<const PreparedGraph> prepared;
+  };
 
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const PreparedGraph>> prepared_;
+  std::map<std::string, CacheEntry> prepared_;
   EngineCacheStats stats_;
 };
 

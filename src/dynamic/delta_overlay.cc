@@ -1,0 +1,88 @@
+#include "dynamic/delta_overlay.h"
+
+#include <string>
+
+namespace hytgraph {
+
+Result<DeltaOverlay::ApplyStats> DeltaOverlay::Apply(
+    const MutationBatch& batch) {
+  HYT_RETURN_NOT_OK(batch.Validate(num_vertices()));
+
+  ApplyStats stats;
+  for (const EdgeMutation& m : batch.mutations()) {
+    if (m.op == MutationOp::kInsertEdge) {
+      deltas_[m.src].inserts.emplace_back(m.dst, m.weight);
+      ++inserted_;
+      ++stats.inserted;
+      continue;
+    }
+
+    // Deletion: erase live overlay inserts to m.dst, then suppress any
+    // not-yet-tombstoned base edges to m.dst.
+    auto it = deltas_.find(m.src);
+    VertexDelta* delta = it == deltas_.end() ? nullptr : &it->second;
+    if (delta != nullptr && !delta->inserts.empty()) {
+      const auto cut = std::remove_if(
+          delta->inserts.begin(), delta->inserts.end(),
+          [&](const auto& edge) { return edge.first == m.dst; });
+      const auto erased =
+          static_cast<uint64_t>(delta->inserts.end() - cut);
+      delta->inserts.erase(cut, delta->inserts.end());
+      inserted_ -= erased;
+      stats.deleted += erased;
+    }
+    if (delta == nullptr || !delta->IsTombstoned(m.dst)) {
+      uint64_t base_matches = 0;
+      for (VertexId nbr : base_->neighbors(m.src)) {
+        if (nbr == m.dst) ++base_matches;
+      }
+      if (base_matches > 0) {
+        if (delta == nullptr) delta = &deltas_[m.src];
+        delta->tombstones.insert(
+            std::lower_bound(delta->tombstones.begin(),
+                             delta->tombstones.end(), m.dst),
+            m.dst);
+        suppressed_ += base_matches;
+        stats.deleted += base_matches;
+      }
+    }
+    if (delta != nullptr && delta->Empty()) deltas_.erase(m.src);
+  }
+  return stats;
+}
+
+EdgeId DeltaOverlay::out_degree(VertexId v) const {
+  auto it = deltas_.find(v);
+  if (it == deltas_.end()) return base_->out_degree(v);
+  EdgeId degree = it->second.inserts.size();
+  const VertexDelta& delta = it->second;
+  for (VertexId nbr : base_->neighbors(v)) {
+    if (!delta.IsTombstoned(nbr)) ++degree;
+  }
+  return degree;
+}
+
+Result<CsrGraph> DeltaOverlay::Materialize() const {
+  const VertexId n = num_vertices();
+  const bool weighted = is_weighted();
+
+  std::vector<EdgeId> row_offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    row_offsets[v + 1] = row_offsets[v] + out_degree(v);
+  }
+
+  std::vector<VertexId> column_index;
+  std::vector<Weight> edge_weights;
+  column_index.reserve(row_offsets[n]);
+  if (weighted) edge_weights.reserve(row_offsets[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    ForEachNeighbor(v, [&](VertexId dst, Weight w) {
+      column_index.push_back(dst);
+      if (weighted) edge_weights.push_back(w);
+    });
+  }
+  return CsrGraph::Create(std::move(row_offsets), std::move(column_index),
+                          std::move(edge_weights));
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,127 @@
+// DeltaOverlay: pending edge mutations layered over an immutable base CSR.
+//
+// The base snapshot is never modified; the overlay records, per source
+// vertex, (a) tombstones suppressing all base edges to a given target and
+// (b) inserted edges in application order. Adjacency iteration merges the
+// two on the fly (surviving base edges first, then inserts), so readers —
+// in particular the incremental recomputation path — see the mutated graph
+// without any CSR rebuild. Once the delta grows past the compaction policy
+// threshold, SnapshotCompactor folds the overlay into a fresh base via
+// Materialize().
+//
+// Thread safety: Apply/Reset are writes; everything else is a read. The
+// owner (hytgraph::Engine) serializes writes against reads with its
+// snapshot lock; a bare overlay is not internally synchronized.
+
+#ifndef HYTGRAPH_DYNAMIC_DELTA_OVERLAY_H_
+#define HYTGRAPH_DYNAMIC_DELTA_OVERLAY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dynamic/mutation.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+class DeltaOverlay {
+ public:
+  /// What one Apply() actually changed. `deleted` counts edges removed
+  /// (base edges newly suppressed plus overlay inserts erased); a deletion
+  /// naming a non-existent edge is a recorded no-op, not an error.
+  struct ApplyStats {
+    uint64_t inserted = 0;
+    uint64_t deleted = 0;
+  };
+
+  explicit DeltaOverlay(std::shared_ptr<const CsrGraph> base)
+      : base_(std::move(base)) {}
+
+  const CsrGraph& base() const { return *base_; }
+  std::shared_ptr<const CsrGraph> base_ptr() const { return base_; }
+
+  VertexId num_vertices() const { return base_->num_vertices(); }
+  /// Edge count of the mutated graph (base - suppressed + inserted).
+  EdgeId num_edges() const {
+    return base_->num_edges() - suppressed_ + inserted_;
+  }
+  bool is_weighted() const { return base_->is_weighted(); }
+
+  /// No pending mutations: the overlay is a transparent view of the base.
+  bool empty() const { return suppressed_ == 0 && inserted_ == 0; }
+  /// Pending delta size (suppressed base edges + inserted edges) — the
+  /// quantity compaction policies threshold on.
+  uint64_t delta_edges() const { return suppressed_ + inserted_; }
+
+  /// Applies `batch` in order. The batch must already be Validate()d
+  /// against num_vertices(); out-of-range endpoints are a checked error.
+  Result<ApplyStats> Apply(const MutationBatch& batch);
+
+  /// Out-degree of v in the mutated graph.
+  EdgeId out_degree(VertexId v) const;
+
+  /// Visits every out-edge of v in the mutated graph: surviving base edges
+  /// in CSR order, then overlay inserts in application order. `fn` receives
+  /// (target, weight); weight is 1 when the base is unweighted, mirroring
+  /// the kernels' convention.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    auto it = deltas_.find(v);
+    const auto nbrs = base_->neighbors(v);
+    const auto wts = base_->weights(v);
+    if (it == deltas_.end()) {
+      for (size_t e = 0; e < nbrs.size(); ++e) {
+        fn(nbrs[e], wts.empty() ? Weight{1} : wts[e]);
+      }
+      return;
+    }
+    const VertexDelta& delta = it->second;
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      if (delta.IsTombstoned(nbrs[e])) continue;
+      fn(nbrs[e], wts.empty() ? Weight{1} : wts[e]);
+    }
+    const bool weighted = is_weighted();
+    for (const auto& [dst, w] : delta.inserts) {
+      fn(dst, weighted ? w : Weight{1});
+    }
+  }
+
+  /// Folds base + delta into a fresh standalone CSR (the compaction
+  /// product). Weightedness follows the base.
+  Result<CsrGraph> Materialize() const;
+
+  /// Drops all pending mutations and re-anchors the overlay on `new_base`
+  /// (the snapshot a compaction just produced).
+  void Reset(std::shared_ptr<const CsrGraph> new_base) {
+    base_ = std::move(new_base);
+    deltas_.clear();
+    suppressed_ = 0;
+    inserted_ = 0;
+  }
+
+ private:
+  struct VertexDelta {
+    std::vector<std::pair<VertexId, Weight>> inserts;
+    std::vector<VertexId> tombstones;  // sorted target ids
+
+    bool IsTombstoned(VertexId dst) const {
+      return std::binary_search(tombstones.begin(), tombstones.end(), dst);
+    }
+    bool Empty() const { return inserts.empty() && tombstones.empty(); }
+  };
+
+  std::shared_ptr<const CsrGraph> base_;
+  std::unordered_map<VertexId, VertexDelta> deltas_;
+  uint64_t suppressed_ = 0;  // base edges hidden by tombstones
+  uint64_t inserted_ = 0;    // live overlay inserts
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_DYNAMIC_DELTA_OVERLAY_H_

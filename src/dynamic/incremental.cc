@@ -1,0 +1,149 @@
+#include "dynamic/incremental.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace hytgraph {
+
+namespace {
+
+constexpr uint32_t kUnreachableValue = std::numeric_limits<uint32_t>::max();
+
+/// Per-algorithm relaxation semantics, mirroring the vertex programs in
+/// algorithms/programs.h (including SSSP's wrapping uint32 add, so the
+/// incremental fixpoint is bitwise identical to the solver's).
+struct MinFamily {
+  // BFS / SSSP / CC: smaller is better, kUnreachable (or the own label for
+  // CC) means "nothing to push" only for the source-seeded pair.
+  static bool Improves(uint32_t candidate, uint32_t current) {
+    return candidate < current;
+  }
+};
+
+struct BfsRelax : MinFamily {
+  static bool Productive(uint32_t value) { return value != kUnreachableValue; }
+  static uint32_t Candidate(uint32_t value, Weight /*w*/) { return value + 1; }
+};
+
+struct SsspRelax : MinFamily {
+  static bool Productive(uint32_t value) { return value != kUnreachableValue; }
+  static uint32_t Candidate(uint32_t value, Weight w) { return value + w; }
+};
+
+struct CcRelax : MinFamily {
+  static bool Productive(uint32_t /*value*/) { return true; }
+  static uint32_t Candidate(uint32_t value, Weight /*w*/) { return value; }
+};
+
+struct SswpRelax {
+  static bool Productive(uint32_t value) { return value != 0; }
+  static uint32_t Candidate(uint32_t value, Weight w) {
+    return std::min(value, static_cast<uint32_t>(w));
+  }
+  static bool Improves(uint32_t candidate, uint32_t current) {
+    return candidate > current;
+  }
+};
+
+template <typename Relax>
+IncrementalStats Propagate(const DeltaOverlay& graph,
+                           std::span<const VertexId> seeds,
+                           std::vector<uint32_t>* values) {
+  IncrementalStats stats;
+  std::vector<uint32_t>& vals = *values;
+  std::vector<uint8_t> queued(vals.size(), 0);
+
+  std::vector<VertexId> current;
+  current.reserve(seeds.size());
+  for (VertexId v : seeds) {
+    if (!queued[v]) {
+      queued[v] = 1;
+      current.push_back(v);
+    }
+  }
+  stats.seed_vertices = current.size();
+
+  std::vector<VertexId> next;
+  while (!current.empty()) {
+    ++stats.rounds;
+    for (VertexId u : current) {
+      queued[u] = 0;
+      ++stats.relaxed_vertices;
+      const uint32_t value = vals[u];
+      if (!Relax::Productive(value)) continue;
+      graph.ForEachNeighbor(u, [&](VertexId v, Weight w) {
+        ++stats.traversed_edges;
+        const uint32_t candidate = Relax::Candidate(value, w);
+        if (Relax::Improves(candidate, vals[v])) {
+          vals[v] = candidate;
+          ++stats.improved_vertices;
+          if (!queued[v]) {
+            queued[v] = 1;
+            next.push_back(v);
+          }
+        }
+      });
+    }
+    current.swap(next);
+    next.clear();
+  }
+  return stats;
+}
+
+}  // namespace
+
+bool SupportsIncremental(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kBfs:
+    case AlgorithmId::kSssp:
+    case AlgorithmId::kCc:
+    case AlgorithmId::kSswp:
+      return true;
+    case AlgorithmId::kPageRank:
+    case AlgorithmId::kPhp:
+      return false;
+  }
+  return false;
+}
+
+Result<IncrementalStats> IncrementalRecompute(const DeltaOverlay& graph,
+                                              AlgorithmId id, VertexId source,
+                                              std::span<const VertexId> seeds,
+                                              std::vector<uint32_t>* values) {
+  if (!SupportsIncremental(id)) {
+    return Status::InvalidArgument(
+        std::string(AlgorithmName(id)) +
+        " has no monotone warm-start; use a full recompute");
+  }
+  if (values->size() != graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "previous values cover " + std::to_string(values->size()) +
+        " vertices, graph has " + std::to_string(graph.num_vertices()));
+  }
+  for (VertexId v : seeds) {
+    if (v >= graph.num_vertices()) {
+      return Status::InvalidArgument("seed vertex " + std::to_string(v) +
+                                     " out of range");
+    }
+  }
+  const bool needs_source = GetAlgorithmInfo(id).needs_source;
+  if (needs_source && source >= graph.num_vertices()) {
+    return Status::InvalidArgument("source vertex out of range");
+  }
+
+  switch (id) {
+    case AlgorithmId::kBfs:
+      return Propagate<BfsRelax>(graph, seeds, values);
+    case AlgorithmId::kSssp:
+      return Propagate<SsspRelax>(graph, seeds, values);
+    case AlgorithmId::kCc:
+      return Propagate<CcRelax>(graph, seeds, values);
+    case AlgorithmId::kSswp:
+      return Propagate<SswpRelax>(graph, seeds, values);
+    default:
+      return Status::Internal("unhandled incremental algorithm");
+  }
+}
+
+}  // namespace hytgraph

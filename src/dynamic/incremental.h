@@ -1,0 +1,62 @@
+// Incremental recomputation for the monotone value-selection algorithms.
+//
+// After an insert-only mutation delta, the previous fixpoint of BFS / SSSP
+// / CC / SSWP remains a valid bound in the mutated graph (edge insertion
+// can only improve values: shorten distances, lower CC labels, widen
+// bottlenecks). Chaotic relaxation seeded from the sources of the inserted
+// edges therefore converges to *exactly* the from-scratch fixpoint — the
+// standard argument: every intermediate value stays between the warm-start
+// bound and the new fixpoint, and termination means no edge is violated.
+//
+// Edge deletion breaks the bound (a value may have depended on the removed
+// edge), and the value-accumulation family (PR, PHP) has no per-vertex
+// monotone bound at all; both fall back to full recomputation in the
+// Engine (Engine::RunIncremental).
+//
+// The propagation iterates DeltaOverlay adjacency directly, so an
+// incremental run after a small delta touches only the affected cone and
+// never pays a CSR rebuild.
+
+#ifndef HYTGRAPH_DYNAMIC_INCREMENTAL_H_
+#define HYTGRAPH_DYNAMIC_INCREMENTAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "dynamic/delta_overlay.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// True for the algorithms whose fixpoints warm-start exactly under
+/// insert-only deltas: BFS, SSSP, CC, SSWP.
+bool SupportsIncremental(AlgorithmId id);
+
+struct IncrementalStats {
+  uint64_t seed_vertices = 0;     // distinct seeds after dedup
+  uint64_t relaxed_vertices = 0;  // vertex visits across all rounds
+  uint64_t traversed_edges = 0;
+  uint64_t improved_vertices = 0;  // value-change events
+  uint64_t rounds = 0;
+};
+
+/// Advances `values` (the previous fixpoint, indexed by vertex id, size
+/// num_vertices) to the fixpoint of the mutated graph viewed through
+/// `graph`. `seeds` are the vertices whose out-edges may be violated —
+/// for an insert-only delta, the sources of the inserted edges. `source`
+/// is the query source for the source-seeded algorithms (ignored by CC);
+/// it must match the source the previous fixpoint was computed from.
+///
+/// Precondition: the deltas between the previous fixpoint's graph and
+/// `graph` are insert-only (callers enforce this; see Engine).
+Result<IncrementalStats> IncrementalRecompute(const DeltaOverlay& graph,
+                                              AlgorithmId id, VertexId source,
+                                              std::span<const VertexId> seeds,
+                                              std::vector<uint32_t>* values);
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_DYNAMIC_INCREMENTAL_H_

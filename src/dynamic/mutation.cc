@@ -1,0 +1,111 @@
+#include "dynamic/mutation.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace hytgraph {
+
+const char* MutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kInsertEdge:
+      return "insert";
+    case MutationOp::kDeleteEdge:
+      return "delete";
+  }
+  return "unknown";
+}
+
+Status MutationBatch::Validate(VertexId num_vertices) const {
+  for (size_t i = 0; i < mutations_.size(); ++i) {
+    const EdgeMutation& m = mutations_[i];
+    if (m.src >= num_vertices || m.dst >= num_vertices) {
+      return Status::InvalidArgument(
+          "mutation " + std::to_string(i) + " (" + MutationOpName(m.op) +
+          " " + std::to_string(m.src) + "->" + std::to_string(m.dst) +
+          ") references a vertex outside [0, " +
+          std::to_string(num_vertices) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<MutationBatch>> MutationBatch::ParseReplay(
+    std::istream& in) {
+  std::vector<MutationBatch> batches;
+  MutationBatch current;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) {
+      if (!current.empty()) {
+        batches.push_back(std::move(current));
+        current = MutationBatch();
+      }
+      continue;
+    }
+    if (trimmed[0] == '#') continue;
+
+    std::istringstream fields(trimmed);
+    std::string op;
+    long long src = -1;
+    long long dst = -1;
+    fields >> op >> src >> dst;
+    if (fields.fail() || src < 0 || dst < 0) {
+      return Status::IOError("replay line " + std::to_string(line_no) +
+                             ": expected '+|- SRC DST [WEIGHT]', got '" +
+                             trimmed + "'");
+    }
+    if (op == "+") {
+      Weight weight = 1;
+      std::string weight_token;
+      if (fields >> weight_token) {
+        // An optional weight must be a full decimal token in Weight range
+        // (a stream extraction would silently store 0 on garbage).
+        uint64_t parsed = 0;
+        const char* begin = weight_token.data();
+        const char* end = begin + weight_token.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+        if (ec != std::errc{} || ptr != end ||
+            parsed > std::numeric_limits<Weight>::max()) {
+          return Status::IOError("replay line " + std::to_string(line_no) +
+                                 ": bad weight '" + weight_token + "'");
+        }
+        weight = static_cast<Weight>(parsed);
+      }
+      current.InsertEdge(static_cast<VertexId>(src),
+                         static_cast<VertexId>(dst), weight);
+    } else if (op == "-") {
+      current.DeleteEdge(static_cast<VertexId>(src),
+                         static_cast<VertexId>(dst));
+    } else {
+      return Status::IOError("replay line " + std::to_string(line_no) +
+                             ": unknown op '" + op + "' (want '+' or '-')");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::IOError("replay line " + std::to_string(line_no) +
+                             ": unexpected trailing token '" + extra + "'");
+    }
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+Result<std::vector<MutationBatch>> MutationBatch::ParseReplayFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open mutation replay file: " + path);
+  }
+  return ParseReplay(in);
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,87 @@
+// Typed edge mutations against a CSR snapshot. A MutationBatch is the unit
+// of graph change the Engine accepts: an ordered list of edge insertions and
+// deletions, validated against the graph's vertex range before any of it is
+// applied. Batches also parse from a plain-text replay file (one mutation
+// per line, blank line commits a batch) so recorded mutation streams can be
+// replayed through the CLI (`hytgraph_cli --mutations FILE`).
+
+#ifndef HYTGRAPH_DYNAMIC_MUTATION_H_
+#define HYTGRAPH_DYNAMIC_MUTATION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+enum class MutationOp : uint8_t {
+  kInsertEdge = 0,
+  kDeleteEdge = 1,
+};
+
+const char* MutationOpName(MutationOp op);
+
+/// One edge mutation. Deletion removes *all* current src->dst edges
+/// (parallel edges included); insertion appends one edge. `weight` is
+/// meaningful only for insertions, and only when the target graph is
+/// weighted.
+struct EdgeMutation {
+  MutationOp op = MutationOp::kInsertEdge;
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1;
+
+  bool operator==(const EdgeMutation&) const = default;
+};
+
+/// An ordered batch of edge mutations. Order matters: a deletion removes
+/// the edges present at its position in the sequence, so
+/// insert(u,v); delete(u,v); insert(u,v) leaves exactly one u->v edge.
+class MutationBatch {
+ public:
+  MutationBatch() = default;
+
+  void InsertEdge(VertexId src, VertexId dst, Weight weight = 1) {
+    mutations_.push_back({MutationOp::kInsertEdge, src, dst, weight});
+    ++inserts_;
+  }
+  void DeleteEdge(VertexId src, VertexId dst) {
+    mutations_.push_back({MutationOp::kDeleteEdge, src, dst, 0});
+    ++deletes_;
+  }
+
+  const std::vector<EdgeMutation>& mutations() const { return mutations_; }
+  size_t size() const { return mutations_.size(); }
+  bool empty() const { return mutations_.empty(); }
+  uint64_t insert_count() const { return inserts_; }
+  uint64_t delete_count() const { return deletes_; }
+  bool has_deletes() const { return deletes_ > 0; }
+
+  /// Every endpoint must name an existing vertex (mutations change edges,
+  /// never the vertex set — growing the vertex universe is a compaction-
+  /// level operation, see ROADMAP).
+  Status Validate(VertexId num_vertices) const;
+
+  /// Parses a replay stream. Line grammar:
+  ///   + SRC DST [WEIGHT]   insert (weight defaults to 1)
+  ///   - SRC DST            delete
+  ///   # ...                comment
+  /// A blank line commits the current batch; a trailing unterminated batch
+  /// is committed at EOF. Empty batches are dropped.
+  static Result<std::vector<MutationBatch>> ParseReplay(std::istream& in);
+  static Result<std::vector<MutationBatch>> ParseReplayFile(
+      const std::string& path);
+
+ private:
+  std::vector<EdgeMutation> mutations_;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_DYNAMIC_MUTATION_H_

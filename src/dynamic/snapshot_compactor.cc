@@ -1,0 +1,18 @@
+#include "dynamic/snapshot_compactor.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace hytgraph {
+
+Result<CsrGraph> SnapshotCompactor::Fold(const DeltaOverlay& overlay) {
+  WallTimer timer;
+  HYT_ASSIGN_OR_RETURN(CsrGraph snapshot, overlay.Materialize());
+  ++stats_.folds;
+  stats_.edges_folded += snapshot.num_edges();
+  stats_.total_seconds += timer.Seconds();
+  return snapshot;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,74 @@
+// SnapshotCompactor: folds a DeltaOverlay into a fresh immutable CSR
+// snapshot. Two triggers exist in the Engine:
+//
+//  * write-triggered — ApplyMutations compacts when the pending delta
+//    exceeds the CompactionPolicy threshold, bounding overlay size during
+//    mutation-heavy phases with no reads;
+//  * read-triggered — a full (non-incremental) query needs a plain CSR for
+//    the solver, so a stale snapshot is folded on first use and promoted to
+//    the new base (the work was paid; keeping the delta would only repeat
+//    it).
+//
+// Incremental queries iterate the overlay directly and never trigger a
+// fold — that is what makes them cheap after small deltas.
+
+#ifndef HYTGRAPH_DYNAMIC_SNAPSHOT_COMPACTOR_H_
+#define HYTGRAPH_DYNAMIC_SNAPSHOT_COMPACTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dynamic/delta_overlay.h"
+#include "graph/csr_graph.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// When ApplyMutations folds eagerly. The threshold is the max of the two
+/// knobs so small graphs do not compact on every batch and large graphs do
+/// not accumulate unbounded deltas.
+struct CompactionPolicy {
+  /// Absolute floor on pending delta edges before a write-triggered fold.
+  uint64_t min_delta_edges = 4096;
+  /// Fold when the delta reaches this fraction of the base edge count.
+  double delta_fraction = 0.05;
+
+  uint64_t ThresholdFor(EdgeId base_edges) const {
+    const auto scaled = static_cast<uint64_t>(
+        delta_fraction * static_cast<double>(base_edges));
+    return std::max(min_delta_edges, scaled);
+  }
+};
+
+class SnapshotCompactor {
+ public:
+  struct Stats {
+    uint64_t folds = 0;
+    uint64_t edges_folded = 0;   // edge count of produced snapshots
+    double total_seconds = 0.0;  // measured host wall time of the folds
+  };
+
+  explicit SnapshotCompactor(CompactionPolicy policy = {})
+      : policy_(policy) {}
+
+  const CompactionPolicy& policy() const { return policy_; }
+
+  /// Write-trigger test: has the pending delta crossed the threshold?
+  bool ShouldCompact(const DeltaOverlay& overlay) const {
+    return overlay.delta_edges() >=
+           policy_.ThresholdFor(overlay.base().num_edges());
+  }
+
+  /// Folds base + delta into a standalone CSR, timing the rebuild.
+  Result<CsrGraph> Fold(const DeltaOverlay& overlay);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  CompactionPolicy policy_;
+  Stats stats_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_DYNAMIC_SNAPSHOT_COMPACTOR_H_

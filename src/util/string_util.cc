@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 
@@ -87,5 +88,17 @@ std::string TablePrinter::ToString() const {
 }
 
 void TablePrinter::Print() const { std::printf("%s", ToString().c_str()); }
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
 
 }  // namespace hytgraph

@@ -22,6 +22,9 @@ std::string FormatDouble(double value, int precision);
 std::string Join(const std::vector<std::string>& parts,
                  const std::string& sep);
 
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
 /// Simple fixed-width ASCII table writer used by the bench binaries so every
 /// reproduced paper table prints in a consistent layout.
 class TablePrinter {

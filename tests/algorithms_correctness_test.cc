@@ -7,7 +7,7 @@
 #include <cmath>
 
 #include "algorithms/reference.h"
-#include "algorithms/runner.h"
+#include "core/engine.h"
 #include "test_graphs.h"
 
 namespace hytgraph {
@@ -57,50 +57,50 @@ class CorrectnessTest
 };
 
 TEST_P(CorrectnessTest, Bfs) {
-  const CsrGraph graph = Graph();
-  const auto out = RunBfs(graph, 0, Options());
+  Engine engine(Graph(), Options());
+  const auto out = engine.Run({.algorithm = AlgorithmId::kBfs, .source = 0});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(out->values, ReferenceBfs(graph, 0));
+  EXPECT_EQ(out->u32(), ReferenceBfs(engine.graph(), 0));
 }
 
 TEST_P(CorrectnessTest, Sssp) {
-  const CsrGraph graph = Graph();
-  const auto out = RunSssp(graph, 0, Options());
+  Engine engine(Graph(), Options());
+  const auto out = engine.Run({.algorithm = AlgorithmId::kSssp, .source = 0});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(out->values, ReferenceSssp(graph, 0));
+  EXPECT_EQ(out->u32(), ReferenceSssp(engine.graph(), 0));
 }
 
 TEST_P(CorrectnessTest, Cc) {
-  const CsrGraph graph = Graph();
-  const auto out = RunCc(graph, Options());
+  Engine engine(Graph(), Options());
+  const auto out = engine.Run({.algorithm = AlgorithmId::kCc});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(out->values, ReferenceCc(graph));
+  EXPECT_EQ(out->u32(), ReferenceCc(engine.graph()));
 }
 
 TEST_P(CorrectnessTest, PageRank) {
-  const CsrGraph graph = Graph();
-  const auto out = RunPageRank(graph, Options());
+  Engine engine(Graph(), Options());
+  const auto out = engine.Run({.algorithm = AlgorithmId::kPageRank});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  const auto expected = ReferencePageRank(graph);
-  ASSERT_EQ(out->values.size(), expected.size());
+  const auto expected = ReferencePageRank(engine.graph());
+  ASSERT_EQ(out->f64().size(), expected.size());
   // Async consumption order differs from the synchronous reference; both
   // stop at epsilon residual, so compare with a tolerance proportional to
   // the maximum rank.
   double max_rank = 1.0;
   for (double r : expected) max_rank = std::max(max_rank, r);
   for (size_t v = 0; v < expected.size(); ++v) {
-    EXPECT_NEAR(out->values[v], expected[v], 1e-3 * max_rank)
+    EXPECT_NEAR(out->f64()[v], expected[v], 1e-3 * max_rank)
         << "vertex " << v;
   }
 }
 
 TEST_P(CorrectnessTest, Php) {
-  const CsrGraph graph = Graph();
-  const auto out = RunPhp(graph, 0, Options());
+  Engine engine(Graph(), Options());
+  const auto out = engine.Run({.algorithm = AlgorithmId::kPhp, .source = 0});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  const auto expected = ReferencePhp(graph, 0);
+  const auto expected = ReferencePhp(engine.graph(), 0);
   for (size_t v = 0; v < expected.size(); ++v) {
-    EXPECT_NEAR(out->values[v], expected[v], 1e-3) << "vertex " << v;
+    EXPECT_NEAR(out->f64()[v], expected[v], 1e-3) << "vertex " << v;
   }
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "algorithms/reference.h"
+#include "core/engine.h"
 #include "test_graphs.h"
 
 namespace hytgraph {
@@ -71,12 +72,19 @@ TEST(PreparedGraphTest, MapValuesBackInvertsRelabeling) {
 }
 
 TEST(RunnerTest, HubSortIsInvisibleInResults) {
-  // The same SSSP through the reordering runner and through a non-reordering
-  // baseline must agree exactly (both equal the reference).
+  // The same SSSP through a reordering preparation and through a
+  // non-reordering baseline must agree exactly (both equal the reference).
   const CsrGraph g = SmallRmat(9, 8, 13);
   const VertexId source = 5;
-  auto hyt = RunSssp(g, source, SolverOptions::Defaults(SystemKind::kHyTGraph));
-  auto emogi = RunSssp(g, source, SolverOptions::Defaults(SystemKind::kEmogi));
+  const SolverOptions hyt_opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  const SolverOptions emogi_opts = SolverOptions::Defaults(SystemKind::kEmogi);
+  auto hyt_prepared = PreparedGraph::Make(g, hyt_opts);
+  auto emogi_prepared = PreparedGraph::Make(g, emogi_opts);
+  ASSERT_TRUE(hyt_prepared.ok());
+  ASSERT_TRUE(emogi_prepared.ok());
+  ASSERT_TRUE(hyt_prepared->reordered());
+  auto hyt = RunSsspOn(*hyt_prepared, source, hyt_opts);
+  auto emogi = RunSsspOn(*emogi_prepared, source, emogi_opts);
   ASSERT_TRUE(hyt.ok());
   ASSERT_TRUE(emogi.ok());
   EXPECT_EQ(hyt->values, emogi->values);
@@ -84,13 +92,15 @@ TEST(RunnerTest, HubSortIsInvisibleInResults) {
 }
 
 TEST(RunnerTest, CcReturnsNaturalIdLabels) {
-  const CsrGraph g = testing::TwoCyclesGraph(12);
-  auto out = RunCc(g, SolverOptions::Defaults(SystemKind::kHyTGraph));
+  Engine engine(testing::TwoCyclesGraph(12),
+                SolverOptions::Defaults(SystemKind::kHyTGraph));
+  auto out = engine.Run({.algorithm = AlgorithmId::kCc});
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->values, ReferenceCc(g));
+  EXPECT_EQ(out->u32(), ReferenceCc(engine.graph()));
   // Labels are representatives: each label is a member of its component.
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    EXPECT_EQ(out->values[out->values[v]], out->values[v]);
+  const std::vector<uint32_t>& labels = out->u32();
+  for (VertexId v = 0; v < engine.graph().num_vertices(); ++v) {
+    EXPECT_EQ(labels[labels[v]], labels[v]);
   }
 }
 
@@ -118,21 +128,24 @@ TEST(RunnerTest, ErrorsPropagateThroughRunners) {
   const CsrGraph g = PaperFigure1Graph();
   SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
   opts.device_memory_override = 1;  // nothing fits
-  EXPECT_TRUE(RunBfs(g, 0, opts).status().IsOutOfMemory());
-  EXPECT_TRUE(RunPageRank(g, opts).status().IsOutOfMemory());
-  EXPECT_TRUE(RunSswp(g, 0, opts).status().IsOutOfMemory());
+  auto prepared = PreparedGraph::Make(g, opts);
+  ASSERT_TRUE(prepared.ok());  // preparation is host-side, it must succeed
+  EXPECT_TRUE(RunBfsOn(*prepared, 0, opts).status().IsOutOfMemory());
+  EXPECT_TRUE(RunPageRankOn(*prepared, opts).status().IsOutOfMemory());
+  EXPECT_TRUE(RunSswpOn(*prepared, 0, opts).status().IsOutOfMemory());
 }
 
-TEST(RunnerTest, ReusedPreparedGraphMatchesOneShotRunners) {
-  const CsrGraph g = SmallRmat(8, 6, 3);
+TEST(RunnerTest, ReusedPreparedGraphMatchesEngineRun) {
+  CsrGraph g = SmallRmat(8, 6, 3);
   const SolverOptions opts = SolverOptions::Defaults(SystemKind::kHyTGraph);
   auto prepared = PreparedGraph::Make(g, opts);
   ASSERT_TRUE(prepared.ok());
   auto via_prepared = RunBfsOn(*prepared, 2, opts);
-  auto one_shot = RunBfs(g, 2, opts);
   ASSERT_TRUE(via_prepared.ok());
-  ASSERT_TRUE(one_shot.ok());
-  EXPECT_EQ(via_prepared->values, one_shot->values);
+  Engine engine(std::move(g), opts);
+  auto via_engine = engine.Run({.algorithm = AlgorithmId::kBfs, .source = 2});
+  ASSERT_TRUE(via_engine.ok());
+  EXPECT_EQ(via_prepared->values, via_engine->u32());
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 
 #include "algorithms/programs.h"
 #include "algorithms/reference.h"
-#include "algorithms/runner.h"
+#include "core/engine.h"
 #include "test_graphs.h"
 
 namespace hytgraph {
@@ -72,15 +72,11 @@ TEST(SswpProgramTest, UnreachedVerticesAreSkipped) {
 class SswpSystemsTest : public ::testing::TestWithParam<SystemKind> {};
 
 TEST_P(SswpSystemsTest, MatchesReferenceEverywhere) {
-  const CsrGraph g = SmallRmat(9, 8, 31);
-  SolverOptions opts = SolverOptions::Defaults(GetParam());
-  VertexId source = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (g.out_degree(v) > g.out_degree(source)) source = v;
-  }
-  const auto out = RunSswp(g, source, opts);
+  Engine engine(SmallRmat(9, 8, 31), SolverOptions::Defaults(GetParam()));
+  // The engine default source is exactly the highest out-degree vertex.
+  const auto out = engine.Run({.algorithm = AlgorithmId::kSswp});
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_EQ(out->values, ReferenceSswp(g, source));
+  EXPECT_EQ(out->u32(), ReferenceSswp(engine.graph(), out->source));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -271,5 +271,60 @@ TEST(EngineTest, ClearPreparedCacheForcesRebuild) {
   EXPECT_EQ(again->cache_stats.misses, 2u);
 }
 
+TEST(EngineTest, ClearPreparedCachePreservesCounters) {
+  // The contract: Clear drops the memoized preparations (entries) but
+  // keeps the lifetime counters — hits, misses, and invalidations are
+  // observability data, not cache contents.
+  Engine engine(SmallRmat(9, 6), HyTGraphDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = 0;
+  ASSERT_TRUE(engine.Run(query).ok());  // miss
+  ASSERT_TRUE(engine.Run(query).ok());  // hit
+  const EngineCacheStats before = engine.cache_stats();
+  ASSERT_EQ(before.hits, 1u);
+  ASSERT_EQ(before.misses, 1u);
+  ASSERT_EQ(before.entries, 1u);
+
+  engine.ClearPreparedCache();
+  const EngineCacheStats after = engine.cache_stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.invalidated, before.invalidated);
+  EXPECT_EQ(after.entries, 0u);
+}
+
+TEST(EngineTest, PreparedCacheInvalidatesLazilyOnEpochBump) {
+  Engine engine(SmallRmat(9, 6), HyTGraphDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 0;
+  ASSERT_TRUE(engine.Run(query).ok());
+  ASSERT_EQ(engine.cache_stats().entries, 1u);
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 1, 1);
+  ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+
+  // Invalidation is lazy: the stale entry sits in the cache until the next
+  // lookup touches its fingerprint.
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+  EXPECT_EQ(engine.cache_stats().invalidated, 0u);
+
+  auto after = engine.Run(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->prepared_cache_hit);  // rebuilt against the new epoch
+  EXPECT_EQ(after->epoch, 1u);
+  const EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.invalidated, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // The fresh entry serves the new epoch.
+  auto again = engine.Run(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->prepared_cache_hit);
+}
+
 }  // namespace
 }  // namespace hytgraph

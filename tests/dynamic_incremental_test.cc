@@ -1,0 +1,244 @@
+// Incremental recomputation: after insert-only mutation batches, the
+// warm-started BFS/SSSP/CC/SSWP runs must produce values identical to a
+// full recompute on the mutated graph (the acceptance property of the
+// dynamic subsystem), with automatic fallback for deletions and for the
+// accumulation family (PR/PHP).
+
+#include "dynamic/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "test_graphs.h"
+#include "util/random.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+
+SolverOptions CpuDefaults() {
+  return SolverOptions::Defaults(SystemKind::kCpu);
+}
+
+MutationBatch RandomInserts(VertexId n, int count, Rng* rng) {
+  MutationBatch batch;
+  for (int i = 0; i < count; ++i) {
+    batch.InsertEdge(static_cast<VertexId>(rng->NextBounded(n)),
+                     static_cast<VertexId>(rng->NextBounded(n)),
+                     static_cast<Weight>(1 + rng->NextBounded(16)));
+  }
+  return batch;
+}
+
+TEST(IncrementalSupportTest, MonotoneFamilyOnly) {
+  EXPECT_TRUE(SupportsIncremental(AlgorithmId::kBfs));
+  EXPECT_TRUE(SupportsIncremental(AlgorithmId::kSssp));
+  EXPECT_TRUE(SupportsIncremental(AlgorithmId::kCc));
+  EXPECT_TRUE(SupportsIncremental(AlgorithmId::kSswp));
+  EXPECT_FALSE(SupportsIncremental(AlgorithmId::kPageRank));
+  EXPECT_FALSE(SupportsIncremental(AlgorithmId::kPhp));
+}
+
+TEST(IncrementalRecomputeTest, RejectsAccumulationFamilyAndBadSizes) {
+  DeltaOverlay overlay(
+      std::make_shared<const CsrGraph>(PaperFigure1Graph()));
+  std::vector<uint32_t> values(overlay.num_vertices(), 0);
+  EXPECT_TRUE(IncrementalRecompute(overlay, AlgorithmId::kPageRank, 0, {},
+                                   &values)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<uint32_t> wrong_size(3, 0);
+  EXPECT_TRUE(
+      IncrementalRecompute(overlay, AlgorithmId::kBfs, 0, {}, &wrong_size)
+          .status()
+          .IsInvalidArgument());
+  std::vector<VertexId> bad_seed = {99};
+  EXPECT_TRUE(
+      IncrementalRecompute(overlay, AlgorithmId::kBfs, 0, bad_seed, &values)
+          .status()
+          .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Property: chained incremental runs across random insert-only batches
+// equal a full recompute at every epoch, for all four monotone algorithms.
+
+class IncrementalPropertyTest
+    : public ::testing::TestWithParam<std::tuple<AlgorithmId, uint64_t>> {};
+
+TEST_P(IncrementalPropertyTest, MatchesFullRecomputeAcrossEpochs) {
+  const auto [algorithm, seed] = GetParam();
+  Engine engine(SmallRmat(8, 5, seed), CpuDefaults());
+  const VertexId n = engine.graph().num_vertices();
+  Rng rng(seed * 131 + 7);
+
+  Query query;
+  query.algorithm = algorithm;
+  auto previous = engine.Run(query);
+  ASSERT_TRUE(previous.ok()) << previous.status().ToString();
+  query.source = previous->source;  // pin the resolved source
+
+  for (int round = 0; round < 5; ++round) {
+    auto applied =
+        engine.ApplyMutations(RandomInserts(n, 16 + round * 8, &rng));
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+    // Incremental first — a full query folds the overlay away, and the
+    // incremental path must cope with the overlay present.
+    auto incremental = engine.RunIncremental(query, *previous);
+    ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+    EXPECT_TRUE(incremental->incremental);
+    EXPECT_EQ(incremental->epoch, applied->epoch);
+
+    auto full = engine.Run(query);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    EXPECT_FALSE(full->incremental);
+    ASSERT_EQ(incremental->u32(), full->u32())
+        << AlgorithmName(algorithm) << " diverged at epoch "
+        << applied->epoch;
+
+    previous = std::move(incremental);  // chain the warm start
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMonotoneAlgorithms, IncrementalPropertyTest,
+    ::testing::Combine(::testing::Values(AlgorithmId::kBfs,
+                                         AlgorithmId::kSssp,
+                                         AlgorithmId::kCc,
+                                         AlgorithmId::kSswp),
+                       ::testing::Values(3u, 11u, 29u)),
+    [](const ::testing::TestParamInfo<std::tuple<AlgorithmId, uint64_t>>&
+           info) {
+      return std::string(AlgorithmName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IncrementalEngineTest, SameEpochReturnsPreviousValuesWithoutWork) {
+  Engine engine(SmallRmat(8, 5, 3), CpuDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  auto first = engine.Run(query);
+  ASSERT_TRUE(first.ok());
+  query.source = first->source;
+
+  auto again = engine.RunIncremental(query, *first);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->incremental);
+  EXPECT_EQ(again->epoch, first->epoch);
+  EXPECT_EQ(again->u32(), first->u32());
+  EXPECT_EQ(again->trace.NumIterations(), 0u);  // nothing re-propagated
+}
+
+TEST(IncrementalEngineTest, DeletionFallsBackToFullRecompute) {
+  Engine engine(PaperFigure1Graph(), CpuDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 0;
+  auto initial = engine.Run(query);
+  ASSERT_TRUE(initial.ok());
+
+  // Deleting a->b (the shortest-path tree edge) must *increase* distances;
+  // a warm start would be wrong, so the engine must fall back.
+  MutationBatch batch;
+  batch.DeleteEdge(0, 1);
+  ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+
+  auto rerun = engine.RunIncremental(query, *initial);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_FALSE(rerun->incremental);
+  auto full = engine.Run(query);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(rerun->u32(), full->u32());
+  // The mutated graph genuinely differs: b is now reached the long way.
+  EXPECT_NE(rerun->u32(), initial->u32());
+}
+
+TEST(IncrementalEngineTest, DeleteThenInsertStaysFallenBackUntilCaughtUp) {
+  Engine engine(SmallRmat(8, 5, 5), CpuDefaults());
+  const VertexId n = engine.graph().num_vertices();
+  Rng rng(99);
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  auto initial = engine.Run(query);
+  ASSERT_TRUE(initial.ok());
+  query.source = initial->source;
+
+  // Epoch 1 deletes; epoch 2 inserts. A warm start from epoch 0 must fall
+  // back (the delta spans a deletion) ...
+  MutationBatch deletes;
+  deletes.DeleteEdge(query.source, engine.graph().neighbors(query.source)[0]);
+  ASSERT_TRUE(engine.ApplyMutations(deletes).ok());
+  ASSERT_TRUE(engine.ApplyMutations(RandomInserts(n, 8, &rng)).ok());
+
+  auto fallback = engine.RunIncremental(query, *initial);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_FALSE(fallback->incremental);
+
+  // ... but a warm start from the caught-up result is incremental again.
+  ASSERT_TRUE(engine.ApplyMutations(RandomInserts(n, 8, &rng)).ok());
+  auto incremental = engine.RunIncremental(query, *fallback);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_TRUE(incremental->incremental);
+  auto full = engine.Run(query);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(incremental->u32(), full->u32());
+}
+
+TEST(IncrementalEngineTest, AccumulationFamilyAlwaysFallsBack) {
+  Engine engine(SmallRmat(8, 5, 7), CpuDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kPageRank;
+  auto initial = engine.Run(query);
+  ASSERT_TRUE(initial.ok());
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 1, 1);
+  ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+
+  auto rerun = engine.RunIncremental(query, *initial);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_FALSE(rerun->incremental);
+  EXPECT_TRUE(rerun->is_f64());
+}
+
+TEST(IncrementalEngineTest, MismatchedPreviousResultIsRejected) {
+  Engine engine(SmallRmat(8, 5, 3), CpuDefaults());
+  Query bfs;
+  bfs.algorithm = AlgorithmId::kBfs;
+  auto result = engine.Run(bfs);
+  ASSERT_TRUE(result.ok());
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 1, 1);
+  ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+
+  // Wrong algorithm.
+  Query sssp;
+  sssp.algorithm = AlgorithmId::kSssp;
+  sssp.source = result->source;
+  EXPECT_TRUE(
+      engine.RunIncremental(sssp, *result).status().IsInvalidArgument());
+
+  // Wrong source.
+  Query other = bfs;
+  other.source = result->source == 0 ? 1 : 0;
+  EXPECT_TRUE(
+      engine.RunIncremental(other, *result).status().IsInvalidArgument());
+
+  // A "previous" result from a future epoch.
+  QueryResult fake = *result;
+  fake.epoch = 1000;
+  bfs.source = result->source;
+  EXPECT_TRUE(
+      engine.RunIncremental(bfs, fake).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hytgraph

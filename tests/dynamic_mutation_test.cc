@@ -1,0 +1,126 @@
+// MutationBatch: typed record building, validation against the vertex
+// range, and replay-file parsing (the CLI --mutations format).
+
+#include "dynamic/mutation.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hytgraph {
+namespace {
+
+TEST(MutationBatchTest, RecordsInsertsAndDeletesInOrder) {
+  MutationBatch batch;
+  batch.InsertEdge(0, 1, 7);
+  batch.DeleteEdge(2, 3);
+  batch.InsertEdge(4, 5);  // default weight 1
+
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.insert_count(), 2u);
+  EXPECT_EQ(batch.delete_count(), 1u);
+  EXPECT_TRUE(batch.has_deletes());
+  EXPECT_EQ(batch.mutations()[0],
+            (EdgeMutation{MutationOp::kInsertEdge, 0, 1, 7}));
+  EXPECT_EQ(batch.mutations()[1].op, MutationOp::kDeleteEdge);
+  EXPECT_EQ(batch.mutations()[2].weight, 1u);
+}
+
+TEST(MutationBatchTest, ValidateChecksVertexRange) {
+  MutationBatch batch;
+  batch.InsertEdge(0, 9);
+  EXPECT_TRUE(batch.Validate(10).ok());
+  EXPECT_TRUE(batch.Validate(9).IsInvalidArgument());  // dst == 9 out of range
+
+  MutationBatch del;
+  del.DeleteEdge(12, 0);
+  EXPECT_TRUE(del.Validate(10).IsInvalidArgument());
+  EXPECT_TRUE(del.Validate(13).ok());
+}
+
+TEST(MutationBatchTest, EmptyBatchValidates) {
+  EXPECT_TRUE(MutationBatch().Validate(0).ok());
+}
+
+TEST(ReplayParseTest, SplitsBatchesOnBlankLines) {
+  std::istringstream in(
+      "# two batches\n"
+      "+ 0 1 5\n"
+      "- 2 3\n"
+      "\n"
+      "+ 4 5\n");
+  auto batches = MutationBatch::ParseReplay(in);
+  ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+  ASSERT_EQ(batches->size(), 2u);
+  EXPECT_EQ((*batches)[0].size(), 2u);
+  EXPECT_EQ((*batches)[0].mutations()[0],
+            (EdgeMutation{MutationOp::kInsertEdge, 0, 1, 5}));
+  EXPECT_EQ((*batches)[0].mutations()[1].op, MutationOp::kDeleteEdge);
+  // Trailing unterminated batch committed at EOF; weight defaults to 1.
+  ASSERT_EQ((*batches)[1].size(), 1u);
+  EXPECT_EQ((*batches)[1].mutations()[0].weight, 1u);
+}
+
+TEST(ReplayParseTest, CommentsAndExtraBlankLinesAreIgnored) {
+  std::istringstream in(
+      "\n\n# header\n"
+      "+ 1 2\n"
+      "# inline note\n"
+      "+ 3 4\n"
+      "\n\n\n");
+  auto batches = MutationBatch::ParseReplay(in);
+  ASSERT_TRUE(batches.ok());
+  ASSERT_EQ(batches->size(), 1u);
+  EXPECT_EQ((*batches)[0].size(), 2u);
+  EXPECT_EQ((*batches)[0].insert_count(), 2u);
+}
+
+TEST(ReplayParseTest, MalformedLinesAreIOErrors) {
+  {
+    std::istringstream in("* 1 2\n");
+    EXPECT_TRUE(MutationBatch::ParseReplay(in).status().IsIOError());
+  }
+  {
+    std::istringstream in("+ 1\n");  // missing dst
+    EXPECT_TRUE(MutationBatch::ParseReplay(in).status().IsIOError());
+  }
+  {
+    std::istringstream in("+ a b\n");
+    EXPECT_TRUE(MutationBatch::ParseReplay(in).status().IsIOError());
+  }
+}
+
+TEST(ReplayParseTest, BadWeightTokensAreIOErrorsNotZeroWeights) {
+  // A garbage weight must not silently become weight 0 (a free edge for
+  // SSSP) via a failed stream extraction.
+  for (const char* line :
+       {"+ 3 4 1x\n", "+ 3 4 -2\n", "+ 3 4 4294967296\n", "+ 3 4 w\n"}) {
+    std::istringstream in(line);
+    EXPECT_TRUE(MutationBatch::ParseReplay(in).status().IsIOError()) << line;
+  }
+  // The full Weight range parses.
+  std::istringstream in("+ 3 4 4294967295\n");
+  auto batches = MutationBatch::ParseReplay(in);
+  ASSERT_TRUE(batches.ok());
+  EXPECT_EQ((*batches)[0].mutations()[0].weight, 4294967295u);
+}
+
+TEST(ReplayParseTest, TrailingTokensAreIOErrors) {
+  {
+    std::istringstream in("- 1 2 junk\n");
+    EXPECT_TRUE(MutationBatch::ParseReplay(in).status().IsIOError());
+  }
+  {
+    std::istringstream in("+ 1 2 3 4\n");
+    EXPECT_TRUE(MutationBatch::ParseReplay(in).status().IsIOError());
+  }
+}
+
+TEST(ReplayParseTest, MissingFileIsIOError) {
+  EXPECT_TRUE(MutationBatch::ParseReplayFile("/nonexistent/replay.txt")
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace hytgraph
