@@ -1,0 +1,157 @@
+// View-execution overhead: what does running the full pipeline directly on
+// base CSR + delta overlay cost versus running on the folded CSR?
+//
+// This is the price of taking SnapshotCompactor folds off the query path.
+// For each delta size (fraction of |E| applied as a mixed insert/delete
+// batch), the bench holds compaction to CompactionMode::kManual, times a
+// full query executing on the live GraphView (merged adjacency, logical
+// offsets), then calls Engine::Compact() and times the same query on the
+// folded snapshot. The ratio is the per-query overlay tax a serving
+// deployment weighs against fold latency when picking a CompactionPolicy
+// threshold; values are verified identical between the two runs.
+//
+// Smoke mode for CI: HYT_BENCH_SCALE_DELTA shrinks the RMAT scale
+// (18 - delta, floor 8) so the Release perf binaries stay exercised.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "graph/rmat_generator.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace hytgraph;
+
+namespace {
+
+constexpr AlgorithmId kAlgorithms[] = {AlgorithmId::kBfs, AlgorithmId::kSssp,
+                                       AlgorithmId::kPageRank};
+
+constexpr double kDeltaFractions[] = {0.0001, 0.001, 0.01, 0.05};
+
+/// ~80% inserts / 20% deletions of existing base edges — a mixed serving
+/// delta, not the insert-only best case.
+MutationBatch MixedBatch(const CsrGraph& base, uint64_t count,
+                         uint64_t seed) {
+  Rng rng(seed);
+  MutationBatch batch;
+  const VertexId n = base.num_vertices();
+  for (uint64_t i = 0; i < count; ++i) {
+    if (i % 5 == 4) {
+      const auto src = static_cast<VertexId>(rng.NextBounded(n));
+      const auto nbrs = base.neighbors(src);
+      if (!nbrs.empty()) {
+        batch.DeleteEdge(src, nbrs[rng.NextBounded(nbrs.size())]);
+        continue;
+      }
+    }
+    batch.InsertEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                     static_cast<VertexId>(rng.NextBounded(n)),
+                     static_cast<Weight>(1 + rng.NextBounded(64)));
+  }
+  return batch;
+}
+
+double TimeQuery(Engine& engine, const Query& query, int reps) {
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    auto run = engine.Run(query);
+    best = std::min(best, timer.Seconds());
+    HYT_CHECK(run.ok()) << run.status().ToString();
+  }
+  return best;
+}
+
+bool SameValues(const QueryResult& a, const QueryResult& b) {
+  if (a.is_f64() != b.is_f64()) return false;
+  if (!a.is_f64()) return a.u32() == b.u32();
+  if (a.f64().size() != b.f64().size()) return false;
+  for (size_t v = 0; v < a.f64().size(); ++v) {
+    if (std::abs(a.f64()[v] - b.f64()[v]) > 1e-4) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("GraphView overhead: query-on-overlay vs folded CSR",
+                     "dynamic serving workload (beyond the paper)");
+
+  RmatOptions gen;
+  gen.scale = 18 - std::min<uint32_t>(bench::ScaleDelta(), 10);  // floor: scale 8
+  gen.edge_factor = 16;
+  gen.seed = 42;
+  auto generated = GenerateRmat(gen);
+  HYT_CHECK(generated.ok()) << generated.status().ToString();
+  const CsrGraph base = std::move(generated).value();
+  std::printf("RMAT scale %u: %u vertices, %llu edges\n\n", gen.scale,
+              base.num_vertices(),
+              static_cast<unsigned long long>(base.num_edges()));
+
+  const SolverOptions options = SolverOptions::Defaults(SystemKind::kCpu);
+  CompactionPolicy manual;
+  manual.mode = CompactionMode::kManual;  // the bench folds explicitly
+
+  TablePrinter table({"algo", "delta edges", "delta/|E|", "view ms",
+                      "folded ms", "slowdown", "fold ms"});
+  bool values_ok = true;
+
+  for (AlgorithmId algorithm : kAlgorithms) {
+    for (double fraction : kDeltaFractions) {
+      const auto delta_edges = std::max<uint64_t>(
+          1, static_cast<uint64_t>(fraction *
+                                   static_cast<double>(base.num_edges())));
+
+      Engine engine(base, options, manual);
+      Query query;
+      query.algorithm = algorithm;
+      if (GetAlgorithmInfo(algorithm).needs_source) {
+        query.source = engine.DefaultSource();
+      }
+
+      const MutationBatch batch = MixedBatch(
+          base, delta_edges,
+          /*seed=*/7000003 * (static_cast<uint64_t>(algorithm) + 1) +
+              delta_edges);
+      auto applied = engine.ApplyMutations(batch);
+      HYT_CHECK(applied.ok()) << applied.status().ToString();
+      HYT_CHECK(!applied->compacted);
+
+      // On the live view: warm up (builds the preparation), then time.
+      auto on_view = engine.Run(query);
+      HYT_CHECK(on_view.ok()) << on_view.status().ToString();
+      const double view_seconds = TimeQuery(engine, query, 3);
+      HYT_CHECK(engine.compactor_stats().folds == 0)
+          << "a query folded; view execution is broken";
+
+      // Fold explicitly, re-prepare, then time the folded steady state.
+      WallTimer fold_timer;
+      HYT_CHECK(engine.Compact().ok());
+      const double fold_seconds = fold_timer.Seconds();
+      auto on_folded = engine.Run(query);
+      HYT_CHECK(on_folded.ok()) << on_folded.status().ToString();
+      const double folded_seconds = TimeQuery(engine, query, 3);
+
+      if (!SameValues(*on_view, *on_folded)) values_ok = false;
+
+      table.AddRow({AlgorithmName(algorithm), std::to_string(delta_edges),
+                    FormatDouble(fraction * 100, 2) + "%",
+                    FormatDouble(view_seconds * 1e3, 3),
+                    FormatDouble(folded_seconds * 1e3, 3),
+                    FormatDouble(view_seconds / folded_seconds, 2) + "x",
+                    FormatDouble(fold_seconds * 1e3, 3)});
+    }
+  }
+  table.Print();
+  std::printf("\nview and folded runs returned identical values: %s\n",
+              values_ok ? "yes" : "NO");
+  return values_ok ? 0 : 1;
+}

@@ -44,6 +44,8 @@ struct CliOptions {
   bool trace = false;
   uint64_t seed = 42;
   std::string mutations;  // replay file of edge mutation batches
+  std::string compact_policy;     // threshold (default) | manual
+  int64_t compact_threshold = -1;  // pending delta edges before a fold
 };
 
 void PrintUsage() {
@@ -69,7 +71,18 @@ void PrintUsage() {
       "                               '- u v' deletes, blank line commits a\n"
       "                               batch) and re-run the query after each\n"
       "                               batch, incrementally where the\n"
-      "                               algorithm allows\n");
+      "                               algorithm allows\n"
+      "  --compact-policy P           threshold|manual (default threshold):\n"
+      "                               when pending mutation deltas are\n"
+      "                               folded into a fresh base snapshot.\n"
+      "                               'threshold' folds eagerly once the\n"
+      "                               delta crosses --compact-threshold;\n"
+      "                               'manual' never folds during replay\n"
+      "                               (queries run on the delta overlay;\n"
+      "                               Engine::Compact() is the only fold)\n"
+      "  --compact-threshold N        pending delta edges that trigger a\n"
+      "                               threshold-mode fold (default: max of\n"
+      "                               4096 and 5%% of |E|)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* cli) {
@@ -110,6 +123,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->batch_sources = std::atoi(value);
     } else if (arg == "--mutations") {
       cli->mutations = value;
+    } else if (arg == "--compact-policy") {
+      cli->compact_policy = value;
+    } else if (arg == "--compact-threshold") {
+      cli->compact_threshold = std::atoll(value);
     } else if (arg == "--streams") {
       cli->streams = std::atoi(value);
     } else {
@@ -226,7 +243,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Engine engine(std::move(graph), options);
+  CompactionPolicy compaction;
+  if (!cli.compact_policy.empty()) {
+    if (cli.compact_policy == "threshold") {
+      compaction.mode = CompactionMode::kThreshold;
+    } else if (cli.compact_policy == "manual") {
+      compaction.mode = CompactionMode::kManual;
+    } else {
+      std::fprintf(stderr, "unknown --compact-policy %s (threshold|manual)\n",
+                   cli.compact_policy.c_str());
+      return 2;
+    }
+  }
+  if (cli.compact_threshold >= 0) {
+    // An explicit threshold is exact: disable the fractional knob so the
+    // fold triggers at precisely N pending delta edges.
+    compaction.min_delta_edges =
+        static_cast<uint64_t>(cli.compact_threshold);
+    compaction.delta_fraction = 0.0;
+  }
+
+  Engine engine(std::move(graph), options, compaction);
   std::printf("graph: %u vertices, %llu edges (%s); device memory %s; "
               "system %s; link %s\n",
               engine.graph().num_vertices(),

@@ -22,6 +22,7 @@
 #include "algorithms/atomic_ops.h"
 #include "engine/frontier.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "util/logging.h"
 
 namespace hytgraph {
@@ -37,13 +38,16 @@ class BfsProgram {
   static constexpr bool kHasDelta = false;
   static constexpr const char* kName = "BFS";
 
-  BfsProgram(const CsrGraph& graph, VertexId source)
-      : source_(source), levels_(graph.num_vertices()) {
+  BfsProgram(const GraphView& view, VertexId source)
+      : source_(source), levels_(view.num_vertices()) {
     for (auto& level : levels_) {
       level.store(kUnreachable, std::memory_order_relaxed);
     }
     levels_[source_].store(0, std::memory_order_relaxed);
   }
+
+  BfsProgram(const CsrGraph& graph, VertexId source)
+      : BfsProgram(GraphView::Wrap(graph), source) {}
 
   void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
 
@@ -83,13 +87,16 @@ class SsspProgram {
   static constexpr bool kHasDelta = false;
   static constexpr const char* kName = "SSSP";
 
-  SsspProgram(const CsrGraph& graph, VertexId source)
-      : source_(source), dists_(graph.num_vertices()) {
+  SsspProgram(const GraphView& view, VertexId source)
+      : source_(source), dists_(view.num_vertices()) {
     for (auto& dist : dists_) {
       dist.store(kUnreachable, std::memory_order_relaxed);
     }
     dists_[source_].store(0, std::memory_order_relaxed);
   }
+
+  SsspProgram(const CsrGraph& graph, VertexId source)
+      : SsspProgram(GraphView::Wrap(graph), source) {}
 
   void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
 
@@ -131,11 +138,14 @@ class CcProgram {
   static constexpr bool kHasDelta = false;
   static constexpr const char* kName = "CC";
 
-  explicit CcProgram(const CsrGraph& graph) : labels_(graph.num_vertices()) {
+  explicit CcProgram(const GraphView& view) : labels_(view.num_vertices()) {
     for (size_t v = 0; v < labels_.size(); ++v) {
       labels_[v].store(static_cast<uint32_t>(v), std::memory_order_relaxed);
     }
   }
+
+  explicit CcProgram(const CsrGraph& graph)
+      : CcProgram(GraphView::Wrap(graph)) {}
 
   void InitFrontier(Frontier* frontier) {
     for (VertexId v = 0; v < static_cast<VertexId>(labels_.size()); ++v) {
@@ -187,15 +197,21 @@ class PageRankProgram {
   static constexpr bool kHasDelta = true;
   static constexpr const char* kName = "PageRank";
 
-  PageRankProgram(const CsrGraph& graph, const PageRankOptions& options = {})
-      : graph_(graph),
+  explicit PageRankProgram(const GraphView& view,
+                           const PageRankOptions& options = {})
+      : graph_(view),
         options_(options),
-        ranks_(graph.num_vertices(), 0.0),
-        deltas_(graph.num_vertices()) {
+        ranks_(view.num_vertices(), 0.0),
+        deltas_(view.num_vertices()) {
     for (auto& delta : deltas_) {
       delta.store(1.0 - options_.damping, std::memory_order_relaxed);
     }
   }
+
+  /// Static-graph convenience: the graph must outlive the program.
+  explicit PageRankProgram(const CsrGraph& graph,
+                           const PageRankOptions& options = {})
+      : PageRankProgram(GraphView::Wrap(graph), options) {}
 
   void InitFrontier(Frontier* frontier) {
     for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
@@ -238,7 +254,7 @@ class PageRankProgram {
   }
 
  private:
-  const CsrGraph& graph_;
+  GraphView graph_;  // overlay-adjusted out-degrees for the rank split
   PageRankOptions options_;
   std::vector<double> ranks_;
   std::vector<std::atomic<double>> deltas_;
@@ -260,22 +276,30 @@ class PhpProgram {
   static constexpr bool kHasDelta = true;
   static constexpr const char* kName = "PHP";
 
-  PhpProgram(const CsrGraph& graph, VertexId source,
+  PhpProgram(const GraphView& view, VertexId source,
              const PhpOptions& options = {})
-      : graph_(graph),
-        options_(options),
+      : options_(options),
         source_(source),
-        values_(graph.num_vertices(), 0.0),
-        deltas_(graph.num_vertices()),
-        weight_sums_(graph.num_vertices(), 0.0) {
+        values_(view.num_vertices(), 0.0),
+        deltas_(view.num_vertices()),
+        weight_sums_(view.num_vertices(), 0.0) {
     for (auto& delta : deltas_) delta.store(0.0, std::memory_order_relaxed);
     deltas_[source_].store(1.0, std::memory_order_relaxed);
-    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-      double sum = 0;
-      for (Weight w : graph.weights(v)) sum += w;
-      weight_sums_[v] = sum;
+    // Weight sums cover the mutated adjacency. An unweighted graph keeps
+    // all-zero sums (no propagation), matching the historical weights(v)
+    // behaviour.
+    if (view.is_weighted()) {
+      for (VertexId v = 0; v < view.num_vertices(); ++v) {
+        double sum = 0;
+        view.ForEachNeighbor(v, [&](VertexId /*dst*/, Weight w) { sum += w; });
+        weight_sums_[v] = sum;
+      }
     }
   }
+
+  PhpProgram(const CsrGraph& graph, VertexId source,
+             const PhpOptions& options = {})
+      : PhpProgram(GraphView::Wrap(graph), source, options) {}
 
   void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
 
@@ -313,7 +337,6 @@ class PhpProgram {
   }
 
  private:
-  const CsrGraph& graph_;
   PhpOptions options_;
   VertexId source_;
   std::vector<double> values_;
@@ -333,14 +356,17 @@ class SswpProgram {
   static constexpr bool kHasDelta = false;
   static constexpr const char* kName = "SSWP";
 
-  SswpProgram(const CsrGraph& graph, VertexId source)
-      : source_(source), widths_(graph.num_vertices()) {
+  SswpProgram(const GraphView& view, VertexId source)
+      : source_(source), widths_(view.num_vertices()) {
     for (auto& width : widths_) {
       width.store(0, std::memory_order_relaxed);
     }
     widths_[source_].store(std::numeric_limits<uint32_t>::max(),
                            std::memory_order_relaxed);
   }
+
+  SswpProgram(const CsrGraph& graph, VertexId source)
+      : SswpProgram(GraphView::Wrap(graph), source) {}
 
   void InitFrontier(Frontier* frontier) { frontier->Activate(source_); }
 

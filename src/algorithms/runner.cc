@@ -8,17 +8,18 @@
 
 namespace hytgraph {
 
-Result<PreparedGraph> PreparedGraph::Make(const CsrGraph& graph,
+Result<PreparedGraph> PreparedGraph::Make(const GraphView& view,
                                           const SolverOptions& options) {
   PreparedGraph prepared;
-  prepared.original_ = &graph;
-  if (WantsReorder(options) && graph.num_vertices() > 0) {
-    HYT_ASSIGN_OR_RETURN(HubSortResult sorted,
-                         HubSort(graph, options.hub_fraction));
+  if (WantsReorder(options) && view.num_vertices() > 0) {
+    HYT_ASSIGN_OR_RETURN(HubSortViewResult sorted,
+                         HubSortView(view, options.hub_fraction));
     prepared.reordered_ = true;
-    prepared.sorted_graph_ = std::move(sorted.graph);
+    prepared.view_ = std::move(sorted.view);
     prepared.old_to_new_ = std::move(sorted.old_to_new);
     prepared.new_to_old_ = std::move(sorted.new_to_old);
+  } else {
+    prepared.view_ = view;
   }
   return prepared;
 }
@@ -30,9 +31,9 @@ template <typename Program, typename MakeProgram>
 Result<AlgorithmOutput<typename Program::Value>> RunWith(
     const PreparedGraph& prepared, const SolverOptions& options,
     MakeProgram make_program) {
-  Solver<Program> solver(prepared.graph(), options);
+  Solver<Program> solver(prepared.view(), options);
   HYT_RETURN_NOT_OK(solver.Init());
-  Program program = make_program(prepared.graph());
+  Program program = make_program(prepared.view());
   HYT_ASSIGN_OR_RETURN(RunTrace trace, solver.Run(&program));
   AlgorithmOutput<typename Program::Value> output;
   output.values = prepared.MapValuesBack(program.Values());
@@ -46,7 +47,7 @@ Result<AlgorithmOutput<uint32_t>> RunBfsOn(const PreparedGraph& prepared,
                                            VertexId source,
                                            const SolverOptions& options) {
   const VertexId mapped = prepared.MapSource(source);
-  return RunWith<BfsProgram>(prepared, options, [&](const CsrGraph& g) {
+  return RunWith<BfsProgram>(prepared, options, [&](const GraphView& g) {
     return BfsProgram(g, mapped);
   });
 }
@@ -55,7 +56,7 @@ Result<AlgorithmOutput<uint32_t>> RunSsspOn(const PreparedGraph& prepared,
                                             VertexId source,
                                             const SolverOptions& options) {
   const VertexId mapped = prepared.MapSource(source);
-  return RunWith<SsspProgram>(prepared, options, [&](const CsrGraph& g) {
+  return RunWith<SsspProgram>(prepared, options, [&](const GraphView& g) {
     return SsspProgram(g, mapped);
   });
 }
@@ -65,7 +66,7 @@ Result<AlgorithmOutput<uint32_t>> RunCcOn(const PreparedGraph& prepared,
   HYT_ASSIGN_OR_RETURN(
       auto output,
       RunWith<CcProgram>(prepared, options,
-                         [&](const CsrGraph& g) { return CcProgram(g); }));
+                         [&](const GraphView& g) { return CcProgram(g); }));
   if (prepared.reordered()) {
     // CC labels are vertex ids: translate them back to original ids so they
     // are meaningful to the caller. (Note: min-label propagation fixpoints
@@ -85,7 +86,7 @@ Result<AlgorithmOutput<double>> RunPageRankOn(const PreparedGraph& prepared,
   PageRankOptions pr;
   pr.damping = damping;
   pr.epsilon = epsilon;
-  return RunWith<PageRankProgram>(prepared, options, [&](const CsrGraph& g) {
+  return RunWith<PageRankProgram>(prepared, options, [&](const GraphView& g) {
     return PageRankProgram(g, pr);
   });
 }
@@ -98,7 +99,7 @@ Result<AlgorithmOutput<double>> RunPhpOn(const PreparedGraph& prepared,
   php.damping = damping;
   php.epsilon = epsilon;
   const VertexId mapped = prepared.MapSource(source);
-  return RunWith<PhpProgram>(prepared, options, [&](const CsrGraph& g) {
+  return RunWith<PhpProgram>(prepared, options, [&](const GraphView& g) {
     return PhpProgram(g, mapped, php);
   });
 }
@@ -107,7 +108,7 @@ Result<AlgorithmOutput<uint32_t>> RunSswpOn(const PreparedGraph& prepared,
                                             VertexId source,
                                             const SolverOptions& options) {
   const VertexId mapped = prepared.MapSource(source);
-  return RunWith<SswpProgram>(prepared, options, [&](const CsrGraph& g) {
+  return RunWith<SswpProgram>(prepared, options, [&](const GraphView& g) {
     return SswpProgram(g, mapped);
   });
 }

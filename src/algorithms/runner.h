@@ -27,12 +27,20 @@
 #include "core/options.h"
 #include "core/trace.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "util/status.h"
 
 namespace hytgraph {
 
 /// A graph preprocessed for a particular options set: hub-sorted when the
 /// system needs it, plus the id mappings.
+///
+/// Preparation operates on GraphViews end to end. A reordering preparation
+/// relabels the *base* CSR and remaps the pending overlay through the
+/// permutation (the permutation itself comes from the view's mutated
+/// degrees, so it matches what hub-sorting the folded CSR would produce);
+/// a non-reordering preparation is the input view unchanged. Either way
+/// the solver executes directly on base + delta — no snapshot fold.
 class PreparedGraph {
  public:
   /// Whether `options` calls for the hub-sorted vertex order (the expensive
@@ -45,14 +53,20 @@ class PreparedGraph {
            options.hub_fraction > 0;
   }
 
-  /// Prepares `graph` for `options`. The source graph must outlive the
-  /// PreparedGraph (un-sorted preparation keeps a reference, not a copy).
-  static Result<PreparedGraph> Make(const CsrGraph& graph,
+  /// Prepares `view` for `options`. The view pins its own base/overlay
+  /// snapshots, so the preparation is self-contained (when the view wraps
+  /// borrowed storage, that storage must outlive the PreparedGraph).
+  static Result<PreparedGraph> Make(const GraphView& view,
                                     const SolverOptions& options);
 
-  const CsrGraph& graph() const {
-    return reordered_ ? sorted_graph_ : *original_;
+  /// Static-graph convenience. The graph must outlive the PreparedGraph.
+  static Result<PreparedGraph> Make(const CsrGraph& graph,
+                                    const SolverOptions& options) {
+    return Make(GraphView::Wrap(graph), options);
   }
+
+  /// The view the solver executes on (relabeled when reordered()).
+  const GraphView& view() const { return view_; }
   bool reordered() const { return reordered_; }
   VertexId MapSource(VertexId original_id) const {
     return reordered_ ? old_to_new_[original_id] : original_id;
@@ -78,9 +92,8 @@ class PreparedGraph {
   }
 
  private:
-  const CsrGraph* original_ = nullptr;
+  GraphView view_;
   bool reordered_ = false;
-  CsrGraph sorted_graph_;
   std::vector<VertexId> old_to_new_;
   std::vector<VertexId> new_to_old_;
 };

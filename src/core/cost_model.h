@@ -13,6 +13,14 @@
 // sparse in edges). Tec deliberately counts only the transfer term — the
 // paper leaves Thpt_cpt out of the comparison because irregular host-memory
 // throughput resists modelling (Section V-A, "In practice...").
+//
+// Under dynamic mutations the inputs are view-adjusted: PartitionStats come
+// from the GraphView's merged degrees and logical offsets, and partitions
+// built on a view report overlay-adjusted num_edges(). The decisions this
+// model produces on a live view therefore equal the decisions it would
+// produce on the folded-from-scratch CSR (property-tested in
+// tests/dynamic_view_property_test.cc) — engine selection stays honest
+// while a delta is pending, with no fold on the query path.
 
 #ifndef HYTGRAPH_CORE_COST_MODEL_H_
 #define HYTGRAPH_CORE_COST_MODEL_H_

@@ -29,48 +29,32 @@ std::string PreparationFingerprint(const SolverOptions& options) {
 Engine::Engine(CsrGraph graph, SolverOptions default_options,
                CompactionPolicy compaction)
     : default_options_(std::move(default_options)),
-      overlay_(std::make_shared<const CsrGraph>(std::move(graph))),
-      snapshot_(overlay_.base_ptr()),
-      default_source_(HighestOutDegreeVertex(*snapshot_)),
+      base_(std::make_shared<const CsrGraph>(std::move(graph))),
+      overlay_(std::make_shared<const DeltaOverlay>(base_)),
+      view_(base_, overlay_),
+      default_source_(HighestOutDegreeVertex(view_)),
       compactor_(compaction) {}
 
-Engine::SnapshotRef Engine::CurrentSnapshotRefLocked() const {
-  if (snapshot_epoch_ != epoch_) {
-    // Read-triggered compaction: a full query (or graph() access) needs a
-    // plain CSR of the current epoch. Fold the overlay and promote the
-    // result to the new base — the rebuild was paid, keeping the delta
-    // would only repeat it on the next fold.
-    auto folded = compactor_.Fold(overlay_);
-    HYT_CHECK(folded.ok()) << "snapshot fold failed: "
-                           << folded.status().ToString();
-    snapshot_ =
-        std::make_shared<const CsrGraph>(std::move(folded).value());
-    overlay_.Reset(snapshot_);
-    snapshot_epoch_ = epoch_;
-    default_source_ = HighestOutDegreeVertex(*snapshot_);
-  }
-  return SnapshotRef{snapshot_, epoch_, default_source_};
+Engine::ViewRef Engine::CurrentViewRef() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return ViewRef{view_, epoch_, layout_version_, default_source_};
 }
 
-Engine::SnapshotRef Engine::CurrentSnapshotRef() const {
-  {
-    std::shared_lock<std::shared_mutex> lock(graph_mu_);
-    if (snapshot_epoch_ == epoch_) {
-      return SnapshotRef{snapshot_, epoch_, default_source_};
-    }
-  }
-  std::unique_lock<std::shared_mutex> lock(graph_mu_);
-  return CurrentSnapshotRefLocked();
+const CsrGraph& Engine::graph() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return *base_;
 }
-
-const CsrGraph& Engine::graph() const { return *CurrentSnapshotRef().graph; }
 
 std::shared_ptr<const CsrGraph> Engine::Snapshot() const {
-  return CurrentSnapshotRef().graph;
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return base_;
 }
 
+GraphView Engine::View() const { return CurrentViewRef().view; }
+
 VertexId Engine::DefaultSource() const {
-  return CurrentSnapshotRef().default_source;
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return default_source_;
 }
 
 uint64_t Engine::epoch() const {
@@ -80,12 +64,35 @@ uint64_t Engine::epoch() const {
 
 uint64_t Engine::pending_delta_edges() const {
   std::shared_lock<std::shared_mutex> lock(graph_mu_);
-  return overlay_.delta_edges();
+  return overlay_->delta_edges();
 }
 
 SnapshotCompactor::Stats Engine::compactor_stats() const {
   std::shared_lock<std::shared_mutex> lock(graph_mu_);
   return compactor_.stats();
+}
+
+Status Engine::CompactLocked() {
+  if (overlay_->empty()) return Status::OK();
+  HYT_ASSIGN_OR_RETURN(CsrGraph folded, compactor_.Fold(*overlay_));
+  base_ = std::make_shared<const CsrGraph>(std::move(folded));
+  overlay_ = std::make_shared<const DeltaOverlay>(base_);
+  view_ = GraphView(base_, overlay_);
+  ++layout_version_;
+  // The logical graph is unchanged (the fold only moved the physical
+  // layout), so the epoch and the default source stay put. Cached
+  // preparations still produce correct values, but they pin the pre-fold
+  // base + overlay — keeping them would defeat the point of compacting
+  // (shedding overlay overhead and the old snapshot's memory), and the
+  // epoch-based lazy invalidation cannot catch them. Drop them; in-flight
+  // queries keep their own shared_ptrs.
+  ClearPreparedCache();
+  return Status::OK();
+}
+
+Status Engine::Compact() {
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  return CompactLocked();
 }
 
 Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
@@ -94,21 +101,27 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
   MutationResult result;
   if (batch.empty()) {
     result.epoch = epoch_;
-    result.pending_delta_edges = overlay_.delta_edges();
+    result.pending_delta_edges = overlay_->delta_edges();
     return result;
   }
 
+  // Copy-on-write: in-flight queries iterate the published overlay without
+  // synchronization, so the batch lands on a private copy (O(delta)) that
+  // is published only when complete.
+  auto next_overlay = std::make_shared<DeltaOverlay>(*overlay_);
   HYT_ASSIGN_OR_RETURN(DeltaOverlay::ApplyStats applied,
-                       overlay_.Apply(batch));
+                       next_overlay->Apply(batch));
   if (applied.inserted == 0 && applied.deleted == 0) {
     // Every mutation was a no-op (deletions of absent edges): the graph is
     // unchanged, so don't bump the epoch — a bump would force a pointless
-    // refold and re-preparation on the next query.
+    // re-preparation on the next query.
     result.epoch = epoch_;
-    result.pending_delta_edges = overlay_.delta_edges();
+    result.pending_delta_edges = overlay_->delta_edges();
     return result;
   }
   ++epoch_;
+  overlay_ = std::move(next_overlay);
+  view_ = GraphView(base_, overlay_);
 
   EpochDelta log_entry;
   log_entry.epoch = epoch_;
@@ -120,31 +133,49 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
   }
   mutation_log_.push_back(std::move(log_entry));
 
+  // Snapshot GC: retire per-epoch entries beyond the policy horizon so the
+  // log stays bounded under a long-lived mutation stream. Incremental
+  // queries warm-starting from a retired epoch fall back to a full
+  // recompute (they can no longer reconstruct the delta since then).
+  const uint64_t horizon = compactor_.policy().mutation_log_horizon;
+  if (horizon > 0) {
+    while (!mutation_log_.empty() &&
+           mutation_log_.front().epoch + horizon <= epoch_) {
+      log_floor_epoch_ = mutation_log_.front().epoch;
+      mutation_log_.pop_front();
+    }
+  }
+
   result.epoch = epoch_;
   result.inserted = applied.inserted;
   result.deleted = applied.deleted;
-  if (compactor_.ShouldCompact(overlay_)) {
-    (void)CurrentSnapshotRefLocked();  // folds and promotes
+  if (compactor_.ShouldCompact(*overlay_)) {
+    HYT_RETURN_NOT_OK(CompactLocked());
     result.compacted = true;
   }
-  result.pending_delta_edges = overlay_.delta_edges();
+  result.pending_delta_edges = overlay_->delta_edges();
+  // The default source tracks the mutated graph (O(V) on the view's
+  // logical offsets — no fold).
+  default_source_ = HighestOutDegreeVertex(view_);
   return result;
 }
 
 Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
-    const SolverOptions& effective, const SnapshotRef& snapshot,
+    const SolverOptions& effective, const ViewRef& snapshot,
     bool* cache_hit) {
   const std::string key = PreparationFingerprint(effective);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = prepared_.find(key);
     if (it != prepared_.end()) {
-      if (it->second.epoch == snapshot.epoch) {
+      if (it->second.epoch == snapshot.epoch &&
+          it->second.layout == snapshot.layout) {
         ++stats_.hits;
         *cache_hit = true;
         return it->second.prepared;
       }
-      if (it->second.epoch < snapshot.epoch) {
+      if (std::pair(it->second.epoch, it->second.layout) <
+          std::pair(snapshot.epoch, snapshot.layout)) {
         // Lazy epoch invalidation: the entry was built against an older
         // snapshot. In-flight queries that planned against it still hold
         // their own shared_ptr; dropping the cache reference is safe.
@@ -163,22 +194,25 @@ Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
   // concurrent cache-hit query. Two threads racing on the same key build
   // twice; the first insert wins and the loser's copy is discarded.
   HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
-                       PreparedGraph::Make(*snapshot.graph, effective));
+                       PreparedGraph::Make(snapshot.view, effective));
   auto shared = std::make_shared<const PreparedGraph>(std::move(prepared));
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = prepared_.find(key);
   if (it == prepared_.end()) {
-    prepared_.emplace(
-        key, CacheEntry{snapshot.epoch, snapshot.graph, shared});
-  } else if (it->second.epoch == snapshot.epoch) {
+    prepared_.emplace(key, CacheEntry{snapshot.epoch, snapshot.layout,
+                                      snapshot.view, shared});
+  } else if (it->second.epoch == snapshot.epoch &&
+             it->second.layout == snapshot.layout) {
     // A racing thread inserted first for the same epoch; keep its copy.
     shared = it->second.prepared;
-  } else if (it->second.epoch < snapshot.epoch) {
+  } else if (std::pair(it->second.epoch, it->second.layout) <
+             std::pair(snapshot.epoch, snapshot.layout)) {
     // A racing thread re-inserted a stale entry while this one built
-    // against the newer epoch; replace it so the fresh preparation is not
-    // thrown away and rebuilt on the next lookup.
-    it->second = CacheEntry{snapshot.epoch, snapshot.graph, shared};
+    // against the newer (epoch, layout); replace it so the fresh
+    // preparation is not thrown away and rebuilt on the next lookup.
+    it->second = CacheEntry{snapshot.epoch, snapshot.layout, snapshot.view,
+                            shared};
     ++stats_.invalidated;
   }
   // Either way this query performed a build, so it reports a miss.
@@ -197,20 +231,20 @@ Result<Engine::PlannedQuery> Engine::Plan(const Query& query,
         std::to_string(static_cast<int>(query.algorithm)));
   }
 
-  const SnapshotRef snapshot = CurrentSnapshotRef();
+  const ViewRef snapshot = CurrentViewRef();
   PlannedQuery plan;
   plan.query = query;
   plan.options = EffectiveOptions(query.algorithm, base);
-  plan.snapshot = snapshot.graph;
+  plan.view = snapshot.view;
   plan.epoch = snapshot.epoch;
   if (info->needs_source) {
     plan.source = query.source == kInvalidVertex ? snapshot.default_source
                                                  : query.source;
     if (plan.source == kInvalidVertex ||
-        plan.source >= snapshot.graph->num_vertices()) {
+        plan.source >= snapshot.view.num_vertices()) {
       return Status::InvalidArgument(
           std::string(info->name) + " query needs a source vertex in [0, " +
-          std::to_string(snapshot.graph->num_vertices()) + ")");
+          std::to_string(snapshot.view.num_vertices()) + ")");
     }
   }
   HYT_ASSIGN_OR_RETURN(plan.prepared,
@@ -262,13 +296,41 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
   }
 
   if (SupportsIncremental(query.algorithm)) {
-    std::shared_lock<std::shared_mutex> lock(graph_mu_);
-    if (previous.epoch > epoch_) {
-      return Status::InvalidArgument(
-          "previous result is from epoch " + std::to_string(previous.epoch) +
-          ", engine is at epoch " + std::to_string(epoch_));
+    // Capture a consistent snapshot of (view, epoch, delta-since-previous)
+    // under the lock, then propagate without it — the view pins the graph.
+    ViewRef ref;
+    bool deletes_since = false;
+    bool log_retired = false;
+    std::vector<VertexId> seeds;
+    {
+      std::shared_lock<std::shared_mutex> lock(graph_mu_);
+      if (previous.epoch > epoch_) {
+        return Status::InvalidArgument(
+            "previous result is from epoch " +
+            std::to_string(previous.epoch) + ", engine is at epoch " +
+            std::to_string(epoch_));
+      }
+      ref = ViewRef{view_, epoch_, default_source_};
+      if (previous.epoch < log_floor_epoch_) {
+        // Snapshot GC retired the log entries needed to reconstruct the
+        // delta since `previous` — warm-starting is still *sound* (the
+        // graph only gained edges or we'd fall back anyway), but the seed
+        // set is unknown. Fall back to a full recompute.
+        log_retired = true;
+      } else {
+        for (const EpochDelta& delta : mutation_log_) {
+          if (delta.epoch <= previous.epoch) continue;
+          if (delta.structural_deletes) {
+            deletes_since = true;
+            break;
+          }
+          seeds.insert(seeds.end(), delta.insert_sources.begin(),
+                       delta.insert_sources.end());
+        }
+      }
     }
-    const VertexId n = overlay_.num_vertices();
+
+    const VertexId n = ref.view.num_vertices();
 
     // Warm starts are only valid for the exact query the previous result
     // answered: same algorithm (checked above) and same source. A query
@@ -296,39 +358,25 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
           std::to_string(n) + " vertices)");
     }
 
-    // Gather the delta since the previous result. Any epoch that removed
-    // an edge breaks the monotone warm-start bound: fall back.
-    bool deletes_since = false;
-    std::vector<VertexId> seeds;
-    for (const EpochDelta& delta : mutation_log_) {
-      if (delta.epoch <= previous.epoch) continue;
-      if (delta.structural_deletes) {
-        deletes_since = true;
-        break;
-      }
-      seeds.insert(seeds.end(), delta.insert_sources.begin(),
-                   delta.insert_sources.end());
-    }
-
-    if (!deletes_since) {
+    if (!deletes_since && !log_retired) {
       QueryResult result;
       result.algorithm = query.algorithm;
       result.source = info->needs_source ? source : kInvalidVertex;
-      result.epoch = epoch_;
+      result.epoch = ref.epoch;
       result.incremental = true;
 
       std::vector<uint32_t> values = previous.u32();
-      if (previous.epoch < epoch_) {
+      if (previous.epoch < ref.epoch) {
         HYT_ASSIGN_OR_RETURN(
             IncrementalStats stats,
-            IncrementalRecompute(overlay_, query.algorithm, source, seeds,
+            IncrementalRecompute(ref.view, query.algorithm, source, seeds,
                                  &values));
         IterationTrace it;
         it.active_vertices = stats.relaxed_vertices;
         it.active_edges = stats.traversed_edges;
         result.trace.iterations.push_back(it);
       }
-      // previous.epoch == epoch_: the graph is unchanged, the previous
+      // previous.epoch == epoch: the graph is unchanged, the previous
       // values already are the fixpoint.
       result.trace.converged = true;
       result.values = std::move(values);
@@ -337,7 +385,8 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
     }
   }
 
-  // Fallback: PR/PHP (no monotone warm start) or a delta with deletions.
+  // Fallback: PR/PHP (no monotone warm start), a delta with deletions, or
+  // a previous epoch older than the retained mutation log.
   return Run(query);
 }
 
@@ -351,7 +400,7 @@ Result<std::vector<QueryResult>> Engine::RunBatch(
   // Plan sequentially first: resolving the cache up front means every
   // distinct preparation is built exactly once, and the hit/miss ordering
   // is deterministic regardless of how the pool schedules execution. Each
-  // plan pins the snapshot it resolved against, so mutations landing while
+  // plan pins the view it resolved against, so mutations landing while
   // the batch executes cannot pull the graph out from under it.
   std::vector<PlannedQuery> plans;
   plans.reserve(queries.size());

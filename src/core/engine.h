@@ -26,30 +26,35 @@
 //    schedule-independent).
 //
 //  * Dynamic mutation with epoch-versioned snapshots. ApplyMutations
-//    applies a MutationBatch (src/dynamic/) to a DeltaOverlay over the
-//    immutable base CSR and bumps the engine epoch. Prepared-graph cache
-//    entries are tagged with the epoch they were built against and
-//    invalidated lazily on next lookup; queries pin the snapshot of the
+//    applies a MutationBatch (src/dynamic/) to a copy-on-write DeltaOverlay
+//    over the immutable base CSR and bumps the engine epoch. Prepared-graph
+//    cache entries are tagged with the epoch they were built against and
+//    invalidated lazily on next lookup; queries pin the GraphView of the
 //    epoch they planned against via shared ownership, so in-flight batches
 //    keep running to completion on their snapshot while mutations land.
-//    The overlay is folded into a fresh base CSR by the SnapshotCompactor —
-//    eagerly when the delta crosses the CompactionPolicy threshold, or on
-//    the first full query against a stale snapshot. RunIncremental
+//    Run/RunBatch/RunIncremental execute *directly on the live view*
+//    (base + delta merged on the fly): a query issued right after
+//    ApplyMutations triggers zero SnapshotCompactor folds. Folding is
+//    purely policy-driven — eager when the delta crosses the
+//    CompactionPolicy threshold (CompactionMode::kThreshold), or only via
+//    explicit Compact() (CompactionMode::kManual). RunIncremental
 //    recomputes BFS/SSSP/CC/SSWP after insert-only deltas by warm-starting
 //    from a previous result and re-activating only the touched vertices
-//    (falling back to a full recompute for PR/PHP or when the delta
-//    contains deletions).
+//    (falling back to a full recompute for PR/PHP, when the delta contains
+//    deletions, or when the previous epoch's mutation-log entries were
+//    retired by the snapshot GC horizon).
 //
 // Thread safety: Run/RunBatch/RunIncremental/ApplyMutations may be called
 // concurrently from multiple threads; the prepared cache and the mutation
 // state are internally synchronized. References returned by graph() are
-// valid until the next mutation-driven compaction — hold Snapshot() to pin
-// a graph version across mutations.
+// valid until the next compaction — hold Snapshot() (or View()) to pin a
+// graph version across mutations.
 
 #ifndef HYTGRAPH_CORE_ENGINE_H_
 #define HYTGRAPH_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,6 +71,7 @@
 #include "dynamic/mutation.h"
 #include "dynamic/snapshot_compactor.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "util/status.h"
 
 namespace hytgraph {
@@ -145,14 +151,21 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// The graph at the current epoch (folding pending mutations if needed).
-  /// The reference is valid until the next mutation lands; use Snapshot()
-  /// to pin a version.
+  /// The current *base* snapshot — the last folded CSR. Pending mutations
+  /// are NOT folded in (queries run on the view; see View()); after
+  /// ApplyMutations this still serves the pre-delta graph until a
+  /// policy-driven or explicit compaction lands. The reference is valid
+  /// until the next compaction; use Snapshot() to pin a version.
   const CsrGraph& graph() const;
 
-  /// Shared ownership of the current-epoch snapshot. Holders keep reading
-  /// a consistent graph while later mutations produce new snapshots.
+  /// Shared ownership of the current base snapshot. Holders keep reading
+  /// a consistent graph while later compactions produce new snapshots.
   std::shared_ptr<const CsrGraph> Snapshot() const;
+
+  /// The live logical graph: current base + pending delta. This is what
+  /// queries execute on; the returned view pins both components, so it
+  /// stays consistent while later mutations publish new snapshots.
+  GraphView View() const;
 
   const SolverOptions& default_options() const { return default_options_; }
 
@@ -172,6 +185,14 @@ class Engine {
   /// In-flight queries keep their pinned snapshots; prepared-cache entries
   /// from older epochs are invalidated lazily on their next lookup.
   Result<MutationResult> ApplyMutations(const MutationBatch& batch);
+
+  /// Explicitly folds the pending delta into a fresh base snapshot (no-op
+  /// when none is pending). The logical graph and the epoch are unchanged —
+  /// only the physical layout moves. Cached preparations are dropped so
+  /// subsequent queries rebuild against the compacted layout (in-flight
+  /// queries keep the snapshots they pinned). This is the only fold
+  /// trigger under CompactionMode::kManual.
+  Status Compact();
 
   /// Runs one query under the engine default options.
   Result<QueryResult> Run(const Query& query);
@@ -207,11 +228,15 @@ class Engine {
   void ClearPreparedCache();
 
  private:
-  /// The current epoch's materialized graph plus the metadata a query plan
-  /// needs, captured atomically.
-  struct SnapshotRef {
-    std::shared_ptr<const CsrGraph> graph;
+  /// The current epoch's live view plus the metadata a query plan needs,
+  /// captured atomically.
+  struct ViewRef {
+    GraphView view;
     uint64_t epoch = 0;
+    /// Physical-layout version: bumped on every fold. Distinguishes
+    /// same-epoch snapshots whose layout changed (Compact() does not bump
+    /// the epoch), so the prepared cache never resurrects a pre-fold view.
+    uint64_t layout = 0;
     VertexId default_source = kInvalidVertex;
   };
 
@@ -220,8 +245,9 @@ class Engine {
     Query query;
     SolverOptions options;  // effective (per-algorithm fixups applied)
     std::shared_ptr<const PreparedGraph> prepared;
-    /// Pins the snapshot `prepared` references for the whole execution.
-    std::shared_ptr<const CsrGraph> snapshot;
+    /// Pins the base/overlay snapshots `prepared` was built against for
+    /// the whole execution.
+    GraphView view;
     uint64_t epoch = 0;
     bool cache_hit = false;
     VertexId source = kInvalidVertex;
@@ -236,34 +262,44 @@ class Engine {
     std::vector<VertexId> insert_sources;
   };
 
-  /// Returns the current-epoch snapshot, folding a stale overlay first
-  /// (read-triggered compaction; the fold is promoted to the new base).
-  SnapshotRef CurrentSnapshotRef() const;
-  SnapshotRef CurrentSnapshotRefLocked() const;  // graph_mu_ held exclusively
+  /// Returns the current-epoch live view (no fold, ever — a lock-shared
+  /// read of the published snapshots).
+  ViewRef CurrentViewRef() const;
+
+  /// Folds the pending overlay and promotes the result to the new base.
+  /// graph_mu_ must be held exclusively.
+  Status CompactLocked();
 
   Result<PlannedQuery> Plan(const Query& query, const SolverOptions& base);
   Result<std::shared_ptr<const PreparedGraph>> GetPrepared(
-      const SolverOptions& effective, const SnapshotRef& snapshot,
+      const SolverOptions& effective, const ViewRef& snapshot,
       bool* cache_hit);
   Result<QueryResult> Execute(const PlannedQuery& plan) const;
 
   SolverOptions default_options_;
 
-  /// Guards the mutation state below. Mutable so logically-const reads
-  /// (graph(), Snapshot()) can materialize lazily.
+  /// Guards the mutation state below. Writers (ApplyMutations, Compact)
+  /// publish new immutable snapshots; readers copy shared_ptrs out.
   mutable std::shared_mutex graph_mu_;
-  mutable DeltaOverlay overlay_;  // pending delta over the last folded base
-  mutable std::shared_ptr<const CsrGraph> snapshot_;  // current-epoch view
-  mutable uint64_t snapshot_epoch_ = 0;
+  std::shared_ptr<const CsrGraph> base_;          // last folded snapshot
+  std::shared_ptr<const DeltaOverlay> overlay_;   // pending delta (COW)
+  GraphView view_;                                // base_ + overlay_
   uint64_t epoch_ = 0;
-  mutable VertexId default_source_ = kInvalidVertex;
-  mutable SnapshotCompactor compactor_;
-  std::vector<EpochDelta> mutation_log_;
+  VertexId default_source_ = kInvalidVertex;
+  SnapshotCompactor compactor_;
+  /// Per-epoch deltas for incremental seed computation; entries older than
+  /// the CompactionPolicy horizon are retired (snapshot GC), and
+  /// log_floor_epoch_ records the newest retired epoch.
+  std::deque<EpochDelta> mutation_log_;
+  uint64_t log_floor_epoch_ = 0;
+  /// Bumped by CompactLocked; see ViewRef::layout.
+  uint64_t layout_version_ = 0;
 
   struct CacheEntry {
     uint64_t epoch = 0;
-    /// Keeps the graph the preparation references alive.
-    std::shared_ptr<const CsrGraph> snapshot;
+    uint64_t layout = 0;
+    /// Keeps the base/overlay snapshots the preparation references alive.
+    GraphView view;
     std::shared_ptr<const PreparedGraph> prepared;
   };
 

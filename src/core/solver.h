@@ -4,6 +4,12 @@
 // loop on the shared simulator substrate, so measured differences isolate
 // the transfer-management policy — the variable the paper studies.
 //
+// The loop executes on a GraphView (base CSR + optional mutation delta):
+// partition geometry, activity stats, and transfer accounting all use the
+// view's logical (folded-CSR) offsets while edge expansion merges the
+// overlay on the fly, so queries on a mutated graph run without any
+// snapshot fold on the critical path.
+//
 // Per iteration:
 //   1. Resolve the frontier against the partitioning (engine/partition_state)
 //   2. Generate tasks: HyTGraph runs cost-aware selection (formulas (1)-(3))
@@ -46,6 +52,7 @@
 #include "engine/kernels.h"
 #include "engine/partition_state.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/partitioner.h"
 #include "sim/compute_model.h"
 #include "sim/device_memory.h"
@@ -62,9 +69,16 @@ namespace hytgraph {
 template <typename Program>
 class Solver {
  public:
-  /// `graph` must outlive the solver.
+  /// Runs on a live GraphView: the base CSR with any pending mutation
+  /// delta merged on the fly. The view pins its base/overlay snapshots for
+  /// the solver's lifetime.
+  Solver(GraphView view, SolverOptions options)
+      : view_(std::move(view)), options_(std::move(options)) {}
+
+  /// Static-graph convenience: a transparent view over `graph`, which must
+  /// outlive the solver.
   Solver(const CsrGraph& graph, SolverOptions options)
-      : graph_(graph), options_(std::move(options)) {}
+      : Solver(GraphView::Wrap(graph), std::move(options)) {}
 
   /// Validates options, accounts device memory, partitions the graph, and
   /// sets up the transfer engines. Must be called (successfully) before Run.
@@ -73,7 +87,7 @@ class Solver {
 
     bytes_per_edge_ =
         kBytesPerNeighbor +
-        (Program::kNeedsWeights && graph_.is_weighted() ? sizeof(Weight) : 0);
+        (Program::kNeedsWeights && view_.is_weighted() ? sizeof(Weight) : 0);
 
     // Device memory: vertex-associated data is always resident (paper
     // Section I assumption); if it does not fit, this platform cannot run
@@ -82,7 +96,7 @@ class Solver {
         std::make_unique<DeviceMemory>(options_.DeviceMemory());
     HYT_RETURN_NOT_OK(device_memory_->Allocate(
         "vertex_data",
-        graph_.VertexDataBytes(sizeof(typename Program::Value))));
+        view_.VertexDataBytes(sizeof(typename Program::Value))));
 
     // Partitioning: 32 MB in the paper; auto mode scales to keep the
     // ~256-partition regime at simulator scale.
@@ -90,11 +104,14 @@ class Solver {
     popts.bytes_per_edge = bytes_per_edge_;
     popts.partition_bytes = options_.partition_bytes;
     if (popts.partition_bytes == 0) {
-      const uint64_t edge_bytes = graph_.num_edges() * bytes_per_edge_;
+      const uint64_t edge_bytes = view_.num_edges() * bytes_per_edge_;
       popts.partition_bytes =
           std::clamp<uint64_t>(edge_bytes / 256, KiB(64), MiB(32));
     }
-    HYT_ASSIGN_OR_RETURN(partitions_, PartitionGraph(graph_, popts));
+    // Partition the *view*: boundaries and per-partition edge counts come
+    // from the logical (folded) offsets, so formulas (1)-(3) see the
+    // mutated graph's partition geometry.
+    HYT_ASSIGN_OR_RETURN(partitions_, PartitionGraph(view_, popts));
 
     pcie_ = std::make_unique<PcieModel>(options_.gpu, options_.pcie);
     zc_access_ = std::make_unique<ZeroCopyAccess>(pcie_.get());
@@ -132,7 +149,7 @@ class Solver {
           std::max<uint64_t>(options_.pcie.page_bytes,
                              device_memory_->available());
       um_engine_ = std::make_unique<UnifiedMemoryEngine>(
-          graph_.num_edges() * bytes_per_edge_, cache_bytes,
+          view_.num_edges() * bytes_per_edge_, cache_bytes,
           options_.pcie.page_bytes);
     }
     initialized_ = true;
@@ -148,9 +165,8 @@ class Solver {
     stats_.Reset();
     if (um_engine_ != nullptr) um_engine_->Invalidate();
 
-    const VertexId n = graph_.num_vertices();
-    Frontier frontier_a(n);
-    Frontier frontier_b(n);
+    Frontier frontier_a(view_);
+    Frontier frontier_b(view_);
     Frontier* current = &frontier_a;
     Frontier* next = &frontier_b;
     program->InitFrontier(current);
@@ -213,8 +229,8 @@ class Solver {
       delta_fn = &DeltaTrampoline;
       opaque = program;
     }
-    return BuildIterationState(graph_, partitions_, frontier, *zc_access_,
-                               Program::kNeedsWeights && graph_.is_weighted(),
+    return BuildIterationState(view_, partitions_, frontier, *zc_access_,
+                               Program::kNeedsWeights && view_.is_weighted(),
                                delta_fn, opaque);
   }
 
@@ -356,7 +372,7 @@ class Solver {
         }
       }
       if (pending.empty()) break;
-      edges += RunKernel(graph_, pending, *program, next);
+      edges += RunKernel(view_, pending, *program, next);
     }
     return edges;
   }
@@ -378,7 +394,7 @@ class Solver {
         stats_.AddExplicit(bytes, tlps);
         st.transfer_seconds = pcie_->ExplicitCopySeconds(bytes) +
                               options_.task_overhead_seconds;
-        uint64_t edges = RunKernel(graph_, actives, *program, next);
+        uint64_t edges = RunKernel(view_, actives, *program, next);
         if (options_.extra_rounds != 0) {
           // Whole partitions are on the GPU: any vertex in range can be
           // recomputed without further transfer.
@@ -392,7 +408,7 @@ class Solver {
       case EngineKind::kCompaction: {
         it->partitions_compaction += count;
         CompactionResult compact = CompactActiveEdges(
-            graph_, actives, Program::kNeedsWeights && graph_.is_weighted());
+            view_, actives, Program::kNeedsWeights && view_.is_weighted());
         it->measured_compaction_seconds += compact.measured_seconds;
         stats_.AddCompactedBytes(compact.bytes_moved);
         st.cpu_seconds = static_cast<double>(compact.bytes_moved) /
@@ -431,7 +447,7 @@ class Solver {
             options_.task_overhead_seconds;
         // No extra rounds: zero-copy loads nothing, re-access would pay the
         // PCIe cost again (Section VI-A applies to *loaded* subgraphs).
-        const uint64_t edges = RunKernel(graph_, actives, *program, next);
+        const uint64_t edges = RunKernel(view_, actives, *program, next);
         stats_.AddKernelEdges(edges);
         st.kernel_seconds = gpu_model_->SecondsForEdges(edges) +
                             options_.task_overhead_seconds;
@@ -443,12 +459,13 @@ class Solver {
         UnifiedMemoryReport report;
         uint64_t spill_requests = 0;  // Grus: zero-copy fallback
         for (VertexId v : actives) {
-          const uint64_t begin = graph_.edge_begin(v) * bytes_per_edge_;
-          const uint64_t end = graph_.edge_end(v) * bytes_per_edge_;
+          // Logical offsets: UM pages are addressed in the folded layout.
+          const uint64_t begin = view_.edge_begin(v) * bytes_per_edge_;
+          const uint64_t end = view_.edge_end(v) * bytes_per_edge_;
           if (options_.system == SystemKind::kGrus) {
             if (!um_engine_->TouchIfCacheable(begin, end, &report)) {
               spill_requests += zc_access_->RequestsForVertex(
-                  graph_, v, Program::kNeedsWeights && graph_.is_weighted());
+                  view_, v, Program::kNeedsWeights && view_.is_weighted());
             }
           } else {
             report += um_engine_->Touch(begin, end);
@@ -471,14 +488,14 @@ class Solver {
           transfer += pcie_->ZeroCopySeconds(spill_requests, ratio);
         }
         st.transfer_seconds = transfer + options_.task_overhead_seconds;
-        const uint64_t edges = RunKernel(graph_, actives, *program, next);
+        const uint64_t edges = RunKernel(view_, actives, *program, next);
         stats_.AddKernelEdges(edges);
         st.kernel_seconds = gpu_model_->SecondsForEdges(edges) +
                             options_.task_overhead_seconds;
         break;
       }
       case EngineKind::kCpu: {
-        const uint64_t edges = RunKernel(graph_, actives, *program, next);
+        const uint64_t edges = RunKernel(view_, actives, *program, next);
         stats_.AddKernelEdges(edges);
         st.kernel_seconds = cpu_model_->SecondsForEdges(edges);
         break;
@@ -487,7 +504,7 @@ class Solver {
     timeline->Submit(st);
   }
 
-  const CsrGraph& graph_;
+  GraphView view_;
   SolverOptions options_;
   uint64_t bytes_per_edge_ = 4;
   uint64_t staging_budget_bytes_ = 0;

@@ -4,14 +4,16 @@
 // vertex, (a) tombstones suppressing all base edges to a given target and
 // (b) inserted edges in application order. Adjacency iteration merges the
 // two on the fly (surviving base edges first, then inserts), so readers —
-// in particular the incremental recomputation path — see the mutated graph
-// without any CSR rebuild. Once the delta grows past the compaction policy
-// threshold, SnapshotCompactor folds the overlay into a fresh base via
+// the GraphView the whole execution stack runs on, and the incremental
+// recomputation path — see the mutated graph without any CSR rebuild. Once
+// the delta grows past the compaction policy threshold (or Engine::Compact
+// is called), SnapshotCompactor folds the overlay into a fresh base via
 // Materialize().
 //
 // Thread safety: Apply/Reset are writes; everything else is a read. The
-// owner (hytgraph::Engine) serializes writes against reads with its
-// snapshot lock; a bare overlay is not internally synchronized.
+// owner (hytgraph::Engine) publishes overlays copy-on-write: queries pin an
+// immutable overlay snapshot while ApplyMutations builds and publishes a
+// new one, so published overlays are never written again.
 
 #ifndef HYTGRAPH_DYNAMIC_DELTA_OVERLAY_H_
 #define HYTGRAPH_DYNAMIC_DELTA_OVERLAY_H_
@@ -65,6 +67,39 @@ class DeltaOverlay {
 
   /// Out-degree of v in the mutated graph.
   EdgeId out_degree(VertexId v) const;
+
+  /// Whether v has any pending delta (inserts or tombstones). Readers use
+  /// this to keep the zero-delta fast path (plain base spans) per vertex.
+  bool HasDelta(VertexId v) const { return deltas_.contains(v); }
+
+  /// Whether base edges v -> dst are suppressed by a tombstone.
+  bool IsTombstoned(VertexId v, VertexId dst) const {
+    auto it = deltas_.find(v);
+    return it != deltas_.end() && it->second.IsTombstoned(dst);
+  }
+
+  /// Visits every vertex with a pending delta (unspecified order).
+  template <typename Fn>
+  void ForEachDeltaVertex(Fn&& fn) const {
+    for (const auto& [v, delta] : deltas_) fn(v);
+  }
+
+  /// Visits v's overlay inserts in application order as (target, weight).
+  template <typename Fn>
+  void ForEachInsert(VertexId v, Fn&& fn) const {
+    auto it = deltas_.find(v);
+    if (it == deltas_.end()) return;
+    for (const auto& [dst, w] : it->second.inserts) fn(dst, w);
+  }
+
+  /// Visits v's tombstoned targets in ascending order. Every listed target
+  /// suppresses at least one base edge (Apply never records a no-op).
+  template <typename Fn>
+  void ForEachTombstone(VertexId v, Fn&& fn) const {
+    auto it = deltas_.find(v);
+    if (it == deltas_.end()) return;
+    for (VertexId dst : it->second.tombstones) fn(dst);
+  }
 
   /// Visits every out-edge of v in the mutated graph: surviving base edges
   /// in CSR order, then overlay inserts in application order. `fn` receives

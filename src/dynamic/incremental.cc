@@ -47,7 +47,7 @@ struct SswpRelax {
 };
 
 template <typename Relax>
-IncrementalStats Propagate(const DeltaOverlay& graph,
+IncrementalStats Propagate(const GraphView& graph,
                            std::span<const VertexId> seeds,
                            std::vector<uint32_t>* values) {
   IncrementalStats stats;
@@ -107,7 +107,7 @@ bool SupportsIncremental(AlgorithmId id) {
   return false;
 }
 
-Result<IncrementalStats> IncrementalRecompute(const DeltaOverlay& graph,
+Result<IncrementalStats> IncrementalRecompute(const GraphView& graph,
                                               AlgorithmId id, VertexId source,
                                               std::span<const VertexId> seeds,
                                               std::vector<uint32_t>* values) {

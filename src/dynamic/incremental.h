@@ -13,9 +13,9 @@
 // monotone bound at all; both fall back to full recomputation in the
 // Engine (Engine::RunIncremental).
 //
-// The propagation iterates DeltaOverlay adjacency directly, so an
-// incremental run after a small delta touches only the affected cone and
-// never pays a CSR rebuild.
+// The propagation iterates GraphView adjacency directly (merged base +
+// overlay), so an incremental run after a small delta touches only the
+// affected cone and never pays a CSR rebuild.
 
 #ifndef HYTGRAPH_DYNAMIC_INCREMENTAL_H_
 #define HYTGRAPH_DYNAMIC_INCREMENTAL_H_
@@ -26,6 +26,7 @@
 
 #include "algorithms/registry.h"
 #include "dynamic/delta_overlay.h"
+#include "graph/graph_view.h"
 #include "graph/types.h"
 #include "util/status.h"
 
@@ -52,10 +53,19 @@ struct IncrementalStats {
 ///
 /// Precondition: the deltas between the previous fixpoint's graph and
 /// `graph` are insert-only (callers enforce this; see Engine).
-Result<IncrementalStats> IncrementalRecompute(const DeltaOverlay& graph,
+Result<IncrementalStats> IncrementalRecompute(const GraphView& graph,
                                               AlgorithmId id, VertexId source,
                                               std::span<const VertexId> seeds,
                                               std::vector<uint32_t>* values);
+
+/// DeltaOverlay convenience overload (tests, direct callers): a non-owning
+/// view over `overlay`, which must outlive the call.
+inline Result<IncrementalStats> IncrementalRecompute(
+    const DeltaOverlay& overlay, AlgorithmId id, VertexId source,
+    std::span<const VertexId> seeds, std::vector<uint32_t>* values) {
+  return IncrementalRecompute(GraphView::Wrap(overlay), id, source, seeds,
+                              values);
+}
 
 }  // namespace hytgraph
 

@@ -1,16 +1,17 @@
 // SnapshotCompactor: folds a DeltaOverlay into a fresh immutable CSR
-// snapshot. Two triggers exist in the Engine:
+// snapshot. Folding is purely *policy-driven* — queries never trigger it:
 //
-//  * write-triggered — ApplyMutations compacts when the pending delta
-//    exceeds the CompactionPolicy threshold, bounding overlay size during
-//    mutation-heavy phases with no reads;
-//  * read-triggered — a full (non-incremental) query needs a plain CSR for
-//    the solver, so a stale snapshot is folded on first use and promoted to
-//    the new base (the work was paid; keeping the delta would only repeat
-//    it).
+//  * write-triggered — under CompactionMode::kThreshold, ApplyMutations
+//    compacts when the pending delta exceeds the policy threshold, bounding
+//    overlay size (and therefore query-on-overlay overhead) during
+//    mutation-heavy phases;
+//  * explicit — Engine::Compact() folds on demand (the only trigger under
+//    CompactionMode::kManual), letting servers schedule the O(E) rebuild
+//    off the latency-critical path.
 //
-// Incremental queries iterate the overlay directly and never trigger a
-// fold — that is what makes them cheap after small deltas.
+// Queries — full and incremental — execute directly on the GraphView
+// (base + overlay) and never wait for a fold; compaction is an amortized
+// background concern, not a query-latency tax.
 
 #ifndef HYTGRAPH_DYNAMIC_SNAPSHOT_COMPACTOR_H_
 #define HYTGRAPH_DYNAMIC_SNAPSHOT_COMPACTOR_H_
@@ -24,14 +25,30 @@
 
 namespace hytgraph {
 
-/// When ApplyMutations folds eagerly. The threshold is the max of the two
-/// knobs so small graphs do not compact on every batch and large graphs do
-/// not accumulate unbounded deltas.
+/// When pending deltas are folded into a fresh base snapshot.
+enum class CompactionMode : uint8_t {
+  /// ApplyMutations folds eagerly once the delta crosses the threshold.
+  kThreshold = 0,
+  /// Only an explicit Engine::Compact() folds; the delta grows unboundedly
+  /// otherwise (callers own the schedule).
+  kManual = 1,
+};
+
+/// Compaction policy plus the mutation-log retirement horizon (the two
+/// lifecycle knobs of the dynamic-graph subsystem). The fold threshold is
+/// the max of the two knobs so small graphs do not compact on every batch
+/// and large graphs do not accumulate unbounded deltas.
 struct CompactionPolicy {
+  CompactionMode mode = CompactionMode::kThreshold;
   /// Absolute floor on pending delta edges before a write-triggered fold.
   uint64_t min_delta_edges = 4096;
   /// Fold when the delta reaches this fraction of the base edge count.
   double delta_fraction = 0.05;
+  /// Snapshot GC: per-epoch mutation-log entries older than this many
+  /// epochs are retired, so the log cannot grow unboundedly under a
+  /// long-lived mutation stream. RunIncremental from a retired epoch
+  /// transparently falls back to a full recompute. 0 retains everything.
+  uint64_t mutation_log_horizon = 1024;
 
   uint64_t ThresholdFor(EdgeId base_edges) const {
     const auto scaled = static_cast<uint64_t>(
@@ -54,7 +71,9 @@ class SnapshotCompactor {
   const CompactionPolicy& policy() const { return policy_; }
 
   /// Write-trigger test: has the pending delta crossed the threshold?
+  /// Always false under CompactionMode::kManual.
   bool ShouldCompact(const DeltaOverlay& overlay) const {
+    if (policy_.mode == CompactionMode::kManual) return false;
     return overlay.delta_edges() >=
            policy_.ThresholdFor(overlay.base().num_edges());
   }

@@ -7,43 +7,54 @@
 
 namespace hytgraph {
 
-CompactionResult CompactActiveEdges(const CsrGraph& graph,
+CompactionResult CompactActiveEdges(const GraphView& view,
                                     std::span<const VertexId> actives,
                                     bool include_weights) {
   WallTimer timer;
   CompactionResult result;
   SubCsr& sub = result.sub;
+  const CsrGraph& base = view.base();
 
   sub.vertices.assign(actives.begin(), actives.end());
   sub.row_offsets.resize(actives.size() + 1);
   sub.row_offsets[0] = 0;
   for (size_t i = 0; i < actives.size(); ++i) {
     sub.row_offsets[i + 1] =
-        sub.row_offsets[i] + graph.out_degree(actives[i]);
+        sub.row_offsets[i] + view.out_degree(actives[i]);
   }
   const EdgeId total_edges = sub.row_offsets.back();
   sub.column_index.resize(total_edges);
-  const bool weighted = include_weights && graph.is_weighted();
+  const bool weighted = include_weights && view.is_weighted();
   if (weighted) sub.weights.resize(total_edges);
 
-  // Parallel gather: each shard owns a contiguous range of active vertices
-  // and copies their runs with memcpy (this is the real CPU/memory work that
-  // makes compaction expensive).
+  // Parallel gather: each shard owns a contiguous range of active vertices.
+  // Clean vertices copy their base runs with memcpy (the real CPU/memory
+  // work that makes compaction expensive); delta vertices gather through
+  // the merged overlay iteration.
   ThreadPool::Default()->ParallelFor(
       actives.size(),
       [&](int /*shard*/, uint64_t begin, uint64_t end) {
         for (uint64_t i = begin; i < end; ++i) {
           const VertexId v = actives[i];
-          const EdgeId deg = graph.out_degree(v);
-          if (deg == 0) continue;
-          const EdgeId src_off = graph.edge_begin(v);
           const EdgeId dst_off = sub.row_offsets[i];
+          if (view.HasDelta(v)) {
+            EdgeId out = dst_off;
+            view.ForEachNeighbor(v, [&](VertexId dst, Weight w) {
+              sub.column_index[out] = dst;
+              if (weighted) sub.weights[out] = w;
+              ++out;
+            });
+            continue;
+          }
+          const EdgeId deg = base.out_degree(v);
+          if (deg == 0) continue;
+          const EdgeId src_off = base.edge_begin(v);
           std::memcpy(sub.column_index.data() + dst_off,
-                      graph.column_index().data() + src_off,
+                      base.column_index().data() + src_off,
                       deg * sizeof(VertexId));
           if (weighted) {
             std::memcpy(sub.weights.data() + dst_off,
-                        graph.edge_weights().data() + src_off,
+                        base.edge_weights().data() + src_off,
                         deg * sizeof(Weight));
           }
         }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/types.h"
 #include "util/status.h"
 
@@ -46,11 +47,21 @@ struct CompactionResult {
   uint64_t bytes_moved = 0;
 };
 
-/// Compacts the out-edges of `actives` (sorted vertex ids) from `graph`.
+/// Compacts the out-edges of `actives` (sorted vertex ids) from `view`.
+/// Vertices with no pending delta keep the dense memcpy gather; delta
+/// vertices gather through the merged overlay iteration, so the shipped
+/// sub-CSR reflects the mutated graph without a snapshot fold.
 /// `include_weights` copies the weight runs too. Runs on the default pool.
-CompactionResult CompactActiveEdges(const CsrGraph& graph,
+CompactionResult CompactActiveEdges(const GraphView& view,
                                     std::span<const VertexId> actives,
                                     bool include_weights);
+
+/// CsrGraph convenience overload (static callers, tests).
+inline CompactionResult CompactActiveEdges(const CsrGraph& graph,
+                                           std::span<const VertexId> actives,
+                                           bool include_weights) {
+  return CompactActiveEdges(GraphView::Wrap(graph), actives, include_weights);
+}
 
 }  // namespace hytgraph
 

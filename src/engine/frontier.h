@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "graph/types.h"
 #include "util/atomic_bitmap.h"
 
@@ -18,6 +19,10 @@ namespace hytgraph {
 class Frontier {
  public:
   explicit Frontier(VertexId num_vertices) : bitmap_(num_vertices) {}
+
+  /// Sized for a live view (the vertex universe is overlay-invariant, so
+  /// this is the base vertex count).
+  explicit Frontier(const GraphView& view) : bitmap_(view.num_vertices()) {}
 
   /// Thread-safe activation; returns true if v was newly activated.
   bool Activate(VertexId v) { return bitmap_.TestAndSet(v); }

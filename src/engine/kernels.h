@@ -4,7 +4,13 @@
 // order, parallelism, and frontier maintenance. Results are exact — only
 // the *time* of these kernels is taken from the compute model.
 //
-// Program concept (see algorithms/vertex_program.h for implementations):
+// Edge expansion runs on a GraphView: vertices with no pending delta take
+// the dense base-CSR span path (identical code to the static engine);
+// delta vertices merge tombstone-filtered base edges with overlay inserts
+// on the fly. A query therefore never waits for a snapshot fold — the
+// per-vertex overlay lookup is the price, measured by bench_view_overhead.
+//
+// Program concept (see algorithms/programs.h for implementations):
 //   struct P {
 //     using VertexContext = ...;       // per-source state for one visit
 //     bool BeginVertex(VertexId u, VertexContext* ctx);   // false: skip u
@@ -21,17 +27,19 @@
 #include "engine/compactor.h"
 #include "engine/frontier.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "util/thread_pool.h"
 
 namespace hytgraph {
 
-/// Relaxes all out-edges of every vertex in `actives` against `graph`,
+/// Relaxes all out-edges of every vertex in `actives` against `view`,
 /// activating changed targets in `next`. Returns the number of edges
 /// processed (the kernel-time unit).
 template <typename Program>
-uint64_t RunKernel(const CsrGraph& graph, std::span<const VertexId> actives,
+uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
                    Program& program, Frontier* next) {
   if (actives.empty()) return 0;
+  const CsrGraph& base = view.base();
   std::atomic<uint64_t> edges_processed{0};
   ThreadPool::Default()->ParallelFor(
       actives.size(),
@@ -41,8 +49,16 @@ uint64_t RunKernel(const CsrGraph& graph, std::span<const VertexId> actives,
           const VertexId u = actives[i];
           typename Program::VertexContext ctx;
           if (!program.BeginVertex(u, &ctx)) continue;
-          const auto nbrs = graph.neighbors(u);
-          const auto wts = graph.weights(u);
+          if (view.HasDelta(u)) {
+            // Merged adjacency: surviving base edges, then overlay inserts.
+            view.ForEachNeighbor(u, [&](VertexId v, Weight w) {
+              ++local_edges;
+              if (program.ProcessEdge(ctx, u, v, w)) next->Activate(v);
+            });
+            continue;
+          }
+          const auto nbrs = base.neighbors(u);
+          const auto wts = base.weights(u);
           local_edges += nbrs.size();
           for (size_t e = 0; e < nbrs.size(); ++e) {
             const Weight w = wts.empty() ? Weight{1} : wts[e];
@@ -55,6 +71,14 @@ uint64_t RunKernel(const CsrGraph& graph, std::span<const VertexId> actives,
       },
       /*min_grain=*/64);
   return edges_processed.load();
+}
+
+/// CsrGraph convenience overload (static callers, tests): a transparent
+/// non-owning view over `graph`.
+template <typename Program>
+uint64_t RunKernel(const CsrGraph& graph, std::span<const VertexId> actives,
+                   Program& program, Frontier* next) {
+  return RunKernel(GraphView::Wrap(graph), actives, program, next);
 }
 
 /// Same as RunKernel but over a compacted subgraph (Subway-style GPU-side

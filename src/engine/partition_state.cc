@@ -6,7 +6,7 @@
 
 namespace hytgraph {
 
-IterationState BuildIterationState(const CsrGraph& graph,
+IterationState BuildIterationState(const GraphView& view,
                                    const std::vector<Partition>& partitions,
                                    const Frontier& frontier,
                                    const ZeroCopyAccess& zc_access,
@@ -37,9 +37,9 @@ IterationState BuildIterationState(const CsrGraph& graph,
           const auto slice = state.Slice(static_cast<uint32_t>(p));
           stats.active_vertices = slice.size();
           for (VertexId v : slice) {
-            stats.active_edges += graph.out_degree(v);
+            stats.active_edges += view.out_degree(v);
             stats.zc_requests +=
-                zc_access.RequestsForVertex(graph, v, include_weights);
+                zc_access.RequestsForVertex(view, v, include_weights);
             if (delta_fn != nullptr) {
               stats.delta_sum += delta_fn(program, v);
             }

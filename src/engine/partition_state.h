@@ -2,6 +2,13 @@
 // formulas (1)-(3). Computed in parallel from the frontier at the start of
 // every iteration ("the cost computation between partitions is independent",
 // Section V-A — the paper does it on the GPU; we do it on the pool).
+//
+// Stats are computed against a GraphView, so `active_edges` and
+// `zc_requests` are overlay-adjusted: degrees come from the view's merged
+// adjacency and request counts from its logical (folded-CSR) offsets.
+// Engine selection under a pending mutation delta therefore matches the
+// selection a compacted snapshot would produce — no pre-query fold needed
+// to keep formulas (1)-(3) honest.
 
 #ifndef HYTGRAPH_ENGINE_PARTITION_STATE_H_
 #define HYTGRAPH_ENGINE_PARTITION_STATE_H_
@@ -12,6 +19,7 @@
 
 #include "engine/frontier.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/partitioner.h"
 #include "sim/zero_copy.h"
 
@@ -19,9 +27,14 @@ namespace hytgraph {
 
 struct PartitionStats {
   uint64_t active_vertices = 0;
+  /// Out-edges of the active vertices in the *mutated* graph (view
+  /// degrees: base minus tombstoned plus inserted).
   uint64_t active_edges = 0;
-  /// Zero-copy memory requests to fetch all active runs (formula (3)'s
-  /// sum of ceil(Do(v)*d1/m) + am(v)).
+  /// Zero-copy memory requests to fetch all active runs — formula (3)'s
+  /// sum over active v of ceil(Do(v)*d1/m) + am(v), where am(v) in {0, 1}
+  /// charges one extra transaction when v's run starts mid-line (see
+  /// ZeroCopyAccess::RequestsForRun, pinned by sim_zero_copy_test).
+  /// Computed from the view's logical offsets, i.e. the folded layout.
   uint64_t zc_requests = 0;
   /// Sum of a program-defined priority weight (e.g. |delta|) over active
   /// vertices; 0 when the program has no delta notion.
@@ -53,13 +66,23 @@ using DeltaFn = double (*)(const void* program, VertexId v);
 /// Builds the IterationState for `frontier`. `include_weights` controls
 /// whether zero-copy request counts cover the weight array too (weighted
 /// algorithms fetch neighbours + weights). `delta_fn`/`program` may be null.
-IterationState BuildIterationState(const CsrGraph& graph,
+IterationState BuildIterationState(const GraphView& view,
                                    const std::vector<Partition>& partitions,
                                    const Frontier& frontier,
                                    const ZeroCopyAccess& zc_access,
                                    bool include_weights,
                                    DeltaFn delta_fn = nullptr,
                                    const void* program = nullptr);
+
+/// CsrGraph convenience overload (static callers, tests).
+inline IterationState BuildIterationState(
+    const CsrGraph& graph, const std::vector<Partition>& partitions,
+    const Frontier& frontier, const ZeroCopyAccess& zc_access,
+    bool include_weights, DeltaFn delta_fn = nullptr,
+    const void* program = nullptr) {
+  return BuildIterationState(GraphView::Wrap(graph), partitions, frontier,
+                             zc_access, include_weights, delta_fn, program);
+}
 
 }  // namespace hytgraph
 

@@ -40,6 +40,15 @@ VertexId HighestOutDegreeVertex(const CsrGraph& graph) {
   return best;
 }
 
+VertexId HighestOutDegreeVertex(const GraphView& view) {
+  if (view.num_vertices() == 0) return kInvalidVertex;
+  VertexId best = 0;
+  for (VertexId v = 1; v < view.num_vertices(); ++v) {
+    if (view.out_degree(v) > view.out_degree(best)) best = v;
+  }
+  return best;
+}
+
 std::vector<VertexId> TopOutDegreeVertices(const CsrGraph& graph,
                                            size_t count) {
   const VertexId n = graph.num_vertices();

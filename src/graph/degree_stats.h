@@ -9,8 +9,10 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 
 namespace hytgraph {
 
@@ -50,6 +52,10 @@ DegreeSummary SummarizeDegrees(const CsrGraph& graph);
 /// conventional deterministic source for BFS/SSSP/PHP/SSWP runs. Returns
 /// kInvalidVertex on an empty graph.
 VertexId HighestOutDegreeVertex(const CsrGraph& graph);
+
+/// Same over a live GraphView (overlay-adjusted degrees), so the Engine's
+/// default source tracks the mutated graph without a fold.
+VertexId HighestOutDegreeVertex(const GraphView& view);
 
 /// The `count` distinct vertices with the highest out-degrees, descending
 /// (lowest id wins ties) — the source set batched multi-source runs use.

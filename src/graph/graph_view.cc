@@ -1,0 +1,45 @@
+#include "graph/graph_view.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hytgraph {
+
+GraphView::GraphView(std::shared_ptr<const CsrGraph> base,
+                     std::shared_ptr<const DeltaOverlay> overlay)
+    : base_(std::move(base)), overlay_(std::move(overlay)) {
+  if (overlay_ != nullptr && overlay_->empty()) overlay_.reset();
+  if (overlay_ == nullptr) return;
+  HYT_CHECK(&overlay_->base() == base_.get())
+      << "overlay is anchored on a different base snapshot";
+
+  const VertexId n = base_->num_vertices();
+  auto offsets = std::make_shared<std::vector<EdgeId>>(
+      static_cast<size_t>(n) + 1, EdgeId{0});
+  for (VertexId v = 0; v < n; ++v) {
+    (*offsets)[v + 1] = (*offsets)[v] + overlay_->out_degree(v);
+  }
+  logical_offsets_ = std::move(offsets);
+}
+
+std::vector<uint32_t> GraphView::InDegrees() const {
+  std::vector<uint32_t> in_degrees = base_->in_degrees();
+  if (overlay_ == nullptr) return in_degrees;
+  overlay_->ForEachDeltaVertex([&](VertexId v) {
+    for (VertexId nbr : base_->neighbors(v)) {
+      if (overlay_->IsTombstoned(v, nbr)) --in_degrees[nbr];
+    }
+    overlay_->ForEachInsert(
+        v, [&](VertexId dst, Weight /*w*/) { ++in_degrees[dst]; });
+  });
+  return in_degrees;
+}
+
+Result<CsrGraph> GraphView::Materialize() const {
+  if (overlay_ != nullptr) return overlay_->Materialize();
+  return CsrGraph::Create(base_->row_offsets(), base_->column_index(),
+                          base_->edge_weights());
+}
+
+}  // namespace hytgraph

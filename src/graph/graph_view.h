@@ -1,0 +1,174 @@
+// GraphView: the logical graph the whole execution stack runs on — an
+// immutable base CSR plus an optional DeltaOverlay of pending mutations.
+//
+// Queries never wait for a fold: the view merges base adjacency with the
+// overlay on the fly (tombstone-filtered base edges first, then inserts),
+// while degree/offset queries go through *logical* row offsets — the row
+// offsets the folded CSR would have. That second point is what keeps the
+// cost model honest under deltas: formulas (1)-(3) see exactly the counts
+// and alignments a compacted snapshot would produce, so engine selection on
+// a view matches engine selection on the folded-from-scratch CSR
+// (property-tested), while compaction itself becomes a policy decision off
+// the query path.
+//
+// A view is a cheap value type (three shared_ptrs): copies share the base,
+// overlay, and logical-offset arrays, and holders pin both graph components
+// for as long as they keep the view — this is how in-flight queries keep a
+// consistent graph while mutations publish new snapshots.
+//
+// `Wrap` adapts borrowed storage (a plain CsrGraph or DeltaOverlay owned by
+// the caller) into a non-owning view for code that predates the Engine's
+// shared snapshots; the wrapped object must outlive the view.
+
+#ifndef HYTGRAPH_GRAPH_GRAPH_VIEW_H_
+#define HYTGRAPH_GRAPH_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dynamic/delta_overlay.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+class GraphView {
+ public:
+  GraphView() = default;
+
+  /// A view over `base` with `overlay` layered on top. `overlay` may be
+  /// null or empty (a transparent view of the base); when present it must
+  /// be anchored on `base`. Builds the logical row offsets eagerly (O(V)
+  /// when the overlay is non-empty, free otherwise).
+  explicit GraphView(std::shared_ptr<const CsrGraph> base,
+                     std::shared_ptr<const DeltaOverlay> overlay = nullptr);
+
+  /// Non-owning view of a caller-owned graph (no overlay). The graph must
+  /// outlive the view.
+  static GraphView Wrap(const CsrGraph& graph) {
+    return GraphView(
+        std::shared_ptr<const CsrGraph>(std::shared_ptr<const void>(), &graph));
+  }
+
+  /// Non-owning view of a caller-owned overlay (the base is shared through
+  /// the overlay). The overlay must outlive the view.
+  static GraphView Wrap(const DeltaOverlay& overlay) {
+    return GraphView(overlay.base_ptr(),
+                     std::shared_ptr<const DeltaOverlay>(
+                         std::shared_ptr<const void>(), &overlay));
+  }
+
+  const CsrGraph& base() const { return *base_; }
+  std::shared_ptr<const CsrGraph> base_ptr() const { return base_; }
+  std::shared_ptr<const DeltaOverlay> overlay_ptr() const { return overlay_; }
+
+  /// True when pending mutations are layered over the base (an empty
+  /// overlay is dropped at construction, so this means a real delta).
+  bool has_overlay() const { return overlay_ != nullptr; }
+  /// Pending delta size (suppressed base edges + inserted edges).
+  uint64_t delta_edges() const {
+    return overlay_ == nullptr ? 0 : overlay_->delta_edges();
+  }
+  /// Whether v has any pending delta (false on every vertex of a
+  /// transparent view).
+  bool HasDelta(VertexId v) const {
+    return overlay_ != nullptr && overlay_->HasDelta(v);
+  }
+
+  VertexId num_vertices() const {
+    return base_ == nullptr ? 0 : base_->num_vertices();
+  }
+  EdgeId num_edges() const {
+    return logical_offsets_ == nullptr ? base_->num_edges()
+                                       : logical_offsets_->back();
+  }
+  bool is_weighted() const { return base_->is_weighted(); }
+
+  /// Out-degree of v in the mutated graph (O(1): logical offsets).
+  EdgeId out_degree(VertexId v) const {
+    if (logical_offsets_ == nullptr) return base_->out_degree(v);
+    return (*logical_offsets_)[v + 1] - (*logical_offsets_)[v];
+  }
+
+  /// Logical edge offsets: where v's neighbour run would start/end in the
+  /// folded CSR. Transfer accounting (zero-copy alignment, UM page touch)
+  /// uses these so a view costs exactly what its compacted snapshot would.
+  EdgeId edge_begin(VertexId v) const {
+    return logical_offsets_ == nullptr ? base_->edge_begin(v)
+                                       : (*logical_offsets_)[v];
+  }
+  EdgeId edge_end(VertexId v) const {
+    return logical_offsets_ == nullptr ? base_->edge_end(v)
+                                       : (*logical_offsets_)[v + 1];
+  }
+
+  /// Logical edges in the vertex range [first, last) — what
+  /// Partition::num_edges() reports when partitions are built on a view.
+  /// (`edge_begin(n)` is the total edge count, so last == num_vertices()
+  /// is valid.)
+  EdgeId EdgesInRange(VertexId first, VertexId last) const {
+    return edge_begin(last) - edge_begin(first);
+  }
+
+  /// Per-range edge delta (view minus base) — per-partition introspection
+  /// for compaction policies and tests (how concentrated is the pending
+  /// delta?). Zero on a transparent view.
+  int64_t EdgeDeltaInRange(VertexId first, VertexId last) const {
+    if (logical_offsets_ == nullptr) return 0;
+    return static_cast<int64_t>(EdgesInRange(first, last)) -
+           static_cast<int64_t>(base_->edge_begin(last) -
+                                base_->edge_begin(first));
+  }
+
+  /// Visits every out-edge of v in the mutated graph: surviving base edges
+  /// in CSR order, then overlay inserts in application order. `fn` receives
+  /// (target, weight); weight is 1 when the view is unweighted.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    if (overlay_ != nullptr && overlay_->HasDelta(v)) {
+      overlay_->ForEachNeighbor(v, std::forward<Fn>(fn));
+      return;
+    }
+    const auto nbrs = base_->neighbors(v);
+    const auto wts = base_->weights(v);
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      fn(nbrs[e], wts.empty() ? Weight{1} : wts[e]);
+    }
+  }
+
+  /// In-degrees of the mutated graph (base in-degrees adjusted by the
+  /// overlay). Hub scoring (formula (4)) uses these so the hub order of a
+  /// view matches the hub order of its folded CSR.
+  std::vector<uint32_t> InDegrees() const;
+
+  /// Bytes of host-resident edge-associated data of the mutated graph.
+  uint64_t EdgeDataBytes() const {
+    const uint64_t per_edge =
+        kBytesPerNeighbor + (is_weighted() ? sizeof(Weight) : 0);
+    return num_edges() * per_edge;
+  }
+
+  /// Bytes of GPU-resident vertex-associated data (vertex count is
+  /// overlay-invariant, so this is the base figure).
+  uint64_t VertexDataBytes(uint64_t value_bytes) const {
+    return base_->VertexDataBytes(value_bytes);
+  }
+
+  /// Folds the view into a standalone CSR (what a compaction would
+  /// produce). A transparent view yields a copy of the base.
+  Result<CsrGraph> Materialize() const;
+
+ private:
+  std::shared_ptr<const CsrGraph> base_;
+  std::shared_ptr<const DeltaOverlay> overlay_;  // null = transparent
+  /// Folded-CSR row offsets; null when the overlay is empty (base offsets
+  /// are already the logical ones).
+  std::shared_ptr<const std::vector<EdgeId>> logical_offsets_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_GRAPH_GRAPH_VIEW_H_

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "util/status.h"
 
 namespace hytgraph {
@@ -29,9 +30,33 @@ struct HubSortResult {
 /// Computes importance H(v) for every vertex (formula (4)).
 std::vector<double> ComputeHubScores(const CsrGraph& graph);
 
+/// H(v) of the live view: degrees are overlay-adjusted, so the scores (and
+/// therefore the hub order) are those of the folded CSR even while a delta
+/// is pending.
+std::vector<double> ComputeHubScores(const GraphView& view);
+
 /// Reorders `graph` gathering the top `hub_fraction` of vertices by H(v) at
 /// the front. hub_fraction must be in [0, 1].
 Result<HubSortResult> HubSort(const CsrGraph& graph, double hub_fraction = 0.08);
+
+struct HubSortViewResult {
+  /// Relabeled view: the relabeled *base* CSR with the overlay remapped
+  /// through the permutation on top. The view's edge set equals the
+  /// relabeled mutated graph, but no fold is performed — the O(E) work is
+  /// the base relabel the hub sort pays anyway, and the overlay remap is
+  /// O(delta).
+  GraphView view;
+  std::vector<VertexId> old_to_new;
+  std::vector<VertexId> new_to_old;
+  VertexId num_hubs = 0;
+};
+
+/// Hub-sorts a live view. The permutation comes from the view's (mutated)
+/// degree statistics, so it is identical to hub-sorting the folded CSR —
+/// preparations built on a view and on its compacted snapshot relabel the
+/// same way.
+Result<HubSortViewResult> HubSortView(const GraphView& view,
+                                      double hub_fraction = 0.08);
 
 }  // namespace hytgraph
 

@@ -7,7 +7,7 @@
 namespace hytgraph {
 
 Result<std::vector<Partition>> PartitionGraph(
-    const CsrGraph& graph, const PartitionerOptions& options) {
+    const GraphView& view, const PartitionerOptions& options) {
   if (options.partition_bytes == 0 || options.bytes_per_edge == 0) {
     return Status::InvalidArgument(
         "partition_bytes and bytes_per_edge must be > 0");
@@ -16,22 +16,22 @@ Result<std::vector<Partition>> PartitionGraph(
       std::max<EdgeId>(1, options.partition_bytes / options.bytes_per_edge);
 
   std::vector<Partition> partitions;
-  const VertexId n = graph.num_vertices();
+  const VertexId n = view.num_vertices();
   VertexId v = 0;
   while (v < n) {
     Partition p;
     p.id = static_cast<uint32_t>(partitions.size());
     p.first_vertex = v;
-    p.edge_begin = graph.edge_begin(v);
+    p.edge_begin = view.edge_begin(v);
     // Greedily extend the vertex range while the edge budget holds. Always
     // take at least one vertex so oversized hubs still get a partition.
     VertexId end = v + 1;
     while (end < n &&
-           graph.edge_end(end) - p.edge_begin <= edges_per_partition) {
+           view.edge_end(end) - p.edge_begin <= edges_per_partition) {
       ++end;
     }
     p.last_vertex = end;
-    p.edge_end = graph.edge_end(end - 1);
+    p.edge_end = view.edge_end(end - 1);
     partitions.push_back(p);
     v = end;
   }
@@ -40,6 +40,11 @@ Result<std::vector<Partition>> PartitionGraph(
     partitions.push_back(Partition{});
   }
   return partitions;
+}
+
+Result<std::vector<Partition>> PartitionGraph(
+    const CsrGraph& graph, const PartitionerOptions& options) {
+  return PartitionGraph(GraphView::Wrap(graph), options);
 }
 
 Result<std::vector<Partition>> PartitionGraphIntoN(const CsrGraph& graph,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "util/status.h"
 
 namespace hytgraph {
@@ -41,6 +42,14 @@ struct PartitionerOptions {
 /// run alone exceeds partition_bytes still gets its own (oversized)
 /// partition — vertex ranges are never split.
 Result<std::vector<Partition>> PartitionGraph(const CsrGraph& graph,
+                                              const PartitionerOptions& options);
+
+/// Partitions a live view. Boundaries and edge ranges come from the view's
+/// logical (folded-CSR) offsets, so partitioning a view with a pending
+/// delta produces exactly the partitions of its compacted snapshot —
+/// Partition::num_edges() is overlay-adjusted and the cost model's
+/// formula (1) term stays honest without a fold.
+Result<std::vector<Partition>> PartitionGraph(const GraphView& view,
                                               const PartitionerOptions& options);
 
 /// Convenience: partitions a graph into (approximately) `count` pieces.

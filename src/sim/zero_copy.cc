@@ -22,6 +22,17 @@ uint64_t ZeroCopyAccess::RequestsForVertex(const CsrGraph& graph, VertexId v,
   return requests;
 }
 
+uint64_t ZeroCopyAccess::RequestsForVertex(const GraphView& view, VertexId v,
+                                           bool include_weights) const {
+  const uint64_t deg = view.out_degree(v);
+  const uint64_t begin = view.edge_begin(v);
+  uint64_t requests = RequestsForRun(begin, deg, kBytesPerNeighbor);
+  if (include_weights && view.is_weighted()) {
+    requests += RequestsForRun(begin, deg, sizeof(Weight));
+  }
+  return requests;
+}
+
 uint64_t ZeroCopyAccess::LineBytesForVertex(const CsrGraph& graph, VertexId v,
                                             bool include_weights) const {
   return RequestsForVertex(graph, v, include_weights) *

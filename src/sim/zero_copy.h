@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/types.h"
 #include "sim/pcie_model.h"
 
@@ -30,6 +31,13 @@ class ZeroCopyAccess {
   /// weighted and `include_weights`; the weight array is a second run with
   /// identical geometry).
   uint64_t RequestsForVertex(const CsrGraph& graph, VertexId v,
+                             bool include_weights) const;
+
+  /// Same over a GraphView: degree and run start come from the view's
+  /// *logical* (folded-CSR) offsets, so formula (3) under a pending delta
+  /// yields exactly the request count of the compacted snapshot — engine
+  /// selection does not drift while mutations are outstanding.
+  uint64_t RequestsForVertex(const GraphView& view, VertexId v,
                              bool include_weights) const;
 
   /// Payload bytes actually moved for vertex v (deg * entry bytes, doubled

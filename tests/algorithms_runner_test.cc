@@ -21,7 +21,7 @@ TEST(PreparedGraphTest, HyTGraphWithCdsReorders) {
   auto prepared = PreparedGraph::Make(g, opts);
   ASSERT_TRUE(prepared.ok());
   EXPECT_TRUE(prepared->reordered());
-  EXPECT_EQ(prepared->graph().num_edges(), g.num_edges());
+  EXPECT_EQ(prepared->view().num_edges(), g.num_edges());
 }
 
 TEST(PreparedGraphTest, BaselinesDoNotReorder) {
@@ -32,7 +32,7 @@ TEST(PreparedGraphTest, BaselinesDoNotReorder) {
         PreparedGraph::Make(g, SolverOptions::Defaults(system));
     ASSERT_TRUE(prepared.ok());
     EXPECT_FALSE(prepared->reordered()) << SystemKindName(system);
-    EXPECT_EQ(&prepared->graph(), &g);  // zero-copy reference
+    EXPECT_EQ(&prepared->view().base(), &g);  // zero-copy reference
   }
 }
 

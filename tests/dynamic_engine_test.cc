@@ -1,6 +1,8 @@
-// Engine mutation semantics: epoch versioning, snapshot pinning, write- vs
-// read-triggered compaction, and mutation validation. (The prepared-cache
-// epoch-invalidation contract is covered alongside the other cache tests in
+// Engine mutation semantics: epoch versioning, view/snapshot pinning,
+// policy-driven compaction (threshold vs manual + explicit Compact()),
+// zero-fold query execution on the live view, snapshot GC of the mutation
+// log, and mutation validation. (The prepared-cache epoch-invalidation
+// contract is covered alongside the other cache tests in
 // core_engine_test.cc.)
 
 #include <gtest/gtest.h>
@@ -74,40 +76,55 @@ TEST(EngineMutationTest, InvalidBatchRejectedWithoutEpochBump) {
   EXPECT_EQ(engine.pending_delta_edges(), 0u);
 }
 
-TEST(EngineMutationTest, GraphReflectsMutationsAcrossEpochs) {
+TEST(EngineMutationTest, ViewReflectsMutationsAcrossEpochs) {
   Engine engine(PaperFigure1Graph(), CpuDefaults());
-  const EdgeId before = engine.graph().num_edges();
+  const EdgeId before = engine.View().num_edges();
 
   MutationBatch batch;
   batch.InsertEdge(4, 1, 3);
   batch.DeleteEdge(0, 2);
   ASSERT_TRUE(engine.ApplyMutations(batch).ok());
 
-  // graph() folds the pending delta into the served snapshot.
-  EXPECT_EQ(engine.graph().num_edges(), before);  // +1 insert, -1 delete
+  // The live view merges the pending delta — no fold happens.
+  const GraphView view = engine.View();
+  EXPECT_EQ(view.num_edges(), before);  // +1 insert, -1 delete
   bool found = false;
-  for (VertexId nbr : engine.graph().neighbors(4)) {
-    if (nbr == 1) found = true;
-  }
+  view.ForEachNeighbor(4, [&](VertexId nbr, Weight w) {
+    if (nbr == 1) {
+      found = true;
+      EXPECT_EQ(w, 3u);
+    }
+  });
   EXPECT_TRUE(found);
-  for (VertexId nbr : engine.graph().neighbors(0)) {
-    EXPECT_NE(nbr, 2u);
-  }
+  view.ForEachNeighbor(0, [&](VertexId nbr, Weight) { EXPECT_NE(nbr, 2u); });
+  EXPECT_EQ(engine.compactor_stats().folds, 0u);
+
+  // graph() keeps serving the *base* snapshot until a compaction lands.
+  EXPECT_EQ(engine.graph().num_edges(), before);
+  EXPECT_EQ(engine.pending_delta_edges(), 2u);
 }
 
-TEST(EngineMutationTest, PinnedSnapshotsSurviveMutations) {
+TEST(EngineMutationTest, PinnedViewsSurviveMutations) {
   Engine engine(PaperFigure1Graph(), CpuDefaults());
-  std::shared_ptr<const CsrGraph> pinned = engine.Snapshot();
-  const EdgeId pinned_edges = pinned->num_edges();
+  const GraphView pinned = engine.View();
+  const EdgeId pinned_edges = pinned.num_edges();
 
   MutationBatch batch;
   batch.InsertEdge(0, 5, 1);
   ASSERT_TRUE(engine.ApplyMutations(batch).ok());
 
-  // The pinned snapshot is immutable; the engine serves the new epoch.
-  EXPECT_EQ(pinned->num_edges(), pinned_edges);
-  EXPECT_EQ(engine.graph().num_edges(), pinned_edges + 1);
-  EXPECT_NE(engine.Snapshot().get(), pinned.get());
+  // The pinned view is immutable; the engine serves the new epoch's view.
+  EXPECT_EQ(pinned.num_edges(), pinned_edges);
+  EXPECT_EQ(engine.View().num_edges(), pinned_edges + 1);
+  EXPECT_EQ(engine.View().delta_edges(), 1u);
+
+  // An explicit compaction replaces the base; the pinned view still reads
+  // its original snapshot.
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(pinned.num_edges(), pinned_edges);
+  EXPECT_NE(engine.Snapshot().get(), pinned.base_ptr().get());
+  EXPECT_EQ(engine.View().num_edges(), pinned_edges + 1);
+  EXPECT_EQ(engine.pending_delta_edges(), 0u);
 }
 
 TEST(EngineMutationTest, ResultsFromBeforeTheMutationStayIntact) {
@@ -152,8 +169,10 @@ TEST(EngineMutationTest, WriteTriggeredCompactionAtThreshold) {
   EXPECT_EQ(engine.compactor_stats().folds, 1u);
 }
 
-TEST(EngineMutationTest, ReadTriggeredCompactionPromotesTheFold) {
-  // Threshold far away: the fold happens on first read instead.
+TEST(EngineMutationTest, ReadsAndQueriesNeverTriggerAFold) {
+  // Threshold far away: under the old read-triggered design the first full
+  // query would fold. Now the fold is purely policy-driven — reads and
+  // queries leave the overlay in place.
   CompactionPolicy lazy;
   lazy.min_delta_edges = 1 << 20;
   Engine engine(PaperFigure1Graph(), CpuDefaults(), lazy);
@@ -164,15 +183,79 @@ TEST(EngineMutationTest, ReadTriggeredCompactionPromotesTheFold) {
   ASSERT_TRUE(applied.ok());
   EXPECT_FALSE(applied->compacted);
   EXPECT_EQ(engine.pending_delta_edges(), 1u);
-  EXPECT_EQ(engine.compactor_stats().folds, 0u);
 
-  (void)engine.graph();  // read-trigger
-  EXPECT_EQ(engine.compactor_stats().folds, 1u);
-  EXPECT_EQ(engine.pending_delta_edges(), 0u);  // promoted, overlay reset
-
-  // A second read does not fold again.
   (void)engine.graph();
+  (void)engine.View();
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 0;
+  ASSERT_TRUE(engine.Run(query).ok());
+  EXPECT_EQ(engine.compactor_stats().folds, 0u);
+  EXPECT_EQ(engine.pending_delta_edges(), 1u);  // still pending
+}
+
+TEST(EngineMutationTest, ManualPolicyOnlyFoldsOnExplicitCompact) {
+  CompactionPolicy manual;
+  manual.mode = CompactionMode::kManual;
+  manual.min_delta_edges = 0;  // would fold on every batch in threshold mode
+  manual.delta_fraction = 0.0;
+  Engine engine(PaperFigure1Graph(), CpuDefaults(), manual);
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 3, 1);
+  auto applied = engine.ApplyMutations(batch);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_FALSE(applied->compacted);
+  EXPECT_EQ(engine.compactor_stats().folds, 0u);
+  EXPECT_EQ(engine.pending_delta_edges(), 1u);
+
+  ASSERT_TRUE(engine.Compact().ok());
   EXPECT_EQ(engine.compactor_stats().folds, 1u);
+  EXPECT_EQ(engine.pending_delta_edges(), 0u);
+  EXPECT_EQ(engine.epoch(), 1u);  // compaction does not bump the epoch
+
+  // Compact() with nothing pending is a no-op.
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(engine.compactor_stats().folds, 1u);
+}
+
+TEST(EngineMutationTest, MutationLogRetiresBeyondTheHorizon) {
+  // Horizon 2: after three single-insert epochs, epoch 1's log entry is
+  // retired; a warm start from epoch 0 must fall back to a full recompute
+  // while newer warm starts stay incremental.
+  CompactionPolicy policy;
+  policy.min_delta_edges = 1 << 20;
+  policy.mutation_log_horizon = 2;
+  Engine engine(PaperFigure1Graph(), CpuDefaults(), policy);
+
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = 0;
+  auto at_epoch0 = engine.Run(query);
+  ASSERT_TRUE(at_epoch0.ok());
+
+  for (VertexId dst = 1; dst <= 3; ++dst) {
+    MutationBatch batch;
+    batch.InsertEdge(4, dst, 1);
+    ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+  }
+  ASSERT_EQ(engine.epoch(), 3u);
+
+  // Epoch-0 previous: the epoch-1 delta was retired -> full recompute.
+  auto stale = engine.RunIncremental(query, *at_epoch0);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->incremental);
+  EXPECT_EQ(stale->epoch, 3u);
+
+  // The fallback result is from the current epoch; advancing it further
+  // stays incremental (all needed log entries retained).
+  MutationBatch more;
+  more.InsertEdge(0, 4, 1);
+  ASSERT_TRUE(engine.ApplyMutations(more).ok());
+  auto warm = engine.RunIncremental(query, *stale);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->incremental);
+  EXPECT_EQ(warm->u32(), engine.Run(query)->u32());
 }
 
 TEST(EngineMutationTest, BatchQueriesPinTheirPlanningEpoch) {

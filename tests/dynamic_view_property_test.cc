@@ -1,0 +1,177 @@
+// The two contracts that let the Engine run queries directly on
+// base + delta with zero pre-query folds:
+//
+//  1. Cost-model honesty: for random mutation batches, PartitionStats and
+//     CostModel decisions computed on the GraphView equal those computed
+//     on the folded-from-scratch CSR (same partitions, same frontier) —
+//     formulas (1)-(3) cannot drift while a delta is pending.
+//  2. Value identity: a full query issued right after ApplyMutations
+//     triggers zero SnapshotCompactor folds, and all six algorithms return
+//     the same values as an engine built on the folded CSR (exact for the
+//     u32 value-selection family, tolerance-bounded for the f64
+//     accumulation family whose parallel float reductions are not bitwise
+//     reproducible).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/engine.h"
+#include "engine/partition_state.h"
+#include "graph/graph_view.h"
+#include "graph/partitioner.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+MutationBatch RandomBatch(const CsrGraph& base, uint64_t inserts,
+                          uint64_t deletes, uint64_t seed) {
+  MutationBatch batch;
+  const VertexId n = base.num_vertices();
+  uint64_t state = seed;
+  auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (uint64_t i = 0; i < deletes; ++i) {
+    const VertexId src = static_cast<VertexId>(next() % n);
+    const auto nbrs = base.neighbors(src);
+    if (nbrs.empty()) continue;
+    batch.DeleteEdge(src, nbrs[next() % nbrs.size()]);
+  }
+  for (uint64_t i = 0; i < inserts; ++i) {
+    batch.InsertEdge(static_cast<VertexId>(next() % n),
+                     static_cast<VertexId>(next() % n),
+                     static_cast<Weight>(1 + next() % 32));
+  }
+  return batch;
+}
+
+class ViewPropertyTest : public ::testing::Test {
+ protected:
+  ViewPropertyTest() : model_(DefaultGpu()), access_(&model_) {}
+  PcieModel model_;
+  ZeroCopyAccess access_;
+};
+
+TEST_F(ViewPropertyTest, StatsAndDecisionsMatchTheFoldedCsr) {
+  for (uint64_t seed : {3u, 17u, 91u}) {
+    auto base = std::make_shared<const CsrGraph>(SmallRmat(10, 8, seed));
+    auto overlay = std::make_shared<DeltaOverlay>(base);
+    ASSERT_TRUE(
+        overlay->Apply(RandomBatch(*base, 400, 250, seed * 7 + 1)).ok());
+    const GraphView view(base,
+                         std::shared_ptr<const DeltaOverlay>(overlay));
+
+    auto folded = view.Materialize();
+    ASSERT_TRUE(folded.ok());
+
+    // Partitioning a view equals partitioning its folded CSR.
+    PartitionerOptions popts;
+    popts.bytes_per_edge = 8;
+    popts.partition_bytes = 2048;  // many partitions at this scale
+    auto view_parts = PartitionGraph(view, popts);
+    auto folded_parts = PartitionGraph(*folded, popts);
+    ASSERT_TRUE(view_parts.ok());
+    ASSERT_TRUE(folded_parts.ok());
+    ASSERT_EQ(view_parts->size(), folded_parts->size());
+    for (size_t p = 0; p < view_parts->size(); ++p) {
+      EXPECT_EQ((*view_parts)[p].first_vertex,
+                (*folded_parts)[p].first_vertex);
+      EXPECT_EQ((*view_parts)[p].num_edges(), (*folded_parts)[p].num_edges());
+    }
+
+    // A pseudo-random frontier; stats must agree field by field.
+    Frontier frontier(view.num_vertices());
+    uint64_t state = seed;
+    for (VertexId v = 0; v < view.num_vertices(); ++v) {
+      state = state * 2862933555777941757ull + 3037000493ull;
+      if ((state >> 40) % 3 == 0) frontier.Activate(v);
+    }
+    const IterationState on_view = BuildIterationState(
+        view, *view_parts, frontier, access_, /*include_weights=*/true);
+    const IterationState on_folded = BuildIterationState(
+        *folded, *folded_parts, frontier, access_, /*include_weights=*/true);
+
+    ASSERT_EQ(on_view.stats.size(), on_folded.stats.size());
+    EXPECT_EQ(on_view.total_active_edges, on_folded.total_active_edges);
+    for (size_t p = 0; p < on_view.stats.size(); ++p) {
+      EXPECT_EQ(on_view.stats[p].active_vertices,
+                on_folded.stats[p].active_vertices);
+      EXPECT_EQ(on_view.stats[p].active_edges,
+                on_folded.stats[p].active_edges);
+      EXPECT_EQ(on_view.stats[p].zc_requests, on_folded.stats[p].zc_requests)
+          << "partition " << p << " seed " << seed;
+    }
+
+    // Engine selection (filter / compaction / zero-copy) matches too.
+    CostModelOptions cmo;
+    cmo.bytes_per_edge = 8;
+    const CostModel cost_model(cmo);
+    const auto view_costs = cost_model.EvaluateAll(*view_parts, on_view);
+    const auto folded_costs =
+        cost_model.EvaluateAll(*folded_parts, on_folded);
+    ASSERT_EQ(view_costs.size(), folded_costs.size());
+    for (size_t p = 0; p < view_costs.size(); ++p) {
+      EXPECT_EQ(view_costs[p].choice, folded_costs[p].choice)
+          << "partition " << p << " seed " << seed;
+      EXPECT_DOUBLE_EQ(view_costs[p].tef, folded_costs[p].tef);
+      EXPECT_DOUBLE_EQ(view_costs[p].tec, folded_costs[p].tec);
+      EXPECT_DOUBLE_EQ(view_costs[p].tiz, folded_costs[p].tiz);
+    }
+  }
+}
+
+TEST_F(ViewPropertyTest, QueriesAfterMutationsFoldNothingAndMatchFoldedRun) {
+  const CsrGraph base = SmallRmat(9, 6);
+  // HyTGraph defaults exercise the hub-sorted view preparation (relabeled
+  // base + remapped overlay); a lazy policy keeps the delta pending.
+  CompactionPolicy lazy;
+  lazy.min_delta_edges = 1 << 20;
+  Engine live(SmallRmat(9, 6), SolverOptions::Defaults(SystemKind::kHyTGraph),
+              lazy);
+
+  const MutationBatch batch = RandomBatch(base, 300, 200, 1234);
+  auto applied = live.ApplyMutations(batch);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_FALSE(applied->compacted);
+  ASSERT_GT(live.pending_delta_edges(), 0u);
+
+  // The folded twin: same logical graph, physically compacted up front.
+  auto folded = live.View().Materialize();
+  ASSERT_TRUE(folded.ok());
+  Engine compacted(std::move(folded).value(),
+                   SolverOptions::Defaults(SystemKind::kHyTGraph));
+
+  for (AlgorithmId algorithm : kAllAlgorithms) {
+    Query query;
+    query.algorithm = algorithm;
+    if (GetAlgorithmInfo(algorithm).needs_source) query.source = 0;
+    auto on_view = live.Run(query);
+    auto on_folded = compacted.Run(query);
+    ASSERT_TRUE(on_view.ok()) << AlgorithmName(algorithm);
+    ASSERT_TRUE(on_folded.ok()) << AlgorithmName(algorithm);
+    if (on_view->is_f64()) {
+      ASSERT_EQ(on_view->f64().size(), on_folded->f64().size());
+      for (size_t v = 0; v < on_view->f64().size(); ++v) {
+        EXPECT_NEAR(on_view->f64()[v], on_folded->f64()[v], 1e-4)
+            << AlgorithmName(algorithm) << " vertex " << v;
+      }
+    } else {
+      EXPECT_EQ(on_view->u32(), on_folded->u32()) << AlgorithmName(algorithm);
+    }
+  }
+
+  // The acceptance bar: all six full queries ran with ZERO folds.
+  EXPECT_EQ(live.compactor_stats().folds, 0u);
+  EXPECT_GT(live.pending_delta_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -36,6 +36,33 @@ TEST_F(ZeroCopyTest, MisalignedRunPaysTheAmTerm) {
   EXPECT_EQ(access_.RequestsForRun(1, 8), 1u);
 }
 
+TEST_F(ZeroCopyTest, RequestsDecomposeIntoCeilDivisionPlusAlignment) {
+  // Pins the formula (3) decomposition the PartitionStats::zc_requests
+  // comment quotes: requests == ceil(Do(v)*d1/m) + am(v), with
+  // am(v) = 1 exactly when the run starts mid-line AND the leading partial
+  // line makes the range straddle one extra line; equivalently, the line
+  // count of [first*d1, (first+deg)*d1) exceeds the aligned ceil.
+  const uint64_t line = model_.options().max_request_bytes;  // m
+  const uint64_t d1 = kBytesPerNeighbor;
+  const uint64_t entries_per_line = line / d1;
+  for (uint64_t first = 0; first < 2 * entries_per_line; ++first) {
+    for (uint64_t deg = 1; deg <= 3 * entries_per_line; ++deg) {
+      const uint64_t ceil_term = (deg * d1 + line - 1) / line;  // ceil(.)
+      const uint64_t requests = access_.RequestsForRun(first, deg);
+      const uint64_t am = requests - ceil_term;
+      ASSERT_LE(am, 1u) << "first=" << first << " deg=" << deg;
+      if (first % entries_per_line == 0) {
+        // Aligned runs never pay the extra transaction.
+        EXPECT_EQ(am, 0u) << "first=" << first << " deg=" << deg;
+      } else if ((deg * d1) % line == 0) {
+        // A whole number of lines starting mid-line always straddles one
+        // extra line: am(v) = 1.
+        EXPECT_EQ(am, 1u) << "first=" << first << " deg=" << deg;
+      }
+    }
+  }
+}
+
 TEST_F(ZeroCopyTest, SmallDegreesAlwaysOneRequest) {
   // The Fig. 3(f)/Fig. 4 observation: low-degree vertices occupy one
   // (unsaturated) request each.
