@@ -7,6 +7,7 @@
 #include "graph/degree_stats.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace hytgraph {
 
@@ -30,14 +31,61 @@ Engine::Engine(CsrGraph graph, SolverOptions default_options,
                CompactionPolicy compaction)
     : default_options_(std::move(default_options)),
       base_(std::make_shared<const CsrGraph>(std::move(graph))),
-      overlay_(std::make_shared<const DeltaOverlay>(base_)),
+      // Created non-const (stored through a pointer-to-const): the
+      // in-place publication path writes through a const_cast, which is
+      // only defined for objects that were not created const.
+      overlay_(std::make_shared<DeltaOverlay>(base_)),
       view_(base_, overlay_),
       default_source_(HighestOutDegreeVertex(view_)),
-      compactor_(compaction) {}
+      compactor_(compaction) {
+  if (default_source_ != kInvalidVertex) {
+    default_source_degree_ = view_.out_degree(default_source_);
+  }
+  if (compaction.mode == CompactionMode::kBackground) {
+    background_ = std::make_unique<BackgroundCompactor>(
+        [this] { BackgroundFoldCycle(); });
+  }
+}
+
+Engine::~Engine() {
+  // Join the fold worker before any member it touches is destroyed.
+  background_.reset();
+}
 
 Engine::ViewRef Engine::CurrentViewRef() const {
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    if (!default_source_dirty_) {
+      return ViewRef{view_, epoch_, layout_version_, default_source_};
+    }
+  }
+  RepairDefaultSourceIfDirty();
   std::shared_lock<std::shared_mutex> lock(graph_mu_);
   return ViewRef{view_, epoch_, layout_version_, default_source_};
+}
+
+void Engine::RepairDefaultSourceIfDirty() const {
+  GraphView view;
+  uint64_t epoch = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    if (!default_source_dirty_) return;
+    view = view_;
+    epoch = epoch_;
+  }
+  // The O(V) rescan runs on the pinned view with no lock held — mutators
+  // are never blocked on it.
+  const VertexId best = HighestOutDegreeVertex(view);
+  const EdgeId degree =
+      best == kInvalidVertex ? 0 : view.out_degree(best);
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  if (default_source_dirty_ && epoch_ == epoch) {
+    default_source_ = best;
+    default_source_degree_ = degree;
+    default_source_dirty_ = false;
+  }
+  // A mutation raced the rescan: leave the entry dirty; the next reader
+  // repairs against the newer epoch.
 }
 
 const CsrGraph& Engine::graph() const {
@@ -53,8 +101,7 @@ std::shared_ptr<const CsrGraph> Engine::Snapshot() const {
 GraphView Engine::View() const { return CurrentViewRef().view; }
 
 VertexId Engine::DefaultSource() const {
-  std::shared_lock<std::shared_mutex> lock(graph_mu_);
-  return default_source_;
+  return CurrentViewRef().default_source;
 }
 
 uint64_t Engine::epoch() const {
@@ -76,7 +123,7 @@ Status Engine::CompactLocked() {
   if (overlay_->empty()) return Status::OK();
   HYT_ASSIGN_OR_RETURN(CsrGraph folded, compactor_.Fold(*overlay_));
   base_ = std::make_shared<const CsrGraph>(std::move(folded));
-  overlay_ = std::make_shared<const DeltaOverlay>(base_);
+  overlay_ = std::make_shared<DeltaOverlay>(base_);  // non-const: see ctor
   view_ = GraphView(base_, overlay_);
   ++layout_version_;
   // The logical graph is unchanged (the fold only moved the physical
@@ -91,8 +138,85 @@ Status Engine::CompactLocked() {
 }
 
 Status Engine::Compact() {
+  if (background_ != nullptr) {
+    // The worker owns every fold in background mode (folds stay
+    // single-threaded); enqueue one and wait for the queue to drain so the
+    // explicit call keeps its synchronous meaning.
+    background_->RequestFold();
+    background_->WaitIdle();
+    return Status::OK();
+  }
   std::unique_lock<std::shared_mutex> lock(graph_mu_);
   return CompactLocked();
+}
+
+void Engine::WaitForCompaction() {
+  if (background_ != nullptr) background_->WaitIdle();
+}
+
+void Engine::BackgroundFoldCycle() {
+  std::shared_ptr<const DeltaOverlay> captured;
+  {
+    std::unique_lock<std::shared_mutex> lock(graph_mu_);
+    if (overlay_->empty()) return;
+    fold_in_flight_ = true;
+    fold_window_.clear();
+    captured = overlay_;
+  }
+
+  // The O(E) rebuild — off graph_mu_ entirely, so concurrent
+  // Run/RunBatch/ApplyMutations callers never wait on it.
+  WallTimer timer;
+  Result<CsrGraph> folded = captured->Materialize();
+  const double fold_seconds = timer.Seconds();
+  HYT_CHECK(folded.ok())
+      // Materialize only fails on internal invariant breakage; surface it
+      // loudly rather than silently dropping folds forever.
+      << "background fold failed: " << folded.status().ToString();
+
+  auto new_base = std::make_shared<const CsrGraph>(std::move(folded).value());
+  auto new_overlay = std::make_shared<DeltaOverlay>(new_base);
+  // Batches that raced the fold: replay them onto the new base. The folded
+  // CSR equals old base + captured overlay, so replaying the window in
+  // order reproduces exactly the live logical graph (same epochs — those
+  // were assigned when the batches first landed). Chase the window's tail
+  // with the lock dropped so the exclusive publication section below pays
+  // only for the last sliver of raced batches, not the whole fold's worth.
+  auto replay = [&](const MutationBatch& batch) {
+    Result<DeltaOverlay::ApplyStats> reapplied = new_overlay->Apply(batch);
+    HYT_CHECK(reapplied.ok())
+        << "replaying a raced batch onto the folded base failed: "
+        << reapplied.status().ToString();
+  };
+  size_t replayed = 0;
+  for (int pass = 0; pass < 4; ++pass) {
+    std::vector<MutationBatch> tail;
+    {
+      std::shared_lock<std::shared_mutex> lock(graph_mu_);
+      if (fold_window_.size() == replayed) break;
+      tail.assign(fold_window_.begin() + static_cast<ptrdiff_t>(replayed),
+                  fold_window_.end());
+    }
+    for (const MutationBatch& batch : tail) replay(batch);
+    replayed += tail.size();
+  }
+
+  std::unique_lock<std::shared_mutex> lock(graph_mu_);
+  fold_in_flight_ = false;
+  for (; replayed < fold_window_.size(); ++replayed) {
+    replay(fold_window_[replayed]);
+  }
+  fold_window_.clear();
+  base_ = std::move(new_base);
+  overlay_ = std::move(new_overlay);
+  view_ = GraphView(base_, overlay_);
+  ++layout_version_;
+  compactor_.RecordFold(base_->num_edges(), fold_seconds);
+  // Same rationale as CompactLocked: cached preparations pin the pre-fold
+  // snapshots; drop them so the compacted layout takes over. The
+  // layout-version bump lazily invalidates any entry a racing plan
+  // re-inserts against the old layout.
+  ClearPreparedCache();
 }
 
 Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
@@ -105,12 +229,25 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
     return result;
   }
 
-  // Copy-on-write: in-flight queries iterate the published overlay without
-  // synchronization, so the batch lands on a private copy (O(delta)) that
-  // is published only when complete.
-  auto next_overlay = std::make_shared<DeltaOverlay>(*overlay_);
+  // In-flight queries iterate the published overlay without
+  // synchronization, so a batch may only land on an overlay object no
+  // reader can observe. Readers pin the overlay by copying its shared_ptr
+  // under the shared lock, which cannot run concurrently with this
+  // exclusive section — so a use count of at most 2 (overlay_ itself plus
+  // view_'s copy) proves nobody outside this Engine holds it, and the
+  // batch can land in place, O(|batch|). Otherwise (a pinned query, a
+  // prepared-cache entry, or a background fold's capture) the batch lands
+  // on a private O(delta) copy published only when complete.
+  std::shared_ptr<DeltaOverlay> next_overlay;
+  DeltaOverlay* target;
+  if (overlay_.use_count() <= 2) {
+    target = const_cast<DeltaOverlay*>(overlay_.get());
+  } else {
+    next_overlay = std::make_shared<DeltaOverlay>(*overlay_);
+    target = next_overlay.get();
+  }
   HYT_ASSIGN_OR_RETURN(DeltaOverlay::ApplyStats applied,
-                       next_overlay->Apply(batch));
+                       target->Apply(batch));
   if (applied.inserted == 0 && applied.deleted == 0) {
     // Every mutation was a no-op (deletions of absent edges): the graph is
     // unchanged, so don't bump the epoch — a bump would force a pointless
@@ -120,7 +257,10 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
     return result;
   }
   ++epoch_;
-  overlay_ = std::move(next_overlay);
+  if (next_overlay != nullptr) overlay_ = std::move(next_overlay);
+  // Either way the view is rebuilt: it must drop the previous (possibly
+  // already-built) lazy offset index. O(1) — the index builds on first
+  // read.
   view_ = GraphView(base_, overlay_);
 
   EpochDelta log_entry;
@@ -146,18 +286,55 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
     }
   }
 
+  // A background fold captured the overlay before this batch landed: the
+  // folded base will miss it, so buffer the batch for re-application onto
+  // the new base at publication.
+  if (fold_in_flight_) fold_window_.push_back(batch);
+
+  // The default source tracks the mutated graph incrementally — O(|batch|)
+  // degree lookups, never an O(V) rescan under the write lock.
+  UpdateDefaultSourceLocked(batch);
+
   result.epoch = epoch_;
   result.inserted = applied.inserted;
   result.deleted = applied.deleted;
   if (compactor_.ShouldCompact(*overlay_)) {
-    HYT_RETURN_NOT_OK(CompactLocked());
-    result.compacted = true;
+    if (background_ != nullptr) {
+      // Never fold on the mutator's thread: hand the O(E) rebuild to the
+      // worker. Requests while a fold is pending or in flight coalesce.
+      background_->RequestFold();
+      result.fold_scheduled = true;
+    } else {
+      HYT_RETURN_NOT_OK(CompactLocked());
+      result.compacted = true;
+    }
   }
   result.pending_delta_edges = overlay_->delta_edges();
-  // The default source tracks the mutated graph (O(V) on the view's
-  // logical offsets — no fold).
-  default_source_ = HighestOutDegreeVertex(view_);
   return result;
+}
+
+void Engine::UpdateDefaultSourceLocked(const MutationBatch& batch) {
+  for (const EdgeMutation& m : batch.mutations()) {
+    const EdgeId degree = overlay_->out_degree(m.src);
+    if (m.src == default_source_) {
+      if (degree < default_source_degree_) {
+        // The argmax shrank: an untouched vertex whose degree lies between
+        // the new and old values may now lead, and only a rescan can find
+        // it. Defer that O(V) scan to the next reader.
+        default_source_dirty_ = true;
+      }
+      default_source_degree_ = degree;
+    } else if (degree > default_source_degree_ ||
+               (degree == default_source_degree_ &&
+                m.src < default_source_)) {
+      // Strictly dominates everything the tracked entry dominated — safe
+      // to install even when the entry is dirty only if nothing unseen can
+      // sit in between, which a dirty entry cannot guarantee; keep dirty
+      // sticky and let the rescan settle it.
+      default_source_ = m.src;
+      default_source_degree_ = degree;
+    }
+  }
 }
 
 Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
@@ -310,7 +487,14 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
             std::to_string(previous.epoch) + ", engine is at epoch " +
             std::to_string(epoch_));
       }
-      ref = ViewRef{view_, epoch_, default_source_};
+      // Full field-wise init: a positional {view, epoch, source} here once
+      // landed default_source_ in ViewRef::layout, leaving default_source
+      // invalid — harmless at the time, but a trap for any code that later
+      // trusts ref.layout against the prepared cache's layout guard.
+      ref.view = view_;
+      ref.epoch = epoch_;
+      ref.layout = layout_version_;
+      ref.default_source = default_source_;
       if (previous.epoch < log_floor_epoch_) {
         // Snapshot GC retired the log entries needed to reconstruct the
         // delta since `previous` — warm-starting is still *sound* (the

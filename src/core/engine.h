@@ -36,11 +36,19 @@
 //    (base + delta merged on the fly): a query issued right after
 //    ApplyMutations triggers zero SnapshotCompactor folds. Folding is
 //    purely policy-driven — eager when the delta crosses the
-//    CompactionPolicy threshold (CompactionMode::kThreshold), or only via
-//    explicit Compact() (CompactionMode::kManual). RunIncremental
-//    recomputes BFS/SSSP/CC/SSWP after insert-only deltas by warm-starting
-//    from a previous result and re-activating only the touched vertices
-//    (falling back to a full recompute for PR/PHP, when the delta contains
+//    CompactionPolicy threshold (CompactionMode::kThreshold), only via
+//    explicit Compact() (CompactionMode::kManual), or handed to a
+//    BackgroundCompactor worker thread (CompactionMode::kBackground) so
+//    neither mutators nor queries ever block on the O(E) rebuild — batches
+//    racing a background fold are re-applied onto the freshly folded base
+//    at publication. Mutation publication itself is O(|batch|): the
+//    overlay patches per-vertex degree deltas incrementally, the view's
+//    logical offsets are a lazily built sparse index (no O(V) prefix
+//    rebuild under the write lock), and the default source tracks the
+//    degree argmax incrementally. RunIncremental recomputes
+//    BFS/SSSP/CC/SSWP after insert-only deltas by warm-starting from a
+//    previous result and re-activating only the touched vertices (falling
+//    back to a full recompute for PR/PHP, when the delta contains
 //    deletions, or when the previous epoch's mutation-log entries were
 //    retired by the snapshot GC horizon).
 //
@@ -67,6 +75,7 @@
 #include "algorithms/runner.h"
 #include "core/options.h"
 #include "core/trace.h"
+#include "dynamic/background_compactor.h"
 #include "dynamic/delta_overlay.h"
 #include "dynamic/mutation.h"
 #include "dynamic/snapshot_compactor.h"
@@ -131,9 +140,15 @@ struct MutationResult {
   uint64_t inserted = 0;
   uint64_t deleted = 0;
   /// True when the batch pushed the delta over the CompactionPolicy
-  /// threshold and the overlay was folded into a fresh base snapshot.
+  /// threshold and the overlay was folded into a fresh base snapshot
+  /// inline (CompactionMode::kThreshold only).
   bool compacted = false;
-  /// Pending delta edges after the batch (0 right after a fold).
+  /// True when the batch crossed the threshold under
+  /// CompactionMode::kBackground and a fold was enqueued on the worker
+  /// (the publication itself returned without folding).
+  bool fold_scheduled = false;
+  /// Pending delta edges after the batch (0 right after an inline fold;
+  /// under kBackground the enqueued fold drains it asynchronously).
   uint64_t pending_delta_edges = 0;
 };
 
@@ -150,6 +165,11 @@ class Engine {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Stops and joins the background compaction worker (if the policy runs
+  /// one) before any engine state is torn down. In-flight background folds
+  /// complete; queued ones are abandoned.
+  ~Engine();
 
   /// The current *base* snapshot — the last folded CSR. Pending mutations
   /// are NOT folded in (queries run on the view; see View()); after
@@ -191,8 +211,17 @@ class Engine {
   /// only the physical layout moves. Cached preparations are dropped so
   /// subsequent queries rebuild against the compacted layout (in-flight
   /// queries keep the snapshots they pinned). This is the only fold
-  /// trigger under CompactionMode::kManual.
+  /// trigger under CompactionMode::kManual. Under kBackground the fold
+  /// runs on the worker; this call enqueues it and waits for the queue to
+  /// drain, so the pending delta observed at call time is folded on
+  /// return (modulo batches racing the publication).
   Status Compact();
+
+  /// Publication barrier for asynchronous folds: blocks until the
+  /// background fold queue is drained and no fold cycle is in flight.
+  /// Immediate no-op under kThreshold/kManual (folds are synchronous
+  /// there).
+  void WaitForCompaction();
 
   /// Runs one query under the engine default options.
   Result<QueryResult> Run(const Query& query);
@@ -263,12 +292,30 @@ class Engine {
   };
 
   /// Returns the current-epoch live view (no fold, ever — a lock-shared
-  /// read of the published snapshots).
+  /// read of the published snapshots). Repairs a dirty default source
+  /// first (an O(V) rescan off the write path, only after a deletion
+  /// shrank the tracked argmax).
   ViewRef CurrentViewRef() const;
 
   /// Folds the pending overlay and promotes the result to the new base.
   /// graph_mu_ must be held exclusively.
   Status CompactLocked();
+
+  /// One background fold: captures the overlay under the write lock,
+  /// materializes the new base off every lock, then republishes —
+  /// re-applying the mutation batches that landed during the fold onto a
+  /// fresh overlay over the new base. Runs on the BackgroundCompactor
+  /// worker.
+  void BackgroundFoldCycle();
+
+  /// Maintains the incremental degree argmax across `batch`'s touched
+  /// sources. graph_mu_ must be held exclusively; O(|batch|).
+  void UpdateDefaultSourceLocked(const MutationBatch& batch);
+
+  /// Rescans for the highest-out-degree vertex when a deletion invalidated
+  /// the tracked argmax. The O(V) scan runs on a pinned view outside the
+  /// write lock; the result is installed only if no epoch raced it.
+  void RepairDefaultSourceIfDirty() const;
 
   Result<PlannedQuery> Plan(const Query& query, const SolverOptions& base);
   Result<std::shared_ptr<const PreparedGraph>> GetPrepared(
@@ -285,8 +332,19 @@ class Engine {
   std::shared_ptr<const DeltaOverlay> overlay_;   // pending delta (COW)
   GraphView view_;                                // base_ + overlay_
   uint64_t epoch_ = 0;
-  VertexId default_source_ = kInvalidVertex;
+  /// The tracked degree argmax (lowest id wins ties), maintained in
+  /// O(|batch|) per publication. When a deletion shrinks the argmax's own
+  /// degree an untouched vertex may overtake it, so the entry goes dirty
+  /// and the next reader rescans (mutable: repaired from const readers).
+  mutable VertexId default_source_ = kInvalidVertex;
+  mutable EdgeId default_source_degree_ = 0;
+  mutable bool default_source_dirty_ = false;
   SnapshotCompactor compactor_;
+  /// True between a background fold's overlay capture and its publication;
+  /// batches applied in that window are buffered in fold_window_ and
+  /// re-applied onto the new base when the fold publishes.
+  bool fold_in_flight_ = false;
+  std::vector<MutationBatch> fold_window_;
   /// Per-epoch deltas for incremental seed computation; entries older than
   /// the CompactionPolicy horizon are retired (snapshot GC), and
   /// log_floor_epoch_ records the newest retired epoch.
@@ -306,6 +364,11 @@ class Engine {
   mutable std::mutex mu_;
   std::map<std::string, CacheEntry> prepared_;
   EngineCacheStats stats_;
+
+  /// The fold-queue worker (CompactionMode::kBackground only, null
+  /// otherwise). Declared last and reset first in ~Engine: the worker's
+  /// fold cycle touches every member above.
+  std::unique_ptr<BackgroundCompactor> background_;
 };
 
 }  // namespace hytgraph

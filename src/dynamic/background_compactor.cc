@@ -1,0 +1,74 @@
+#include "dynamic/background_compactor.h"
+
+#include <utility>
+
+namespace hytgraph {
+
+BackgroundCompactor::BackgroundCompactor(std::function<void()> fold_cycle)
+    : fold_cycle_(std::move(fold_cycle)),
+      worker_([this] { Loop(); }) {}
+
+BackgroundCompactor::~BackgroundCompactor() { Stop(); }
+
+void BackgroundCompactor::RequestFold() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    ++stats_.requested;
+    // A pending or in-flight cycle captures the overlay *after* this
+    // request's mutations published, so it will absorb them: piggyback
+    // instead of queueing a redundant drain. An in-flight cycle captured
+    // *before* this request, so that one needs a follow-up drain.
+    if (pending_ > 0) {
+      ++stats_.coalesced;
+      return;
+    }
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+void BackgroundCompactor::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [&] { return stop_ || (pending_ == 0 && !cycle_running_); });
+}
+
+void BackgroundCompactor::Stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    pending_ = 0;
+    // Claim the join under the lock so concurrent Stop calls cannot both
+    // join; the loser swaps an empty handle.
+    worker.swap(worker_);
+  }
+  wake_cv_.notify_all();
+  idle_cv_.notify_all();
+  if (worker.joinable()) worker.join();
+}
+
+BackgroundCompactor::Stats BackgroundCompactor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BackgroundCompactor::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+    if (stop_) return;
+    pending_ = 0;
+    cycle_running_ = true;
+    ++stats_.started;
+    lock.unlock();
+    fold_cycle_();
+    lock.lock();
+    cycle_running_ = false;
+    ++stats_.completed;
+    if (pending_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace hytgraph

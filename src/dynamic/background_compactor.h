@@ -1,0 +1,88 @@
+// BackgroundCompactor: a worker thread that drains a fold queue so the
+// O(E) SnapshotCompactor rebuild never runs on a mutator's or reader's
+// thread. The Engine enqueues a request when the pending delta crosses the
+// CompactionPolicy threshold (CompactionMode::kBackground) or when
+// Engine::Compact() is called in that mode; the worker runs one fold cycle
+// per drain — requests that pile up while a cycle runs are coalesced, since
+// a single fold absorbs every delta pending at capture time.
+//
+// The compactor knows nothing about graphs: it runs an opaque fold-cycle
+// callback (Engine::BackgroundFoldCycle), which captures the overlay under
+// the Engine's write lock, materializes the fresh base CSR off every lock,
+// and republishes — re-applying any mutation batches that raced the fold
+// onto the new base. That keeps the queue mechanics (worker lifecycle,
+// coalescing, idle barrier, shutdown) testable in isolation.
+//
+// Shutdown: Stop() (and the destructor) wakes the worker, abandons any
+// not-yet-started requests, waits for an in-flight cycle to finish, and
+// joins. The Engine destroys its BackgroundCompactor before any other
+// member so a mid-cycle fold never touches freed engine state.
+
+#ifndef HYTGRAPH_DYNAMIC_BACKGROUND_COMPACTOR_H_
+#define HYTGRAPH_DYNAMIC_BACKGROUND_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace hytgraph {
+
+class BackgroundCompactor {
+ public:
+  struct Stats {
+    /// RequestFold calls accepted (requests after Stop are dropped).
+    uint64_t requested = 0;
+    /// Fold cycles the worker started.
+    uint64_t started = 0;
+    /// Fold cycles that ran to completion.
+    uint64_t completed = 0;
+    /// Requests satisfied by an already-pending cycle instead of their own.
+    uint64_t coalesced = 0;
+  };
+
+  /// Spawns the worker immediately; it sleeps until the first request.
+  /// `fold_cycle` is invoked once per queue drain, on the worker thread,
+  /// with no BackgroundCompactor lock held.
+  explicit BackgroundCompactor(std::function<void()> fold_cycle);
+
+  BackgroundCompactor(const BackgroundCompactor&) = delete;
+  BackgroundCompactor& operator=(const BackgroundCompactor&) = delete;
+
+  /// Stops and joins the worker (see Stop()).
+  ~BackgroundCompactor();
+
+  /// Enqueues a fold. Cheap and non-blocking: requests landing while a
+  /// cycle is pending or running coalesce into the next drain. No-op after
+  /// Stop().
+  void RequestFold();
+
+  /// Blocks until the queue is empty and no cycle is running — the
+  /// publication barrier callers use to observe every fold they requested.
+  /// Returns immediately after Stop().
+  void WaitIdle();
+
+  /// Abandons queued requests, waits for an in-flight cycle to complete,
+  /// and joins the worker. Idempotent.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  void Loop();
+
+  std::function<void()> fold_cycle_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_cv_;  // worker wakeups
+  std::condition_variable idle_cv_;  // WaitIdle / completion
+  uint64_t pending_ = 0;
+  bool cycle_running_ = false;
+  bool stop_ = false;
+  Stats stats_;
+  std::thread worker_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_DYNAMIC_BACKGROUND_COMPACTOR_H_

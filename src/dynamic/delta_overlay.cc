@@ -42,6 +42,7 @@ Result<DeltaOverlay::ApplyStats> DeltaOverlay::Apply(
             std::lower_bound(delta->tombstones.begin(),
                              delta->tombstones.end(), m.dst),
             m.dst);
+        delta->suppressed += base_matches;
         suppressed_ += base_matches;
         stats.deleted += base_matches;
       }
@@ -49,17 +50,6 @@ Result<DeltaOverlay::ApplyStats> DeltaOverlay::Apply(
     if (delta != nullptr && delta->Empty()) deltas_.erase(m.src);
   }
   return stats;
-}
-
-EdgeId DeltaOverlay::out_degree(VertexId v) const {
-  auto it = deltas_.find(v);
-  if (it == deltas_.end()) return base_->out_degree(v);
-  EdgeId degree = it->second.inserts.size();
-  const VertexDelta& delta = it->second;
-  for (VertexId nbr : base_->neighbors(v)) {
-    if (!delta.IsTombstoned(nbr)) ++degree;
-  }
-  return degree;
 }
 
 Result<CsrGraph> DeltaOverlay::Materialize() const {

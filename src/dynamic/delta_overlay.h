@@ -11,9 +11,11 @@
 // Materialize().
 //
 // Thread safety: Apply/Reset are writes; everything else is a read. The
-// owner (hytgraph::Engine) publishes overlays copy-on-write: queries pin an
-// immutable overlay snapshot while ApplyMutations builds and publishes a
-// new one, so published overlays are never written again.
+// owner (hytgraph::Engine) guarantees readers never observe a write:
+// queries pin an overlay snapshot via shared ownership, and ApplyMutations
+// mutates in place only when the use count proves nothing outside the
+// engine holds the object — otherwise the batch lands on a private
+// copy-on-write clone published when complete.
 
 #ifndef HYTGRAPH_DYNAMIC_DELTA_OVERLAY_H_
 #define HYTGRAPH_DYNAMIC_DELTA_OVERLAY_H_
@@ -65,8 +67,15 @@ class DeltaOverlay {
   /// against num_vertices(); out-of-range endpoints are a checked error.
   Result<ApplyStats> Apply(const MutationBatch& batch);
 
-  /// Out-degree of v in the mutated graph.
-  EdgeId out_degree(VertexId v) const;
+  /// Out-degree of v in the mutated graph. O(1): per-vertex insert and
+  /// suppressed-base-edge counts are maintained incrementally by Apply.
+  EdgeId out_degree(VertexId v) const {
+    auto it = deltas_.find(v);
+    if (it == deltas_.end()) return base_->out_degree(v);
+    return base_->out_degree(v) + it->second.inserts.size() -
+           it->second.suppressed;
+  }
+
 
   /// Whether v has any pending delta (inserts or tombstones). Readers use
   /// this to keep the zero-delta fast path (plain base spans) per vertex.
@@ -144,6 +153,9 @@ class DeltaOverlay {
   struct VertexDelta {
     std::vector<std::pair<VertexId, Weight>> inserts;
     std::vector<VertexId> tombstones;  // sorted target ids
+    /// Base edges hidden by `tombstones` (counts parallel edges) — keeps
+    /// out_degree O(1) instead of re-filtering the base adjacency.
+    EdgeId suppressed = 0;
 
     bool IsTombstoned(VertexId dst) const {
       return std::binary_search(tombstones.begin(), tombstones.end(), dst);

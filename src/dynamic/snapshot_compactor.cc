@@ -9,9 +9,7 @@ namespace hytgraph {
 Result<CsrGraph> SnapshotCompactor::Fold(const DeltaOverlay& overlay) {
   WallTimer timer;
   HYT_ASSIGN_OR_RETURN(CsrGraph snapshot, overlay.Materialize());
-  ++stats_.folds;
-  stats_.edges_folded += snapshot.num_edges();
-  stats_.total_seconds += timer.Seconds();
+  RecordFold(snapshot.num_edges(), timer.Seconds());
   return snapshot;
 }
 

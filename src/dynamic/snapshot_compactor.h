@@ -27,11 +27,19 @@ namespace hytgraph {
 
 /// When pending deltas are folded into a fresh base snapshot.
 enum class CompactionMode : uint8_t {
-  /// ApplyMutations folds eagerly once the delta crosses the threshold.
+  /// ApplyMutations folds eagerly once the delta crosses the threshold,
+  /// inline on the mutator's thread (the batch that trips the threshold
+  /// pays the O(E) rebuild).
   kThreshold = 0,
   /// Only an explicit Engine::Compact() folds; the delta grows unboundedly
   /// otherwise (callers own the schedule).
   kManual = 1,
+  /// Crossing the threshold enqueues a fold on the Engine's
+  /// BackgroundCompactor worker instead of folding inline: mutators and
+  /// queries never block on the O(E) rebuild, and batches racing the fold
+  /// land in a fresh overlay layered on the about-to-publish base. The
+  /// delta can overshoot the threshold while a fold is in flight.
+  kBackground = 2,
 };
 
 /// Compaction policy plus the mutation-log retirement horizon (the two
@@ -71,7 +79,8 @@ class SnapshotCompactor {
   const CompactionPolicy& policy() const { return policy_; }
 
   /// Write-trigger test: has the pending delta crossed the threshold?
-  /// Always false under CompactionMode::kManual.
+  /// Always false under CompactionMode::kManual. Under kBackground a true
+  /// result means "enqueue a background fold", not "fold inline".
   bool ShouldCompact(const DeltaOverlay& overlay) const {
     if (policy_.mode == CompactionMode::kManual) return false;
     return overlay.delta_edges() >=
@@ -80,6 +89,15 @@ class SnapshotCompactor {
 
   /// Folds base + delta into a standalone CSR, timing the rebuild.
   Result<CsrGraph> Fold(const DeltaOverlay& overlay);
+
+  /// Accounts a fold whose Materialize ran elsewhere (the background
+  /// worker rebuilds off the Engine's write lock and records the result
+  /// under it, so stats stay lock-protected).
+  void RecordFold(EdgeId snapshot_edges, double seconds) {
+    ++stats_.folds;
+    stats_.edges_folded += snapshot_edges;
+    stats_.total_seconds += seconds;
+  }
 
   const Stats& stats() const { return stats_; }
 

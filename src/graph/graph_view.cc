@@ -1,5 +1,6 @@
 #include "graph/graph_view.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -13,14 +14,22 @@ GraphView::GraphView(std::shared_ptr<const CsrGraph> base,
   if (overlay_ == nullptr) return;
   HYT_CHECK(&overlay_->base() == base_.get())
       << "overlay is anchored on a different base snapshot";
+  index_ = std::make_shared<OffsetIndex>();
+}
 
-  const VertexId n = base_->num_vertices();
-  auto offsets = std::make_shared<std::vector<EdgeId>>(
-      static_cast<size_t>(n) + 1, EdgeId{0});
-  for (VertexId v = 0; v < n; ++v) {
-    (*offsets)[v + 1] = (*offsets)[v] + overlay_->out_degree(v);
-  }
-  logical_offsets_ = std::move(offsets);
+const std::vector<EdgeId>& GraphView::Offsets() const {
+  OffsetIndex& index = *index_;
+  std::call_once(index.once, [&] {
+    const VertexId n = base_->num_vertices();
+    index.offsets.resize(static_cast<size_t>(n) + 1);
+    index.offsets[0] = 0;
+    // O(V) with O(1) per vertex: the overlay's degree deltas are patched
+    // incrementally at Apply time.
+    for (VertexId v = 0; v < n; ++v) {
+      index.offsets[v + 1] = index.offsets[v] + overlay_->out_degree(v);
+    }
+  });
+  return index.offsets;
 }
 
 std::vector<uint32_t> GraphView::InDegrees() const {

@@ -11,20 +11,31 @@
 // (property-tested), while compaction itself becomes a policy decision off
 // the query path.
 //
+// Logical offsets are served from a *lazily built* array: view construction
+// is O(1) — publication (Engine::ApplyMutations holding its write lock)
+// never pays an O(V) prefix rebuild — and the first offset-dependent read
+// builds the folded row offsets once per view (O(V), with O(1) per-vertex
+// degrees through the overlay's incrementally patched degree deltas).
+// Every query is already Ω(V), so the one-time build vanishes into the
+// first query on a new epoch while lookups stay O(1) array reads on the
+// hot kernel paths.
+//
 // A view is a cheap value type (three shared_ptrs): copies share the base,
-// overlay, and logical-offset arrays, and holders pin both graph components
-// for as long as they keep the view — this is how in-flight queries keep a
+// overlay, and offset index, and holders pin both graph components for as
+// long as they keep the view — this is how in-flight queries keep a
 // consistent graph while mutations publish new snapshots.
 //
 // `Wrap` adapts borrowed storage (a plain CsrGraph or DeltaOverlay owned by
 // the caller) into a non-owning view for code that predates the Engine's
-// shared snapshots; the wrapped object must outlive the view.
+// shared snapshots; the wrapped object must outlive the view and must not
+// be mutated while the view reads it.
 
 #ifndef HYTGRAPH_GRAPH_GRAPH_VIEW_H_
 #define HYTGRAPH_GRAPH_GRAPH_VIEW_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -41,8 +52,8 @@ class GraphView {
 
   /// A view over `base` with `overlay` layered on top. `overlay` may be
   /// null or empty (a transparent view of the base); when present it must
-  /// be anchored on `base`. Builds the logical row offsets eagerly (O(V)
-  /// when the overlay is non-empty, free otherwise).
+  /// be anchored on `base`. O(1): the logical-offset index is built lazily
+  /// on first use, off the mutator's publication path.
   explicit GraphView(std::shared_ptr<const CsrGraph> base,
                      std::shared_ptr<const DeltaOverlay> overlay = nullptr);
 
@@ -82,27 +93,26 @@ class GraphView {
     return base_ == nullptr ? 0 : base_->num_vertices();
   }
   EdgeId num_edges() const {
-    return logical_offsets_ == nullptr ? base_->num_edges()
-                                       : logical_offsets_->back();
+    return overlay_ == nullptr ? base_->num_edges() : overlay_->num_edges();
   }
   bool is_weighted() const { return base_->is_weighted(); }
 
-  /// Out-degree of v in the mutated graph (O(1): logical offsets).
+  /// Out-degree of v in the mutated graph (O(1) once the lazy offsets are
+  /// built; the first offset-dependent call on a view pays the O(V) build).
   EdgeId out_degree(VertexId v) const {
-    if (logical_offsets_ == nullptr) return base_->out_degree(v);
-    return (*logical_offsets_)[v + 1] - (*logical_offsets_)[v];
+    if (overlay_ == nullptr) return base_->out_degree(v);
+    const std::vector<EdgeId>& offsets = Offsets();
+    return offsets[v + 1] - offsets[v];
   }
 
   /// Logical edge offsets: where v's neighbour run would start/end in the
   /// folded CSR. Transfer accounting (zero-copy alignment, UM page touch)
   /// uses these so a view costs exactly what its compacted snapshot would.
   EdgeId edge_begin(VertexId v) const {
-    return logical_offsets_ == nullptr ? base_->edge_begin(v)
-                                       : (*logical_offsets_)[v];
+    return overlay_ == nullptr ? base_->edge_begin(v) : Offsets()[v];
   }
   EdgeId edge_end(VertexId v) const {
-    return logical_offsets_ == nullptr ? base_->edge_end(v)
-                                       : (*logical_offsets_)[v + 1];
+    return overlay_ == nullptr ? base_->edge_end(v) : Offsets()[v + 1];
   }
 
   /// Logical edges in the vertex range [first, last) — what
@@ -117,7 +127,7 @@ class GraphView {
   /// for compaction policies and tests (how concentrated is the pending
   /// delta?). Zero on a transparent view.
   int64_t EdgeDeltaInRange(VertexId first, VertexId last) const {
-    if (logical_offsets_ == nullptr) return 0;
+    if (overlay_ == nullptr) return 0;
     return static_cast<int64_t>(EdgesInRange(first, last)) -
            static_cast<int64_t>(base_->edge_begin(last) -
                                 base_->edge_begin(first));
@@ -162,11 +172,19 @@ class GraphView {
   Result<CsrGraph> Materialize() const;
 
  private:
+  /// The lazily built folded-CSR row offsets. Shared by all copies of the
+  /// view; built once under the once_flag, immutable after.
+  struct OffsetIndex {
+    std::once_flag once;
+    std::vector<EdgeId> offsets;  // |V|+1 folded row offsets
+  };
+
+  /// The logical row offsets, building them on first use (thread-safe).
+  const std::vector<EdgeId>& Offsets() const;
+
   std::shared_ptr<const CsrGraph> base_;
   std::shared_ptr<const DeltaOverlay> overlay_;  // null = transparent
-  /// Folded-CSR row offsets; null when the overlay is empty (base offsets
-  /// are already the logical ones).
-  std::shared_ptr<const std::vector<EdgeId>> logical_offsets_;
+  std::shared_ptr<OffsetIndex> index_;           // non-null iff overlay_
 };
 
 }  // namespace hytgraph

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "algorithms/reference.h"
@@ -324,6 +326,101 @@ TEST(EngineTest, PreparedCacheInvalidatesLazilyOnEpochBump) {
   auto again = engine.Run(query);
   ASSERT_TRUE(again.ok());
   EXPECT_TRUE(again->prepared_cache_hit);
+}
+
+// Regression for the (epoch, layout) cache guard under concurrent
+// compaction: Compact() does not bump the epoch, so a prepared-cache build
+// racing a fold can only be told apart from the post-fold layout by the
+// layout version. One thread folds in a tight loop (every fold bumps the
+// layout and drops the cache) while readers Run full queries and
+// RunIncremental from a deliberately retired epoch (which falls back to a
+// full Run, planning mid-fold). Every result must still equal the
+// reference, and the cache must keep serving entries afterwards — a stale
+// resurrected preparation or a ViewRef carrying a garbage layout would
+// break one or the other.
+TEST(EngineConcurrencyTest, LayoutVersionGuardHoldsUnderConcurrentCompaction) {
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kManual;
+  policy.mutation_log_horizon = 1;  // epochs retire almost immediately
+  Engine engine(SmallRmat(9, 6, 5),
+                SolverOptions::Defaults(SystemKind::kCpu), policy);
+
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = 0;
+  auto seed_result = engine.Run(query);
+  ASSERT_TRUE(seed_result.ok());
+  const QueryResult previous = *seed_result;
+
+  // Retire `previous`'s epoch from the mutation log so RunIncremental must
+  // take the fallback full-plan path — the interleaving under test.
+  const VertexId n = engine.graph().num_vertices();
+  for (int i = 0; i < 4; ++i) {
+    MutationBatch batch;
+    for (int e = 0; e < 32; ++e) {
+      batch.InsertEdge(static_cast<VertexId>((7 * i + e) % n),
+                       static_cast<VertexId>((13 * i + 3 * e) % n));
+    }
+    ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread folder([&] {
+    while (!stop) {
+      MutationBatch batch;
+      batch.InsertEdge(1, 2);
+      if (!engine.ApplyMutations(batch).ok() || !engine.Compact().ok()) {
+        failed = true;
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 60 && !failed; ++i) {
+        auto full = engine.Run(query);
+        auto incremental = engine.RunIncremental(query, previous);
+        if (!full.ok() || !incremental.ok()) {
+          failed = true;
+          return;
+        }
+        // A retired-epoch warm start must have fallen back to a full run.
+        if (incremental->incremental) {
+          failed = true;
+          return;
+        }
+        // Values must be internally consistent for whatever epoch each
+        // result pinned; BFS from 0 only gains reachability under inserts,
+        // so distances can never exceed the seed run's.
+        const auto& seed_values = previous.u32();
+        for (size_t v = 0; v < seed_values.size(); ++v) {
+          if (full->u32()[v] > seed_values[v] ||
+              incremental->u32()[v] > seed_values[v]) {
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop = true;
+  folder.join();
+  ASSERT_FALSE(failed) << "a query raced a fold into an inconsistent state";
+
+  // Quiesced: the final state must match the reference exactly, and the
+  // cache must be functional (a repeat query hits).
+  auto folded = engine.View().Materialize();
+  ASSERT_TRUE(folded.ok());
+  auto final_run = engine.Run(query);
+  ASSERT_TRUE(final_run.ok());
+  EXPECT_EQ(final_run->u32(), ReferenceBfs(*folded, 0));
+  auto repeat = engine.Run(query);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->prepared_cache_hit);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+// The asynchronous compaction pipeline: the BackgroundCompactor's queue
+// mechanics in isolation, and the Engine's kBackground mode end to end —
+// threshold-triggered folds publish off the mutator thread, the epoch stays
+// monotone across asynchronous layout swaps, batches racing a fold survive
+// it, explicit Compact() keeps working in every mode, and ~Engine joins the
+// worker without deadlock.
+
+#include "dynamic/background_compactor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "algorithms/reference.h"
+#include "core/engine.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+SolverOptions CpuOptions() { return SolverOptions::Defaults(SystemKind::kCpu); }
+
+CompactionPolicy BackgroundPolicy(uint64_t threshold) {
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kBackground;
+  policy.min_delta_edges = threshold;
+  policy.delta_fraction = 0.0;
+  return policy;
+}
+
+MutationBatch InsertBatch(VertexId n, uint64_t count, uint64_t seed) {
+  MutationBatch batch;
+  uint64_t state = seed;
+  auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (uint64_t i = 0; i < count; ++i) {
+    batch.InsertEdge(static_cast<VertexId>(next() % n),
+                     static_cast<VertexId>(next() % n),
+                     static_cast<Weight>(1 + next() % 32));
+  }
+  return batch;
+}
+
+/// Per-vertex sorted (target, weight) multisets — adjacency equality
+/// independent of the physical edge order a fold or replay produced.
+std::vector<std::vector<std::pair<VertexId, Weight>>> SortedAdjacency(
+    const CsrGraph& graph) {
+  std::vector<std::vector<std::pair<VertexId, Weight>>> adj(
+      graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto nbrs = graph.neighbors(v);
+    const auto wts = graph.weights(v);
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      adj[v].emplace_back(nbrs[e], wts.empty() ? Weight{1} : wts[e]);
+    }
+    std::sort(adj[v].begin(), adj[v].end());
+  }
+  return adj;
+}
+
+TEST(BackgroundCompactorTest, DrainsTheFoldQueueAndCoalescesRequests) {
+  std::atomic<int> cycles{0};
+  BackgroundCompactor compactor([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ++cycles;
+  });
+  for (int i = 0; i < 8; ++i) compactor.RequestFold();
+  compactor.WaitIdle();
+
+  const auto stats = compactor.stats();
+  EXPECT_EQ(stats.requested, 8u);
+  EXPECT_GE(stats.started, 1u);
+  EXPECT_EQ(stats.completed, stats.started);
+  // Every request is either its own cycle or coalesced into one.
+  EXPECT_EQ(stats.started + stats.coalesced, stats.requested);
+  EXPECT_EQ(cycles.load(), static_cast<int>(stats.completed));
+  // Requests kept arriving while the slow first cycle ran, so at least one
+  // must have piggybacked.
+  EXPECT_GT(stats.coalesced, 0u);
+}
+
+TEST(BackgroundCompactorTest, WaitIdleOnAnIdleQueueReturnsImmediately) {
+  BackgroundCompactor compactor([] {});
+  compactor.WaitIdle();  // no request ever made
+  EXPECT_EQ(compactor.stats().started, 0u);
+}
+
+TEST(BackgroundCompactorTest, StopAbandonsQueuedRequestsAndJoins) {
+  std::atomic<int> cycles{0};
+  BackgroundCompactor compactor([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ++cycles;
+  });
+  for (int i = 0; i < 4; ++i) compactor.RequestFold();
+  compactor.Stop();
+  compactor.Stop();  // idempotent
+  // At most the in-flight cycle ran; the queue was abandoned, and after
+  // Stop new requests are dropped.
+  compactor.RequestFold();
+  // The abandoned queue never drains fully: with coalescing and a 20ms
+  // cycle, at most the in-flight cycle plus one follow-up ran.
+  EXPECT_LE(cycles.load(), 2);
+  EXPECT_EQ(compactor.stats().requested, 4u);
+}
+
+TEST(BackgroundEngineTest, ThresholdTriggeredFoldsPublishOffTheMutatorPath) {
+  const CsrGraph base = SmallRmat(9, 6);
+  Engine engine(SmallRmat(9, 6), CpuOptions(), BackgroundPolicy(256));
+
+  uint64_t last_epoch = 0;
+  bool any_scheduled = false;
+  for (int i = 0; i < 12; ++i) {
+    auto applied =
+        engine.ApplyMutations(InsertBatch(base.num_vertices(), 64, 100 + i));
+    ASSERT_TRUE(applied.ok());
+    // Epoch monotonicity: every non-empty batch bumps by one, and the
+    // asynchronous folds racing these applies never move it.
+    EXPECT_EQ(applied->epoch, last_epoch + 1);
+    last_epoch = applied->epoch;
+    // Background mode never folds inline on this thread.
+    EXPECT_FALSE(applied->compacted);
+    any_scheduled |= applied->fold_scheduled;
+  }
+  EXPECT_TRUE(any_scheduled);
+
+  engine.WaitForCompaction();
+  EXPECT_GE(engine.compactor_stats().folds, 1u);
+  EXPECT_EQ(engine.epoch(), last_epoch);
+  // Any batch that left the delta at or above the threshold also enqueued
+  // a fold, and WaitForCompaction drained them all — so whatever residue
+  // the replay window left behind sits strictly below the threshold.
+  EXPECT_LT(engine.pending_delta_edges(), 256u);
+
+  // Values on the folded state equal a reference run on the same logical
+  // graph.
+  auto folded = engine.View().Materialize();
+  ASSERT_TRUE(folded.ok());
+  auto result = engine.Run({.algorithm = AlgorithmId::kSssp, .source = 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->u32(), ReferenceSssp(*folded, 0));
+}
+
+TEST(BackgroundEngineTest, MutationsRacingAFoldArePreserved) {
+  const VertexId n = SmallRmat(9, 6).num_vertices();
+  // A tiny threshold keeps a fold almost always in flight while the main
+  // thread streams batches at it, so most batches land mid-fold and travel
+  // through the replay window.
+  Engine engine(SmallRmat(9, 6), CpuOptions(), BackgroundPolicy(16));
+
+  auto reconstructed =
+      std::make_shared<const CsrGraph>(SmallRmat(9, 6));
+  DeltaOverlay expected(reconstructed);
+  for (int i = 0; i < 200; ++i) {
+    MutationBatch batch = InsertBatch(n, 8, 9000 + i);
+    // Mix in deletions of edges known to exist in the original base.
+    const auto nbrs = reconstructed->neighbors(static_cast<VertexId>(i % n));
+    if (!nbrs.empty() && i % 3 == 0) {
+      batch.DeleteEdge(static_cast<VertexId>(i % n), nbrs[0]);
+    }
+    ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+    ASSERT_TRUE(expected.Apply(batch).ok());
+  }
+  engine.WaitForCompaction();
+  EXPECT_GE(engine.compactor_stats().folds, 1u);
+
+  auto live = engine.View().Materialize();
+  auto want = expected.Materialize();
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(live->num_edges(), want->num_edges());
+  // Folds and replays may reorder edges within a vertex's run; the logical
+  // multigraph must be identical.
+  EXPECT_EQ(SortedAdjacency(*live), SortedAdjacency(*want));
+
+  // And an actual query agrees with the reference on the reconstruction.
+  auto result = engine.Run({.algorithm = AlgorithmId::kBfs, .source = 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->u32(), ReferenceBfs(*want, 0));
+}
+
+TEST(BackgroundEngineTest, ExplicitCompactDrainsTheQueueSynchronously) {
+  const CsrGraph base = SmallRmat(8, 5);
+  Engine engine(SmallRmat(8, 5), CpuOptions(),
+                BackgroundPolicy(1 << 20));  // threshold never trips
+
+  ASSERT_TRUE(
+      engine.ApplyMutations(InsertBatch(base.num_vertices(), 300, 5)).ok());
+  EXPECT_GT(engine.pending_delta_edges(), 0u);
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(engine.pending_delta_edges(), 0u);
+  EXPECT_EQ(engine.compactor_stats().folds, 1u);
+}
+
+TEST(BackgroundEngineTest, ManualModeCompactStillFoldsInline) {
+  const CsrGraph base = SmallRmat(8, 5);
+  CompactionPolicy manual;
+  manual.mode = CompactionMode::kManual;
+  Engine engine(SmallRmat(8, 5), CpuOptions(), manual);
+
+  auto applied =
+      engine.ApplyMutations(InsertBatch(base.num_vertices(), 500, 77));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_FALSE(applied->compacted);
+  EXPECT_FALSE(applied->fold_scheduled);
+  EXPECT_GT(engine.pending_delta_edges(), 0u);
+
+  auto before = engine.View().Materialize();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(engine.pending_delta_edges(), 0u);
+  EXPECT_EQ(engine.compactor_stats().folds, 1u);
+  auto after = engine.View().Materialize();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(SortedAdjacency(*before), SortedAdjacency(*after));
+}
+
+TEST(BackgroundEngineTest, DestructorJoinsTheWorkerWithoutDeadlock) {
+  const CsrGraph base = SmallRmat(9, 8);
+  {
+    // Destroy with folds queued and likely in flight.
+    Engine engine(SmallRmat(9, 8), CpuOptions(), BackgroundPolicy(16));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          engine.ApplyMutations(InsertBatch(base.num_vertices(), 64, i))
+              .ok());
+    }
+  }
+  {
+    // Destroy an idle background engine that never folded.
+    Engine engine(SmallRmat(8, 4), CpuOptions(), BackgroundPolicy(1 << 20));
+    ASSERT_TRUE(
+        engine.ApplyMutations(InsertBatch(engine.graph().num_vertices(), 8, 3))
+            .ok());
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,226 @@
+// Concurrency stress for the dynamic serving path: reader threads run all
+// six algorithms against mutator threads streaming batches through a
+// background-compacting engine. Every query pins the epoch it planned
+// against; afterwards the test replays the recorded mutation log up to that
+// epoch and checks the result against the serial reference implementation
+// on the reconstructed graph — snapshot isolation, the O(delta)
+// publication path, and asynchronous fold publication all have to hold for
+// every single query to match.
+//
+// This suite is also the main ThreadSanitizer workload for the engine's
+// mutation state (see the sanitize-thread CI job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/reference.h"
+#include "core/engine.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+constexpr int kReaderThreads = 4;
+constexpr int kMutatorThreads = 2;
+constexpr int kQueriesPerReader = 120;
+constexpr int kBatchesPerMutator = 150;
+constexpr uint64_t kInsertsPerBatch = 12;
+
+/// One verified observation: what a reader got back, keyed by the epoch the
+/// engine reported for it.
+struct Observation {
+  AlgorithmId algorithm;
+  VertexId source;
+  uint64_t epoch;
+  QueryValues values;
+};
+
+MutationBatch RandomBatch(const CsrGraph& base, uint64_t seed) {
+  MutationBatch batch;
+  const VertexId n = base.num_vertices();
+  uint64_t state = seed;
+  auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (uint64_t i = 0; i < kInsertsPerBatch; ++i) {
+    batch.InsertEdge(static_cast<VertexId>(next() % n),
+                     static_cast<VertexId>(next() % n),
+                     static_cast<Weight>(1 + next() % 32));
+  }
+  // A few deletions aimed at base edges (some may be no-ops by the time
+  // they apply — that is part of the semantics under test).
+  for (uint64_t i = 0; i < 3; ++i) {
+    const VertexId src = static_cast<VertexId>(next() % n);
+    const auto nbrs = base.neighbors(src);
+    if (!nbrs.empty()) batch.DeleteEdge(src, nbrs[next() % nbrs.size()]);
+  }
+  return batch;
+}
+
+TEST(DynamicConcurrencyStressTest, EveryQueryMatchesItsPinnedEpoch) {
+  const CsrGraph base = SmallRmat(8, 8, /*seed=*/21);
+  const VertexId n = base.num_vertices();
+
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kBackground;
+  policy.min_delta_edges = 128;  // folds stay almost always in flight
+  policy.delta_fraction = 0.0;
+  Engine engine(SmallRmat(8, 8, 21),
+                SolverOptions::Defaults(SystemKind::kCpu), policy);
+
+  // Epoch -> the batch that produced it, recorded by the mutators. The
+  // engine serializes batch application, so epoch order is application
+  // order and replaying 1..e reconstructs the exact logical graph any
+  // query at epoch e executed on.
+  std::mutex log_mu;
+  std::map<uint64_t, MutationBatch> batch_log;
+  std::vector<Observation> observations;
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int m = 0; m < kMutatorThreads; ++m) {
+    threads.emplace_back([&, m] {
+      for (int i = 0; i < kBatchesPerMutator && !failed; ++i) {
+        const MutationBatch batch =
+            RandomBatch(base, 1 + 7919u * m + 104729u * i);
+        auto applied = engine.ApplyMutations(batch);
+        if (!applied.ok()) {
+          failed = true;
+          return;
+        }
+        std::lock_guard<std::mutex> lock(log_mu);
+        // Insert-carrying batches always advance the epoch, so every
+        // assigned epoch is unique to its batch.
+        batch_log.emplace(applied->epoch, batch);
+      }
+    });
+  }
+  for (int r = 0; r < kReaderThreads; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<Observation> local;
+      local.reserve(kQueriesPerReader);
+      for (int i = 0; i < kQueriesPerReader && !failed; ++i) {
+        Query query;
+        query.algorithm =
+            kAllAlgorithms[(r + i) % std::size(kAllAlgorithms)];
+        if (GetAlgorithmInfo(query.algorithm).needs_source) {
+          query.source = static_cast<VertexId>((r + i) % 2);  // memoizable
+        }
+        auto result = engine.Run(query);
+        if (!result.ok()) {
+          failed = true;
+          return;
+        }
+        local.push_back(Observation{query.algorithm, result->source,
+                                    result->epoch,
+                                    std::move(result->values)});
+      }
+      std::lock_guard<std::mutex> lock(log_mu);
+      for (auto& obs : local) observations.push_back(std::move(obs));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_FALSE(failed) << "a concurrent Run or ApplyMutations errored";
+  engine.WaitForCompaction();
+  ASSERT_GE(engine.compactor_stats().folds, 1u)
+      << "the stress never exercised a background fold";
+
+  // --- Verification: replay the log and check every observation. ---
+  // Graphs and reference results are memoized; readers reuse two sources
+  // per algorithm, so the distinct (epoch, algorithm, source) space stays
+  // small.
+  std::map<uint64_t, std::shared_ptr<const CsrGraph>> graph_at_epoch;
+  auto reconstruct = [&](uint64_t epoch) -> const CsrGraph& {
+    auto it = graph_at_epoch.find(epoch);
+    if (it != graph_at_epoch.end()) return *it->second;
+    auto snapshot = std::make_shared<const CsrGraph>(SmallRmat(8, 8, 21));
+    DeltaOverlay overlay(snapshot);
+    for (const auto& [e, batch] : batch_log) {
+      if (e > epoch) break;
+      auto applied = overlay.Apply(batch);
+      HYT_CHECK(applied.ok());
+    }
+    auto folded = overlay.Materialize();
+    HYT_CHECK(folded.ok());
+    auto shared = std::make_shared<const CsrGraph>(std::move(folded).value());
+    graph_at_epoch.emplace(epoch, shared);
+    return *shared;
+  };
+
+  struct RefKey {
+    uint64_t epoch;
+    AlgorithmId algorithm;
+    VertexId source;
+    bool operator<(const RefKey& o) const {
+      return std::tie(epoch, algorithm, source) <
+             std::tie(o.epoch, o.algorithm, o.source);
+    }
+  };
+  std::map<RefKey, QueryValues> reference;
+  auto reference_for = [&](const Observation& obs) -> const QueryValues& {
+    const RefKey key{obs.epoch, obs.algorithm, obs.source};
+    auto it = reference.find(key);
+    if (it != reference.end()) return it->second;
+    const CsrGraph& graph = reconstruct(obs.epoch);
+    QueryValues values;
+    switch (obs.algorithm) {
+      case AlgorithmId::kBfs:
+        values = ReferenceBfs(graph, obs.source);
+        break;
+      case AlgorithmId::kSssp:
+        values = ReferenceSssp(graph, obs.source);
+        break;
+      case AlgorithmId::kCc:
+        values = ReferenceCc(graph);
+        break;
+      case AlgorithmId::kSswp:
+        values = ReferenceSswp(graph, obs.source);
+        break;
+      case AlgorithmId::kPageRank:
+        values = ReferencePageRank(graph);
+        break;
+      case AlgorithmId::kPhp:
+        values = ReferencePhp(graph, obs.source);
+        break;
+    }
+    return reference.emplace(key, std::move(values)).first->second;
+  };
+
+  ASSERT_EQ(observations.size(),
+            static_cast<size_t>(kReaderThreads * kQueriesPerReader));
+  for (const Observation& obs : observations) {
+    const QueryValues& want = reference_for(obs);
+    if (std::holds_alternative<std::vector<uint32_t>>(obs.values)) {
+      EXPECT_EQ(std::get<std::vector<uint32_t>>(obs.values),
+                std::get<std::vector<uint32_t>>(want))
+          << AlgorithmName(obs.algorithm) << " source " << obs.source
+          << " diverged from its pinned epoch " << obs.epoch;
+    } else {
+      const auto& got = std::get<std::vector<double>>(obs.values);
+      const auto& exp = std::get<std::vector<double>>(want);
+      ASSERT_EQ(got.size(), exp.size());
+      double max_ref = 1e-12;
+      for (double v : exp) max_ref = std::max(max_ref, std::abs(v));
+      for (size_t v = 0; v < got.size(); ++v) {
+        ASSERT_NEAR(got[v], exp[v], 1e-3 * max_ref)
+            << AlgorithmName(obs.algorithm) << " vertex " << v << " epoch "
+            << obs.epoch;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hytgraph

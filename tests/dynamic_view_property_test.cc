@@ -21,6 +21,7 @@
 #include "core/cost_model.h"
 #include "core/engine.h"
 #include "engine/partition_state.h"
+#include "graph/degree_stats.h"
 #include "graph/graph_view.h"
 #include "graph/partitioner.h"
 #include "test_graphs.h"
@@ -171,6 +172,87 @@ TEST_F(ViewPropertyTest, QueriesAfterMutationsFoldNothingAndMatchFoldedRun) {
   // The acceptance bar: all six full queries ran with ZERO folds.
   EXPECT_EQ(live.compactor_stats().folds, 0u);
   EXPECT_GT(live.pending_delta_edges(), 0u);
+}
+
+// Contract 3, post-O(delta)-publication: the lazily built sparse offset
+// index and the overlay's incrementally patched degree deltas must agree —
+// vertex by vertex, offset by offset — with the folded-from-scratch CSR,
+// and the incrementally tracked degree argmax with a full scan of it.
+TEST_F(ViewPropertyTest, LazyOffsetsDegreesAndArgmaxMatchTheFoldedCsr) {
+  for (uint64_t seed : {5u, 29u, 103u}) {
+    auto base = std::make_shared<const CsrGraph>(SmallRmat(10, 8, seed));
+    auto overlay = std::make_shared<DeltaOverlay>(base);
+    ASSERT_TRUE(
+        overlay->Apply(RandomBatch(*base, 500, 300, seed * 13 + 3)).ok());
+    const GraphView view(base, std::shared_ptr<const DeltaOverlay>(overlay));
+
+    auto folded = view.Materialize();
+    ASSERT_TRUE(folded.ok());
+    ASSERT_EQ(view.num_edges(), folded->num_edges());
+    for (VertexId v = 0; v < view.num_vertices(); ++v) {
+      ASSERT_EQ(view.out_degree(v), folded->out_degree(v)) << "vertex " << v;
+      ASSERT_EQ(view.edge_begin(v), folded->edge_begin(v)) << "vertex " << v;
+      ASSERT_EQ(view.edge_end(v), folded->edge_end(v)) << "vertex " << v;
+    }
+    EXPECT_EQ(view.EdgesInRange(0, view.num_vertices()), view.num_edges());
+    EXPECT_EQ(HighestOutDegreeVertex(view), HighestOutDegreeVertex(*folded));
+  }
+}
+
+// The engine's default source is tracked incrementally (O(|batch|) under
+// the write lock, lazy rescan when a deletion shrinks the argmax). It must
+// stay equal to a full scan of the folded graph across batches that grow a
+// challenger past the argmax, tie it, and tear the argmax itself down.
+TEST_F(ViewPropertyTest, DefaultSourceTracksTheDegreeArgmaxIncrementally) {
+  CompactionPolicy lazy;
+  lazy.min_delta_edges = 1 << 20;
+  Engine engine(SmallRmat(9, 6, 3),
+                SolverOptions::Defaults(SystemKind::kCpu), lazy);
+
+  auto check = [&](const char* phase) {
+    auto folded = engine.View().Materialize();
+    ASSERT_TRUE(folded.ok());
+    EXPECT_EQ(engine.DefaultSource(), HighestOutDegreeVertex(*folded))
+        << phase;
+  };
+  check("initial");
+
+  const VertexId argmax = engine.DefaultSource();
+  const VertexId challenger = argmax == 0 ? 1 : 0;
+  const auto argmax_degree = engine.View().out_degree(argmax);
+
+  // Grow a challenger one past the argmax.
+  MutationBatch grow;
+  for (EdgeId e = 0; e <= argmax_degree; ++e) {
+    grow.InsertEdge(challenger,
+                    static_cast<VertexId>(e % engine.graph().num_vertices()));
+  }
+  ASSERT_TRUE(engine.ApplyMutations(grow).ok());
+  check("challenger overtakes");
+  EXPECT_EQ(engine.DefaultSource(), challenger);
+
+  // Tear the new argmax down below the field — only a rescan can find the
+  // successor (the lazy-dirty path).
+  MutationBatch shrink;
+  for (EdgeId e = 0; e <= argmax_degree; ++e) {
+    shrink.DeleteEdge(challenger,
+                      static_cast<VertexId>(e % engine.graph().num_vertices()));
+  }
+  ASSERT_TRUE(engine.ApplyMutations(shrink).ok());
+  check("argmax torn down");
+
+  // And across an explicit fold the tracked entry carries over unchanged.
+  ASSERT_TRUE(engine.Compact().ok());
+  check("after fold");
+
+  // Random churn keeps them in lockstep.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    ASSERT_TRUE(engine
+                    .ApplyMutations(RandomBatch(engine.graph(), 120, 80,
+                                                seed * 17 + 1))
+                    .ok());
+    check("random churn");
+  }
 }
 
 }  // namespace
