@@ -11,6 +11,7 @@
 // Prints the result summary, total simulated time, transfer volume, and
 // (with --trace) the per-iteration engine mix.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +44,9 @@ struct CliOptions {
   int streams = 4;
   bool trace = false;
   uint64_t seed = 42;
+  std::string direction;  // push (default) | pull | auto
+  std::string alpha;      // direction-switch alpha (empty = library default)
+  std::string beta;       // direction-switch beta  (empty = library default)
   std::string mutations;  // replay file of edge mutation batches
   std::string compact_policy;     // threshold (default) | manual | background
   int64_t compact_threshold = -1;  // pending delta edges before a fold
@@ -65,7 +69,21 @@ void PrintUsage() {
       "  --batch-sources N            run N queries from the top-N degree\n"
       "                               sources as one batch\n"
       "  --streams N                  CUDA streams (default 4)\n"
-      "  --trace                      print per-iteration engine mix\n"
+      "  --direction D                push|pull|auto (default push):\n"
+      "                               traversal direction. 'auto' picks per\n"
+      "                               iteration (Beamer-style) between push\n"
+      "                               over out-edges and pull over the\n"
+      "                               cached reverse view — the win on\n"
+      "                               dense frontiers. PR/PHP always push\n"
+      "                               (delta accumulation)\n"
+      "  --alpha A                    auto push->pull switch: pull once the\n"
+      "                               frontier's out-edges exceed |E|/A\n"
+      "                               (default 14; larger switches earlier)\n"
+      "  --beta B                     auto pull->push switch: push once\n"
+      "                               active vertices drop below |V|/B\n"
+      "                               (default 24; larger switches later)\n"
+      "  --trace                      print per-iteration engine mix and\n"
+      "                               direction\n"
       "  --mutations FILE             after the initial query, replay edge\n"
       "                               mutation batches ('+ u v [w]' inserts,\n"
       "                               '- u v' deletes, blank line commits a\n"
@@ -132,6 +150,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->compact_policy = value;
     } else if (arg == "--compact-threshold") {
       cli->compact_threshold = std::atoll(value);
+    } else if (arg == "--direction") {
+      cli->direction = value;
+    } else if (arg == "--alpha") {
+      cli->alpha = value;
+    } else if (arg == "--beta") {
+      cli->beta = value;
     } else if (arg == "--streams") {
       cli->streams = std::atoi(value);
     } else {
@@ -160,10 +184,12 @@ std::string Summarize(const QueryResult& result) {
 }
 
 void PrintTrace(const RunTrace& trace) {
-  TablePrinter table({"iter", "active", "E-F", "E-C", "I-ZC", "I-UM", "ms"});
+  TablePrinter table(
+      {"iter", "dir", "active", "E-F", "E-C", "I-ZC", "I-UM", "ms"});
   for (size_t i = 0; i < trace.iterations.size(); ++i) {
     const IterationTrace& it = trace.iterations[i];
-    table.AddRow({std::to_string(i), std::to_string(it.active_vertices),
+    table.AddRow({std::to_string(i), TraversalDirectionName(it.direction),
+                  std::to_string(it.active_vertices),
                   std::to_string(it.partitions_filter),
                   std::to_string(it.partitions_compaction),
                   std::to_string(it.partitions_zero_copy),
@@ -228,6 +254,34 @@ int main(int argc, char** argv) {
   }
   SolverOptions options = SolverOptions::Defaults(*system);
   options.num_streams = cli.streams;
+  if (!cli.direction.empty()) {
+    auto direction = ParseTraversalDirection(cli.direction);
+    if (!direction.ok()) {
+      std::fprintf(stderr, "%s\n", direction.status().ToString().c_str());
+      return 2;
+    }
+    options.direction = *direction;
+  }
+  // Strict parse: junk and nonpositive values error loudly instead of
+  // silently running with the defaults.
+  auto parse_threshold = [](const std::string& text, const char* flag,
+                            double* out) {
+    if (text.empty()) return true;  // not given: keep the library default
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !std::isfinite(value) ||
+        value <= 0) {
+      std::fprintf(stderr, "%s must be a positive finite number, got '%s'\n",
+                   flag, text.c_str());
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  if (!parse_threshold(cli.alpha, "--alpha", &options.direction_alpha) ||
+      !parse_threshold(cli.beta, "--beta", &options.direction_beta)) {
+    return 2;
+  }
   options.device_memory_override = cli.device_memory_mb != 0
                                        ? cli.device_memory_mb << 20
                                        : default_device_memory;

@@ -10,6 +10,17 @@
 //  * value-accumulation (PR, PHP): pending deltas accumulate until consumed
 //    — the "monotone decrease" active pattern; these expose DeltaOf() for
 //    Δ-driven contribution scheduling.
+//
+// The value-selection family additionally implements the pull-direction
+// hooks (see RunPullKernel in engine/kernels.h): PullPotential(u) is the
+// best value active vertex u could write to any out-neighbour this
+// iteration, and SettledAt(v, bound) reports whether v's value is already
+// at least as good as `bound` — once v settles at the iteration floor (the
+// best potential over the whole frontier), no in-neighbour scan can improve
+// it, so pull candidates early-exit. The floor is conservative (every
+// actual offer is >= it), which keeps pull values bitwise identical to
+// push. PR/PHP stay push-only: their BeginVertex *consumes* the pending
+// delta, so gathering per in-edge would double-count mass.
 
 #ifndef HYTGRAPH_ALGORITHMS_PROGRAMS_H_
 #define HYTGRAPH_ALGORITHMS_PROGRAMS_H_
@@ -65,6 +76,21 @@ class BfsProgram {
     return AtomicMin(&levels_[v], ctx.level + 1);
   }
 
+  /// --- Pull-direction hooks ---
+  using PullBound = uint32_t;
+  static PullBound WorstBound() { return kUnreachable; }
+  static PullBound BetterBound(PullBound a, PullBound b) {
+    return std::min(a, b);
+  }
+  /// Best level u could assign to an out-neighbour: level(u) + 1.
+  PullBound PullPotential(VertexId u) const {
+    const uint32_t level = levels_[u].load(std::memory_order_relaxed);
+    return level == kUnreachable ? kUnreachable : level + 1;
+  }
+  bool SettledAt(VertexId v, PullBound bound) const {
+    return levels_[v].load(std::memory_order_relaxed) <= bound;
+  }
+
   /// Snapshot of the level array.
   std::vector<uint32_t> Values() const {
     std::vector<uint32_t> out(levels_.size());
@@ -112,6 +138,23 @@ class SsspProgram {
   bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
                    Weight w) {
     return AtomicMin(&dists_[v], ctx.dist + w);
+  }
+
+  /// --- Pull-direction hooks ---
+  using PullBound = uint32_t;
+  static PullBound WorstBound() { return kUnreachable; }
+  static PullBound BetterBound(PullBound a, PullBound b) {
+    return std::min(a, b);
+  }
+  /// dist(u) is a lower bound on every offer dist(u) + w (w >= 0) — exact
+  /// per-edge offers would need the outgoing weights, so the floor is
+  /// conservative and settles fewer candidates than BFS's, but stays sound
+  /// for any non-negative weighting.
+  PullBound PullPotential(VertexId u) const {
+    return dists_[u].load(std::memory_order_relaxed);
+  }
+  bool SettledAt(VertexId v, PullBound bound) const {
+    return dists_[v].load(std::memory_order_relaxed) <= bound;
   }
 
   std::vector<uint32_t> Values() const {
@@ -165,6 +208,21 @@ class CcProgram {
   bool ProcessEdge(const VertexContext& ctx, VertexId /*u*/, VertexId v,
                    Weight /*w*/) {
     return AtomicMin(&labels_[v], ctx.label);
+  }
+
+  /// --- Pull-direction hooks ---
+  using PullBound = uint32_t;
+  static PullBound WorstBound() {
+    return std::numeric_limits<uint32_t>::max();
+  }
+  static PullBound BetterBound(PullBound a, PullBound b) {
+    return std::min(a, b);
+  }
+  PullBound PullPotential(VertexId u) const {
+    return labels_[u].load(std::memory_order_relaxed);
+  }
+  bool SettledAt(VertexId v, PullBound bound) const {
+    return labels_[v].load(std::memory_order_relaxed) <= bound;
   }
 
   std::vector<uint32_t> Values() const {
@@ -391,6 +449,20 @@ class SswpProgram {
       }
     }
     return false;
+  }
+
+  /// --- Pull-direction hooks (max-min: wider is better) ---
+  using PullBound = uint32_t;
+  static PullBound WorstBound() { return 0; }
+  static PullBound BetterBound(PullBound a, PullBound b) {
+    return std::max(a, b);
+  }
+  /// width(u) is an upper bound on every offer min(width(u), w).
+  PullBound PullPotential(VertexId u) const {
+    return widths_[u].load(std::memory_order_relaxed);
+  }
+  bool SettledAt(VertexId v, PullBound bound) const {
+    return widths_[v].load(std::memory_order_relaxed) >= bound;
   }
 
   std::vector<uint32_t> Values() const {

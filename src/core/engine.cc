@@ -260,8 +260,15 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
   if (next_overlay != nullptr) overlay_ = std::move(next_overlay);
   // Either way the view is rebuilt: it must drop the previous (possibly
   // already-built) lazy offset index. O(1) — the index builds on first
-  // read.
+  // read. The reverse transpose survives the rebuild: the base snapshot is
+  // unchanged, so the old view's (possibly built) reverse base seeds the
+  // new one and pull queries skip the O(E) re-transpose — it is rebuilt
+  // only when a fold publishes a new base (CompactLocked /
+  // BackgroundFoldCycle create unseeded views).
+  const std::shared_ptr<const CsrGraph> reverse_base =
+      view_.reverse_base_if_built();
   view_ = GraphView(base_, overlay_);
+  view_.SeedReverseBase(reverse_base);
 
   EpochDelta log_entry;
   log_entry.epoch = epoch_;

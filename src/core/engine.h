@@ -52,6 +52,15 @@
 //    deletions, or when the previous epoch's mutation-log entries were
 //    retired by the snapshot GC horizon).
 //
+// Direction-optimizing queries (SolverOptions::direction = pull/auto) pull
+// over the view's reverse side. The reverse transpose is built lazily on
+// the first pull iteration and then reused engine-wide: copies of the view
+// (including prepared-cache entries) share it, and each mutation
+// publication seeds the next epoch's view with the already-built transpose
+// — so it is built at most once per physical layout and dropped exactly
+// when a fold publishes a new base (Compact() / threshold / background
+// folds), alongside the prepared cache.
+//
 // Thread safety: Run/RunBatch/RunIncremental/ApplyMutations may be called
 // concurrently from multiple threads; the prepared cache and the mutation
 // state are internally synchronized. References returned by graph() are

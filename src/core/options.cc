@@ -1,5 +1,7 @@
 #include "core/options.h"
 
+#include <cmath>
+
 #include "core/task.h"
 
 namespace hytgraph {
@@ -50,6 +52,28 @@ Result<SystemKind> ParseSystemKind(const std::string& name) {
   return Status::NotFound("unknown system: " + name);
 }
 
+const char* TraversalDirectionName(TraversalDirection direction) {
+  switch (direction) {
+    case TraversalDirection::kPush:
+      return "push";
+    case TraversalDirection::kPull:
+      return "pull";
+    case TraversalDirection::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+Result<TraversalDirection> ParseTraversalDirection(const std::string& name) {
+  for (TraversalDirection direction :
+       {TraversalDirection::kPush, TraversalDirection::kPull,
+        TraversalDirection::kAuto}) {
+    if (name == TraversalDirectionName(direction)) return direction;
+  }
+  return Status::NotFound("unknown direction: " + name +
+                          " (push|pull|auto)");
+}
+
 SolverOptions SolverOptions::Defaults(SystemKind system) {
   SolverOptions opts;
   opts.system = system;
@@ -96,6 +120,14 @@ Status SolverOptions::Validate() const {
   }
   if (max_iterations == 0) {
     return Status::InvalidArgument("max_iterations must be > 0");
+  }
+  // isfinite: NaN compares false against <= 0 and would otherwise slip
+  // through, making every auto-mode threshold comparison silently false.
+  if (!std::isfinite(direction_alpha) || direction_alpha <= 0) {
+    return Status::InvalidArgument("direction_alpha must be finite and > 0");
+  }
+  if (!std::isfinite(direction_beta) || direction_beta <= 0) {
+    return Status::InvalidArgument("direction_beta must be finite and > 0");
   }
   return Status::OK();
 }

@@ -29,6 +29,21 @@ enum class SystemKind {
 const char* SystemKindName(SystemKind kind);
 Result<SystemKind> ParseSystemKind(const std::string& name);
 
+/// Per-iteration traversal direction of the solver loop. Push relaxes the
+/// out-edges of the active list; pull gathers over the reverse view from
+/// every candidate vertex, testing frontier membership in the bitmap. Auto
+/// switches per iteration with Beamer-style thresholds (direction_alpha /
+/// direction_beta below). Only the value-selection family (BFS/SSSP/CC/
+/// SSWP) can pull; PR/PHP are pinned to push (delta accumulation).
+enum class TraversalDirection {
+  kPush = 0,
+  kPull = 1,
+  kAuto = 2,
+};
+
+const char* TraversalDirectionName(TraversalDirection direction);
+Result<TraversalDirection> ParseTraversalDirection(const std::string& name);
+
 struct SolverOptions {
   SystemKind system = SystemKind::kHyTGraph;
 
@@ -54,6 +69,17 @@ struct SolverOptions {
   /// Fig. 8 ablation switches.
   bool enable_task_combining = true;
   bool enable_contribution_scheduling = true;
+
+  /// --- Direction-optimizing traversal (beyond the paper) ---
+  /// kPush preserves the paper's push-only execution; kAuto enables the
+  /// per-iteration hybrid (pull over the reverse view on dense frontiers).
+  TraversalDirection direction = TraversalDirection::kPush;
+  /// Auto mode switches push -> pull when the frontier's out-edges exceed
+  /// |E| / direction_alpha (Beamer's alpha; larger = switch earlier).
+  double direction_alpha = 14.0;
+  /// Auto mode switches pull -> push when the active-vertex count drops
+  /// below |V| / direction_beta (Beamer's beta; larger = switch back later).
+  double direction_beta = 24.0;
 
   /// Extra asynchronous rounds over a loaded subgraph. HyTGraph processes
   /// "only one more time"; Subway iterates to local convergence (-1 =

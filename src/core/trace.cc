@@ -30,6 +30,14 @@ double RunTrace::TotalKernelSeconds() const {
   return total;
 }
 
+uint64_t RunTrace::PullIterations() const {
+  uint64_t total = 0;
+  for (const IterationTrace& it : iterations) {
+    if (it.direction == TraversalDirection::kPull) ++total;
+  }
+  return total;
+}
+
 double RunTrace::TotalCompactionSeconds() const {
   double total = 0;
   for (const IterationTrace& it : iterations) total += it.compaction_seconds;

@@ -9,13 +9,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/options.h"
 #include "sim/transfer_stats.h"
 
 namespace hytgraph {
 
 struct IterationTrace {
   uint64_t active_vertices = 0;
+  /// Out-edges of the frontier (m_f). Pull iterations record it only when
+  /// the direction decision computed it (the push -> pull switch
+  /// iteration); steady-state pull iterations leave it 0 rather than pay
+  /// an O(frontier) degree scan for a statistic — their work unit is the
+  /// scanned in-edge count in transfers.kernel_edges.
   uint64_t active_edges = 0;
+
+  /// Direction the iteration executed in: kPush for the transfer-managed
+  /// task pipeline, kPull for the dense gather over the reverse view.
+  /// (kAuto never appears here — it resolves to one of the two.)
+  TraversalDirection direction = TraversalDirection::kPush;
 
   /// Active partitions dispatched to each engine this iteration.
   uint32_t partitions_filter = 0;
@@ -53,6 +64,8 @@ struct RunTrace {
   double TotalTransferSeconds() const;
   double TotalKernelSeconds() const;
   double TotalCompactionSeconds() const;
+  /// Iterations the hybrid loop executed in pull direction.
+  uint64_t PullIterations() const;
   uint64_t NumIterations() const { return iterations.size(); }
 };
 

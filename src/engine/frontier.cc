@@ -8,6 +8,11 @@ std::vector<VertexId> Frontier::Collect() const {
   return out;
 }
 
+void Frontier::CollectInto(std::vector<VertexId>* out) const {
+  out->clear();
+  bitmap_.CollectSetBits(0, bitmap_.size(), out);
+}
+
 void Frontier::CollectRange(VertexId begin, VertexId end,
                             std::vector<VertexId>* out) const {
   bitmap_.CollectSetBits(begin, end, out);
@@ -16,7 +21,7 @@ void Frontier::CollectRange(VertexId begin, VertexId end,
 std::vector<VertexId> Frontier::DrainRange(VertexId begin, VertexId end) {
   std::vector<VertexId> out;
   bitmap_.CollectSetBits(begin, end, &out);
-  for (VertexId v : out) bitmap_.Clear(v);
+  for (VertexId v : out) Deactivate(v);
   return out;
 }
 

@@ -1,13 +1,25 @@
 // Active-vertex frontier, bitmap-directed (Section VI-C: "bitmap-directed
 // frontier optimization to reduce the atomic conflict of active vertex
 // maintenance"). The solver keeps two frontiers (current / next) and swaps
-// them between iterations; engines collect sorted active lists from the
-// bitmap.
+// them between iterations; push engines collect sorted active lists from
+// the bitmap, pull engines scan the bitmap words directly (no list
+// materialization).
+//
+// The active count is maintained incrementally on Activate/Deactivate, so
+// CountActive()/Empty() are O(1) instead of an O(V/64) popcount per call —
+// the per-iteration direction decision and the convergence check read it
+// every iteration. Cost: one extra relaxed fetch_add on a shared counter
+// per *newly activated* vertex (re-activations are filtered by the bitmap's
+// test-before-RMW). If the counter line ever shows up in kernel profiles,
+// per-shard counters merged at kernel end are the next step; the dedicated
+// line has not been measurable next to the per-edge relaxation work so far.
 
 #ifndef HYTGRAPH_ENGINE_FRONTIER_H_
 #define HYTGRAPH_ENGINE_FRONTIER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph_view.h"
@@ -25,15 +37,26 @@ class Frontier {
   explicit Frontier(const GraphView& view) : bitmap_(view.num_vertices()) {}
 
   /// Thread-safe activation; returns true if v was newly activated.
-  bool Activate(VertexId v) { return bitmap_.TestAndSet(v); }
+  bool Activate(VertexId v) {
+    if (!bitmap_.TestAndSet(v)) return false;
+    active_count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
 
   /// Thread-safe deactivation (used when a vertex's pending update is
   /// consumed by an extra asynchronous round).
-  void Deactivate(VertexId v) { bitmap_.Clear(v); }
+  void Deactivate(VertexId v) {
+    if (bitmap_.TestAndClear(v)) {
+      active_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
 
   bool IsActive(VertexId v) const { return bitmap_.Test(v); }
 
-  uint64_t CountActive() const { return bitmap_.Count(); }
+  /// O(1): incrementally maintained, not a bitmap rescan.
+  uint64_t CountActive() const {
+    return active_count_.load(std::memory_order_relaxed);
+  }
   bool Empty() const { return CountActive() == 0; }
 
   VertexId num_vertices() const {
@@ -42,6 +65,11 @@ class Frontier {
 
   /// All active vertices, ascending.
   std::vector<VertexId> Collect() const;
+
+  /// All active vertices, ascending, into a caller-owned buffer (cleared
+  /// first). Reusing one buffer across iterations avoids the per-iteration
+  /// active-list reallocation.
+  void CollectInto(std::vector<VertexId>* out) const;
 
   /// Active vertices within [begin, end), ascending, appended to out.
   void CollectRange(VertexId begin, VertexId end,
@@ -52,10 +80,22 @@ class Frontier {
   /// consume it).
   std::vector<VertexId> DrainRange(VertexId begin, VertexId end);
 
-  void Clear() { bitmap_.ClearAll(); }
+  void Clear() {
+    bitmap_.ClearAll();
+    active_count_.store(0, std::memory_order_relaxed);
+  }
+
+  /// The bitmap words, for dense iteration (pull kernels test membership
+  /// and scan candidates without an active-list materialization). Bit v of
+  /// the frontier lives at Words()[v / kBitsPerWord].
+  std::span<const std::atomic<uint64_t>> Words() const {
+    return bitmap_.words();
+  }
+  static constexpr uint64_t kBitsPerWord = AtomicBitmap::kBitsPerWord;
 
  private:
   AtomicBitmap bitmap_;
+  std::atomic<uint64_t> active_count_{0};
 };
 
 }  // namespace hytgraph

@@ -1,8 +1,9 @@
 // Host-executed "GPU kernels": push-mode edge relaxation over an active
-// vertex set, parallelized on the thread pool. The vertex program supplies
-// the per-vertex and per-edge behaviour; the kernel supplies iteration
-// order, parallelism, and frontier maintenance. Results are exact — only
-// the *time* of these kernels is taken from the compute model.
+// vertex set, plus a pull-mode gather over the reverse view, parallelized
+// on the thread pool. The vertex program supplies the per-vertex and
+// per-edge behaviour; the kernel supplies iteration order, parallelism, and
+// frontier maintenance. Results are exact — only the *time* of these
+// kernels is taken from the compute model.
 //
 // Edge expansion runs on a GraphView: vertices with no pending delta take
 // the dense base-CSR span path (identical code to the static engine);
@@ -21,8 +22,12 @@
 #ifndef HYTGRAPH_ENGINE_KERNELS_H_
 #define HYTGRAPH_ENGINE_KERNELS_H_
 
+#include <atomic>
+#include <bit>
+#include <concepts>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "engine/compactor.h"
 #include "engine/frontier.h"
@@ -31,6 +36,24 @@
 #include "util/thread_pool.h"
 
 namespace hytgraph {
+
+/// A program the pull kernel can run: the value-selection family, which
+/// exposes a per-vertex potential (the best value an active vertex could
+/// write this iteration) and a settled test against the frontier-wide
+/// floor. Delta-accumulation programs (PR/PHP) are excluded structurally:
+/// their BeginVertex consumes the pending delta, so calling it once per
+/// in-edge (as pull does) would double-count mass.
+template <typename P>
+concept PullCapableProgram =
+    !P::kHasDelta && requires(const P& p, VertexId v) {
+      typename P::PullBound;
+      { P::WorstBound() } -> std::same_as<typename P::PullBound>;
+      {
+        P::BetterBound(P::WorstBound(), P::WorstBound())
+      } -> std::same_as<typename P::PullBound>;
+      { p.PullPotential(v) } -> std::same_as<typename P::PullBound>;
+      { p.SettledAt(v, P::WorstBound()) } -> std::convertible_to<bool>;
+    };
 
 /// Relaxes all out-edges of every vertex in `actives` against `view`,
 /// activating changed targets in `next`. Returns the number of edges
@@ -60,10 +83,19 @@ uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
           const auto nbrs = base.neighbors(u);
           const auto wts = base.weights(u);
           local_edges += nbrs.size();
-          for (size_t e = 0; e < nbrs.size(); ++e) {
-            const Weight w = wts.empty() ? Weight{1} : wts[e];
-            if (program.ProcessEdge(ctx, u, nbrs[e], w)) {
-              next->Activate(nbrs[e]);
+          // Weightedness is a graph property, not a per-edge one: branch
+          // once per vertex, not once per edge.
+          if (wts.empty()) {
+            for (const VertexId v : nbrs) {
+              if (program.ProcessEdge(ctx, u, v, Weight{1})) {
+                next->Activate(v);
+              }
+            }
+          } else {
+            for (size_t e = 0; e < nbrs.size(); ++e) {
+              if (program.ProcessEdge(ctx, u, nbrs[e], wts[e])) {
+                next->Activate(nbrs[e]);
+              }
             }
           }
         }
@@ -79,6 +111,94 @@ template <typename Program>
 uint64_t RunKernel(const CsrGraph& graph, std::span<const VertexId> actives,
                    Program& program, Frontier* next) {
   return RunKernel(GraphView::Wrap(graph), actives, program, next);
+}
+
+/// Pull-mode relaxation: for every candidate vertex v (dense scan over the
+/// whole vertex space — no active-list materialization), gather from the
+/// in-neighbours that are in `current`, applying the same ProcessEdge
+/// relaxations push would. The edge set relaxed is identical to push's
+/// (all (u, v) with u active), so the converged fixpoint values are
+/// identical; per-iteration frontiers can drift slightly — pull reads
+/// BeginVertex(u) per in-edge where push snapshots it once per active
+/// vertex, so mid-iteration improvements may propagate one iteration
+/// earlier or later than under push (monotonicity makes either schedule
+/// converge to the same values). The wins are structural:
+///
+///  * next-frontier maintenance is one local Activate per *changed
+///    candidate* instead of one atomic per improving edge (the dense-
+///    iteration contention the bitmap-directed frontier tries to contain);
+///  * a candidate already at the iteration floor — the best potential any
+///    frontier vertex holds, a conservative bound on every offer — skips
+///    its scan entirely, and a candidate that reaches the floor mid-scan
+///    early-exits (classic direction-optimizing payoff: one parent found,
+///    stop).
+///
+/// Requires the view's reverse side; builds it on first use (O(E) once per
+/// layout version — the Engine seeds the transpose across epochs).
+/// Returns in-edges scanned (including frontier-membership misses), the
+/// honest work unit pull is judged by.
+template <typename Program>
+  requires PullCapableProgram<Program>
+uint64_t RunPullKernel(const GraphView& view, const Frontier& current,
+                       Program& program, Frontier* next) {
+  using Bound = typename Program::PullBound;
+  const VertexId n = view.num_vertices();
+  if (n == 0) return 0;
+  view.EnsureReverse();
+
+  // Iteration floor: reduce the per-vertex potentials over the frontier
+  // bitmap (per-shard partials, combined in shard order — deterministic).
+  const auto words = current.Words();
+  std::vector<Bound> shard_bounds(
+      static_cast<size_t>(ThreadPool::Default()->num_threads()) + 1,
+      Program::WorstBound());
+  ThreadPool::Default()->ParallelFor(
+      words.size(),
+      [&](int shard, uint64_t begin, uint64_t end) {
+        Bound local = Program::WorstBound();
+        for (uint64_t w = begin; w < end; ++w) {
+          uint64_t bits = words[w].load(std::memory_order_relaxed);
+          while (bits != 0) {
+            const VertexId u = static_cast<VertexId>(
+                w * Frontier::kBitsPerWord +
+                static_cast<uint64_t>(std::countr_zero(bits)));
+            local = Program::BetterBound(local, program.PullPotential(u));
+            bits &= bits - 1;
+          }
+        }
+        shard_bounds[shard] = Program::BetterBound(shard_bounds[shard], local);
+      },
+      /*min_grain=*/256);
+  Bound floor = Program::WorstBound();
+  for (const Bound b : shard_bounds) floor = Program::BetterBound(floor, b);
+
+  std::atomic<uint64_t> edges_processed{0};
+  ThreadPool::Default()->ParallelFor(
+      n,
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        uint64_t local_edges = 0;
+        for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+          if (program.SettledAt(v, floor)) continue;
+          bool changed = false;
+          view.ForEachInNeighborWhile(v, [&](VertexId u, Weight w) {
+            ++local_edges;
+            if (!current.IsActive(u)) return true;
+            typename Program::VertexContext ctx;
+            if (!program.BeginVertex(u, &ctx)) return true;
+            if (program.ProcessEdge(ctx, u, v, w)) {
+              changed = true;
+              // Settled at the floor: no remaining in-neighbour can offer
+              // better — stop the scan.
+              if (program.SettledAt(v, floor)) return false;
+            }
+            return true;
+          });
+          if (changed) next->Activate(v);
+        }
+        edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
+      },
+      /*min_grain=*/256);
+  return edges_processed.load();
 }
 
 /// Same as RunKernel but over a compacted subgraph (Subway-style GPU-side

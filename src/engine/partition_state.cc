@@ -1,6 +1,9 @@
 #include "engine/partition_state.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <utility>
 
 #include "util/thread_pool.h"
 
@@ -11,9 +14,11 @@ IterationState BuildIterationState(const GraphView& view,
                                    const Frontier& frontier,
                                    const ZeroCopyAccess& zc_access,
                                    bool include_weights, DeltaFn delta_fn,
-                                   const void* program) {
+                                   const void* program,
+                                   std::vector<VertexId> actives_storage) {
   IterationState state;
-  state.actives = frontier.Collect();
+  state.actives = std::move(actives_storage);
+  frontier.CollectInto(&state.actives);
   const size_t num_partitions = partitions.size();
   state.slice_offsets.assign(num_partitions + 1, 0);
   state.stats.assign(num_partitions, PartitionStats{});
@@ -52,6 +57,29 @@ IterationState BuildIterationState(const GraphView& view,
     state.total_active_edges += stats.active_edges;
   }
   return state;
+}
+
+uint64_t FrontierActiveEdges(const GraphView& view, const Frontier& frontier) {
+  const auto words = frontier.Words();
+  std::atomic<uint64_t> total{0};
+  ThreadPool::Default()->ParallelFor(
+      words.size(),
+      [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        uint64_t local = 0;
+        for (uint64_t w = begin; w < end; ++w) {
+          uint64_t bits = words[w].load(std::memory_order_relaxed);
+          while (bits != 0) {
+            const auto v = static_cast<VertexId>(
+                w * Frontier::kBitsPerWord +
+                static_cast<uint64_t>(std::countr_zero(bits)));
+            local += view.out_degree(v);
+            bits &= bits - 1;
+          }
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      },
+      /*min_grain=*/256);
+  return total.load();
 }
 
 }  // namespace hytgraph

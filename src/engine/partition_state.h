@@ -66,13 +66,26 @@ using DeltaFn = double (*)(const void* program, VertexId v);
 /// Builds the IterationState for `frontier`. `include_weights` controls
 /// whether zero-copy request counts cover the weight array too (weighted
 /// algorithms fetch neighbours + weights). `delta_fn`/`program` may be null.
+/// `actives_storage` is an optional recycled buffer the active list is
+/// collected into (moved into the returned state); callers running one
+/// state per iteration pass the previous iteration's vector back to avoid
+/// the per-iteration reallocation.
 IterationState BuildIterationState(const GraphView& view,
                                    const std::vector<Partition>& partitions,
                                    const Frontier& frontier,
                                    const ZeroCopyAccess& zc_access,
                                    bool include_weights,
                                    DeltaFn delta_fn = nullptr,
-                                   const void* program = nullptr);
+                                   const void* program = nullptr,
+                                   std::vector<VertexId> actives_storage = {});
+
+/// Out-edges of the frontier in the mutated graph — the m_f of the
+/// Beamer-style direction decision, computed with a dense bitmap scan and
+/// the view's O(1) degrees (no active-list materialization, no per-
+/// partition stats). Matches IterationState::total_active_edges exactly;
+/// pull iterations use this instead of BuildIterationState, which exists
+/// to feed the push pipeline's cost formulas.
+uint64_t FrontierActiveEdges(const GraphView& view, const Frontier& frontier);
 
 /// CsrGraph convenience overload (static callers, tests).
 inline IterationState BuildIterationState(

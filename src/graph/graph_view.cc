@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "graph/transforms.h"
 #include "util/logging.h"
 
 namespace hytgraph {
@@ -10,11 +11,70 @@ namespace hytgraph {
 GraphView::GraphView(std::shared_ptr<const CsrGraph> base,
                      std::shared_ptr<const DeltaOverlay> overlay)
     : base_(std::move(base)), overlay_(std::move(overlay)) {
+  // The (empty) ReverseIndex must be allocated eagerly: copies of the view
+  // share it by shared_ptr, and only construction-time allocation makes a
+  // transpose built through any copy visible to every other copy — a
+  // lazily allocated index would be private to whichever copy built it.
+  // Push-only paths pay one small allocation per view construction and
+  // never touch it again.
+  if (base_ != nullptr) reverse_ = std::make_shared<ReverseIndex>();
   if (overlay_ != nullptr && overlay_->empty()) overlay_.reset();
   if (overlay_ == nullptr) return;
   HYT_CHECK(&overlay_->base() == base_.get())
       << "overlay is anchored on a different base snapshot";
   index_ = std::make_shared<OffsetIndex>();
+}
+
+void GraphView::EnsureReverse() const {
+  ReverseIndex& reverse = *reverse_;
+  std::call_once(reverse.once, [&] {
+    // Copy (don't move) the seed: reverse_base_if_built must keep handing
+    // it to concurrent harvesters (Engine::ApplyMutations seeding the next
+    // epoch) for as long as `built` is false — moving it out here would
+    // open a window where the transpose is invisible to both paths and a
+    // racing epoch publication rebuilds it. It is dropped below, only
+    // after `built` makes the finished base visible.
+    std::shared_ptr<const CsrGraph> seed;
+    {
+      std::lock_guard<std::mutex> lock(reverse.seed_mu);
+      seed = reverse.seed;
+    }
+    if (seed != nullptr) {
+      reverse.base = std::move(seed);
+    } else {
+      Result<CsrGraph> transposed = ReverseGraph(*base_);
+      // ReverseGraph only fails on internal invariant breakage; surface it
+      // loudly rather than handing pull kernels a null adjacency.
+      HYT_CHECK(transposed.ok())
+          << "reverse-view build failed: " << transposed.status().ToString();
+      reverse.base =
+          std::make_shared<const CsrGraph>(std::move(transposed).value());
+    }
+    if (overlay_ != nullptr) {
+      // Reverse-index the overlay by forward target: edges *into* v are
+      // the transpose row of v filtered by tombstones on (source -> v)
+      // plus the overlay inserts targeting v.
+      overlay_->ForEachDeltaVertex([&](VertexId u) {
+        overlay_->ForEachTombstone(u, [&](VertexId dst) {
+          reverse.deltas[dst].tombstone_sources.push_back(u);
+        });
+        overlay_->ForEachInsert(u, [&](VertexId dst, Weight w) {
+          reverse.deltas[dst].inserts.emplace_back(u, w);
+        });
+      });
+      for (auto& [v, delta] : reverse.deltas) {
+        std::sort(delta.tombstone_sources.begin(),
+                  delta.tombstone_sources.end());
+      }
+    }
+    reverse.built.store(true, std::memory_order_release);
+    {
+      // Harvesters now read `base` via the built flag; the seed's job is
+      // done (when adopted, base aliases it anyway).
+      std::lock_guard<std::mutex> lock(reverse.seed_mu);
+      reverse.seed.reset();
+    }
+  });
 }
 
 const std::vector<EdgeId>& GraphView::Offsets() const {

@@ -20,10 +20,21 @@
 // first query on a new epoch while lookups stay O(1) array reads on the
 // hot kernel paths.
 //
-// A view is a cheap value type (three shared_ptrs): copies share the base,
-// overlay, and offset index, and holders pin both graph components for as
-// long as they keep the view — this is how in-flight queries keep a
-// consistent graph while mutations publish new snapshots.
+// The view also carries a lazily built *reverse* side for pull-direction
+// processing: the transpose of the base CSR plus a reverse index of the
+// overlay (inserts and tombstones keyed by forward target), so
+// ForEachInNeighbor sees exactly the in-edges of the mutated graph with the
+// same zero-fold guarantee as the forward path. The transpose is O(E) to
+// build; it is cached per view, shared by all copies, and handed from one
+// epoch's view to the next over the same base via SeedReverseBase — the
+// Engine re-seeds on every mutation publication, so the transpose is built
+// at most once per physical layout (a fold/compaction changes the base and
+// drops the seed). The per-epoch reverse overlay index is O(delta).
+//
+// A view is a cheap value type (a handful of shared_ptrs): copies share the
+// base, overlay, offset index, and reverse index, and holders pin all graph
+// components for as long as they keep the view — this is how in-flight
+// queries keep a consistent graph while mutations publish new snapshots.
 //
 // `Wrap` adapts borrowed storage (a plain CsrGraph or DeltaOverlay owned by
 // the caller) into a non-owning view for code that predates the Engine's
@@ -33,10 +44,14 @@
 #ifndef HYTGRAPH_GRAPH_GRAPH_VIEW_H_
 #define HYTGRAPH_GRAPH_GRAPH_VIEW_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dynamic/delta_overlay.h"
@@ -171,6 +186,110 @@ class GraphView {
   /// produce). A transparent view yields a copy of the base.
   Result<CsrGraph> Materialize() const;
 
+  /// --- Reverse side (pull-direction processing) ---
+
+  /// Builds the reverse adjacency once per view (thread-safe, no-op after
+  /// the first call): the transpose of the base — adopted from
+  /// SeedReverseBase when an earlier same-base view already built it,
+  /// otherwise O(E) via the reversal transform — plus an O(delta) reverse
+  /// index of the overlay. Must have completed before the lock-free
+  /// in-neighbor readers below run.
+  void EnsureReverse() const;
+
+  /// The transpose of the base CSR, building the reverse side on first use.
+  const CsrGraph& ReverseBase() const {
+    EnsureReverse();
+    return *reverse_->base;
+  }
+  /// Shared ownership of the transpose (builds on first use). The Engine
+  /// harvests this to seed the next epoch's view over the same base.
+  std::shared_ptr<const CsrGraph> reverse_base_ptr() const {
+    EnsureReverse();
+    return reverse_->base;
+  }
+  /// The cached transpose if some holder of this view already built it —
+  /// or the unconsumed seed an earlier same-base view handed over (so
+  /// back-to-back mutation epochs with no pull in between keep passing the
+  /// transpose along instead of dropping it). Null otherwise; never
+  /// triggers a build.
+  std::shared_ptr<const CsrGraph> reverse_base_if_built() const {
+    if (reverse_ == nullptr) return nullptr;
+    if (reverse_->built.load(std::memory_order_acquire)) {
+      return reverse_->base;
+    }
+    std::lock_guard<std::mutex> lock(reverse_->seed_mu);
+    return reverse_->seed;
+  }
+
+  /// Seeds the reverse-base cache with a transpose built by an earlier view
+  /// over the *same base snapshot*, so EnsureReverse skips the O(E)
+  /// rebuild. Ignored when null, mismatched, or already built. Callers
+  /// (the Engine's mutation publication) guarantee base identity; the
+  /// dimension check here only guards against obvious misuse.
+  void SeedReverseBase(std::shared_ptr<const CsrGraph> reverse_base) const {
+    if (reverse_ == nullptr || reverse_base == nullptr) return;
+    if (reverse_base->num_vertices() != base_->num_vertices() ||
+        reverse_base->num_edges() != base_->num_edges()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(reverse_->seed_mu);
+    reverse_->seed = std::move(reverse_base);
+  }
+
+  /// Whether v has in-edges touched by the overlay (tombstoned or inserted
+  /// edges *into* v). Builds the reverse side on first use.
+  bool HasReverseDelta(VertexId v) const {
+    EnsureReverse();
+    return !reverse_->deltas.empty() && reverse_->deltas.contains(v);
+  }
+
+  /// Visits every in-edge of v in the mutated graph: surviving reverse-base
+  /// edges in transpose CSR order, then overlay inserts targeting v. `fn`
+  /// receives (source, weight); weight is 1 when the view is unweighted.
+  /// Builds the reverse side on first use.
+  template <typename Fn>
+  void ForEachInNeighbor(VertexId v, Fn&& fn) const {
+    EnsureReverse();
+    ForEachInNeighborWhile(v, [&](VertexId u, Weight w) {
+      fn(u, w);
+      return true;
+    });
+  }
+
+  /// Breakable variant: `fn` returns false to stop the scan (pull kernels
+  /// early-exit once a candidate's value settles). Returns false iff the
+  /// scan was stopped. Requires EnsureReverse().
+  template <typename Fn>
+  bool ForEachInNeighborWhile(VertexId v, Fn&& fn) const {
+    const ReverseIndex& reverse = *reverse_;
+    const CsrGraph& rbase = *reverse.base;
+    const auto sources = rbase.neighbors(v);
+    const auto wts = rbase.weights(v);
+    const ReverseVertexDelta* delta = nullptr;
+    if (!reverse.deltas.empty()) {
+      auto it = reverse.deltas.find(v);
+      if (it != reverse.deltas.end()) delta = &it->second;
+    }
+    if (wts.empty()) {
+      for (const VertexId u : sources) {
+        if (delta != nullptr && delta->IsTombstoned(u)) continue;
+        if (!fn(u, Weight{1})) return false;
+      }
+    } else {
+      for (size_t e = 0; e < sources.size(); ++e) {
+        if (delta != nullptr && delta->IsTombstoned(sources[e])) continue;
+        if (!fn(sources[e], wts[e])) return false;
+      }
+    }
+    if (delta != nullptr) {
+      const bool weighted = is_weighted();
+      for (const auto& [u, w] : delta->inserts) {
+        if (!fn(u, weighted ? w : Weight{1})) return false;
+      }
+    }
+    return true;
+  }
+
  private:
   /// The lazily built folded-CSR row offsets. Shared by all copies of the
   /// view; built once under the once_flag, immutable after.
@@ -182,9 +301,37 @@ class GraphView {
   /// The logical row offsets, building them on first use (thread-safe).
   const std::vector<EdgeId>& Offsets() const;
 
+  /// One vertex's in-edge delta: edges into the keyed vertex that the
+  /// overlay inserted or tombstoned, indexed by forward *target* (= reverse
+  /// source).
+  struct ReverseVertexDelta {
+    std::vector<std::pair<VertexId, Weight>> inserts;  // (forward source, w)
+    std::vector<VertexId> tombstone_sources;           // sorted forward srcs
+
+    bool IsTombstoned(VertexId src) const {
+      return std::binary_search(tombstone_sources.begin(),
+                                tombstone_sources.end(), src);
+    }
+  };
+
+  /// The lazily built reverse adjacency. Shared by all copies of the view;
+  /// built once under the once_flag, immutable after (readers are
+  /// lock-free).
+  struct ReverseIndex {
+    std::once_flag once;
+    std::mutex seed_mu;
+    /// A pre-built transpose handed over from an earlier same-base view
+    /// (consumed by the build).
+    std::shared_ptr<const CsrGraph> seed;
+    std::shared_ptr<const CsrGraph> base;  // transpose of base_
+    std::unordered_map<VertexId, ReverseVertexDelta> deltas;
+    std::atomic<bool> built{false};
+  };
+
   std::shared_ptr<const CsrGraph> base_;
   std::shared_ptr<const DeltaOverlay> overlay_;  // null = transparent
   std::shared_ptr<OffsetIndex> index_;           // non-null iff overlay_
+  std::shared_ptr<ReverseIndex> reverse_;        // non-null iff base_
 };
 
 }  // namespace hytgraph

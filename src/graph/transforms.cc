@@ -21,13 +21,14 @@ Result<CsrGraph> ReverseGraph(const CsrGraph& graph) {
   std::vector<Weight> weights;
   if (graph.is_weighted()) weights.resize(graph.num_edges());
   std::vector<EdgeId> cursor(row_offsets.begin(), row_offsets.end() - 1);
+  const bool weighted = graph.is_weighted();
   for (VertexId u = 0; u < n; ++u) {
     const auto nbrs = graph.neighbors(u);
     const auto wts = graph.weights(u);
     for (size_t e = 0; e < nbrs.size(); ++e) {
       const EdgeId slot = cursor[nbrs[e]]++;
       column_index[slot] = u;
-      if (graph.is_weighted()) weights[slot] = wts[e];
+      if (weighted) weights[slot] = wts[e];
     }
   }
   return CsrGraph::Create(std::move(row_offsets), std::move(column_index),

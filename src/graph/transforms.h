@@ -1,6 +1,7 @@
-// Structural graph transformations: reversal (pull-direction processing and
-// exact in-degree work), symmetrization (undirected semantics for CC),
-// induced subgraphs (workload extraction), and symmetry checking.
+// Structural graph transformations: reversal (the transpose backing
+// GraphView's reverse side for pull-direction kernels, and exact in-degree
+// work), symmetrization (undirected semantics for CC), induced subgraphs
+// (workload extraction), and symmetry checking.
 
 #ifndef HYTGRAPH_GRAPH_TRANSFORMS_H_
 #define HYTGRAPH_GRAPH_TRANSFORMS_H_

@@ -31,6 +31,14 @@ void AtomicBitmap::Clear(uint64_t i) {
   words_[i / kBitsPerWord].fetch_and(~mask, std::memory_order_relaxed);
 }
 
+bool AtomicBitmap::TestAndClear(uint64_t i) {
+  HYT_CHECK_LT(i, size_);
+  const uint64_t mask = 1ULL << (i % kBitsPerWord);
+  std::atomic<uint64_t>& word = words_[i / kBitsPerWord];
+  if ((word.load(std::memory_order_relaxed) & mask) == 0) return false;
+  return (word.fetch_and(~mask, std::memory_order_relaxed) & mask) != 0;
+}
+
 bool AtomicBitmap::Test(uint64_t i) const {
   HYT_CHECK_LT(i, size_);
   return (words_[i / kBitsPerWord].load(std::memory_order_relaxed) >>

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace hytgraph {
@@ -30,6 +31,11 @@ class AtomicBitmap {
   /// Atomically clears bit i.
   void Clear(uint64_t i);
 
+  /// Atomically clears bit i. Returns true if this call changed it 1 -> 0
+  /// (the mirror of TestAndSet — callers maintaining an external population
+  /// count need to know whether the bit was actually set).
+  bool TestAndClear(uint64_t i);
+
   bool Test(uint64_t i) const;
 
   /// Clears all bits (not thread safe vs concurrent setters).
@@ -46,8 +52,17 @@ class AtomicBitmap {
   void CollectSetBits(uint64_t begin, uint64_t end,
                       std::vector<uint32_t>* out) const;
 
- private:
+  /// The backing words, for dense whole-bitmap iteration (pull-mode kernels
+  /// scan set bits without materializing an index list). Bit i lives at
+  /// words()[i / kBitsPerWord] bit (i % kBitsPerWord); bits at size() and
+  /// beyond in the last word are always clear.
+  std::span<const std::atomic<uint64_t>> words() const {
+    return {words_.data(), words_.size()};
+  }
+
   static constexpr uint64_t kBitsPerWord = 64;
+
+ private:
 
   uint64_t size_ = 0;
   std::vector<std::atomic<uint64_t>> words_;

@@ -55,6 +55,48 @@ TEST(FrontierTest, ClearEmptiesEverything) {
   EXPECT_TRUE(f.Empty());
 }
 
+TEST(FrontierTest, CountIsMaintainedIncrementally) {
+  Frontier f(256);
+  EXPECT_EQ(f.CountActive(), 0u);
+  f.Activate(1);
+  f.Activate(1);  // duplicate: count unchanged
+  f.Activate(200);
+  EXPECT_EQ(f.CountActive(), 2u);
+  f.Deactivate(1);
+  f.Deactivate(1);  // double-deactivate: count unchanged
+  EXPECT_EQ(f.CountActive(), 1u);
+  f.DrainRange(0, 256);
+  EXPECT_EQ(f.CountActive(), 0u);
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(FrontierTest, CollectIntoReusesTheCallerBuffer) {
+  Frontier f(128);
+  for (VertexId v : {5u, 64u, 127u}) f.Activate(v);
+  std::vector<VertexId> buffer = {999, 998};  // stale content is discarded
+  buffer.reserve(128);
+  const VertexId* data = buffer.data();
+  f.CollectInto(&buffer);
+  EXPECT_EQ(buffer, (std::vector<VertexId>{5, 64, 127}));
+  EXPECT_EQ(buffer.data(), data);  // capacity reused, no reallocation
+  f.Clear();
+  f.Activate(7);
+  f.CollectInto(&buffer);
+  EXPECT_EQ(buffer, (std::vector<VertexId>{7}));
+}
+
+TEST(FrontierTest, WordsExposeTheBitmapDensely) {
+  Frontier f(130);
+  f.Activate(0);
+  f.Activate(64);
+  f.Activate(129);
+  const auto words = f.Words();
+  ASSERT_EQ(words.size(), 3u);  // ceil(130 / 64)
+  EXPECT_EQ(words[0].load(), 1ull);
+  EXPECT_EQ(words[1].load(), 1ull);
+  EXPECT_EQ(words[2].load(), 1ull << (129 % Frontier::kBitsPerWord));
+}
+
 TEST(FrontierTest, ConcurrentActivationExactlyOneWinner) {
   Frontier f(1 << 12);
   std::atomic<uint64_t> wins{0};

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "algorithms/programs.h"
+#include "dynamic/delta_overlay.h"
+#include "dynamic/mutation.h"
 #include "test_graphs.h"
 
 namespace hytgraph {
@@ -109,6 +114,111 @@ TEST(KernelTest, UnweightedGraphUsesWeightOne) {
   Frontier next(g->num_vertices());
   RunKernel(*g, std::vector<VertexId>{0}, program, &next);
   EXPECT_EQ(program.Values()[1], 1u);  // weight defaulted to 1, not 50
+}
+
+TEST(PullKernelTest, OneIterationMatchesPush) {
+  const CsrGraph g = PaperFigure1Graph();
+  const GraphView view = GraphView::Wrap(g);
+
+  SsspProgram push_program(view, 0);
+  Frontier push_next(view);
+  Frontier current(view);
+  push_program.InitFrontier(&current);
+  RunKernel(view, current.Collect(), push_program, &push_next);
+
+  SsspProgram pull_program(view, 0);
+  Frontier pull_current(view);
+  Frontier pull_next(view);
+  pull_program.InitFrontier(&pull_current);
+  RunPullKernel(view, pull_current, pull_program, &pull_next);
+
+  EXPECT_EQ(push_program.Values(), pull_program.Values());
+  EXPECT_EQ(push_next.Collect(), pull_next.Collect());
+}
+
+TEST(PullKernelTest, RunsToTheSameFixpointAsPush) {
+  const CsrGraph g = testing::SmallRmat(/*scale=*/8, /*edge_factor=*/6,
+                                        /*seed=*/11);
+  const GraphView view = GraphView::Wrap(g);
+
+  BfsProgram push_program(view, 0);
+  BfsProgram pull_program(view, 0);
+  Frontier a(view), b(view), c(view), d(view);
+  Frontier* push_cur = &a;
+  Frontier* push_next = &b;
+  Frontier* pull_cur = &c;
+  Frontier* pull_next = &d;
+  push_program.InitFrontier(push_cur);
+  pull_program.InitFrontier(pull_cur);
+
+  for (int iter = 0; iter < 64 && !push_cur->Empty(); ++iter) {
+    RunKernel(view, push_cur->Collect(), push_program, push_next);
+    std::swap(push_cur, push_next);
+    push_next->Clear();
+  }
+  uint64_t pull_edges = 0;
+  for (int iter = 0; iter < 64 && !pull_cur->Empty(); ++iter) {
+    pull_edges += RunPullKernel(view, *pull_cur, pull_program, pull_next);
+    std::swap(pull_cur, pull_next);
+    pull_next->Clear();
+  }
+  EXPECT_TRUE(push_cur->Empty());
+  EXPECT_TRUE(pull_cur->Empty());
+  EXPECT_GT(pull_edges, 0u);
+  EXPECT_EQ(push_program.Values(), pull_program.Values());
+}
+
+TEST(PullKernelTest, SettledCandidatesSkipTheirScan) {
+  // Chain 0 -> 1 -> 2 -> 3: once BFS levels are final, a pull pass over a
+  // frontier that can no longer improve anything scans (almost) nothing —
+  // every candidate at or below the floor skips its in-neighbour walk.
+  const CsrGraph g = ChainGraph(4);
+  const GraphView view = GraphView::Wrap(g);
+  BfsProgram program(view, 0);
+  Frontier a(view), b(view);
+  Frontier* current = &a;
+  Frontier* next = &b;
+  program.InitFrontier(current);
+  while (!current->Empty()) {
+    RunPullKernel(view, *current, program, next);
+    std::swap(current, next);
+    next->Clear();
+  }
+  // Re-activate the source: all levels are final (floor = level(0)+1 = 1;
+  // vertices 2 and 3 sit above it but their only in-frontier parent offers
+  // nothing better). No value changes, no activations.
+  current->Activate(0);
+  RunPullKernel(view, *current, program, next);
+  EXPECT_TRUE(next->Empty());
+}
+
+TEST(PullKernelTest, PullsOverTheReverseOverlay) {
+  // Base chain 0 -> 1 -> 2 -> 3 with an overlay insert 0 -> 3 and the
+  // deletion of 1 -> 2: pull must see 3's new in-neighbour and not see 2's
+  // deleted one.
+  auto base =
+      std::make_shared<const CsrGraph>(ChainGraph(4, /*w=*/2));
+  auto overlay = std::make_shared<DeltaOverlay>(base);
+  MutationBatch batch;
+  batch.InsertEdge(0, 3, 9);
+  batch.DeleteEdge(1, 2);
+  ASSERT_TRUE(overlay->Apply(batch).ok());
+  const GraphView view(base, overlay);
+
+  SsspProgram program(view, 0);
+  Frontier a(view), b(view);
+  Frontier* current = &a;
+  Frontier* next = &b;
+  program.InitFrontier(current);
+  while (!current->Empty()) {
+    RunPullKernel(view, *current, program, next);
+    std::swap(current, next);
+    next->Clear();
+  }
+  const auto values = program.Values();
+  EXPECT_EQ(values[1], 2u);            // 0 -> 1 (weight 2)
+  EXPECT_EQ(values[2], kUnreachable);  // 1 -> 2 deleted
+  EXPECT_EQ(values[3], 9u);            // via the inserted 0 -> 3
 }
 
 }  // namespace
