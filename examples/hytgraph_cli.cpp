@@ -11,11 +11,17 @@
 // Prints the result summary, total simulated time, transfer volume, and
 // (with --trace) the per-iteration engine mix.
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -23,6 +29,7 @@
 #include "graph/dataset.h"
 #include "graph/degree_stats.h"
 #include "graph/rmat_generator.h"
+#include "serving/query_server.h"
 #include "sim/interconnect.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -50,6 +57,9 @@ struct CliOptions {
   std::string mutations;  // replay file of edge mutation batches
   std::string compact_policy;     // threshold (default) | manual | background
   int64_t compact_threshold = -1;  // pending delta edges before a fold
+  std::string serve;        // open-loop serving workload file
+  int64_t serve_capacity = -1;  // per-lane admission capacity
+  bool no_fusion = false;   // serve with one Run per request (baseline)
 };
 
 void PrintUsage() {
@@ -105,7 +115,27 @@ void PrintUsage() {
       "                               rebuild\n"
       "  --compact-threshold N        pending delta edges that trigger a\n"
       "                               threshold-mode fold (default: max of\n"
-      "                               4096 and 5%% of |E|)\n");
+      "                               4096 and 5%% of |E|)\n"
+      "  --serve FILE                 replay a serving workload open-loop\n"
+      "                               through the concurrent QueryServer\n"
+      "                               and print the serving summary. Each\n"
+      "                               line: 'OFFSET_MS ALGO SOURCE PRIORITY\n"
+      "                               DEADLINE_MS' ('-' source = engine\n"
+      "                               default, '-' deadline = none;\n"
+      "                               priority and deadline optional; '#'\n"
+      "                               comments). Requests are submitted at\n"
+      "                               their offsets regardless of earlier\n"
+      "                               completions; a full lane answers\n"
+      "                               with backpressure, an expired\n"
+      "                               deadline with a shed status.\n"
+      "                               Ignores --algorithm/--source\n"
+      "  --serve-capacity N           per-algorithm-lane admission queue\n"
+      "                               capacity (default 256); submits\n"
+      "                               beyond it are rejected, not buffered\n"
+      "  --no-fusion                  serve without cross-request fusion:\n"
+      "                               one engine run per request (the\n"
+      "                               baseline bench_query_throughput\n"
+      "                               measures against)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* cli) {
@@ -118,6 +148,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
     const char* value = nullptr;
     if (arg == "--trace") {
       cli->trace = true;
+      continue;
+    }
+    if (arg == "--no-fusion") {
+      cli->no_fusion = true;
       continue;
     }
     if ((value = next()) == nullptr) {
@@ -150,6 +184,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->compact_policy = value;
     } else if (arg == "--compact-threshold") {
       cli->compact_threshold = std::atoll(value);
+    } else if (arg == "--serve") {
+      cli->serve = value;
+    } else if (arg == "--serve-capacity") {
+      cli->serve_capacity = std::atoll(value);
     } else if (arg == "--direction") {
       cli->direction = value;
     } else if (arg == "--alpha") {
@@ -181,6 +219,148 @@ std::string Summarize(const QueryResult& result) {
   }
   return std::string(info.name) + ": " + std::to_string(reached) +
          " vertices with nontrivial values";
+}
+
+/// One line of a --serve workload file: when to submit, and what.
+struct ServeEvent {
+  double offset_ms = 0;
+  ServingRequest request;
+  size_t line = 0;  // 1-based source line, for error reporting
+};
+
+/// Parses 'OFFSET_MS ALGO SOURCE [PRIORITY [DEADLINE_MS]]' lines ('-' for
+/// default source / no deadline; '#' comments and blank lines skipped).
+Result<std::vector<ServeEvent>> ParseServeWorkload(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open workload file: " + path);
+  }
+  std::vector<ServeEvent> events;
+  std::string text;
+  for (size_t line = 1; std::getline(file, text); ++line) {
+    const size_t comment = text.find('#');
+    if (comment != std::string::npos) text.resize(comment);
+    std::istringstream fields(text);
+    ServeEvent event;
+    event.line = line;
+    std::string algorithm, source;
+    if (!(fields >> event.offset_ms)) continue;  // blank / comment-only
+    if (!(fields >> algorithm >> source)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line) +
+                                     ": need OFFSET_MS ALGO SOURCE");
+    }
+    auto parsed = ParseAlgorithmName(algorithm);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line) +
+                                     ": " + parsed.status().message());
+    }
+    event.request.query.algorithm = *parsed;
+    if (source != "-") {
+      event.request.query.source =
+          static_cast<VertexId>(std::strtoull(source.c_str(), nullptr, 10));
+    }
+    std::string deadline;
+    if (fields >> event.request.priority && fields >> deadline &&
+        deadline != "-") {
+      const double deadline_ms = std::strtod(deadline.c_str(), nullptr);
+      event.request.deadline = std::chrono::microseconds(
+          std::max<int64_t>(1, static_cast<int64_t>(deadline_ms * 1e3)));
+    }
+    events.push_back(event);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ServeEvent& a, const ServeEvent& b) {
+                     return a.offset_ms < b.offset_ms;
+                   });
+  return events;
+}
+
+/// Open-loop replay: every request is submitted at its offset no matter
+/// how the earlier ones are doing — so overload shows up as backpressure
+/// rejections and deadline sheds, exactly like a live server.
+int RunServe(Engine& engine, const CliOptions& cli) {
+  auto events = ParseServeWorkload(cli.serve);
+  if (!events.ok()) {
+    std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+    return 1;
+  }
+  QueryServerOptions options;
+  if (cli.serve_capacity > 0) {
+    options.lane_capacity = static_cast<size_t>(cli.serve_capacity);
+  }
+  options.enable_fusion = !cli.no_fusion;
+  QueryServer server(&engine, options);
+  std::printf("\nserving %zu requests open-loop from %s (fusion %s, lane "
+              "capacity %zu)\n",
+              events->size(), cli.serve.c_str(),
+              options.enable_fusion ? "on" : "off", options.lane_capacity);
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(events->size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const ServeEvent& event : *events) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(event.offset_ms)));
+    auto submitted = server.Submit(event.request);
+    if (!submitted.ok()) {
+      // Backpressure is workload data, not a CLI failure; the counter in
+      // the summary reports it.
+      continue;
+    }
+    futures.push_back(std::move(submitted).value());
+  }
+  uint64_t completed = 0, shed = 0, failed = 0;
+  for (auto& future : futures) {
+    Result<QueryResult> result = future.get();
+    if (result.ok()) {
+      ++completed;
+    } else if (result.status().IsDeadlineExceeded()) {
+      ++shed;
+    } else {
+      ++failed;
+      std::fprintf(stderr, "request failed: %s\n",
+                   result.status().ToString().c_str());
+    }
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.Shutdown();
+
+  const ServingStats stats = server.stats();
+  TablePrinter table({"counter", "value"});
+  table.AddRow({"submitted", std::to_string(stats.submitted)});
+  table.AddRow({"admitted", std::to_string(stats.admitted)});
+  table.AddRow({"rejected (backpressure)", std::to_string(stats.rejected)});
+  table.AddRow({"completed", std::to_string(stats.completed)});
+  table.AddRow({"failed", std::to_string(stats.failed)});
+  table.AddRow({"shed (deadline)", std::to_string(stats.shed_deadline)});
+  table.AddRow({"solver runs after fusion",
+                std::to_string(stats.executed_queries)});
+  table.AddRow({"requests fused away", std::to_string(stats.fused_requests)});
+  table.AddRow({"dispatch batches", std::to_string(stats.dispatch_batches)});
+  table.AddRow({"queue depth high water",
+                std::to_string(stats.queue_depth_high_water)});
+  table.AddRow({"fusion ratio", FormatDouble(stats.FusionRatio(), 3)});
+  table.AddRow({"shed rate", FormatDouble(stats.ShedRate(), 3)});
+  table.AddRow({"throughput (queries/s)",
+                FormatDouble(static_cast<double>(stats.completed) /
+                                 std::max(wall_seconds, 1e-9),
+                             1)});
+  table.AddRow({"p50 latency ms",
+                FormatDouble(stats.p50_latency_seconds * 1e3, 3)});
+  table.AddRow({"p99 latency ms",
+                FormatDouble(stats.p99_latency_seconds * 1e3, 3)});
+  table.Print();
+  const bool accounted =
+      stats.completed + stats.failed + stats.shed_deadline == stats.admitted &&
+      completed == stats.completed && shed == stats.shed_deadline;
+  if (!accounted) {
+    std::fprintf(stderr, "serving counters do not add up\n");
+    return 1;
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 void PrintTrace(const RunTrace& trace) {
@@ -344,6 +524,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--mutations replays a single query; drop --batch-sources\n");
     return 2;
+  }
+
+  // --- Concurrent serving replay ---
+  if (!cli.serve.empty()) {
+    if (cli.batch_sources > 0 || !cli.mutations.empty()) {
+      std::fprintf(stderr,
+                   "--serve replays its own workload; drop --batch-sources "
+                   "and --mutations\n");
+      return 2;
+    }
+    return RunServe(engine, cli);
   }
 
   // --- Batched multi-source execution ---

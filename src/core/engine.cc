@@ -408,6 +408,12 @@ Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
 
 Result<Engine::PlannedQuery> Engine::Plan(const Query& query,
                                           const SolverOptions& base) {
+  return PlanOn(query, base, CurrentViewRef());
+}
+
+Result<Engine::PlannedQuery> Engine::PlanOn(const Query& query,
+                                            const SolverOptions& base,
+                                            const ViewRef& snapshot) {
   const AlgorithmInfo* info = FindAlgorithmInfo(query.algorithm);
   if (info == nullptr) {
     return Status::InvalidArgument(
@@ -415,7 +421,6 @@ Result<Engine::PlannedQuery> Engine::Plan(const Query& query,
         std::to_string(static_cast<int>(query.algorithm)));
   }
 
-  const ViewRef snapshot = CurrentViewRef();
   PlannedQuery plan;
   plan.query = query;
   plan.options = EffectiveOptions(query.algorithm, base);
@@ -599,7 +604,32 @@ Result<std::vector<QueryResult>> Engine::RunBatch(
     HYT_ASSIGN_OR_RETURN(PlannedQuery plan, Plan(query, options));
     plans.push_back(std::move(plan));
   }
+  return ExecutePlans(plans);
+}
 
+Result<std::vector<QueryResult>> Engine::RunBatchPinned(
+    const std::vector<Query>& queries) {
+  return RunBatchPinned(queries, default_options_);
+}
+
+Result<std::vector<QueryResult>> Engine::RunBatchPinned(
+    const std::vector<Query>& queries, const SolverOptions& options) {
+  // One snapshot for the whole batch: mutations landing mid-plan cannot
+  // split the batch across epochs, and every plan resolves the prepared
+  // cache against the same (epoch, layout) — the first query builds the
+  // preparation, the rest hit it.
+  const ViewRef snapshot = CurrentViewRef();
+  std::vector<PlannedQuery> plans;
+  plans.reserve(queries.size());
+  for (const Query& query : queries) {
+    HYT_ASSIGN_OR_RETURN(PlannedQuery plan, PlanOn(query, options, snapshot));
+    plans.push_back(std::move(plan));
+  }
+  return ExecutePlans(plans);
+}
+
+Result<std::vector<QueryResult>> Engine::ExecutePlans(
+    const std::vector<PlannedQuery>& plans) const {
   std::vector<QueryResult> results(plans.size());
   std::vector<Status> statuses(plans.size());
   ThreadPool::Default()->ParallelFor(

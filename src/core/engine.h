@@ -256,6 +256,18 @@ class Engine {
   Result<std::vector<QueryResult>> RunBatch(const std::vector<Query>& queries,
                                             const SolverOptions& options);
 
+  /// RunBatch pinned to a single graph epoch: one ViewRef is captured up
+  /// front and every query plans against it, so all results carry the same
+  /// QueryResult::epoch even when mutations land mid-batch (plain RunBatch
+  /// captures a view per query and a batch can straddle an epoch bump).
+  /// This is the substrate of the serving layer's query fusion: a fused
+  /// group shares one PreparedGraph — one hub sort — and its per-request
+  /// results are attributable to one consistent snapshot.
+  Result<std::vector<QueryResult>> RunBatchPinned(
+      const std::vector<Query>& queries);
+  Result<std::vector<QueryResult>> RunBatchPinned(
+      const std::vector<Query>& queries, const SolverOptions& options);
+
   EngineCacheStats cache_stats() const;
 
   /// Fold statistics of the snapshot compactor (write- plus read-triggered).
@@ -327,10 +339,18 @@ class Engine {
   void RepairDefaultSourceIfDirty() const;
 
   Result<PlannedQuery> Plan(const Query& query, const SolverOptions& base);
+  /// Plan against an already-captured snapshot (the epoch-pinned batch
+  /// path; Plan captures its own).
+  Result<PlannedQuery> PlanOn(const Query& query, const SolverOptions& base,
+                              const ViewRef& snapshot);
   Result<std::shared_ptr<const PreparedGraph>> GetPrepared(
       const SolverOptions& effective, const ViewRef& snapshot,
       bool* cache_hit);
   Result<QueryResult> Execute(const PlannedQuery& plan) const;
+  /// Fans `plans` out over the process thread pool (queries are the
+  /// parallel unit); results index-aligned with `plans`.
+  Result<std::vector<QueryResult>> ExecutePlans(
+      const std::vector<PlannedQuery>& plans) const;
 
   SolverOptions default_options_;
 

@@ -25,11 +25,12 @@ int EngineRank(EngineKind engine) {
 
 void ScheduleTasks(std::vector<Task>* tasks, const IterationState& state,
                    const PrioritySchedulerOptions& options) {
+  // CDS off (Fig. 8 ablation) means *submission order*: return before any
+  // priority computation or sort so the task list is left untouched — the
+  // per-iteration pass used to pay a full priority build plus a stable
+  // sort only to re-derive an order close to the input's.
+  if (!options.enabled) return;
   for (Task& task : *tasks) {
-    if (!options.enabled) {
-      task.priority = 0;
-      continue;
-    }
     if (options.delta_driven) {
       double delta = 0;
       for (uint32_t p : task.partitions) delta += state.stats[p].delta_sum;

@@ -31,7 +31,10 @@ struct PrioritySchedulerOptions {
 };
 
 /// Computes task priorities and sorts `tasks` into dispatch order in place.
-/// `state` supplies per-partition delta sums for delta-driven mode.
+/// `state` supplies per-partition delta sums for delta-driven mode. When
+/// `options.enabled` is false the list is left completely untouched
+/// (submission order, priorities unmodified) — no per-iteration priority
+/// build or sort is paid.
 void ScheduleTasks(std::vector<Task>* tasks, const IterationState& state,
                    const PrioritySchedulerOptions& options);
 

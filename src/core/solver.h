@@ -204,13 +204,17 @@ class Solver {
           if (options_.direction == TraversalDirection::kAuto) {
             // Beamer-style hybrid: m_f from the view-adjusted degrees (the
             // same estimate the cost formulas consume), n_f from the O(1)
-            // frontier count. On iterations that resolve to push,
-            // BuildIterationState re-derives the same total as a byproduct
-            // of its per-partition stats — an accepted duplication (auto
-            // mode only; maintaining m_f incrementally in the kernels
-            // would tax the default push path instead).
+            // frontier count. The push kernels maintain m_f incrementally
+            // (Frontier's scout count), so steady-state push iterations
+            // read it in O(1); the O(n_f) bitmap scan remains only as the
+            // fallback for frontiers a scout-blind producer touched
+            // (InitFrontier, the pull kernel) — scout-valid frontiers
+            // carry exactly the sum the scan would compute.
             if (!pulling) {
-              frontier_edges = FrontierActiveEdges(view_, *current);
+              frontier_edges =
+                  options_.incremental_scout_count && current->ScoutValid()
+                      ? current->ScoutCount()
+                      : FrontierActiveEdges(view_, *current);
               pulling = static_cast<double>(frontier_edges) *
                             options_.direction_alpha >
                         static_cast<double>(view_.num_edges());
@@ -458,7 +462,7 @@ class Solver {
         for (VertexId v : in_range) {
           if (membership == nullptr ||
               std::binary_search(membership->begin(), membership->end(), v)) {
-            next->Deactivate(v);
+            next->Deactivate(v, view_.out_degree(v));
             pending.push_back(v);
           }
         }
@@ -512,7 +516,7 @@ class Solver {
         st.transfer_seconds = pcie_->ExplicitCopySeconds(bytes) +
                               options_.task_overhead_seconds;
 
-        uint64_t edges = RunKernelOnSubCsr(compact.sub, *program, next);
+        uint64_t edges = RunKernelOnSubCsr(view_, compact.sub, *program, next);
         if (options_.extra_rounds != 0) {
           // Only the compacted vertices' edges are on the GPU.
           edges += RunExtraRounds(task, &actives, next, program);

@@ -13,6 +13,17 @@
 // test-before-RMW). If the counter line ever shows up in kernel profiles,
 // per-shard counters merged at kernel end are the next step; the dedicated
 // line has not been measurable next to the per-edge relaxation work so far.
+//
+// The frontier also tracks the *scout count* (Beamer's term): the sum of
+// view-adjusted out-degrees of the active vertices — the m_f the auto
+// push->pull direction decision compares against |E|/alpha. Producers that
+// know the activated vertex's out-degree (the push kernels) maintain it
+// incrementally via Activate(v, degree); producers that do not (program
+// InitFrontier hooks, the pull kernel's local activation) use the plain
+// overloads, which mark the scout count invalid — the solver then falls
+// back to the O(n_f) FrontierActiveEdges bitmap scan for that one decision
+// instead of trusting a stale sum. Steady-state push iterations therefore
+// pay no per-iteration scan at all.
 
 #ifndef HYTGRAPH_ENGINE_FRONTIER_H_
 #define HYTGRAPH_ENGINE_FRONTIER_H_
@@ -36,18 +47,42 @@ class Frontier {
   /// this is the base vertex count).
   explicit Frontier(const GraphView& view) : bitmap_(view.num_vertices()) {}
 
-  /// Thread-safe activation; returns true if v was newly activated.
+  /// Thread-safe activation; returns true if v was newly activated. The
+  /// caller does not supply v's out-degree, so the scout count goes
+  /// invalid (the next direction decision rescans the bitmap).
   bool Activate(VertexId v) {
     if (!bitmap_.TestAndSet(v)) return false;
+    scout_valid_.store(false, std::memory_order_relaxed);
     active_count_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
+  /// Thread-safe activation that maintains the scout count: `out_degree`
+  /// must be v's out-degree in the view this frontier spans (the same
+  /// degrees FrontierActiveEdges would sum). Returns true if v was newly
+  /// activated.
+  bool Activate(VertexId v, EdgeId out_degree) {
+    if (!bitmap_.TestAndSet(v)) return false;
+    active_count_.fetch_add(1, std::memory_order_relaxed);
+    scout_count_.fetch_add(out_degree, std::memory_order_relaxed);
+    return true;
+  }
+
   /// Thread-safe deactivation (used when a vertex's pending update is
-  /// consumed by an extra asynchronous round).
+  /// consumed by an extra asynchronous round). Invalidates the scout count;
+  /// use the degree-carrying overload to keep it exact.
   void Deactivate(VertexId v) {
     if (bitmap_.TestAndClear(v)) {
+      scout_valid_.store(false, std::memory_order_relaxed);
       active_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Scout-maintaining deactivation; `out_degree` as in Activate.
+  void Deactivate(VertexId v, EdgeId out_degree) {
+    if (bitmap_.TestAndClear(v)) {
+      active_count_.fetch_sub(1, std::memory_order_relaxed);
+      scout_count_.fetch_sub(out_degree, std::memory_order_relaxed);
     }
   }
 
@@ -58,6 +93,19 @@ class Frontier {
     return active_count_.load(std::memory_order_relaxed);
   }
   bool Empty() const { return CountActive() == 0; }
+
+  /// True while every activation/deactivation since the last Clear carried
+  /// its out-degree — i.e. ScoutCount() equals the FrontierActiveEdges
+  /// bitmap scan exactly.
+  bool ScoutValid() const {
+    return scout_valid_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of active vertices' out-degrees (Beamer's scout_count).
+  /// Meaningful only when ScoutValid().
+  uint64_t ScoutCount() const {
+    return scout_count_.load(std::memory_order_relaxed);
+  }
 
   VertexId num_vertices() const {
     return static_cast<VertexId>(bitmap_.size());
@@ -83,6 +131,8 @@ class Frontier {
   void Clear() {
     bitmap_.ClearAll();
     active_count_.store(0, std::memory_order_relaxed);
+    scout_count_.store(0, std::memory_order_relaxed);
+    scout_valid_.store(true, std::memory_order_relaxed);
   }
 
   /// The bitmap words, for dense iteration (pull kernels test membership
@@ -96,6 +146,8 @@ class Frontier {
  private:
   AtomicBitmap bitmap_;
   std::atomic<uint64_t> active_count_{0};
+  std::atomic<uint64_t> scout_count_{0};
+  std::atomic<bool> scout_valid_{true};
 };
 
 }  // namespace hytgraph

@@ -58,6 +58,12 @@ concept PullCapableProgram =
 /// Relaxes all out-edges of every vertex in `actives` against `view`,
 /// activating changed targets in `next`. Returns the number of edges
 /// processed (the kernel-time unit).
+///
+/// Activations carry the target's view-adjusted out-degree, so `next`'s
+/// scout count (activated out-edges, Beamer's m_f) stays exact — the auto
+/// direction decision reads it in O(1) instead of rescanning the bitmap.
+/// The degree lookup runs once per *newly activated* vertex (the bitmap
+/// filters re-activations), not per edge.
 template <typename Program>
 uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
                    Program& program, Frontier* next) {
@@ -76,7 +82,9 @@ uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
             // Merged adjacency: surviving base edges, then overlay inserts.
             view.ForEachNeighbor(u, [&](VertexId v, Weight w) {
               ++local_edges;
-              if (program.ProcessEdge(ctx, u, v, w)) next->Activate(v);
+              if (program.ProcessEdge(ctx, u, v, w)) {
+                next->Activate(v, view.out_degree(v));
+              }
             });
             continue;
           }
@@ -88,13 +96,13 @@ uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
           if (wts.empty()) {
             for (const VertexId v : nbrs) {
               if (program.ProcessEdge(ctx, u, v, Weight{1})) {
-                next->Activate(v);
+                next->Activate(v, view.out_degree(v));
               }
             }
           } else {
             for (size_t e = 0; e < nbrs.size(); ++e) {
               if (program.ProcessEdge(ctx, u, nbrs[e], wts[e])) {
-                next->Activate(nbrs[e]);
+                next->Activate(nbrs[e], view.out_degree(nbrs[e]));
               }
             }
           }
@@ -203,9 +211,12 @@ uint64_t RunPullKernel(const GraphView& view, const Frontier& current,
 
 /// Same as RunKernel but over a compacted subgraph (Subway-style GPU-side
 /// processing of the shipped sub-CSR). Identical relaxation semantics.
+/// `view` is the graph the sub-CSR was compacted from — activations carry
+/// its degrees so the scout count stays exact (targets can lie outside the
+/// compacted vertex set, so the sub-CSR's own offsets can't supply them).
 template <typename Program>
-uint64_t RunKernelOnSubCsr(const SubCsr& sub, Program& program,
-                           Frontier* next) {
+uint64_t RunKernelOnSubCsr(const GraphView& view, const SubCsr& sub,
+                           Program& program, Frontier* next) {
   if (sub.vertices.empty()) return 0;
   std::atomic<uint64_t> edges_processed{0};
   ThreadPool::Default()->ParallelFor(
@@ -222,7 +233,8 @@ uint64_t RunKernelOnSubCsr(const SubCsr& sub, Program& program,
           for (EdgeId e = lo; e < hi; ++e) {
             const Weight w = sub.weights.empty() ? Weight{1} : sub.weights[e];
             if (program.ProcessEdge(ctx, u, sub.column_index[e], w)) {
-              next->Activate(sub.column_index[e]);
+              next->Activate(sub.column_index[e],
+                             view.out_degree(sub.column_index[e]));
             }
           }
         }

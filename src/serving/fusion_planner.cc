@@ -1,0 +1,76 @@
+#include "serving/fusion_planner.h"
+
+#include <map>
+#include <tuple>
+
+#include "algorithms/registry.h"
+
+namespace hytgraph {
+
+namespace {
+
+/// Fusion identity of one request: everything the solver's answer depends
+/// on. Parameters enter per-family — PR reads only pagerank, PHP only php,
+/// the value-selection family neither — so, e.g., two BFS requests with
+/// different (irrelevant) damping values still fuse.
+struct FusionKey {
+  AlgorithmId algorithm;
+  VertexId source;            // kInvalidVertex for source-free algorithms
+  double damping, epsilon;    // the active family's parameters, else 0
+
+  auto Tie() const {
+    return std::tie(algorithm, source, damping, epsilon);
+  }
+  bool operator<(const FusionKey& other) const {
+    return Tie() < other.Tie();
+  }
+};
+
+FusionKey KeyFor(const Query& query, VertexId default_source) {
+  const AlgorithmInfo& info = GetAlgorithmInfo(query.algorithm);
+  FusionKey key;
+  key.algorithm = query.algorithm;
+  key.source = !info.needs_source      ? kInvalidVertex
+               : query.source == kInvalidVertex ? default_source
+                                                : query.source;
+  key.damping = 0;
+  key.epsilon = 0;
+  if (query.algorithm == AlgorithmId::kPageRank) {
+    key.damping = query.params.pagerank.damping;
+    key.epsilon = query.params.pagerank.epsilon;
+  } else if (query.algorithm == AlgorithmId::kPhp) {
+    key.damping = query.params.php.damping;
+    key.epsilon = query.params.php.epsilon;
+  }
+  return key;
+}
+
+}  // namespace
+
+FusionPlan FusionPlanner::Plan(const std::vector<QueuedRequest>& batch,
+                               VertexId default_source, bool enable_fusion) {
+  FusionPlan plan;
+  plan.queries.reserve(batch.size());
+  plan.subscribers.reserve(batch.size());
+  if (!enable_fusion) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      plan.queries.push_back(batch[i].query);
+      plan.subscribers.push_back({i});
+    }
+    return plan;
+  }
+
+  std::map<FusionKey, size_t> unique;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const FusionKey key = KeyFor(batch[i].query, default_source);
+    auto [it, inserted] = unique.emplace(key, plan.queries.size());
+    if (inserted) {
+      plan.queries.push_back(batch[i].query);
+      plan.subscribers.push_back({});
+    }
+    plan.subscribers[it->second].push_back(i);
+  }
+  return plan;
+}
+
+}  // namespace hytgraph

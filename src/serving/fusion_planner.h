@@ -1,0 +1,64 @@
+// Cross-request query fusion: groups a lane's drained batch (one
+// algorithm, about to execute on one pinned epoch) into the minimal set of
+// solver queries.
+//
+// Two levels of sharing:
+//
+//  * Dedup fusion (this planner): requests whose effective query is
+//    identical — same algorithm, same resolved source, same parameters —
+//    coalesce into ONE solver run whose result is demultiplexed to every
+//    subscriber. Source-free algorithms (PR, CC) ignore the source field,
+//    so any two same-parameter requests fuse; BFS/SSSP/PHP/SSWP fuse when
+//    sources collide (hot-vertex workloads).
+//
+//  * Preparation sharing (beneath the planner): the distinct queries of a
+//    group execute through Engine::RunBatchPinned on one captured epoch,
+//    so they share one PreparedGraph — one hub sort — via the engine's
+//    prepared cache; mixed-algorithm lanes racing on the same epoch share
+//    the same cache entry (the fingerprint is options-derived, not
+//    algorithm-derived).
+//
+// The planner is pure (no engine access): it maps request indices to
+// unique-query subscriber lists, so it is unit-testable and its decisions
+// are deterministic in dispatch order.
+
+#ifndef HYTGRAPH_SERVING_FUSION_PLANNER_H_
+#define HYTGRAPH_SERVING_FUSION_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/engine.h"
+#include "serving/request_queue.h"
+
+namespace hytgraph {
+
+/// One fused execution plan over a drained batch.
+struct FusionPlan {
+  /// The distinct queries to execute (first-subscriber order).
+  std::vector<Query> queries;
+  /// subscribers[i] = indices into the drained batch whose result is
+  /// queries[i]'s result. Every batch index appears exactly once.
+  std::vector<std::vector<size_t>> subscribers;
+
+  /// Requests that ride along on another request's run.
+  size_t FusedAway(size_t batch_size) const {
+    return batch_size - queries.size();
+  }
+};
+
+class FusionPlanner {
+ public:
+  /// Plans `batch` (all requests must share one algorithm — the lane
+  /// invariant). `default_source` resolves kInvalidVertex sources for the
+  /// source-seeded algorithms, so "default source" requests fuse with
+  /// requests naming that vertex explicitly. When `enable_fusion` is
+  /// false every request becomes its own query (the naive baseline the
+  /// serving bench compares against).
+  static FusionPlan Plan(const std::vector<QueuedRequest>& batch,
+                         VertexId default_source, bool enable_fusion);
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SERVING_FUSION_PLANNER_H_

@@ -1,0 +1,242 @@
+#include "serving/query_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "algorithms/registry.h"
+#include "serving/fusion_planner.h"
+
+namespace hytgraph {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Nearest-rank quantile over an unsorted copy of `samples`.
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  const size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+QueryServer::QueryServer(Engine* engine, QueryServerOptions options)
+    : engine_(engine), options_(options) {
+  latency_samples_.resize(std::max<size_t>(1, options_.latency_window), 0);
+  lanes_.reserve(std::size(kAllAlgorithms));
+  for (AlgorithmId algorithm : kAllAlgorithms) {
+    lanes_.emplace_back();
+    Lane& lane = lanes_.back();
+    lane.algorithm = algorithm;
+    lane.queue = std::make_unique<RequestQueue>(options_.lane_capacity);
+  }
+  // Threads start only after every lane's queue exists — LaneLoop touches
+  // nothing but its own lane and the (const-after-construction) options.
+  for (Lane& lane : lanes_) {
+    lane.dispatcher = std::thread([this, &lane] { LaneLoop(&lane); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Result<std::future<Result<QueryResult>>> QueryServer::Submit(
+    ServingRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("query server is shut down");
+  }
+  const AlgorithmInfo* info = FindAlgorithmInfo(request.query.algorithm);
+  if (info == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "unknown algorithm id: " +
+        std::to_string(static_cast<int>(request.query.algorithm)));
+  }
+
+  QueuedRequest queued;
+  queued.query = request.query;
+  queued.priority = request.priority;
+  if (request.deadline.count() > 0) {
+    queued.deadline = std::chrono::steady_clock::now() + request.deadline;
+  }
+  std::future<Result<QueryResult>> future = queued.promise.get_future();
+
+  RequestQueue& queue =
+      *lanes_[static_cast<size_t>(request.query.algorithm)].queue;
+  const Status pushed = queue.Push(&queued);
+  if (!pushed.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return pushed;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t depth = queued_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t high = queue_depth_high_water_.load(std::memory_order_relaxed);
+  while (depth > high && !queue_depth_high_water_.compare_exchange_weak(
+                             high, depth, std::memory_order_relaxed)) {
+  }
+  return future;
+}
+
+void QueryServer::Pause() {
+  for (Lane& lane : lanes_) lane.queue->SetPaused(true);
+}
+
+void QueryServer::Resume() {
+  for (Lane& lane : lanes_) lane.queue->SetPaused(false);
+}
+
+void QueryServer::Shutdown() {
+  if (!shutdown_.exchange(true, std::memory_order_acq_rel)) {
+    // Close() wakes lanes even while paused; they drain the backlog —
+    // every admitted request's future resolves — then exit.
+    for (Lane& lane : lanes_) lane.queue->Close();
+  }
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  for (Lane& lane : lanes_) {
+    if (lane.dispatcher.joinable()) lane.dispatcher.join();
+  }
+}
+
+void QueryServer::LaneLoop(Lane* lane) {
+  std::vector<QueuedRequest> batch;
+  while (lane->queue->PopBatch(options_.max_batch, &batch)) {
+    queued_now_.fetch_sub(batch.size(), std::memory_order_relaxed);
+    Dispatch(&batch);
+  }
+}
+
+void QueryServer::Dispatch(std::vector<QueuedRequest>* batch) {
+  dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Shed what already missed its deadline: the future resolves NOW with an
+  // explicit status instead of burning a solver run on a stale answer.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<QueuedRequest> live;
+  live.reserve(batch->size());
+  for (QueuedRequest& request : *batch) {
+    if (request.deadline < now) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      request.promise.set_value(Status::DeadlineExceeded(
+          std::string(AlgorithmName(request.query.algorithm)) +
+          " request shed: deadline passed before dispatch"));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  batch->clear();
+  if (live.empty()) return;
+
+  // Resolve default sources once per dispatch, BEFORE fusion keying: a
+  // "default source" request and one naming that vertex explicitly must
+  // fuse — and must demux the same run — so the resolution the engine
+  // would do per query is hoisted here where the grouping happens.
+  const VertexId default_source = engine_->DefaultSource();
+  for (QueuedRequest& request : live) {
+    if (GetAlgorithmInfo(request.query.algorithm).needs_source &&
+        request.query.source == kInvalidVertex) {
+      request.query.source = default_source;
+    }
+  }
+
+  const FusionPlan plan =
+      FusionPlanner::Plan(live, default_source, options_.enable_fusion);
+  executed_queries_.fetch_add(plan.queries.size(),
+                              std::memory_order_relaxed);
+  fused_requests_.fetch_add(plan.FusedAway(live.size()),
+                            std::memory_order_relaxed);
+
+  if (!options_.enable_fusion) {
+    // Naive serving: one engine call per request, no shared epoch pin.
+    for (QueuedRequest& request : live) {
+      Result<QueryResult> result = engine_->Run(request.query);
+      (result.ok() ? completed_ : failed_)
+          .fetch_add(1, std::memory_order_relaxed);
+      RecordLatency(request);
+      request.promise.set_value(std::move(result));
+    }
+    return;
+  }
+
+  // Fused: every distinct query of the batch runs on ONE pinned epoch and
+  // shares one PreparedGraph through the engine's cache.
+  Result<std::vector<QueryResult>> results =
+      engine_->RunBatchPinned(plan.queries);
+  if (!results.ok()) {
+    // Batch-level failure (first failing query's status): every
+    // subscriber learns it — per-request granularity is traded for the
+    // shared execution, and a failing query in a fused group is a
+    // configuration error, not a data-dependent one.
+    for (QueuedRequest& request : live) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      RecordLatency(request);
+      request.promise.set_value(results.status());
+    }
+    return;
+  }
+  for (size_t q = 0; q < plan.queries.size(); ++q) {
+    const std::vector<size_t>& subs = plan.subscribers[q];
+    for (size_t s = 0; s < subs.size(); ++s) {
+      QueuedRequest& request = live[subs[s]];
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      RecordLatency(request);
+      if (s + 1 == subs.size()) {
+        request.promise.set_value(std::move((*results)[q]));
+      } else {
+        request.promise.set_value((*results)[q]);  // demux copy
+      }
+    }
+  }
+}
+
+void QueryServer::RecordLatency(const QueuedRequest& request) {
+  const double seconds =
+      SecondsSince(request.admitted_at, std::chrono::steady_clock::now());
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_samples_[latency_next_] = seconds;
+  if (++latency_next_ == latency_samples_.size()) {
+    latency_next_ = 0;
+    latency_wrapped_ = true;
+  }
+}
+
+ServingStats QueryServer::stats() const {
+  ServingStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.executed_queries =
+      executed_queries_.load(std::memory_order_relaxed);
+  stats.fused_requests = fused_requests_.load(std::memory_order_relaxed);
+  stats.dispatch_batches =
+      dispatch_batches_.load(std::memory_order_relaxed);
+  stats.queue_depth_high_water =
+      queue_depth_high_water_.load(std::memory_order_relaxed);
+
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    const size_t filled =
+        latency_wrapped_ ? latency_samples_.size() : latency_next_;
+    window.assign(latency_samples_.begin(),
+                  latency_samples_.begin() + static_cast<ptrdiff_t>(filled));
+  }
+  stats.p50_latency_seconds = Quantile(window, 0.50);
+  stats.p99_latency_seconds = Quantile(std::move(window), 0.99);
+  return stats;
+}
+
+}  // namespace hytgraph

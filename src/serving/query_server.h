@@ -1,0 +1,153 @@
+// QueryServer — the concurrent query serving layer over one Engine.
+//
+// Many callers submit ServingRequests; each gets a future that resolves to
+// the query's result (or an explicit shed/error status). Inside:
+//
+//  * Admission. Submit routes the request to its algorithm's lane queue —
+//    bounded, so an overloaded server answers with
+//    Status::ResourceExhausted immediately (backpressure) instead of
+//    buffering without limit. Rejection happens at Submit; an admitted
+//    request always gets its future fulfilled.
+//
+//  * Per-algorithm lanes. One dispatcher thread per registered algorithm
+//    drains its queue in dispatch order — priority class first, earliest
+//    deadline first within a class (EDF), submission order among ties.
+//    Lane threads only orchestrate; the solver work itself fans out over
+//    the process-wide ThreadPool exactly as direct Engine calls do.
+//
+//  * Deadline shedding. A request whose deadline has passed when its lane
+//    picks it up is shed: its future resolves to Status::DeadlineExceeded
+//    without paying a solver run (the EDF order makes this the request
+//    that could least afford to wait — shedding it preserves the ones
+//    that still can).
+//
+//  * Query fusion. The drained batch executes on ONE pinned graph epoch
+//    via Engine::RunBatchPinned: identical requests (same algorithm,
+//    resolved source, parameters) coalesce into a single solver run whose
+//    result is demultiplexed to every subscriber, and the distinct
+//    queries of the batch share one PreparedGraph — one hub sort. Lanes
+//    of different algorithms racing on the same epoch share preparations
+//    through the engine's cache. Results are identical to isolated
+//    Engine::Run calls on that epoch (bitwise for the value-selection
+//    family).
+//
+// Pause()/Resume() gate the lane dispatchers while admission stays open —
+// the deterministic way to accumulate a burst into one fused batch (tests,
+// benches, and batch-oriented replay use it; a live server never needs it).
+//
+// Thread safety: Submit/Pause/Resume/stats may be called from any thread.
+// Shutdown closes admission, drains every queued request (fulfilling all
+// futures), and joins the lanes; the destructor calls it.
+
+#ifndef HYTGRAPH_SERVING_QUERY_SERVER_H_
+#define HYTGRAPH_SERVING_QUERY_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "serving/request_queue.h"
+#include "serving/serving_stats.h"
+
+namespace hytgraph {
+
+/// One serving request: the query plus its scheduling envelope.
+struct ServingRequest {
+  Query query;
+  /// Priority class; higher dispatches first within the lane.
+  int priority = 0;
+  /// Relative deadline from admission; zero = no deadline. A request
+  /// still queued when it expires is shed with Status::DeadlineExceeded.
+  std::chrono::microseconds deadline{0};
+};
+
+struct QueryServerOptions {
+  /// Admission capacity per algorithm lane; Submit rejects with
+  /// ResourceExhausted when the target lane is full.
+  size_t lane_capacity = 256;
+  /// Most requests drained into one dispatch batch (one fused epoch-pinned
+  /// execution). The EDF/priority order decides who makes the cut.
+  size_t max_batch = 64;
+  /// Off = the naive baseline: one Engine::Run per request, no dedup, no
+  /// epoch pinning across requests (bench_query_throughput's control arm).
+  bool enable_fusion = true;
+  /// Latency samples retained for the p50/p99 estimate (ring buffer).
+  size_t latency_window = 8192;
+};
+
+class QueryServer {
+ public:
+  /// `engine` must outlive the server. Queries run under the engine's
+  /// default options.
+  explicit QueryServer(Engine* engine, QueryServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Admits `request`, returning the future its result will arrive on.
+  /// Fails fast (no future) with ResourceExhausted when the lane is full,
+  /// FailedPrecondition after Shutdown, InvalidArgument for an unknown
+  /// algorithm.
+  Result<std::future<Result<QueryResult>>> Submit(ServingRequest request);
+
+  /// Gates all lane dispatchers (admission stays open) / releases them.
+  void Pause();
+  void Resume();
+
+  /// Closes admission, drains every queued request — all futures resolve —
+  /// and joins the lanes. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Snapshot of the serving counters (latency quantiles computed over the
+  /// retained window).
+  ServingStats stats() const;
+
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  struct Lane {
+    AlgorithmId algorithm;
+    std::unique_ptr<RequestQueue> queue;
+    std::thread dispatcher;
+  };
+
+  void LaneLoop(Lane* lane);
+  /// Sheds expired requests, fuses the rest, executes on one pinned
+  /// epoch, and demultiplexes results to the subscribers' promises.
+  void Dispatch(std::vector<QueuedRequest>* batch);
+  void RecordLatency(const QueuedRequest& request);
+
+  Engine* const engine_;
+  const QueryServerOptions options_;
+  std::vector<Lane> lanes_;
+  std::atomic<bool> shutdown_{false};
+  /// Serializes the join phase of concurrent Shutdown calls.
+  std::mutex shutdown_mu_;
+
+  /// Total queued across lanes (high-water tracking).
+  std::atomic<uint64_t> queued_now_{0};
+  std::atomic<uint64_t> queue_depth_high_water_{0};
+
+  /// Counters (relaxed atomics: monotone event counts).
+  std::atomic<uint64_t> submitted_{0}, admitted_{0}, rejected_{0};
+  std::atomic<uint64_t> shed_deadline_{0}, completed_{0}, failed_{0};
+  std::atomic<uint64_t> executed_queries_{0}, fused_requests_{0};
+  std::atomic<uint64_t> dispatch_batches_{0};
+
+  /// Latency ring buffer (seconds), guarded by latency_mu_.
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_samples_;
+  size_t latency_next_ = 0;
+  bool latency_wrapped_ = false;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SERVING_QUERY_SERVER_H_

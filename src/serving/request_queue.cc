@@ -1,0 +1,89 @@
+#include "serving/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hytgraph {
+
+namespace {
+
+/// Dispatch order: priority class descending, deadline ascending (EDF),
+/// admission sequence ascending. Strict weak ordering; seq is unique, so
+/// the order is total and deterministic.
+bool DispatchBefore(const QueuedRequest& a, const QueuedRequest& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+Status RequestQueue::Push(QueuedRequest* request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::FailedPrecondition("request queue is closed");
+  }
+  if (items_.size() >= capacity_) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(capacity_) +
+        " requests) — retry after backlog drains");
+  }
+  request->seq = next_seq_++;
+  request->admitted_at = std::chrono::steady_clock::now();
+  items_.push_back(std::move(*request));
+  nonempty_.notify_one();
+  return Status::OK();
+}
+
+bool RequestQueue::PopBatch(size_t max_batch,
+                            std::vector<QueuedRequest>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  nonempty_.wait(lock, [this] {
+    return closed_ || (!paused_ && !items_.empty());
+  });
+  if (items_.empty()) return false;  // closed and drained
+
+  const size_t take = std::min(max_batch, items_.size());
+  // The queue is small (bounded by capacity), so a full sort per dispatch
+  // is cheaper to reason about than an incremental heap over move-only
+  // elements — and it keeps the drained batch itself in dispatch order.
+  std::sort(items_.begin(), items_.end(), DispatchBefore);
+  out->reserve(take);
+  std::move(items_.begin(), items_.begin() + static_cast<ptrdiff_t>(take),
+            std::back_inserter(*out));
+  items_.erase(items_.begin(), items_.begin() + static_cast<ptrdiff_t>(take));
+  if (!items_.empty()) nonempty_.notify_one();  // leftovers: keep draining
+  return true;
+}
+
+void RequestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  nonempty_.notify_all();
+}
+
+void RequestQueue::SetPaused(bool paused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = paused;
+  if (!paused_) nonempty_.notify_all();
+}
+
+std::vector<QueuedRequest> RequestQueue::DrainAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueuedRequest> drained = std::move(items_);
+  items_.clear();
+  return drained;
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,92 @@
+// Bounded admission queue for one serving lane. Push is non-blocking and
+// rejects with Status::ResourceExhausted when the queue is at capacity —
+// backpressure is an explicit, immediate signal to the caller, never an
+// unbounded buffer. PopBatch blocks until work arrives (or the queue
+// closes) and drains up to `max_batch` requests in dispatch order:
+// priority class first (higher value = more urgent), earliest deadline
+// first within a class (EDF), submission order among ties. The dispatcher
+// decides what to do with expired deadlines; the queue only orders.
+
+#ifndef HYTGRAPH_SERVING_REQUEST_QUEUE_H_
+#define HYTGRAPH_SERVING_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// One admitted request, owned by the queue until dispatch. The promise is
+/// fulfilled exactly once: with a QueryResult, an execution error, a
+/// deadline shed, or a shutdown cancellation.
+struct QueuedRequest {
+  Query query;
+  /// Priority class: higher dispatches first. EDF orders within a class.
+  int priority = 0;
+  /// Absolute deadline; time_point::max() = none. Requests past their
+  /// deadline at dispatch are shed with Status::DeadlineExceeded.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Admission timestamp (latency accounting).
+  std::chrono::steady_clock::time_point admitted_at;
+  /// Admission sequence number: the submission-order tiebreak.
+  uint64_t seq = 0;
+  std::promise<Result<QueryResult>> promise;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admits `request`, stamping seq and admitted_at. Fails with
+  /// ResourceExhausted at capacity and FailedPrecondition after Close();
+  /// on failure the request (and its promise) is handed back untouched in
+  /// `*request` for the caller to fulfill.
+  Status Push(QueuedRequest* request);
+
+  /// Blocks until the queue is nonempty or closed, then moves up to
+  /// `max_batch` requests into `*out` (cleared first) in dispatch order.
+  /// Returns false — with `*out` empty — only when the queue is closed and
+  /// drained: the lane's exit condition.
+  bool PopBatch(size_t max_batch, std::vector<QueuedRequest>* out);
+
+  /// Closes admission: subsequent Push fails, PopBatch keeps draining what
+  /// is left and then returns false. Idempotent.
+  void Close();
+
+  /// While paused, PopBatch blocks even when requests are queued (Push
+  /// still admits), so a submitted burst accumulates into one dispatch
+  /// batch — the deterministic-fusion hook tests and benches rely on.
+  /// Close() overrides pause so shutdown never hangs.
+  void SetPaused(bool paused);
+
+  /// Drains every queued request without dispatch order (shutdown path:
+  /// the caller cancels their promises). Does not block.
+  std::vector<QueuedRequest> DrainAll();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable nonempty_;
+  std::vector<QueuedRequest> items_;
+  uint64_t next_seq_ = 0;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SERVING_REQUEST_QUEUE_H_

@@ -1,0 +1,66 @@
+// Counters and latency quantiles of one QueryServer, snapshotted by
+// QueryServer::stats(). Every admitted request ends in exactly one of
+// {completed, failed, shed_deadline} — shutdown drains gracefully, so no
+// admitted request is ever dropped; fusion efficiency is the gap between
+// served requests and executed solver queries.
+
+#ifndef HYTGRAPH_SERVING_SERVING_STATS_H_
+#define HYTGRAPH_SERVING_SERVING_STATS_H_
+
+#include <cstdint>
+
+namespace hytgraph {
+
+struct ServingStats {
+  /// Submit() calls, including rejected ones.
+  uint64_t submitted = 0;
+  /// Requests that entered a lane queue.
+  uint64_t admitted = 0;
+  /// Requests bounced at admission (queue full — backpressure).
+  uint64_t rejected = 0;
+  /// Requests shed at dispatch because their deadline had already passed
+  /// (their futures resolve to Status::DeadlineExceeded).
+  uint64_t shed_deadline = 0;
+  /// Requests fulfilled with a QueryResult.
+  uint64_t completed = 0;
+  /// Requests fulfilled with a non-deadline error status.
+  uint64_t failed = 0;
+
+  /// Solver queries actually executed (after fusion dedup). Without
+  /// fusion this equals completed + failed.
+  uint64_t executed_queries = 0;
+  /// Requests that shared another request's execution (admitted requests
+  /// demuxed from a fused query they did not themselves run).
+  uint64_t fused_requests = 0;
+  /// Dispatch cycles (one fused RunBatchPinned, or one drain in
+  /// unfused mode).
+  uint64_t dispatch_batches = 0;
+
+  /// Highest total queued-request count observed across all lanes.
+  uint64_t queue_depth_high_water = 0;
+
+  /// Admission-to-fulfillment latency quantiles over the most recent
+  /// window of completed requests (seconds; 0 before any completion).
+  double p50_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+
+  /// Fraction of served (non-shed) requests that did not pay their own
+  /// solver run: 1 - executed/served. 0 when nothing was served.
+  double FusionRatio() const {
+    const uint64_t served = completed + failed;
+    if (served == 0 || executed_queries >= served) return 0.0;
+    return 1.0 - static_cast<double>(executed_queries) /
+                     static_cast<double>(served);
+  }
+
+  /// Fraction of admitted requests shed past their deadline.
+  double ShedRate() const {
+    return admitted == 0 ? 0.0
+                         : static_cast<double>(shed_deadline) /
+                               static_cast<double>(admitted);
+  }
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_SERVING_SERVING_STATS_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kResourceExhausted = 8,   // admission queue full (serving backpressure)
+  kDeadlineExceeded = 9,    // request shed past its deadline (serving)
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -66,6 +68,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -85,6 +93,12 @@ class Status {
     return code() == StatusCode::kUnimplemented;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

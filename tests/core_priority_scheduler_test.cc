@@ -80,9 +80,35 @@ TEST(PrioritySchedulerTest, DisabledKeepsSubmissionOrderWithinEngine) {
   PrioritySchedulerOptions opts;
   opts.enabled = false;
   ScheduleTasks(&tasks, StateWithDeltas(std::vector<double>(10, 0)), opts);
-  // Stable sort, equal priorities: original order preserved.
   EXPECT_EQ(tasks[0].partitions.front(), 9u);
   EXPECT_EQ(tasks[1].partitions.front(), 0u);
+}
+
+TEST(PrioritySchedulerTest, DisabledLeavesTaskListCompletelyUntouched) {
+  // Regression: CDS off used to still build priorities and run the
+  // engine-rank stable sort every iteration. It must now early-return:
+  // submission order preserved even across engine classes, and priorities
+  // not overwritten.
+  std::vector<Task> tasks;
+  tasks.push_back(MakeTask(EngineKind::kCompaction, {7}));
+  tasks.push_back(MakeTask(EngineKind::kZeroCopy, {3}));
+  tasks.push_back(MakeTask(EngineKind::kFilter, {5}));
+  tasks[0].priority = 123.0;  // sentinel: must survive untouched
+  tasks[1].priority = -4.5;
+  tasks[2].priority = 0.25;
+  PrioritySchedulerOptions opts;
+  opts.enabled = false;
+  opts.delta_driven = true;
+  ScheduleTasks(&tasks, StateWithDeltas({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+                                         8.0}),
+                opts);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].engine, EngineKind::kCompaction);
+  EXPECT_EQ(tasks[1].engine, EngineKind::kZeroCopy);
+  EXPECT_EQ(tasks[2].engine, EngineKind::kFilter);
+  EXPECT_DOUBLE_EQ(tasks[0].priority, 123.0);
+  EXPECT_DOUBLE_EQ(tasks[1].priority, -4.5);
+  EXPECT_DOUBLE_EQ(tasks[2].priority, 0.25);
 }
 
 TEST(PrioritySchedulerTest, EngineOrderDominatesPriority) {

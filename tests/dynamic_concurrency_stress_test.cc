@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <iterator>
 #include <map>
 #include <memory>
@@ -24,6 +26,7 @@
 
 #include "algorithms/reference.h"
 #include "core/engine.h"
+#include "serving/query_server.h"
 #include "test_graphs.h"
 
 namespace hytgraph {
@@ -67,6 +70,92 @@ MutationBatch RandomBatch(const CsrGraph& base, uint64_t seed) {
     if (!nbrs.empty()) batch.DeleteEdge(src, nbrs[next() % nbrs.size()]);
   }
   return batch;
+}
+
+/// Replays the recorded batch log up to each observation's pinned epoch on
+/// a freshly built base graph, and checks the observed values against the
+/// serial reference on the reconstruction. Graphs and reference results
+/// are memoized across observations.
+void VerifyObservations(const std::vector<Observation>& observations,
+                        const std::function<CsrGraph()>& make_base,
+                        const std::map<uint64_t, MutationBatch>& batch_log) {
+  std::map<uint64_t, std::shared_ptr<const CsrGraph>> graph_at_epoch;
+  auto reconstruct = [&](uint64_t epoch) -> const CsrGraph& {
+    auto it = graph_at_epoch.find(epoch);
+    if (it != graph_at_epoch.end()) return *it->second;
+    auto snapshot = std::make_shared<const CsrGraph>(make_base());
+    DeltaOverlay overlay(snapshot);
+    for (const auto& [e, batch] : batch_log) {
+      if (e > epoch) break;
+      auto applied = overlay.Apply(batch);
+      HYT_CHECK(applied.ok());
+    }
+    auto folded = overlay.Materialize();
+    HYT_CHECK(folded.ok());
+    auto shared = std::make_shared<const CsrGraph>(std::move(folded).value());
+    graph_at_epoch.emplace(epoch, shared);
+    return *shared;
+  };
+
+  struct RefKey {
+    uint64_t epoch;
+    AlgorithmId algorithm;
+    VertexId source;
+    bool operator<(const RefKey& o) const {
+      return std::tie(epoch, algorithm, source) <
+             std::tie(o.epoch, o.algorithm, o.source);
+    }
+  };
+  std::map<RefKey, QueryValues> reference;
+  auto reference_for = [&](const Observation& obs) -> const QueryValues& {
+    const RefKey key{obs.epoch, obs.algorithm, obs.source};
+    auto it = reference.find(key);
+    if (it != reference.end()) return it->second;
+    const CsrGraph& graph = reconstruct(obs.epoch);
+    QueryValues values;
+    switch (obs.algorithm) {
+      case AlgorithmId::kBfs:
+        values = ReferenceBfs(graph, obs.source);
+        break;
+      case AlgorithmId::kSssp:
+        values = ReferenceSssp(graph, obs.source);
+        break;
+      case AlgorithmId::kCc:
+        values = ReferenceCc(graph);
+        break;
+      case AlgorithmId::kSswp:
+        values = ReferenceSswp(graph, obs.source);
+        break;
+      case AlgorithmId::kPageRank:
+        values = ReferencePageRank(graph);
+        break;
+      case AlgorithmId::kPhp:
+        values = ReferencePhp(graph, obs.source);
+        break;
+    }
+    return reference.emplace(key, std::move(values)).first->second;
+  };
+
+  for (const Observation& obs : observations) {
+    const QueryValues& want = reference_for(obs);
+    if (std::holds_alternative<std::vector<uint32_t>>(obs.values)) {
+      EXPECT_EQ(std::get<std::vector<uint32_t>>(obs.values),
+                std::get<std::vector<uint32_t>>(want))
+          << AlgorithmName(obs.algorithm) << " source " << obs.source
+          << " diverged from its pinned epoch " << obs.epoch;
+    } else {
+      const auto& got = std::get<std::vector<double>>(obs.values);
+      const auto& exp = std::get<std::vector<double>>(want);
+      ASSERT_EQ(got.size(), exp.size());
+      double max_ref = 1e-12;
+      for (double v : exp) max_ref = std::max(max_ref, std::abs(v));
+      for (size_t v = 0; v < got.size(); ++v) {
+        ASSERT_NEAR(got[v], exp[v], 1e-3 * max_ref)
+            << AlgorithmName(obs.algorithm) << " vertex " << v << " epoch "
+            << obs.epoch;
+      }
+    }
+  }
 }
 
 TEST(DynamicConcurrencyStressTest, EveryQueryMatchesItsPinnedEpoch) {
@@ -138,88 +227,113 @@ TEST(DynamicConcurrencyStressTest, EveryQueryMatchesItsPinnedEpoch) {
       << "the stress never exercised a background fold";
 
   // --- Verification: replay the log and check every observation. ---
-  // Graphs and reference results are memoized; readers reuse two sources
-  // per algorithm, so the distinct (epoch, algorithm, source) space stays
-  // small.
-  std::map<uint64_t, std::shared_ptr<const CsrGraph>> graph_at_epoch;
-  auto reconstruct = [&](uint64_t epoch) -> const CsrGraph& {
-    auto it = graph_at_epoch.find(epoch);
-    if (it != graph_at_epoch.end()) return *it->second;
-    auto snapshot = std::make_shared<const CsrGraph>(SmallRmat(8, 8, 21));
-    DeltaOverlay overlay(snapshot);
-    for (const auto& [e, batch] : batch_log) {
-      if (e > epoch) break;
-      auto applied = overlay.Apply(batch);
-      HYT_CHECK(applied.ok());
-    }
-    auto folded = overlay.Materialize();
-    HYT_CHECK(folded.ok());
-    auto shared = std::make_shared<const CsrGraph>(std::move(folded).value());
-    graph_at_epoch.emplace(epoch, shared);
-    return *shared;
-  };
-
-  struct RefKey {
-    uint64_t epoch;
-    AlgorithmId algorithm;
-    VertexId source;
-    bool operator<(const RefKey& o) const {
-      return std::tie(epoch, algorithm, source) <
-             std::tie(o.epoch, o.algorithm, o.source);
-    }
-  };
-  std::map<RefKey, QueryValues> reference;
-  auto reference_for = [&](const Observation& obs) -> const QueryValues& {
-    const RefKey key{obs.epoch, obs.algorithm, obs.source};
-    auto it = reference.find(key);
-    if (it != reference.end()) return it->second;
-    const CsrGraph& graph = reconstruct(obs.epoch);
-    QueryValues values;
-    switch (obs.algorithm) {
-      case AlgorithmId::kBfs:
-        values = ReferenceBfs(graph, obs.source);
-        break;
-      case AlgorithmId::kSssp:
-        values = ReferenceSssp(graph, obs.source);
-        break;
-      case AlgorithmId::kCc:
-        values = ReferenceCc(graph);
-        break;
-      case AlgorithmId::kSswp:
-        values = ReferenceSswp(graph, obs.source);
-        break;
-      case AlgorithmId::kPageRank:
-        values = ReferencePageRank(graph);
-        break;
-      case AlgorithmId::kPhp:
-        values = ReferencePhp(graph, obs.source);
-        break;
-    }
-    return reference.emplace(key, std::move(values)).first->second;
-  };
-
+  // Readers reuse two sources per algorithm, so the memoized
+  // (epoch, algorithm, source) reference space stays small.
   ASSERT_EQ(observations.size(),
             static_cast<size_t>(kReaderThreads * kQueriesPerReader));
-  for (const Observation& obs : observations) {
-    const QueryValues& want = reference_for(obs);
-    if (std::holds_alternative<std::vector<uint32_t>>(obs.values)) {
-      EXPECT_EQ(std::get<std::vector<uint32_t>>(obs.values),
-                std::get<std::vector<uint32_t>>(want))
-          << AlgorithmName(obs.algorithm) << " source " << obs.source
-          << " diverged from its pinned epoch " << obs.epoch;
-    } else {
-      const auto& got = std::get<std::vector<double>>(obs.values);
-      const auto& exp = std::get<std::vector<double>>(want);
-      ASSERT_EQ(got.size(), exp.size());
-      double max_ref = 1e-12;
-      for (double v : exp) max_ref = std::max(max_ref, std::abs(v));
-      for (size_t v = 0; v < got.size(); ++v) {
-        ASSERT_NEAR(got[v], exp[v], 1e-3 * max_ref)
-            << AlgorithmName(obs.algorithm) << " vertex " << v << " epoch "
-            << obs.epoch;
+  VerifyObservations(observations, [] { return SmallRmat(8, 8, 21); },
+                     batch_log);
+}
+
+// The serving layer under the same fire: concurrent clients submit mixed
+// algorithms, priorities, and deadlines through a QueryServer while
+// mutators stream batches through background compaction. Every completed
+// request must match the serial reference on the epoch its fused batch
+// pinned; deadline sheds and backpressure rejections are legitimate
+// outcomes, silent wrong answers are not.
+TEST(DynamicConcurrencyStressTest, QueryServerClientsMatchPinnedEpochs) {
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 48;
+  constexpr int kServingBatchesPerMutator = 80;
+  const CsrGraph base = SmallRmat(8, 8, /*seed=*/45);
+
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kBackground;
+  policy.min_delta_edges = 128;
+  policy.delta_fraction = 0.0;
+  Engine engine(SmallRmat(8, 8, 45),
+                SolverOptions::Defaults(SystemKind::kCpu), policy);
+  QueryServerOptions server_options;
+  server_options.lane_capacity = 512;  // verify values, not backpressure
+  QueryServer server(&engine, server_options);
+
+  std::mutex log_mu;
+  std::map<uint64_t, MutationBatch> batch_log;
+  std::vector<Observation> observations;
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> shed{0};
+
+  std::vector<std::thread> threads;
+  for (int m = 0; m < kMutatorThreads; ++m) {
+    threads.emplace_back([&, m] {
+      for (int i = 0; i < kServingBatchesPerMutator && !failed; ++i) {
+        const MutationBatch batch =
+            RandomBatch(base, 3 + 7919u * m + 104729u * i);
+        auto applied = engine.ApplyMutations(batch);
+        if (!applied.ok()) {
+          failed = true;
+          return;
+        }
+        std::lock_guard<std::mutex> lock(log_mu);
+        batch_log.emplace(applied->epoch, batch);
       }
-    }
+    });
   }
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<Observation> local;
+      local.reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient && !failed; ++i) {
+        ServingRequest request;
+        request.query.algorithm =
+            kAllAlgorithms[(c + i) % std::size(kAllAlgorithms)];
+        if (GetAlgorithmInfo(request.query.algorithm).needs_source) {
+          request.query.source = static_cast<VertexId>((c + i) % 2);
+        }
+        request.priority = i % 3;
+        if (i % 4 == 0) {
+          // A generous-but-real deadline: usually met, occasionally shed
+          // under load — both are valid servings of this request.
+          request.deadline = std::chrono::milliseconds(500);
+        }
+        auto submitted = server.Submit(request);
+        if (!submitted.ok()) {
+          failed = true;  // capacity is sized to admit everything
+          return;
+        }
+        Result<QueryResult> result = submitted->get();
+        if (result.ok()) {
+          local.push_back(Observation{result->algorithm, result->source,
+                                      result->epoch,
+                                      std::move(result->values)});
+        } else if (result.status().IsDeadlineExceeded()) {
+          shed.fetch_add(1);
+        } else {
+          failed = true;
+          return;
+        }
+      }
+      std::lock_guard<std::mutex> lock(log_mu);
+      for (auto& obs : local) observations.push_back(std::move(obs));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_FALSE(failed)
+      << "a concurrent Submit, ApplyMutations, or served query errored";
+  server.Shutdown();
+  engine.WaitForCompaction();
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.admitted,
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(stats.completed, observations.size());
+  EXPECT_EQ(stats.shed_deadline, shed.load());
+  EXPECT_EQ(stats.completed + stats.shed_deadline, stats.admitted);
+  // Deadlines are generous; the bulk of the load must actually serve.
+  EXPECT_GT(observations.size(), static_cast<size_t>(kClients));
+
+  VerifyObservations(observations, [] { return SmallRmat(8, 8, 45); },
+                     batch_log);
 }
 
 }  // namespace

@@ -171,6 +171,57 @@ TEST(EngineDirectionTest, TraceRecordsChosenDirections) {
   EXPECT_LT(hybrid->trace.TotalKernelEdges(), push->trace.TotalKernelEdges());
 }
 
+/// The incremental scout count must be a pure optimization: auto mode with
+/// the O(1) scout read picks the same direction every iteration as auto
+/// mode with the O(n_f) FrontierActiveEdges scan, and records the same m_f
+/// in the trace (the scout is exact, not an estimate).
+void ExpectScoutMatchesScan(Engine& engine, const std::string& graph_name) {
+  for (AlgorithmId algorithm : kAllAlgorithms) {
+    Query query;
+    query.algorithm = algorithm;
+    const std::string what = graph_name + "/" + AlgorithmName(algorithm);
+
+    SolverOptions scan = WithDirection(TraversalDirection::kAuto);
+    scan.incremental_scout_count = false;
+    auto scanned = engine.Run(query, scan);
+    ASSERT_TRUE(scanned.ok()) << what << ": " << scanned.status().ToString();
+
+    Query pinned = query;
+    pinned.source = scanned->source;
+    auto scouted = engine.Run(pinned, WithDirection(TraversalDirection::kAuto));
+    ASSERT_TRUE(scouted.ok()) << what << ": " << scouted.status().ToString();
+
+    ASSERT_EQ(scouted->trace.NumIterations(), scanned->trace.NumIterations())
+        << what;
+    for (size_t i = 0; i < scanned->trace.iterations.size(); ++i) {
+      const IterationTrace& a = scouted->trace.iterations[i];
+      const IterationTrace& b = scanned->trace.iterations[i];
+      EXPECT_EQ(a.direction, b.direction) << what << " iteration " << i;
+      EXPECT_EQ(a.active_edges, b.active_edges) << what << " iteration " << i;
+    }
+    ExpectSameValues(*scouted, *scanned, what + " scout-vs-scan");
+  }
+}
+
+TEST(EngineDirectionTest, ScoutCountMatchesBitmapScanDecisions) {
+  Engine engine(SmallRmat(/*scale=*/10, /*edge_factor=*/8, /*seed=*/31));
+  ExpectScoutMatchesScan(engine, "rmat-10");
+}
+
+TEST(EngineDirectionTest, ScoutCountMatchesBitmapScanOnMutatedView) {
+  // Delta vertices exercise the view-adjusted degrees: the scout must sum
+  // the same overlay-aware out_degree() the scan does, not base degrees.
+  CompactionPolicy manual;
+  manual.mode = CompactionMode::kManual;
+  Engine engine(SmallRmat(/*scale=*/9, /*edge_factor=*/8, /*seed=*/37),
+                SolverOptions::Defaults(SystemKind::kHyTGraph), manual);
+  auto applied =
+      engine.ApplyMutations(MixedBatch(engine.graph(), 600, 300, 777));
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_GT(engine.pending_delta_edges(), 0u);
+  ExpectScoutMatchesScan(engine, "rmat-9+delta");
+}
+
 TEST(EngineDirectionTest, AccumulationFamilyStaysPush) {
   Engine engine(SmallRmat(/*scale=*/9, /*edge_factor=*/6, /*seed=*/29));
   for (AlgorithmId algorithm : {AlgorithmId::kPageRank, AlgorithmId::kPhp}) {

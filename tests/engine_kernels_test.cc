@@ -98,7 +98,7 @@ TEST(KernelTest, SubCsrKernelMatchesGraphKernel) {
   SsspProgram p2(g, 0);
   Frontier n2(g.num_vertices());
   const auto compact = CompactActiveEdges(g, actives, true);
-  const uint64_t e2 = RunKernelOnSubCsr(compact.sub, p2, &n2);
+  const uint64_t e2 = RunKernelOnSubCsr(GraphView::Wrap(g), compact.sub, p2, &n2);
 
   EXPECT_EQ(e1, e2);
   EXPECT_EQ(p1.Values(), p2.Values());

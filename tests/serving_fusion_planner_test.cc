@@ -1,0 +1,121 @@
+// FusionPlanner: dedup identity (algorithm, resolved source, active-family
+// parameters), default-source resolution, and the no-fusion baseline.
+
+#include "serving/fusion_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hytgraph {
+namespace {
+
+QueuedRequest Request(AlgorithmId algorithm,
+                      VertexId source = kInvalidVertex) {
+  QueuedRequest request;
+  request.query.algorithm = algorithm;
+  request.query.source = source;
+  return request;
+}
+
+/// Every batch index must appear in exactly one subscriber list.
+void ExpectPartition(const FusionPlan& plan, size_t batch_size) {
+  ASSERT_EQ(plan.queries.size(), plan.subscribers.size());
+  std::set<size_t> seen;
+  for (const std::vector<size_t>& subs : plan.subscribers) {
+    EXPECT_FALSE(subs.empty());
+    for (size_t index : subs) {
+      EXPECT_LT(index, batch_size);
+      EXPECT_TRUE(seen.insert(index).second) << "index " << index << " twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), batch_size);
+}
+
+TEST(FusionPlannerTest, IdenticalRequestsCoalesceIntoOneQuery) {
+  std::vector<QueuedRequest> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(Request(AlgorithmId::kBfs, 7));
+  const FusionPlan plan = FusionPlanner::Plan(batch, /*default_source=*/0,
+                                              /*enable_fusion=*/true);
+  ASSERT_EQ(plan.queries.size(), 1u);
+  EXPECT_EQ(plan.queries[0].source, 7u);
+  EXPECT_EQ(plan.subscribers[0].size(), 4u);
+  EXPECT_EQ(plan.FusedAway(batch.size()), 3u);
+  ExpectPartition(plan, batch.size());
+}
+
+TEST(FusionPlannerTest, DistinctSourcesStaySeparateQueries) {
+  std::vector<QueuedRequest> batch;
+  batch.push_back(Request(AlgorithmId::kSssp, 1));
+  batch.push_back(Request(AlgorithmId::kSssp, 2));
+  batch.push_back(Request(AlgorithmId::kSssp, 1));
+  const FusionPlan plan = FusionPlanner::Plan(batch, 0, true);
+  ASSERT_EQ(plan.queries.size(), 2u);
+  // First-subscriber order: source 1 (indices 0, 2), then source 2.
+  EXPECT_EQ(plan.queries[0].source, 1u);
+  EXPECT_EQ(plan.queries[1].source, 2u);
+  EXPECT_EQ(plan.subscribers[0], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(plan.subscribers[1], (std::vector<size_t>{1}));
+  ExpectPartition(plan, batch.size());
+}
+
+TEST(FusionPlannerTest, DefaultSourceFusesWithExplicitRequest) {
+  std::vector<QueuedRequest> batch;
+  batch.push_back(Request(AlgorithmId::kBfs, kInvalidVertex));  // default
+  batch.push_back(Request(AlgorithmId::kBfs, 5));
+  const FusionPlan plan = FusionPlanner::Plan(batch, /*default_source=*/5,
+                                              /*enable_fusion=*/true);
+  EXPECT_EQ(plan.queries.size(), 1u);
+  ExpectPartition(plan, batch.size());
+}
+
+TEST(FusionPlannerTest, SourceFreeAlgorithmsIgnoreTheSourceField) {
+  std::vector<QueuedRequest> batch;
+  batch.push_back(Request(AlgorithmId::kCc, 1));
+  batch.push_back(Request(AlgorithmId::kCc, 99));
+  batch.push_back(Request(AlgorithmId::kCc, kInvalidVertex));
+  const FusionPlan plan = FusionPlanner::Plan(batch, 0, true);
+  EXPECT_EQ(plan.queries.size(), 1u);
+  EXPECT_EQ(plan.subscribers[0].size(), 3u);
+}
+
+TEST(FusionPlannerTest, ActiveFamilyParametersSplitGroups) {
+  std::vector<QueuedRequest> batch;
+  batch.push_back(Request(AlgorithmId::kPageRank));
+  batch.push_back(Request(AlgorithmId::kPageRank));
+  batch.back().query.params.pagerank.damping = 0.5;  // differs: no fuse
+  const FusionPlan plan = FusionPlanner::Plan(batch, 0, true);
+  EXPECT_EQ(plan.queries.size(), 2u);
+}
+
+TEST(FusionPlannerTest, InactiveFamilyParametersAreIgnored) {
+  // BFS reads neither PageRank nor PHP parameters, so differing damping
+  // must not block fusion.
+  std::vector<QueuedRequest> batch;
+  batch.push_back(Request(AlgorithmId::kBfs, 3));
+  batch.push_back(Request(AlgorithmId::kBfs, 3));
+  batch.back().query.params.pagerank.damping = 0.123;
+  batch.back().query.params.php.epsilon = 0.5;
+  const FusionPlan plan = FusionPlanner::Plan(batch, 0, true);
+  EXPECT_EQ(plan.queries.size(), 1u);
+}
+
+TEST(FusionPlannerTest, DisabledFusionKeepsEveryRequestSeparate) {
+  std::vector<QueuedRequest> batch;
+  for (int i = 0; i < 3; ++i) batch.push_back(Request(AlgorithmId::kBfs, 7));
+  const FusionPlan plan = FusionPlanner::Plan(batch, 0,
+                                              /*enable_fusion=*/false);
+  ASSERT_EQ(plan.queries.size(), 3u);
+  EXPECT_EQ(plan.FusedAway(batch.size()), 0u);
+  ExpectPartition(plan, batch.size());
+}
+
+TEST(FusionPlannerTest, EmptyBatchYieldsEmptyPlan) {
+  const FusionPlan plan = FusionPlanner::Plan({}, 0, true);
+  EXPECT_TRUE(plan.queries.empty());
+  EXPECT_TRUE(plan.subscribers.empty());
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -1,0 +1,258 @@
+// QueryServer end-to-end: served results are identical to isolated
+// Engine::Run calls, fusion coalesces identical requests into one solver
+// run, backpressure rejects at capacity, expired deadlines shed with an
+// explicit status, and shutdown drains every admitted request.
+
+#include "serving/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "test_graphs.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+ServingRequest Request(AlgorithmId algorithm,
+                       VertexId source = kInvalidVertex) {
+  ServingRequest request;
+  request.query.algorithm = algorithm;
+  request.query.source = source;
+  return request;
+}
+
+void ExpectSameValues(const QueryResult& served, const QueryResult& direct,
+                      const std::string& what) {
+  ASSERT_EQ(served.is_f64(), direct.is_f64()) << what;
+  if (served.is_f64()) {
+    // PR/PHP: parallel double accumulation reorders between runs.
+    ASSERT_EQ(served.f64().size(), direct.f64().size()) << what;
+    for (size_t v = 0; v < served.f64().size(); ++v) {
+      EXPECT_NEAR(served.f64()[v], direct.f64()[v], 1e-4)
+          << what << " vertex " << v;
+    }
+  } else {
+    EXPECT_EQ(served.u32(), direct.u32()) << what;
+  }
+}
+
+TEST(QueryServerTest, ServedResultsMatchIsolatedRuns) {
+  Engine engine(SmallRmat(/*scale=*/8, /*edge_factor=*/8, /*seed=*/11));
+  QueryServer server(&engine);
+
+  std::vector<ServingRequest> requests = {
+      Request(AlgorithmId::kBfs, 0),   Request(AlgorithmId::kSssp, 3),
+      Request(AlgorithmId::kCc),       Request(AlgorithmId::kPageRank),
+      Request(AlgorithmId::kSswp, 7),  Request(AlgorithmId::kPhp, 1),
+      Request(AlgorithmId::kBfs),  // default source
+  };
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (const ServingRequest& request : requests) {
+    auto submitted = server.Submit(request);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).value());
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<QueryResult> served = futures[i].get();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    Query reference = requests[i].query;
+    reference.source = served->source;  // pin the resolved source
+    auto direct = engine.Run(reference);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    ExpectSameValues(*served, *direct,
+                     AlgorithmName(requests[i].query.algorithm));
+  }
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, requests.size());
+  EXPECT_EQ(stats.admitted, requests.size());
+  EXPECT_EQ(stats.completed, requests.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
+}
+
+TEST(QueryServerTest, IdenticalRequestsFuseIntoOneExecution) {
+  Engine engine(SmallRmat(/*scale=*/8, /*edge_factor=*/8, /*seed=*/13));
+  QueryServer server(&engine);
+
+  // Pause the lanes so the burst accumulates into one dispatch batch —
+  // fusion within a batch is then deterministic, not scheduling-luck.
+  server.Pause();
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto submitted = server.Submit(Request(AlgorithmId::kBfs, 2));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto submitted = server.Submit(Request(AlgorithmId::kBfs, 9));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  EXPECT_GE(server.stats().queue_depth_high_water, 8u);
+  server.Resume();
+
+  std::vector<QueryResult> results;
+  for (auto& future : futures) {
+    Result<QueryResult> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    results.push_back(std::move(result).value());
+  }
+  // All subscribers of a fused run see that run's values; every result is
+  // the same epoch (the batch was pinned).
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_EQ(results[i].u32(), results[0].u32());
+    EXPECT_EQ(results[i].epoch, results[0].epoch);
+  }
+  EXPECT_EQ(results[6].u32(), results[7].u32());
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  // 8 requests, 2 distinct queries: 6 rode along.
+  EXPECT_EQ(stats.executed_queries, 2u);
+  EXPECT_EQ(stats.fused_requests, 6u);
+  EXPECT_EQ(stats.dispatch_batches, 1u);
+  EXPECT_GT(stats.FusionRatio(), 0.0);
+}
+
+TEST(QueryServerTest, FullLaneRejectsWithResourceExhausted) {
+  Engine engine(SmallRmat(/*scale=*/7, /*edge_factor=*/6, /*seed=*/17));
+  QueryServerOptions options;
+  options.lane_capacity = 3;
+  QueryServer server(&engine, options);
+
+  server.Pause();  // nothing drains: the 4th submit must bounce
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto submitted = server.Submit(Request(AlgorithmId::kCc));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  auto rejected = server.Submit(Request(AlgorithmId::kCc));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+
+  // Other lanes are unaffected by one lane's backlog.
+  auto other = server.Submit(Request(AlgorithmId::kBfs, 0));
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  futures.push_back(std::move(other).value());
+
+  server.Resume();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admitted, 4u);
+}
+
+TEST(QueryServerTest, ExpiredDeadlinesAreShedWithExplicitStatus) {
+  Engine engine(SmallRmat(/*scale=*/7, /*edge_factor=*/6, /*seed=*/19));
+  QueryServer server(&engine);
+
+  server.Pause();
+  ServingRequest doomed = Request(AlgorithmId::kBfs, 1);
+  doomed.deadline = std::chrono::microseconds(1);
+  auto doomed_future = server.Submit(doomed);
+  ASSERT_TRUE(doomed_future.ok());
+  auto healthy_future = server.Submit(Request(AlgorithmId::kBfs, 1));
+  ASSERT_TRUE(healthy_future.ok());
+  // Let the doomed deadline expire while the lane is gated.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Resume();
+
+  Result<QueryResult> shed = doomed_future->get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsDeadlineExceeded())
+      << shed.status().ToString();
+  EXPECT_TRUE(healthy_future->get().ok());
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_GT(stats.ShedRate(), 0.0);
+}
+
+TEST(QueryServerTest, ShutdownDrainsBacklogAndRejectsNewWork) {
+  Engine engine(SmallRmat(/*scale=*/7, /*edge_factor=*/6, /*seed=*/23));
+  auto server = std::make_unique<QueryServer>(&engine);
+
+  server->Pause();  // Shutdown's Close must override the pause gate
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto submitted = server->Submit(Request(AlgorithmId::kSssp, i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  server->Shutdown();
+  for (auto& future : futures) {
+    Result<QueryResult> result = future.get();  // drained, not dropped
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  auto late = server->Submit(Request(AlgorithmId::kBfs, 0));
+  EXPECT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsFailedPrecondition());
+  server.reset();  // double-shutdown via destructor is safe
+}
+
+TEST(QueryServerTest, ConcurrentClientsAllGetCorrectResults) {
+  Engine engine(SmallRmat(/*scale=*/8, /*edge_factor=*/8, /*seed=*/29));
+  QueryServer server(&engine);
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 6;
+
+  auto reference = engine.Run({.algorithm = AlgorithmId::kBfs, .source = 4});
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<std::thread> clients;
+  std::vector<Status> statuses(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto submitted = server.Submit(Request(AlgorithmId::kBfs, 4));
+        if (!submitted.ok()) {
+          statuses[c] = submitted.status();
+          return;
+        }
+        Result<QueryResult> result = submitted->get();
+        if (!result.ok()) {
+          statuses[c] = result.status();
+          return;
+        }
+        if (result->u32() != reference->u32()) {
+          statuses[c] = Status::Internal("client saw wrong values");
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (const Status& status : statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_GT(stats.p50_latency_seconds, 0.0);
+  EXPECT_GE(stats.p99_latency_seconds, stats.p50_latency_seconds);
+}
+
+TEST(QueryServerTest, UnknownAlgorithmRejectedAtSubmit) {
+  Engine engine(SmallRmat(/*scale=*/6, /*edge_factor=*/4, /*seed=*/31));
+  QueryServer server(&engine);
+  ServingRequest bogus;
+  bogus.query.algorithm = static_cast<AlgorithmId>(99);
+  auto submitted = server.Submit(bogus);
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_TRUE(submitted.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hytgraph

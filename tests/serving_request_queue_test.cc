@@ -1,0 +1,180 @@
+// RequestQueue: bounded admission, dispatch order (priority desc, EDF
+// within a class, seq among ties), batch cap, pause gating, and close
+// semantics.
+
+#include "serving/request_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hytgraph {
+namespace {
+
+using std::chrono::steady_clock;
+
+QueuedRequest MakeRequest(VertexId source, int priority = 0,
+                          steady_clock::time_point deadline =
+                              steady_clock::time_point::max()) {
+  QueuedRequest request;
+  request.query.algorithm = AlgorithmId::kBfs;
+  request.query.source = source;
+  request.priority = priority;
+  request.deadline = deadline;
+  return request;
+}
+
+std::vector<VertexId> Sources(const std::vector<QueuedRequest>& batch) {
+  std::vector<VertexId> sources;
+  for (const QueuedRequest& r : batch) sources.push_back(r.query.source);
+  return sources;
+}
+
+TEST(RequestQueueTest, PopReturnsSubmissionOrderAmongEquals) {
+  RequestQueue queue(8);
+  for (VertexId v : {3u, 1u, 2u}) {
+    QueuedRequest r = MakeRequest(v);
+    ASSERT_TRUE(queue.Push(&r).ok());
+  }
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(10, &batch));
+  EXPECT_EQ(Sources(batch), (std::vector<VertexId>{3, 1, 2}));
+}
+
+TEST(RequestQueueTest, CapacityRejectsWithResourceExhausted) {
+  RequestQueue queue(2);
+  QueuedRequest a = MakeRequest(0), b = MakeRequest(1), c = MakeRequest(2);
+  ASSERT_TRUE(queue.Push(&a).ok());
+  ASSERT_TRUE(queue.Push(&b).ok());
+  const Status rejected = queue.Push(&c);
+  EXPECT_TRUE(rejected.IsResourceExhausted()) << rejected.ToString();
+  // The rejected request is handed back intact: its promise is still the
+  // caller's to fulfill.
+  auto future = c.promise.get_future();
+  c.promise.set_value(Status::DeadlineExceeded("test"));
+  EXPECT_TRUE(future.get().status().IsDeadlineExceeded());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueueTest, HigherPriorityClassDispatchesFirst) {
+  RequestQueue queue(8);
+  QueuedRequest low = MakeRequest(1, /*priority=*/0);
+  QueuedRequest high = MakeRequest(2, /*priority=*/5);
+  QueuedRequest mid = MakeRequest(3, /*priority=*/2);
+  ASSERT_TRUE(queue.Push(&low).ok());
+  ASSERT_TRUE(queue.Push(&high).ok());
+  ASSERT_TRUE(queue.Push(&mid).ok());
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(10, &batch));
+  EXPECT_EQ(Sources(batch), (std::vector<VertexId>{2, 3, 1}));
+}
+
+TEST(RequestQueueTest, EarliestDeadlineFirstWithinPriorityClass) {
+  RequestQueue queue(8);
+  const auto now = steady_clock::now();
+  QueuedRequest late = MakeRequest(1, 0, now + std::chrono::seconds(60));
+  QueuedRequest soon = MakeRequest(2, 0, now + std::chrono::seconds(1));
+  QueuedRequest none = MakeRequest(3, 0);  // no deadline = latest
+  ASSERT_TRUE(queue.Push(&late).ok());
+  ASSERT_TRUE(queue.Push(&none).ok());
+  ASSERT_TRUE(queue.Push(&soon).ok());
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(10, &batch));
+  EXPECT_EQ(Sources(batch), (std::vector<VertexId>{2, 1, 3}));
+}
+
+TEST(RequestQueueTest, PriorityDominatesDeadline) {
+  RequestQueue queue(8);
+  const auto now = steady_clock::now();
+  QueuedRequest urgent_low =
+      MakeRequest(1, /*priority=*/0, now + std::chrono::milliseconds(1));
+  QueuedRequest relaxed_high =
+      MakeRequest(2, /*priority=*/1, now + std::chrono::seconds(60));
+  ASSERT_TRUE(queue.Push(&urgent_low).ok());
+  ASSERT_TRUE(queue.Push(&relaxed_high).ok());
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(10, &batch));
+  EXPECT_EQ(Sources(batch), (std::vector<VertexId>{2, 1}));
+}
+
+TEST(RequestQueueTest, MaxBatchTakesTheBestAndKeepsTheRest) {
+  RequestQueue queue(8);
+  for (int p : {1, 4, 2, 5, 3}) {
+    QueuedRequest r = MakeRequest(static_cast<VertexId>(p), p);
+    ASSERT_TRUE(queue.Push(&r).ok());
+  }
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(2, &batch));
+  EXPECT_EQ(Sources(batch), (std::vector<VertexId>{5, 4}));
+  EXPECT_EQ(queue.size(), 3u);
+  ASSERT_TRUE(queue.PopBatch(10, &batch));
+  EXPECT_EQ(Sources(batch), (std::vector<VertexId>{3, 2, 1}));
+}
+
+TEST(RequestQueueTest, CloseRejectsPushAndDrainsThenEnds) {
+  RequestQueue queue(8);
+  QueuedRequest a = MakeRequest(7);
+  ASSERT_TRUE(queue.Push(&a).ok());
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  QueuedRequest b = MakeRequest(8);
+  EXPECT_TRUE(queue.Push(&b).IsFailedPrecondition());
+  b.promise.set_value(Status::FailedPrecondition("test cleanup"));
+
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(10, &batch));  // drains the backlog first
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(queue.PopBatch(10, &batch));  // then reports closed
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(RequestQueueTest, PauseGatesPopUntilResumed) {
+  RequestQueue queue(8);
+  queue.SetPaused(true);
+  QueuedRequest a = MakeRequest(1);
+  ASSERT_TRUE(queue.Push(&a).ok());  // admission stays open while paused
+
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    std::vector<QueuedRequest> batch;
+    ASSERT_TRUE(queue.PopBatch(10, &batch));
+    EXPECT_EQ(batch.size(), 2u);  // the whole burst arrives as one batch
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());  // still gated
+  QueuedRequest b = MakeRequest(2);
+  ASSERT_TRUE(queue.Push(&b).ok());
+  queue.SetPaused(false);
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(RequestQueueTest, CloseOverridesPause) {
+  RequestQueue queue(8);
+  queue.SetPaused(true);
+  QueuedRequest a = MakeRequest(1);
+  ASSERT_TRUE(queue.Push(&a).ok());
+  queue.Close();
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(10, &batch));  // not stuck behind the pause
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(queue.PopBatch(10, &batch));
+}
+
+TEST(RequestQueueTest, DrainAllEmptiesWithoutBlocking) {
+  RequestQueue queue(8);
+  for (VertexId v : {1u, 2u, 3u}) {
+    QueuedRequest r = MakeRequest(v);
+    ASSERT_TRUE(queue.Push(&r).ok());
+  }
+  std::vector<QueuedRequest> drained = queue.DrainAll();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hytgraph
