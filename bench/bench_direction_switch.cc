@@ -155,6 +155,8 @@ int main() {
   uint64_t largest_scale_push_edges = 0;
   uint64_t largest_scale_hybrid_edges = 0;
   double largest_scale_best_ratio = 0;
+  uint64_t sssp_push_edges = 0;
+  uint64_t sssp_hybrid_edges = 0;
 
   for (const uint32_t scale : scales) {
     RmatOptions gen;
@@ -246,6 +248,10 @@ int main() {
         largest_scale_hybrid_edges = hybrid.result.trace.TotalKernelEdges();
         largest_scale_best_ratio = best_ratio;
       }
+      if (algorithm == AlgorithmId::kSssp && scale == scales.back()) {
+        sssp_push_edges = push.result.trace.TotalKernelEdges();
+        sssp_hybrid_edges = hybrid.result.trace.TotalKernelEdges();
+      }
     }
 
     // Mutated view at the largest scale: the hybrid must pull over the
@@ -306,6 +312,17 @@ int main() {
   if (largest_scale_best_ratio < 2.0) {
     std::printf("!! best dense-iteration reduction %.2fx < 2x target\n",
                 largest_scale_best_ratio);
+    ok = false;
+  }
+  // SSSP's pull floor is dist(u) + min_out_w(u) — tight enough that the
+  // hybrid must at least break even with push-only on the dense middle
+  // iterations (the plain dist(u) floor settled almost nobody and pull
+  // iterations cost more edges than they saved).
+  if (sssp_hybrid_edges >= sssp_push_edges) {
+    std::printf("!! hybrid SSSP processed %llu edges, push-only %llu — "
+                "below break-even\n",
+                static_cast<unsigned long long>(sssp_hybrid_edges),
+                static_cast<unsigned long long>(sssp_push_edges));
     ok = false;
   }
 

@@ -60,6 +60,8 @@ struct CliOptions {
   std::string serve;        // open-loop serving workload file
   int64_t serve_capacity = -1;  // per-lane admission capacity
   bool no_fusion = false;   // serve with one Run per request (baseline)
+  uint64_t memory_budget_mb = 0;  // >0: out-of-core with this cache budget
+  bool no_prefetch = false;       // out-of-core without frontier prefetch
 };
 
 void PrintUsage() {
@@ -135,7 +137,17 @@ void PrintUsage() {
       "  --no-fusion                  serve without cross-request fusion:\n"
       "                               one engine run per request (the\n"
       "                               baseline bench_query_throughput\n"
-      "                               measures against)\n");
+      "                               measures against)\n"
+      "  --memory-budget MB           out-of-core execution: spill the base\n"
+      "                               CSR's edge arrays to an edge-block\n"
+      "                               store and stream them through a block\n"
+      "                               cache of MB megabytes. Values are\n"
+      "                               identical to the in-memory run; only\n"
+      "                               host memory and wall time change.\n"
+      "                               Prints cache hit/miss/prefetch stats\n"
+      "  --no-prefetch                disable the frontier-driven block\n"
+      "                               prefetcher (demand-paged reads only;\n"
+      "                               only meaningful with --memory-budget)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* cli) {
@@ -152,6 +164,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
     }
     if (arg == "--no-fusion") {
       cli->no_fusion = true;
+      continue;
+    }
+    if (arg == "--no-prefetch") {
+      cli->no_prefetch = true;
       continue;
     }
     if ((value = next()) == nullptr) {
@@ -188,6 +204,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* cli) {
       cli->serve = value;
     } else if (arg == "--serve-capacity") {
       cli->serve_capacity = std::atoll(value);
+    } else if (arg == "--memory-budget") {
+      cli->memory_budget_mb = std::strtoull(value, nullptr, 10);
     } else if (arg == "--direction") {
       cli->direction = value;
     } else if (arg == "--alpha") {
@@ -353,6 +371,20 @@ int RunServe(Engine& engine, const CliOptions& cli) {
   table.AddRow({"p99 latency ms",
                 FormatDouble(stats.p99_latency_seconds * 1e3, 3)});
   table.Print();
+  if (!stats.priority_classes.empty()) {
+    std::printf("per priority class:\n");
+    TablePrinter classes(
+        {"priority", "served", "shed", "qps", "p50 ms", "p99 ms"});
+    for (const PriorityClassStats& row : stats.priority_classes) {
+      classes.AddRow({std::to_string(row.priority),
+                      std::to_string(row.served),
+                      std::to_string(row.shed_deadline),
+                      FormatDouble(row.qps, 1),
+                      FormatDouble(row.p50_latency_seconds * 1e3, 3),
+                      FormatDouble(row.p99_latency_seconds * 1e3, 3)});
+    }
+    classes.Print();
+  }
   const bool accounted =
       stats.completed + stats.failed + stats.shed_deadline == stats.admitted &&
       completed == stats.completed && shed == stats.shed_deadline;
@@ -361,6 +393,21 @@ int RunServe(Engine& engine, const CliOptions& cli) {
     return 1;
   }
   return failed == 0 ? 0 : 1;
+}
+
+void PrintStorageStats(const Engine& engine) {
+  if (!engine.out_of_core()) return;
+  const StorageStats stats = engine.storage_stats();
+  std::printf("block cache: %llu hit(s), %llu miss(es), %llu eviction(s), "
+              "%s read back; hit rate %.3f, prefetch accuracy %.3f "
+              "(%llu issued, %llu useful)\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              HumanBytes(stats.bytes_read).c_str(), stats.HitRate(),
+              stats.PrefetchAccuracy(),
+              static_cast<unsigned long long>(stats.prefetch_issued),
+              static_cast<unsigned long long>(stats.prefetch_useful));
 }
 
 void PrintTrace(const RunTrace& trace) {
@@ -505,14 +552,31 @@ int main(int argc, char** argv) {
     compaction.delta_fraction = 0.0;
   }
 
-  Engine engine(std::move(graph), options, compaction);
+  StorageOptions storage;
+  if (cli.memory_budget_mb > 0) {
+    storage.memory_budget_bytes = cli.memory_budget_mb << 20;
+    storage.prefetch = !cli.no_prefetch;
+  }
+  const uint64_t edge_bytes = graph.EdgeDataBytes();
+
+  Engine engine(std::move(graph), options, compaction, storage);
   std::printf("graph: %u vertices, %llu edges (%s); device memory %s; "
               "system %s; link %s\n",
               engine.graph().num_vertices(),
               static_cast<unsigned long long>(engine.graph().num_edges()),
-              HumanBytes(engine.graph().EdgeDataBytes()).c_str(),
+              HumanBytes(edge_bytes).c_str(),
               HumanBytes(options.DeviceMemory()).c_str(),
               SystemKindName(*system), options.gpu.pcie_gen.c_str());
+  if (cli.memory_budget_mb > 0) {
+    if (engine.out_of_core()) {
+      std::printf("out-of-core: edge blocks stream through a %s cache "
+                  "(prefetch %s)\n",
+                  HumanBytes(storage.memory_budget_bytes).c_str(),
+                  storage.prefetch ? "on" : "off");
+    } else {
+      std::printf("out-of-core: spill failed, running in memory\n");
+    }
+  }
 
   Query query;
   query.algorithm = *algorithm;
@@ -589,6 +653,7 @@ int main(int argc, char** argv) {
                   results->front().source);
       PrintTrace(results->front().trace);
     }
+    PrintStorageStats(engine);
     return 0;
   }
 
@@ -607,6 +672,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   result->trace.TotalKernelEdges()));
   if (cli.trace) PrintTrace(result->trace);
+  PrintStorageStats(engine);
 
   // --- Mutation replay ---
   if (!cli.mutations.empty()) {

@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "algorithms/atomic_ops.h"
@@ -35,6 +36,7 @@
 #include "graph/csr_graph.h"
 #include "graph/graph_view.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hytgraph {
 
@@ -47,6 +49,11 @@ class BfsProgram {
   using Value = uint32_t;
   static constexpr bool kNeedsWeights = false;
   static constexpr bool kHasDelta = false;
+  // A vertex that reaches its floor (level+1 of the frontier) is settled
+  // for good, so successive pull gathers shrink geometrically — the
+  // solver's measured-cost feedback would mispredict them; pure Beamer
+  // thresholds steer better.
+  static constexpr bool kPullCandidatesLinger = false;
   static constexpr const char* kName = "BFS";
 
   BfsProgram(const GraphView& view, VertexId source)
@@ -111,10 +118,16 @@ class SsspProgram {
   using Value = uint32_t;
   static constexpr bool kNeedsWeights = true;
   static constexpr bool kHasDelta = false;
+  // The settled floor moves every iteration, so unsettled candidates are
+  // rescanned until their distance stops improving — gather cost stays
+  // near the last measured one, making the solver's feedback term an
+  // accurate predictor (without it, auto mode lingers in pull on
+  // shrinking frontiers and loses to push).
+  static constexpr bool kPullCandidatesLinger = true;
   static constexpr const char* kName = "SSSP";
 
   SsspProgram(const GraphView& view, VertexId source)
-      : source_(source), dists_(view.num_vertices()) {
+      : source_(source), view_(view), dists_(view.num_vertices()) {
     for (auto& dist : dists_) {
       dist.store(kUnreachable, std::memory_order_relaxed);
     }
@@ -146,12 +159,23 @@ class SsspProgram {
   static PullBound BetterBound(PullBound a, PullBound b) {
     return std::min(a, b);
   }
-  /// dist(u) is a lower bound on every offer dist(u) + w (w >= 0) — exact
-  /// per-edge offers would need the outgoing weights, so the floor is
-  /// conservative and settles fewer candidates than BFS's, but stays sound
-  /// for any non-negative weighting.
+  /// Best offer u can make to any out-neighbour: dist(u) + min_out_w(u).
+  /// Every actual offer is dist(u) + w with w >= min_out_w(u), so the floor
+  /// stays sound for any non-negative weighting while settling far more
+  /// candidates than the plain dist(u) bound (which degrades toward "nobody
+  /// settles" as weights grow — the weighted-SSSP analogue of BFS's
+  /// level+1). The per-vertex minima are built lazily on the first pull
+  /// iteration — an O(E) scan paid once per query, and only by queries
+  /// that actually pull.
   PullBound PullPotential(VertexId u) const {
-    return dists_[u].load(std::memory_order_relaxed);
+    const uint32_t dist = dists_[u].load(std::memory_order_relaxed);
+    if (dist == kUnreachable) return kUnreachable;
+    std::call_once(min_out_once_, [this] { BuildMinOutWeights(); });
+    const uint32_t min_w = min_out_w_[u];
+    if (min_w == kUnreachable) return kUnreachable;  // no out-edges: no offer
+    const uint64_t offer = static_cast<uint64_t>(dist) + min_w;
+    return offer >= kUnreachable ? kUnreachable
+                                 : static_cast<uint32_t>(offer);
   }
   bool SettledAt(VertexId v, PullBound bound) const {
     return dists_[v].load(std::memory_order_relaxed) <= bound;
@@ -166,8 +190,28 @@ class SsspProgram {
   }
 
  private:
+  void BuildMinOutWeights() const {
+    min_out_w_.assign(dists_.size(), kUnreachable);
+    ThreadPool::Default()->ParallelFor(
+        min_out_w_.size(),
+        [&](int /*shard*/, uint64_t begin, uint64_t end) {
+          BlockRef lease;  // one per shard: ascending scan, out-of-core safe
+          for (uint64_t v = begin; v < end; ++v) {
+            uint32_t best = kUnreachable;
+            view_.ForEachNeighborLeased(
+                static_cast<VertexId>(v), &lease,
+                [&](VertexId /*t*/, Weight w) { best = std::min(best, w); });
+            min_out_w_[v] = best;
+          }
+        },
+        /*min_grain=*/256);
+  }
+
   VertexId source_;
+  const GraphView view_;
   std::vector<std::atomic<uint32_t>> dists_;
+  mutable std::once_flag min_out_once_;
+  mutable std::vector<uint32_t> min_out_w_;
 };
 
 /// Connected Components by min-label propagation along out-edges. For
@@ -179,6 +223,9 @@ class CcProgram {
   using Value = uint32_t;
   static constexpr bool kNeedsWeights = false;
   static constexpr bool kHasDelta = false;
+  // Labels settle permanently like BFS levels: gathers collapse after the
+  // first pull iteration, so the measured-cost feedback stays off.
+  static constexpr bool kPullCandidatesLinger = false;
   static constexpr const char* kName = "CC";
 
   explicit CcProgram(const GraphView& view) : labels_(view.num_vertices()) {
@@ -412,6 +459,9 @@ class SswpProgram {
   using Value = uint32_t;
   static constexpr bool kNeedsWeights = true;
   static constexpr bool kHasDelta = false;
+  // Same slow-settling structure as SSSP (the width floor keeps moving),
+  // so the measured-cost feedback applies.
+  static constexpr bool kPullCandidatesLinger = true;
   static constexpr const char* kName = "SSWP";
 
   SswpProgram(const GraphView& view, VertexId source)

@@ -50,6 +50,15 @@ PartitionCosts CostModel::Evaluate(const PartitionStats& stats,
   costs.tiz =
       ZeroCopyCost(stats.zc_requests, stats.active_edges, partition_edges);
 
+  if (!stats.resident && options_.stream_tlps_per_byte > 0.0) {
+    const double stream = static_cast<double>(partition_edges) *
+                          static_cast<double>(options_.bytes_per_edge) *
+                          options_.stream_tlps_per_byte;
+    costs.tef += stream;
+    costs.tec += stream;
+    costs.tiz += stream;
+  }
+
   if (costs.tec < options_.alpha * costs.tef &&
       costs.tec < options_.beta * costs.tiz) {
     costs.choice = EngineKind::kCompaction;

@@ -55,6 +55,14 @@ struct CostModelOptions {
   /// documented extension of formulas (1)-(2): at paper scale the term is
   /// negligible, at simulator scale it keeps selection honest.)
   double explicit_overhead_tlps = 0.0;
+  /// Out-of-core stream-in cost in RTT units per edge byte, charged to a
+  /// partition whose blocks are not resident in the block cache (derived
+  /// from StorageOptions::throttle_bytes_per_second; 0 = free / in-memory).
+  /// Added *uniformly* to tef/tec/tiz: the same bytes stream from disk no
+  /// matter which engine consumes them afterwards, so modeled totals stay
+  /// honest while the engine choice — and therefore the executed schedule
+  /// and the computed values — is identical to the in-memory run.
+  double stream_tlps_per_byte = 0.0;
 };
 
 /// Costs of one partition in RTT units, plus the chosen engine.

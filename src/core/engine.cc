@@ -28,16 +28,29 @@ std::string PreparationFingerprint(const SolverOptions& options) {
 }  // namespace
 
 Engine::Engine(CsrGraph graph, SolverOptions default_options,
-               CompactionPolicy compaction)
+               CompactionPolicy compaction, StorageOptions storage)
     : default_options_(std::move(default_options)),
-      base_(std::make_shared<const CsrGraph>(std::move(graph))),
-      // Created non-const (stored through a pointer-to-const): the
-      // in-place publication path writes through a const_cast, which is
-      // only defined for objects that were not created const.
-      overlay_(std::make_shared<DeltaOverlay>(base_)),
-      view_(base_, overlay_),
-      default_source_(HighestOutDegreeVertex(view_)),
+      storage_options_(storage),
       compactor_(compaction) {
+  auto base = std::make_shared<CsrGraph>(std::move(graph));
+  if (storage_options_.enabled()) {
+    block_cache_ = std::make_shared<BlockCache>(
+        storage_options_.memory_budget_bytes, storage_options_.cache_sections);
+    prefetcher_ = std::make_shared<Prefetcher>(storage_options_.io_threads);
+    store_ = MaybeSpill(base, /*sibling_of=*/nullptr);
+    if (store_ == nullptr) {
+      // MaybeSpill logged the failure; fall back to fully in-memory.
+      block_cache_.reset();
+      prefetcher_.reset();
+    }
+  }
+  base_ = std::move(base);
+  // Created non-const (stored through a pointer-to-const): the in-place
+  // publication path writes through a const_cast, which is only defined
+  // for objects that were not created const.
+  overlay_ = std::make_shared<DeltaOverlay>(base_, store_);
+  view_ = GraphView(base_, overlay_, store_);
+  default_source_ = HighestOutDegreeVertex(view_);
   if (default_source_ != kInvalidVertex) {
     default_source_degree_ = view_.out_degree(default_source_);
   }
@@ -47,9 +60,45 @@ Engine::Engine(CsrGraph graph, SolverOptions default_options,
   }
 }
 
+bool Engine::out_of_core() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return store_ != nullptr;
+}
+
+StorageStats Engine::storage_stats() const {
+  return block_cache_ == nullptr ? StorageStats{} : block_cache_->stats();
+}
+
+std::shared_ptr<const EdgeBlockStore> Engine::MaybeSpill(
+    const std::shared_ptr<CsrGraph>& fresh,
+    const std::shared_ptr<const EdgeBlockStore>& sibling_of) const {
+  if (block_cache_ == nullptr && sibling_of == nullptr) return nullptr;
+  Result<std::shared_ptr<EdgeBlockStore>> spilled =
+      sibling_of != nullptr
+          ? sibling_of->SpillSibling(fresh)
+          : EdgeBlockStore::Spill(fresh, block_cache_, prefetcher_,
+                                  storage_options_);
+  if (!spilled.ok()) {
+    HYT_LOG(Warning) << "edge-block spill failed ("
+                     << spilled.status().ToString()
+                     << "); keeping the snapshot in memory";
+    return nullptr;
+  }
+  fresh->ReleaseEdgeData();
+  return std::move(spilled).value();
+}
+
 Engine::~Engine() {
   // Join the fold worker before any member it touches is destroyed.
   background_.reset();
+  // Drain in-flight read-ahead while this engine still holds its store
+  // references. A running job briefly owns a strong store ref; if the
+  // engine's refs died first, the IO thread would drop the last one, and
+  // the store's teardown would cascade into the prefetcher destroying
+  // itself from its own worker (a self-join). After WaitIdle the members
+  // tear down on this thread in declaration order: stores first, then the
+  // (now idle) prefetcher and cache.
+  if (prefetcher_ != nullptr) prefetcher_->WaitIdle();
 }
 
 Engine::ViewRef Engine::CurrentViewRef() const {
@@ -122,9 +171,14 @@ SnapshotCompactor::Stats Engine::compactor_stats() const {
 Status Engine::CompactLocked() {
   if (overlay_->empty()) return Status::OK();
   HYT_ASSIGN_OR_RETURN(CsrGraph folded, compactor_.Fold(*overlay_));
-  base_ = std::make_shared<const CsrGraph>(std::move(folded));
-  overlay_ = std::make_shared<DeltaOverlay>(base_);  // non-const: see ctor
-  view_ = GraphView(base_, overlay_);
+  auto fresh = std::make_shared<CsrGraph>(std::move(folded));
+  // Out of core: the folded snapshot spills to its own block file sharing
+  // the engine's cache/prefetcher/throttle (the old store's file is
+  // reclaimed when its last pinned view drops).
+  store_ = MaybeSpill(fresh, store_);
+  base_ = std::move(fresh);
+  overlay_ = std::make_shared<DeltaOverlay>(base_, store_);  // non-const: ctor
+  view_ = GraphView(base_, overlay_, store_);
   ++layout_version_;
   // The logical graph is unchanged (the fold only moved the physical
   // layout), so the epoch and the default source stay put. Cached
@@ -156,12 +210,14 @@ void Engine::WaitForCompaction() {
 
 void Engine::BackgroundFoldCycle() {
   std::shared_ptr<const DeltaOverlay> captured;
+  std::shared_ptr<const EdgeBlockStore> old_store;
   {
     std::unique_lock<std::shared_mutex> lock(graph_mu_);
     if (overlay_->empty()) return;
     fold_in_flight_ = true;
     fold_window_.clear();
     captured = overlay_;
+    old_store = store_;
   }
 
   // The O(E) rebuild — off graph_mu_ entirely, so concurrent
@@ -174,8 +230,12 @@ void Engine::BackgroundFoldCycle() {
       // loudly rather than silently dropping folds forever.
       << "background fold failed: " << folded.status().ToString();
 
-  auto new_base = std::make_shared<const CsrGraph>(std::move(folded).value());
-  auto new_overlay = std::make_shared<DeltaOverlay>(new_base);
+  auto new_base = std::make_shared<CsrGraph>(std::move(folded).value());
+  // Spill the folded snapshot off-lock too — the O(E) block-file write
+  // happens on the worker, never under graph_mu_.
+  std::shared_ptr<const EdgeBlockStore> new_store =
+      MaybeSpill(new_base, old_store);
+  auto new_overlay = std::make_shared<DeltaOverlay>(new_base, new_store);
   // Batches that raced the fold: replay them onto the new base. The folded
   // CSR equals old base + captured overlay, so replaying the window in
   // order reproduces exactly the live logical graph (same epochs — those
@@ -208,8 +268,9 @@ void Engine::BackgroundFoldCycle() {
   }
   fold_window_.clear();
   base_ = std::move(new_base);
+  store_ = std::move(new_store);
   overlay_ = std::move(new_overlay);
-  view_ = GraphView(base_, overlay_);
+  view_ = GraphView(base_, overlay_, store_);
   ++layout_version_;
   compactor_.RecordFold(base_->num_edges(), fold_seconds);
   // Same rationale as CompactLocked: cached preparations pin the pre-fold
@@ -267,8 +328,12 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
   // BackgroundFoldCycle create unseeded views).
   const std::shared_ptr<const CsrGraph> reverse_base =
       view_.reverse_base_if_built();
+  const std::shared_ptr<const EdgeBlockStore> reverse_store =
+      view_.reverse_store_if_built();
+  // The forward store rides along implicitly: the new view inherits it
+  // from the overlay (whose COW copy carries the base store).
   view_ = GraphView(base_, overlay_);
-  view_.SeedReverseBase(reverse_base);
+  view_.SeedReverseBase(reverse_base, reverse_store);
 
   EpochDelta log_entry;
   log_entry.epoch = epoch_;

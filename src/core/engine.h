@@ -90,6 +90,10 @@
 #include "dynamic/snapshot_compactor.h"
 #include "graph/csr_graph.h"
 #include "graph/graph_view.h"
+#include "storage/block_cache.h"
+#include "storage/edge_block_store.h"
+#include "storage/prefetcher.h"
+#include "storage/storage_options.h"
 #include "util/status.h"
 
 namespace hytgraph {
@@ -166,11 +170,17 @@ class Engine {
   /// Takes ownership of `graph`. `default_options` configure queries that
   /// do not pass explicit options (and the simulated platform for those
   /// that do not care); `compaction` governs when pending mutation deltas
-  /// are folded into a fresh base snapshot.
+  /// are folded into a fresh base snapshot; `storage` bounds host memory —
+  /// when storage.enabled(), the base CSR's edge arrays are spilled to an
+  /// edge-block store and stream through a block cache of
+  /// storage.memory_budget_bytes (mutation overlays always stay in
+  /// memory). Values are identical to the in-memory engine; only time and
+  /// memory move.
   explicit Engine(CsrGraph graph,
                   SolverOptions default_options =
                       SolverOptions::Defaults(SystemKind::kHyTGraph),
-                  CompactionPolicy compaction = {});
+                  CompactionPolicy compaction = {},
+                  StorageOptions storage = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -273,6 +283,14 @@ class Engine {
   /// Fold statistics of the snapshot compactor (write- plus read-triggered).
   SnapshotCompactor::Stats compactor_stats() const;
 
+  /// True when the base CSR streams from the edge-block store (storage was
+  /// enabled and the initial spill succeeded).
+  bool out_of_core() const;
+  const StorageOptions& storage_options() const { return storage_options_; }
+  /// Block-cache counters (hits, misses, evictions, bytes read, prefetch
+  /// accuracy). All-zero when storage is disabled.
+  StorageStats storage_stats() const;
+
   /// Drops all memoized preparations. Counters (hits/misses/invalidated)
   /// are preserved; only `entries` resets.
   void ClearPreparedCache();
@@ -352,12 +370,33 @@ class Engine {
   Result<std::vector<QueryResult>> ExecutePlans(
       const std::vector<PlannedQuery>& plans) const;
 
+  /// Spills `fresh`'s edge arrays to the block store and releases the
+  /// in-memory copies. When `sibling_of` is non-null the new store shares
+  /// its IO throttle (one virtual spindle per engine); otherwise a fresh
+  /// store is built over the engine's cache + prefetcher. Returns null —
+  /// and leaves `fresh` resident — when storage is disabled or the spill
+  /// fails (warning logged).
+  std::shared_ptr<const EdgeBlockStore> MaybeSpill(
+      const std::shared_ptr<CsrGraph>& fresh,
+      const std::shared_ptr<const EdgeBlockStore>& sibling_of) const;
+
   SolverOptions default_options_;
+
+  /// Out-of-core state. The cache and prefetcher are shared by every
+  /// EdgeBlockStore this engine ever creates (base, reverse transpose,
+  /// hub-relabeled copies, folded snapshots) so the byte budget is global.
+  /// Declared before graph_mu_/base_ so stores (which reference them)
+  /// are destroyed first.
+  StorageOptions storage_options_;
+  std::shared_ptr<BlockCache> block_cache_;
+  std::shared_ptr<Prefetcher> prefetcher_;
 
   /// Guards the mutation state below. Writers (ApplyMutations, Compact)
   /// publish new immutable snapshots; readers copy shared_ptrs out.
   mutable std::shared_mutex graph_mu_;
   std::shared_ptr<const CsrGraph> base_;          // last folded snapshot
+  /// Block store backing base_ when out of core; null when in memory.
+  std::shared_ptr<const EdgeBlockStore> store_;
   std::shared_ptr<const DeltaOverlay> overlay_;   // pending delta (COW)
   GraphView view_;                                // base_ + overlay_
   uint64_t epoch_ = 0;

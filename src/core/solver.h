@@ -16,8 +16,14 @@
 //      gather over the view's reverse side (RunPullKernel). Auto switches
 //      with Beamer-style thresholds — push -> pull when the frontier's
 //      out-edges exceed |E|/direction_alpha, pull -> push when the active
-//      count drops below |V|/direction_beta. Only the value-selection
-//      family can pull; PR/PHP are pinned to push at compile time.
+//      count drops below |V|/direction_beta. Slow-settling programs
+//      (Program::kPullCandidatesLinger — SSSP/SSWP, whose unsettled
+//      candidate set stays large long after the frontier shrinks) add a
+//      measured-cost feedback term: pull is entered or retained only
+//      while the frontier's out-edges (what push would relax) cover the
+//      last pull iteration's gathered in-edge count (what pull actually
+//      paid). Only the value-selection family can pull; PR/PHP are
+//      pinned to push at compile time.
 //   2. Resolve the frontier against the partitioning (engine/partition_state)
 //   3. Generate tasks: HyTGraph runs cost-aware selection (formulas (1)-(3))
 //      + task combination; baselines force a single engine
@@ -43,6 +49,7 @@
 #define HYTGRAPH_CORE_SOLVER_H_
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 #include <string>
 #include <utility>
@@ -140,6 +147,18 @@ class Solver {
     cmo.explicit_overhead_tlps = 2.0 * options_.task_overhead_seconds /
                                  options_.combine_k /
                                  pcie_->SaturatedTlpSeconds();
+    if (view_.base_streamed()) {
+      const uint64_t stream_bps =
+          view_.storage()->options().throttle_bytes_per_second;
+      if (stream_bps > 0) {
+        // Host-disk stream-in for non-resident partitions, in the same RTT
+        // units as formulas (1)-(3). Charged uniformly across engines, so
+        // the selection is unchanged (see CostModelOptions).
+        cmo.stream_tlps_per_byte =
+            1.0 / (static_cast<double>(stream_bps) *
+                   pcie_->SaturatedTlpSeconds());
+      }
+    }
     cost_model_ = std::make_unique<CostModel>(cmo);
 
     // Staging budget for loaded subgraphs: whatever device memory the
@@ -177,11 +196,21 @@ class Solver {
     Frontier* current = &frontier_a;
     Frontier* next = &frontier_b;
     program->InitFrontier(current);
+    // Cold-start read-ahead: the first iteration's blocks stream while the
+    // partition stats below are still being built.
+    PostPrefetchHints(*current);
 
     // Direction machinery engages only for pull-capable programs under a
     // non-push option; PR/PHP (and programs without pull hooks) compile to
     // the push-only loop regardless of options_.direction.
     bool pulling = false;
+    // Measured cost of the most recent pull gather (in-edges scanned).
+    // Auto mode enters or retains pull only while the frontier's
+    // out-edges cover it: after an unprofitable gather this suppresses
+    // both retention and alpha re-entry until the frontier outgrows the
+    // observed pull cost (0 before any pull, so first entry is pure
+    // Beamer alpha).
+    uint64_t last_pull_edges = 0;
     if constexpr (PullCapableProgram<Program>) {
       pulling = options_.direction == TraversalDirection::kPull;
     }
@@ -196,10 +225,10 @@ class Solver {
 
       if constexpr (PullCapableProgram<Program>) {
         if (options_.direction != TraversalDirection::kPush) {
-          // m_f is scanned only when the push -> pull decision needs it;
-          // steady-state pull iterations and forced kPull skip the O(n_f)
-          // pass (active_edges stays 0 in their trace rows — the scanned
-          // in-edge count lands in transfers.kernel_edges instead).
+          // m_f is scanned only when the direction decision needs it;
+          // forced kPull skips the O(n_f) pass (active_edges stays 0 in
+          // its trace rows — the scanned in-edge count lands in
+          // transfers.kernel_edges instead).
           uint64_t frontier_edges = 0;
           if (options_.direction == TraversalDirection::kAuto) {
             // Beamer-style hybrid: m_f from the view-adjusted degrees (the
@@ -210,23 +239,35 @@ class Solver {
             // fallback for frontiers a scout-blind producer touched
             // (InitFrontier, the pull kernel) — scout-valid frontiers
             // carry exactly the sum the scan would compute.
-            if (!pulling) {
-              frontier_edges =
-                  options_.incremental_scout_count && current->ScoutValid()
-                      ? current->ScoutCount()
-                      : FrontierActiveEdges(view_, *current);
-              pulling = static_cast<double>(frontier_edges) *
-                            options_.direction_alpha >
-                        static_cast<double>(view_.num_edges());
-            } else {
-              pulling = static_cast<double>(active) *
-                            options_.direction_beta >=
-                        static_cast<double>(view_.num_vertices());
+            frontier_edges =
+                options_.incremental_scout_count && current->ScoutValid()
+                    ? current->ScoutCount()
+                    : FrontierActiveEdges(view_, *current);
+            const bool threshold =
+                pulling ? static_cast<double>(active) *
+                                  options_.direction_beta >=
+                              static_cast<double>(view_.num_vertices())
+                        : static_cast<double>(frontier_edges) *
+                                  options_.direction_alpha >
+                              static_cast<double>(view_.num_edges());
+            pulling = threshold;
+            // Feedback for slow-settling programs (kPullCandidatesLinger):
+            // pull only while push's cost (m_f) covers what the last
+            // gather measurably paid — the last gather predicts the next
+            // one when candidates are rescanned until a moving floor
+            // catches them. Keeps SSSP/SSWP from lingering in (or
+            // bouncing straight back into) an unprofitable direction.
+            // BFS/CC candidates settle permanently, collapsing successive
+            // gather costs, so there the stale measurement would exit
+            // profitable pull phases — pure Beamer thresholds steer them.
+            if constexpr (Program::kPullCandidatesLinger) {
+              pulling = pulling && frontier_edges >= last_pull_edges;
             }
           }
           if (pulling) {
             trace.iterations.push_back(RunPullIteration(
                 *current, next, frontier_edges, active, &trace, program));
+            last_pull_edges = trace.iterations.back().transfers.kernel_edges;
             std::swap(current, next);
             next->Clear();
             continue;
@@ -243,6 +284,7 @@ class Solver {
       pso.enabled = options_.enable_contribution_scheduling;
       pso.delta_driven = Program::kHasDelta;
       ScheduleTasks(&tasks, state, pso);
+      OverlapStreamIn(&tasks, state);
 
       StreamTimeline timeline(options_.num_streams);
       IterationTrace it;
@@ -265,6 +307,12 @@ class Solver {
 
       // Recycle the active-list allocation into the next iteration.
       actives_scratch_ = std::move(state.actives);
+
+      // Iteration barrier: next iteration's active set is now final — post
+      // its blocks to the prefetcher so the IO overlaps the (cheap) stats
+      // and task-generation work plus the next round's resident-first
+      // tasks.
+      PostPrefetchHints(*next);
 
       std::swap(current, next);
       next->Clear();
@@ -290,9 +338,75 @@ class Solver {
       delta_fn = &DeltaTrampoline;
       opaque = program;
     }
-    return BuildIterationState(view_, partitions_, frontier, *zc_access_,
-                               Program::kNeedsWeights && view_.is_weighted(),
-                               delta_fn, opaque, std::move(actives_storage));
+    IterationState state = BuildIterationState(
+        view_, partitions_, frontier, *zc_access_,
+        Program::kNeedsWeights && view_.is_weighted(), delta_fn, opaque,
+        std::move(actives_storage));
+    if (view_.base_streamed()) {
+      // Residency snapshot for the cost model's stream-in term and the
+      // resident-first task ordering. Racy by nature (prefetches land
+      // concurrently) but only ever pessimistic about cost, never about
+      // correctness.
+      const EdgeBlockStore& store = *view_.storage();
+      for (size_t p = 0; p < partitions_.size(); ++p) {
+        if (!state.stats[p].HasWork()) continue;
+        state.stats[p].resident = store.RangeResident(
+            partitions_[p].first_vertex, partitions_[p].last_vertex - 1);
+      }
+    }
+    return state;
+  }
+
+  /// Out-of-core pipelining for one push iteration: reorder the scheduled
+  /// tasks so fully resident ones run first (a stable partition — the
+  /// contribution-driven priority order is preserved within each half), and
+  /// post the non-resident tasks' blocks to the prefetcher, so their IO
+  /// streams behind the resident tasks' compute instead of stalling the
+  /// first ExecuteTask that touches them.
+  void OverlapStreamIn(std::vector<Task>* tasks,
+                       const IterationState& state) const {
+    if (!view_.base_streamed()) return;
+    const EdgeBlockStore& store = *view_.storage();
+    const auto task_resident = [&](const Task& task) {
+      for (uint32_t p : task.partitions) {
+        if (!state.stats[p].resident) return false;
+      }
+      return true;
+    };
+    std::stable_partition(tasks->begin(), tasks->end(), task_resident);
+    if (!store.prefetch_enabled()) return;
+    std::vector<uint32_t> blocks;
+    for (const Task& task : *tasks) {
+      if (task_resident(task)) continue;
+      for (uint32_t p : task.partitions) {
+        store.BlocksForRange(partitions_[p].first_vertex,
+                             partitions_[p].last_vertex - 1, &blocks);
+      }
+    }
+    store.PostPrefetch(blocks);
+  }
+
+  /// Posts the blocks covering `frontier`'s active vertices to the
+  /// prefetcher (iteration-barrier hint: the next iteration's read set is
+  /// exact, so accuracy-tracked read-ahead can hide the stream-in).
+  void PostPrefetchHints(const Frontier& frontier) const {
+    if (!view_.base_streamed()) return;
+    const EdgeBlockStore& store = *view_.storage();
+    if (!store.prefetch_enabled()) return;
+    std::vector<uint32_t> blocks;
+    const auto words = frontier.Words();
+    for (size_t w = 0; w < words.size(); ++w) {
+      uint64_t bits = words[w].load(std::memory_order_relaxed);
+      while (bits != 0) {
+        const VertexId v = static_cast<VertexId>(
+            w * Frontier::kBitsPerWord +
+            static_cast<uint64_t>(std::countr_zero(bits)));
+        const uint32_t b = store.BlockOf(v);
+        if (blocks.empty() || blocks.back() != b) blocks.push_back(b);
+        bits &= bits - 1;
+      }
+    }
+    store.PostPrefetch(blocks);
   }
 
   /// One pull-direction iteration: a dense gather over the reverse view
@@ -300,8 +414,8 @@ class Solver {
   /// reverse adjacency is treated as GPU-resident alongside the forward
   /// CSR, so the iteration is kernel-only in simulated time (no transfer
   /// engines run); `frontier_edges` is the push-equivalent m_f for the
-  /// trace — nonzero only when the direction decision computed it (the
-  /// push -> pull switch iteration).
+  /// trace — nonzero only when the direction decision computed it (every
+  /// auto-mode iteration; forced kPull passes 0).
   IterationTrace RunPullIteration(const Frontier& current, Frontier* next,
                                   uint64_t frontier_edges,
                                   uint64_t active_vertices, RunTrace* trace,

@@ -9,6 +9,7 @@ Result<DeltaOverlay::ApplyStats> DeltaOverlay::Apply(
   HYT_RETURN_NOT_OK(batch.Validate(num_vertices()));
 
   ApplyStats stats;
+  BlockRef lease;  // reused across mutations hitting the same base block
   for (const EdgeMutation& m : batch.mutations()) {
     if (m.op == MutationOp::kInsertEdge) {
       deltas_[m.src].inserts.emplace_back(m.dst, m.weight);
@@ -33,7 +34,10 @@ Result<DeltaOverlay::ApplyStats> DeltaOverlay::Apply(
     }
     if (delta == nullptr || !delta->IsTombstoned(m.dst)) {
       uint64_t base_matches = 0;
-      for (VertexId nbr : base_->neighbors(m.src)) {
+      const std::span<const VertexId> base_nbrs =
+          base_store_ != nullptr ? base_store_->Fetch(m.src, &lease).targets
+                                 : base_->neighbors(m.src);
+      for (VertexId nbr : base_nbrs) {
         if (nbr == m.dst) ++base_matches;
       }
       if (base_matches > 0) {
@@ -65,8 +69,9 @@ Result<CsrGraph> DeltaOverlay::Materialize() const {
   std::vector<Weight> edge_weights;
   column_index.reserve(row_offsets[n]);
   if (weighted) edge_weights.reserve(row_offsets[n]);
+  BlockRef lease;  // ascending scan: one acquire per base block
   for (VertexId v = 0; v < n; ++v) {
-    ForEachNeighbor(v, [&](VertexId dst, Weight w) {
+    ForEachNeighborLeased(v, &lease, [&](VertexId dst, Weight w) {
       column_index.push_back(dst);
       if (weighted) edge_weights.push_back(w);
     });

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "dynamic/mutation.h"
 #include "graph/csr_graph.h"
 #include "graph/types.h"
+#include "storage/edge_block_store.h"
 #include "util/status.h"
 
 namespace hytgraph {
@@ -44,11 +46,18 @@ class DeltaOverlay {
     uint64_t deleted = 0;
   };
 
-  explicit DeltaOverlay(std::shared_ptr<const CsrGraph> base)
-      : base_(std::move(base)) {}
+  /// `base_store` streams the base adjacency when the base's edge arrays
+  /// have been spilled out of core (null = fully resident base).
+  explicit DeltaOverlay(std::shared_ptr<const CsrGraph> base,
+                        std::shared_ptr<const EdgeBlockStore> base_store =
+                            nullptr)
+      : base_(std::move(base)), base_store_(std::move(base_store)) {}
 
   const CsrGraph& base() const { return *base_; }
   std::shared_ptr<const CsrGraph> base_ptr() const { return base_; }
+  const std::shared_ptr<const EdgeBlockStore>& base_store() const {
+    return base_store_;
+  }
 
   VertexId num_vertices() const { return base_->num_vertices(); }
   /// Edge count of the mutated graph (base - suppressed + inserted).
@@ -116,9 +125,26 @@ class DeltaOverlay {
   /// the kernels' convention.
   template <typename Fn>
   void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    BlockRef lease;
+    ForEachNeighborLeased(v, &lease, std::forward<Fn>(fn));
+  }
+
+  /// Lease-carrying variant for ascending scans over an out-of-core base:
+  /// consecutive vertices of the same block reuse the pinned lease instead
+  /// of re-acquiring it from the cache.
+  template <typename Fn>
+  void ForEachNeighborLeased(VertexId v, BlockRef* lease, Fn&& fn) const {
     auto it = deltas_.find(v);
-    const auto nbrs = base_->neighbors(v);
-    const auto wts = base_->weights(v);
+    std::span<const VertexId> nbrs;
+    std::span<const Weight> wts;
+    if (base_store_ != nullptr) {
+      const AdjacencyRun run = base_store_->Fetch(v, lease);
+      nbrs = run.targets;
+      wts = run.weights;
+    } else {
+      nbrs = base_->neighbors(v);
+      wts = base_->weights(v);
+    }
     if (it == deltas_.end()) {
       for (size_t e = 0; e < nbrs.size(); ++e) {
         fn(nbrs[e], wts.empty() ? Weight{1} : wts[e]);
@@ -141,9 +167,12 @@ class DeltaOverlay {
   Result<CsrGraph> Materialize() const;
 
   /// Drops all pending mutations and re-anchors the overlay on `new_base`
-  /// (the snapshot a compaction just produced).
-  void Reset(std::shared_ptr<const CsrGraph> new_base) {
+  /// (the snapshot a compaction just produced) with its block store (null
+  /// when the new base is fully resident).
+  void Reset(std::shared_ptr<const CsrGraph> new_base,
+             std::shared_ptr<const EdgeBlockStore> new_store = nullptr) {
     base_ = std::move(new_base);
+    base_store_ = std::move(new_store);
     deltas_.clear();
     suppressed_ = 0;
     inserted_ = 0;
@@ -164,6 +193,8 @@ class DeltaOverlay {
   };
 
   std::shared_ptr<const CsrGraph> base_;
+  /// Streams base adjacency when the base is out of core; null otherwise.
+  std::shared_ptr<const EdgeBlockStore> base_store_;
   std::unordered_map<VertexId, VertexDelta> deltas_;
   uint64_t suppressed_ = 0;  // base edges hidden by tombstones
   uint64_t inserted_ = 0;    // live overlay inserts

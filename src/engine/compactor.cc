@@ -34,12 +34,15 @@ CompactionResult CompactActiveEdges(const GraphView& view,
   ThreadPool::Default()->ParallelFor(
       actives.size(),
       [&](int /*shard*/, uint64_t begin, uint64_t end) {
+        // One lease per shard: actives are sorted, so an out-of-core base
+        // re-pins only on block-boundary crossings.
+        BlockRef lease;
         for (uint64_t i = begin; i < end; ++i) {
           const VertexId v = actives[i];
           const EdgeId dst_off = sub.row_offsets[i];
           if (view.HasDelta(v)) {
             EdgeId out = dst_off;
-            view.ForEachNeighbor(v, [&](VertexId dst, Weight w) {
+            view.ForEachNeighborLeased(v, &lease, [&](VertexId dst, Weight w) {
               sub.column_index[out] = dst;
               if (weighted) sub.weights[out] = w;
               ++out;
@@ -48,13 +51,14 @@ CompactionResult CompactActiveEdges(const GraphView& view,
           }
           const EdgeId deg = base.out_degree(v);
           if (deg == 0) continue;
-          const EdgeId src_off = base.edge_begin(v);
-          std::memcpy(sub.column_index.data() + dst_off,
-                      base.column_index().data() + src_off,
+          // A vertex's whole run lives inside one block, so the spans are
+          // contiguous whether they point into the base CSR or a cached
+          // block — memcpy works for both.
+          const AdjacencyRun run = view.BaseRun(v, &lease);
+          std::memcpy(sub.column_index.data() + dst_off, run.targets.data(),
                       deg * sizeof(VertexId));
           if (weighted) {
-            std::memcpy(sub.weights.data() + dst_off,
-                        base.edge_weights().data() + src_off,
+            std::memcpy(sub.weights.data() + dst_off, run.weights.data(),
                         deg * sizeof(Weight));
           }
         }

@@ -68,19 +68,21 @@ template <typename Program>
 uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
                    Program& program, Frontier* next) {
   if (actives.empty()) return 0;
-  const CsrGraph& base = view.base();
   std::atomic<uint64_t> edges_processed{0};
   ThreadPool::Default()->ParallelFor(
       actives.size(),
       [&](int /*shard*/, uint64_t begin, uint64_t end) {
         uint64_t local_edges = 0;
+        // One lease per shard: active lists are sorted ascending, so an
+        // out-of-core base pays one cache acquire per block, not per vertex.
+        BlockRef lease;
         for (uint64_t i = begin; i < end; ++i) {
           const VertexId u = actives[i];
           typename Program::VertexContext ctx;
           if (!program.BeginVertex(u, &ctx)) continue;
           if (view.HasDelta(u)) {
             // Merged adjacency: surviving base edges, then overlay inserts.
-            view.ForEachNeighbor(u, [&](VertexId v, Weight w) {
+            view.ForEachNeighborLeased(u, &lease, [&](VertexId v, Weight w) {
               ++local_edges;
               if (program.ProcessEdge(ctx, u, v, w)) {
                 next->Activate(v, view.out_degree(v));
@@ -88,8 +90,9 @@ uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
             });
             continue;
           }
-          const auto nbrs = base.neighbors(u);
-          const auto wts = base.weights(u);
+          const AdjacencyRun run = view.BaseRun(u, &lease);
+          const std::span<const VertexId> nbrs = run.targets;
+          const std::span<const Weight> wts = run.weights;
           local_edges += nbrs.size();
           // Weightedness is a graph property, not a per-edge one: branch
           // once per vertex, not once per edge.
@@ -185,10 +188,13 @@ uint64_t RunPullKernel(const GraphView& view, const Frontier& current,
       n,
       [&](int /*shard*/, uint64_t begin, uint64_t end) {
         uint64_t local_edges = 0;
+        // One lease per shard: the dense ascending scan re-pins the
+        // transpose block only on boundary crossings when it streams.
+        BlockRef lease;
         for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
           if (program.SettledAt(v, floor)) continue;
           bool changed = false;
-          view.ForEachInNeighborWhile(v, [&](VertexId u, Weight w) {
+          view.ForEachInNeighborWhileLeased(v, &lease, [&](VertexId u, Weight w) {
             ++local_edges;
             if (!current.IsActive(u)) return true;
             typename Program::VertexContext ctx;

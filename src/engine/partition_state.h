@@ -39,6 +39,11 @@ struct PartitionStats {
   /// Sum of a program-defined priority weight (e.g. |delta|) over active
   /// vertices; 0 when the program has no delta notion.
   double delta_sum = 0;
+  /// Whether every edge block covering this partition is resident in the
+  /// out-of-core block cache (always true when the base is in memory). A
+  /// non-resident partition pays a host-disk stream-in before any transfer
+  /// engine can run; the cost model charges it uniformly across engines.
+  bool resident = true;
 
   bool HasWork() const { return active_vertices > 0; }
 };

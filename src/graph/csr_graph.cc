@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "util/logging.h"
+
 namespace hytgraph {
 
 Result<CsrGraph> CsrGraph::Create(std::vector<EdgeId> row_offsets,
@@ -30,12 +32,26 @@ Result<CsrGraph> CsrGraph::Create(std::vector<EdgeId> row_offsets,
 
 const std::vector<uint32_t>& CsrGraph::in_degrees() const {
   if (in_degrees_.empty() && num_vertices() > 0) {
+    HYT_CHECK(edges_resident_)
+        << "in_degrees requested after ReleaseEdgeData without a "
+           "materialized cache";
     in_degrees_.assign(num_vertices(), 0);
     for (VertexId dst : column_index_) {
       ++in_degrees_[dst];
     }
   }
   return in_degrees_;
+}
+
+void CsrGraph::ReleaseEdgeData() {
+  if (!edges_resident_) return;
+  // Materialize every degree-derived cache while the arrays are still here.
+  in_degrees();
+  edges_resident_ = false;
+  column_index_.clear();
+  column_index_.shrink_to_fit();
+  edge_weights_.clear();
+  edge_weights_.shrink_to_fit();
 }
 
 EdgeId CsrGraph::max_out_degree() const {
@@ -58,6 +74,7 @@ Status CsrGraph::Validate() const {
                                      std::to_string(i));
     }
   }
+  if (!edges_resident_) return Status::OK();  // targets live in the store
   const VertexId n = num_vertices();
   for (VertexId dst : column_index_) {
     if (dst >= n) {

@@ -33,8 +33,19 @@ class CsrGraph {
                ? 0
                : static_cast<VertexId>(row_offsets_.size() - 1);
   }
-  EdgeId num_edges() const { return column_index_.size(); }
-  bool is_weighted() const { return !edge_weights_.empty(); }
+  EdgeId num_edges() const { return num_edges_; }
+  bool is_weighted() const { return weighted_; }
+
+  /// False after ReleaseEdgeData(): the topology (row offsets, counts,
+  /// degree caches) stays valid but neighbors()/weights()/column_index()/
+  /// edge_weights() must not be read — an EdgeBlockStore serves the edge
+  /// arrays instead (see storage/edge_block_store.h).
+  bool edges_resident() const { return edges_resident_; }
+
+  /// Drops the host-resident edge arrays after they have been spilled to an
+  /// edge-block store. Degree-derived caches (in_degrees, max degrees) are
+  /// materialized first so every offsets-only query keeps working.
+  void ReleaseEdgeData();
 
   EdgeId out_degree(VertexId v) const {
     return row_offsets_[v + 1] - row_offsets_[v];
@@ -95,11 +106,19 @@ class CsrGraph {
            std::vector<Weight> edge_weights)
       : row_offsets_(std::move(row_offsets)),
         column_index_(std::move(column_index)),
-        edge_weights_(std::move(edge_weights)) {}
+        edge_weights_(std::move(edge_weights)),
+        num_edges_(column_index_.size()),
+        weighted_(!edge_weights_.empty()) {}
 
   std::vector<EdgeId> row_offsets_;
   std::vector<VertexId> column_index_;
   std::vector<Weight> edge_weights_;
+
+  // Survive ReleaseEdgeData(): the answers no longer derivable from the
+  // (cleared) edge arrays.
+  EdgeId num_edges_ = 0;
+  bool weighted_ = false;
+  bool edges_resident_ = true;
 
   // Lazy caches; logically const.
   mutable std::vector<uint32_t> in_degrees_;

@@ -9,8 +9,16 @@
 namespace hytgraph {
 
 GraphView::GraphView(std::shared_ptr<const CsrGraph> base,
-                     std::shared_ptr<const DeltaOverlay> overlay)
-    : base_(std::move(base)), overlay_(std::move(overlay)) {
+                     std::shared_ptr<const DeltaOverlay> overlay,
+                     std::shared_ptr<const EdgeBlockStore> storage)
+    : base_(std::move(base)),
+      overlay_(std::move(overlay)),
+      storage_(std::move(storage)) {
+  // An out-of-core overlay carries the base's block store; inherit it so
+  // callers constructing a view from an overlay need no extra plumbing.
+  if (storage_ == nullptr && overlay_ != nullptr) {
+    storage_ = overlay_->base_store();
+  }
   // The (empty) ReverseIndex must be allocated eagerly: copies of the view
   // share it by shared_ptr, and only construction-time allocation makes a
   // transpose built through any copy visible to every other copy — a
@@ -35,13 +43,16 @@ void GraphView::EnsureReverse() const {
     // racing epoch publication rebuilds it. It is dropped below, only
     // after `built` makes the finished base visible.
     std::shared_ptr<const CsrGraph> seed;
+    std::shared_ptr<const EdgeBlockStore> seed_store;
     {
       std::lock_guard<std::mutex> lock(reverse.seed_mu);
       seed = reverse.seed;
+      seed_store = reverse.seed_store;
     }
     if (seed != nullptr) {
       reverse.base = std::move(seed);
-    } else {
+      reverse.store = std::move(seed_store);
+    } else if (base_->edges_resident()) {
       Result<CsrGraph> transposed = ReverseGraph(*base_);
       // ReverseGraph only fails on internal invariant breakage; surface it
       // loudly rather than handing pull kernels a null adjacency.
@@ -49,6 +60,29 @@ void GraphView::EnsureReverse() const {
           << "reverse-view build failed: " << transposed.status().ToString();
       reverse.base =
           std::make_shared<const CsrGraph>(std::move(transposed).value());
+    } else {
+      // Out-of-core base: stream the transpose. Counting pass from the
+      // in-degree cache (materialized before the spill), fill pass over
+      // ascending source blocks with one lease, then spill the transpose
+      // into a sibling block file so it obeys the same byte budget.
+      HYT_CHECK(storage_ != nullptr)
+          << "base edge arrays released without a block store";
+      Result<CsrGraph> transposed = StreamedTranspose();
+      HYT_CHECK(transposed.ok())
+          << "streamed reverse-view build failed: "
+          << transposed.status().ToString();
+      std::shared_ptr<CsrGraph> rbase =
+          std::make_shared<CsrGraph>(std::move(transposed).value());
+      Result<std::shared_ptr<EdgeBlockStore>> rstore =
+          storage_->SpillSibling(rbase);
+      if (rstore.ok()) {
+        rbase->ReleaseEdgeData();
+        reverse.store = std::move(rstore).value();
+      } else {
+        HYT_LOG(Warning) << "transpose spill failed, keeping it resident: "
+                         << rstore.status().ToString();
+      }
+      reverse.base = std::move(rbase);
     }
     if (overlay_ != nullptr) {
       // Reverse-index the overlay by forward target: edges *into* v are
@@ -73,6 +107,7 @@ void GraphView::EnsureReverse() const {
       // done (when adopted, base aliases it anyway).
       std::lock_guard<std::mutex> lock(reverse.seed_mu);
       reverse.seed.reset();
+      reverse.seed_store.reset();
     }
   });
 }
@@ -92,11 +127,40 @@ const std::vector<EdgeId>& GraphView::Offsets() const {
   return index.offsets;
 }
 
+Result<CsrGraph> GraphView::StreamedTranspose() const {
+  const VertexId n = base_->num_vertices();
+  const bool weighted = base_->is_weighted();
+  const std::vector<uint32_t>& in_degrees = base_->in_degrees();
+
+  std::vector<EdgeId> row_offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    row_offsets[v + 1] = row_offsets[v] + in_degrees[v];
+  }
+  std::vector<VertexId> column_index(base_->num_edges());
+  std::vector<Weight> edge_weights;
+  if (weighted) edge_weights.resize(base_->num_edges());
+
+  std::vector<EdgeId> cursor(row_offsets.begin(), row_offsets.end() - 1);
+  BlockRef lease;
+  for (VertexId u = 0; u < n; ++u) {
+    const AdjacencyRun run = storage_->Fetch(u, &lease);
+    for (size_t e = 0; e < run.targets.size(); ++e) {
+      const VertexId dst = run.targets[e];
+      const EdgeId slot = cursor[dst]++;
+      column_index[slot] = u;
+      if (weighted) edge_weights[slot] = run.weights[e];
+    }
+  }
+  return CsrGraph::Create(std::move(row_offsets), std::move(column_index),
+                          std::move(edge_weights));
+}
+
 std::vector<uint32_t> GraphView::InDegrees() const {
   std::vector<uint32_t> in_degrees = base_->in_degrees();
   if (overlay_ == nullptr) return in_degrees;
+  BlockRef lease;
   overlay_->ForEachDeltaVertex([&](VertexId v) {
-    for (VertexId nbr : base_->neighbors(v)) {
+    for (VertexId nbr : BaseRun(v, &lease).targets) {
       if (overlay_->IsTombstoned(v, nbr)) --in_degrees[nbr];
     }
     overlay_->ForEachInsert(
@@ -107,8 +171,30 @@ std::vector<uint32_t> GraphView::InDegrees() const {
 
 Result<CsrGraph> GraphView::Materialize() const {
   if (overlay_ != nullptr) return overlay_->Materialize();
-  return CsrGraph::Create(base_->row_offsets(), base_->column_index(),
-                          base_->edge_weights());
+  if (storage_ == nullptr) {
+    return CsrGraph::Create(base_->row_offsets(), base_->column_index(),
+                            base_->edge_weights());
+  }
+  // Transparent view over an out-of-core base: stream the edge arrays back
+  // out of the block file.
+  const VertexId n = base_->num_vertices();
+  const bool weighted = base_->is_weighted();
+  std::vector<VertexId> column_index;
+  std::vector<Weight> edge_weights;
+  column_index.reserve(base_->num_edges());
+  if (weighted) edge_weights.reserve(base_->num_edges());
+  BlockRef lease;
+  for (VertexId v = 0; v < n; ++v) {
+    const AdjacencyRun run = storage_->Fetch(v, &lease);
+    column_index.insert(column_index.end(), run.targets.begin(),
+                        run.targets.end());
+    if (weighted) {
+      edge_weights.insert(edge_weights.end(), run.weights.begin(),
+                          run.weights.end());
+    }
+  }
+  return CsrGraph::Create(base_->row_offsets(), std::move(column_index),
+                          std::move(edge_weights));
 }
 
 }  // namespace hytgraph

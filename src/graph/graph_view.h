@@ -57,6 +57,7 @@
 #include "dynamic/delta_overlay.h"
 #include "graph/csr_graph.h"
 #include "graph/types.h"
+#include "storage/edge_block_store.h"
 #include "util/status.h"
 
 namespace hytgraph {
@@ -69,8 +70,13 @@ class GraphView {
   /// null or empty (a transparent view of the base); when present it must
   /// be anchored on `base`. O(1): the logical-offset index is built lazily
   /// on first use, off the mutator's publication path.
+  ///
+  /// `storage` streams the base adjacency when the base's edge arrays are
+  /// spilled out of core; when null it is inherited from the overlay (so a
+  /// view over an out-of-core overlay streams without extra plumbing).
   explicit GraphView(std::shared_ptr<const CsrGraph> base,
-                     std::shared_ptr<const DeltaOverlay> overlay = nullptr);
+                     std::shared_ptr<const DeltaOverlay> overlay = nullptr,
+                     std::shared_ptr<const EdgeBlockStore> storage = nullptr);
 
   /// Non-owning view of a caller-owned graph (no overlay). The graph must
   /// outlive the view.
@@ -90,6 +96,12 @@ class GraphView {
   const CsrGraph& base() const { return *base_; }
   std::shared_ptr<const CsrGraph> base_ptr() const { return base_; }
   std::shared_ptr<const DeltaOverlay> overlay_ptr() const { return overlay_; }
+  const std::shared_ptr<const EdgeBlockStore>& storage() const {
+    return storage_;
+  }
+  /// True when the base adjacency streams from the edge-block store (the
+  /// overlay, if any, always stays in memory).
+  bool base_streamed() const { return storage_ != nullptr; }
 
   /// True when pending mutations are layered over the base (an empty
   /// overlay is dropped at construction, so this means a real delta).
@@ -148,19 +160,35 @@ class GraphView {
                                 base_->edge_begin(first));
   }
 
+  /// Base adjacency of v as spans, streaming through `lease` when the base
+  /// is out of core (re-pinned only on block-boundary crossings, so
+  /// ascending scans pay one cache acquire per block). Callers that merge
+  /// overlay edges themselves (kernels, compaction) use this; weights span
+  /// is empty when unweighted.
+  AdjacencyRun BaseRun(VertexId v, BlockRef* lease) const {
+    if (storage_ != nullptr) return storage_->Fetch(v, lease);
+    return AdjacencyRun{base_->neighbors(v), base_->weights(v)};
+  }
+
   /// Visits every out-edge of v in the mutated graph: surviving base edges
   /// in CSR order, then overlay inserts in application order. `fn` receives
   /// (target, weight); weight is 1 when the view is unweighted.
   template <typename Fn>
   void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    BlockRef lease;
+    ForEachNeighborLeased(v, &lease, std::forward<Fn>(fn));
+  }
+
+  /// Lease-carrying variant for ascending scans over an out-of-core base.
+  template <typename Fn>
+  void ForEachNeighborLeased(VertexId v, BlockRef* lease, Fn&& fn) const {
     if (overlay_ != nullptr && overlay_->HasDelta(v)) {
-      overlay_->ForEachNeighbor(v, std::forward<Fn>(fn));
+      overlay_->ForEachNeighborLeased(v, lease, std::forward<Fn>(fn));
       return;
     }
-    const auto nbrs = base_->neighbors(v);
-    const auto wts = base_->weights(v);
-    for (size_t e = 0; e < nbrs.size(); ++e) {
-      fn(nbrs[e], wts.empty() ? Weight{1} : wts[e]);
+    const AdjacencyRun run = BaseRun(v, lease);
+    for (size_t e = 0; e < run.targets.size(); ++e) {
+      fn(run.targets[e], run.weights.empty() ? Weight{1} : run.weights[e]);
     }
   }
 
@@ -220,13 +248,28 @@ class GraphView {
     std::lock_guard<std::mutex> lock(reverse_->seed_mu);
     return reverse_->seed;
   }
+  /// Block store of the transpose when it was spilled out of core (null on
+  /// a resident transpose). Same built-or-seed semantics as
+  /// reverse_base_if_built; the Engine harvests this alongside the base.
+  std::shared_ptr<const EdgeBlockStore> reverse_store_if_built() const {
+    if (reverse_ == nullptr) return nullptr;
+    if (reverse_->built.load(std::memory_order_acquire)) {
+      return reverse_->store;
+    }
+    std::lock_guard<std::mutex> lock(reverse_->seed_mu);
+    return reverse_->seed_store;
+  }
 
   /// Seeds the reverse-base cache with a transpose built by an earlier view
   /// over the *same base snapshot*, so EnsureReverse skips the O(E)
   /// rebuild. Ignored when null, mismatched, or already built. Callers
   /// (the Engine's mutation publication) guarantee base identity; the
   /// dimension check here only guards against obvious misuse.
-  void SeedReverseBase(std::shared_ptr<const CsrGraph> reverse_base) const {
+  /// `reverse_store` carries the transpose's block store when its edge
+  /// arrays live out of core (null for a resident transpose).
+  void SeedReverseBase(
+      std::shared_ptr<const CsrGraph> reverse_base,
+      std::shared_ptr<const EdgeBlockStore> reverse_store = nullptr) const {
     if (reverse_ == nullptr || reverse_base == nullptr) return;
     if (reverse_base->num_vertices() != base_->num_vertices() ||
         reverse_base->num_edges() != base_->num_edges()) {
@@ -234,6 +277,7 @@ class GraphView {
     }
     std::lock_guard<std::mutex> lock(reverse_->seed_mu);
     reverse_->seed = std::move(reverse_base);
+    reverse_->seed_store = std::move(reverse_store);
   }
 
   /// Whether v has in-edges touched by the overlay (tombstoned or inserted
@@ -261,10 +305,27 @@ class GraphView {
   /// scan was stopped. Requires EnsureReverse().
   template <typename Fn>
   bool ForEachInNeighborWhile(VertexId v, Fn&& fn) const {
+    BlockRef lease;
+    return ForEachInNeighborWhileLeased(v, &lease, std::forward<Fn>(fn));
+  }
+
+  /// Lease-carrying variant: pull workers scanning ascending destination
+  /// ranges reuse the pinned transpose block across consecutive vertices.
+  template <typename Fn>
+  bool ForEachInNeighborWhileLeased(VertexId v, BlockRef* lease,
+                                    Fn&& fn) const {
     const ReverseIndex& reverse = *reverse_;
-    const CsrGraph& rbase = *reverse.base;
-    const auto sources = rbase.neighbors(v);
-    const auto wts = rbase.weights(v);
+    std::span<const VertexId> sources;
+    std::span<const Weight> wts;
+    if (reverse.store != nullptr) {
+      const AdjacencyRun run = reverse.store->Fetch(v, lease);
+      sources = run.targets;
+      wts = run.weights;
+    } else {
+      const CsrGraph& rbase = *reverse.base;
+      sources = rbase.neighbors(v);
+      wts = rbase.weights(v);
+    }
     const ReverseVertexDelta* delta = nullptr;
     if (!reverse.deltas.empty()) {
       auto it = reverse.deltas.find(v);
@@ -301,6 +362,11 @@ class GraphView {
   /// The logical row offsets, building them on first use (thread-safe).
   const std::vector<EdgeId>& Offsets() const;
 
+  /// Transpose of an out-of-core base, built by streaming the forward
+  /// blocks (counting pass from the cached in-degrees, fill pass over
+  /// ascending source blocks with one lease).
+  Result<CsrGraph> StreamedTranspose() const;
+
   /// One vertex's in-edge delta: edges into the keyed vertex that the
   /// overlay inserted or tombstoned, indexed by forward *target* (= reverse
   /// source).
@@ -321,15 +387,20 @@ class GraphView {
     std::once_flag once;
     std::mutex seed_mu;
     /// A pre-built transpose handed over from an earlier same-base view
-    /// (consumed by the build).
+    /// (consumed by the build), with its block store when out of core.
     std::shared_ptr<const CsrGraph> seed;
+    std::shared_ptr<const EdgeBlockStore> seed_store;
     std::shared_ptr<const CsrGraph> base;  // transpose of base_
+    /// Streams the transpose adjacency when it was spilled; null otherwise.
+    std::shared_ptr<const EdgeBlockStore> store;
     std::unordered_map<VertexId, ReverseVertexDelta> deltas;
     std::atomic<bool> built{false};
   };
 
   std::shared_ptr<const CsrGraph> base_;
   std::shared_ptr<const DeltaOverlay> overlay_;  // null = transparent
+  /// Streams base adjacency when the base is out of core; null otherwise.
+  std::shared_ptr<const EdgeBlockStore> storage_;
   std::shared_ptr<OffsetIndex> index_;           // non-null iff overlay_
   std::shared_ptr<ReverseIndex> reverse_;        // non-null iff base_
 };

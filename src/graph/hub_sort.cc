@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "dynamic/mutation.h"
+#include "util/logging.h"
 
 namespace hytgraph {
 
@@ -66,7 +67,10 @@ HubOrder BuildHubOrder(const std::vector<double>& scores,
 }
 
 /// Rebuilds `graph` under the labeling `order` (targets remapped too).
-Result<CsrGraph> RelabelCsr(const CsrGraph& graph, const HubOrder& order) {
+/// `store` streams the adjacency when the graph's edge arrays are out of
+/// core (null for a resident graph).
+Result<CsrGraph> RelabelCsr(const CsrGraph& graph, const EdgeBlockStore* store,
+                            const HubOrder& order) {
   const VertexId n = graph.num_vertices();
   std::vector<EdgeId> row_offsets(static_cast<size_t>(n) + 1, 0);
   for (VertexId new_v = 0; new_v < n; ++new_v) {
@@ -76,10 +80,19 @@ Result<CsrGraph> RelabelCsr(const CsrGraph& graph, const HubOrder& order) {
   std::vector<VertexId> column_index(graph.num_edges());
   std::vector<Weight> edge_weights;
   if (graph.is_weighted()) edge_weights.resize(graph.num_edges());
+  BlockRef lease;
   for (VertexId new_v = 0; new_v < n; ++new_v) {
     const VertexId old_v = order.new_to_old[new_v];
-    const auto nbrs = graph.neighbors(old_v);
-    const auto wts = graph.weights(old_v);
+    std::span<const VertexId> nbrs;
+    std::span<const Weight> wts;
+    if (store != nullptr) {
+      const AdjacencyRun run = store->Fetch(old_v, &lease);
+      nbrs = run.targets;
+      wts = run.weights;
+    } else {
+      nbrs = graph.neighbors(old_v);
+      wts = graph.weights(old_v);
+    }
     EdgeId out = row_offsets[new_v];
     for (size_t i = 0; i < nbrs.size(); ++i) {
       column_index[out] = order.old_to_new[nbrs[i]];
@@ -132,7 +145,8 @@ Result<HubSortResult> HubSort(const CsrGraph& graph, double hub_fraction) {
   HubOrder order = BuildHubOrder(ComputeHubScores(graph), hub_fraction);
   HubSortResult result;
   result.num_hubs = order.num_hubs;
-  HYT_ASSIGN_OR_RETURN(result.graph, RelabelCsr(graph, order));
+  HYT_ASSIGN_OR_RETURN(result.graph, RelabelCsr(graph, /*store=*/nullptr,
+                                                order));
   result.old_to_new = std::move(order.old_to_new);
   result.new_to_old = std::move(order.new_to_old);
   return result;
@@ -145,10 +159,27 @@ Result<HubSortViewResult> HubSortView(const GraphView& view,
   }
   HubOrder order = BuildHubOrder(ComputeHubScores(view), hub_fraction);
 
-  HYT_ASSIGN_OR_RETURN(CsrGraph relabeled_base,
-                       RelabelCsr(view.base(), order));
-  auto sorted_base =
-      std::make_shared<const CsrGraph>(std::move(relabeled_base));
+  HYT_ASSIGN_OR_RETURN(
+      CsrGraph relabeled_base,
+      RelabelCsr(view.base(), view.storage().get(), order));
+  auto sorted_base = std::make_shared<CsrGraph>(std::move(relabeled_base));
+
+  // When the source base streams, the relabeled copy must too — spill it
+  // into a sibling block file (shared cache and budget) before anything
+  // downstream reads adjacency.
+  std::shared_ptr<const EdgeBlockStore> sorted_store;
+  if (view.base_streamed()) {
+    Result<std::shared_ptr<EdgeBlockStore>> spilled =
+        view.storage()->SpillSibling(sorted_base);
+    if (spilled.ok()) {
+      sorted_store = std::move(spilled).value();
+      sorted_base->ReleaseEdgeData();
+    } else {
+      HYT_LOG(Warning) << "hub-sorted base spill failed, keeping it "
+                          "resident: "
+                       << spilled.status().ToString();
+    }
+  }
 
   std::shared_ptr<const DeltaOverlay> remapped;
   if (view.has_overlay()) {
@@ -168,13 +199,14 @@ Result<HubSortViewResult> HubSortView(const GraphView& view,
         replay.InsertEdge(order.old_to_new[v], order.old_to_new[dst], w);
       });
     });
-    auto target = std::make_shared<DeltaOverlay>(sorted_base);
+    auto target = std::make_shared<DeltaOverlay>(sorted_base, sorted_store);
     HYT_RETURN_NOT_OK(target->Apply(replay).status());
     remapped = std::move(target);
   }
 
   HubSortViewResult result;
-  result.view = GraphView(std::move(sorted_base), std::move(remapped));
+  result.view = GraphView(std::move(sorted_base), std::move(remapped),
+                          std::move(sorted_store));
   result.old_to_new = std::move(order.old_to_new);
   result.new_to_old = std::move(order.new_to_old);
   result.num_hubs = order.num_hubs;

@@ -127,6 +127,7 @@ void QueryServer::Dispatch(std::vector<QueuedRequest>* batch) {
   for (QueuedRequest& request : *batch) {
     if (request.deadline < now) {
       shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      RecordShed(request.priority);
       request.promise.set_value(Status::DeadlineExceeded(
           std::string(AlgorithmName(request.query.algorithm)) +
           " request shed: deadline passed before dispatch"));
@@ -208,6 +209,19 @@ void QueryServer::RecordLatency(const QueuedRequest& request) {
     latency_next_ = 0;
     latency_wrapped_ = true;
   }
+  PriorityBucket& bucket = priority_buckets_[request.priority];
+  ++bucket.served;
+  if (bucket.samples.size() < latency_samples_.size()) {
+    bucket.samples.push_back(seconds);
+  } else {
+    bucket.samples[bucket.next] = seconds;
+    if (++bucket.next == bucket.samples.size()) bucket.next = 0;
+  }
+}
+
+void QueryServer::RecordShed(int priority) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  ++priority_buckets_[priority].shed;
 }
 
 ServingStats QueryServer::stats() const {
@@ -226,6 +240,8 @@ ServingStats QueryServer::stats() const {
   stats.queue_depth_high_water =
       queue_depth_high_water_.load(std::memory_order_relaxed);
 
+  const double elapsed =
+      SecondsSince(start_time_, std::chrono::steady_clock::now());
   std::vector<double> window;
   {
     std::lock_guard<std::mutex> lock(latency_mu_);
@@ -233,6 +249,19 @@ ServingStats QueryServer::stats() const {
         latency_wrapped_ ? latency_samples_.size() : latency_next_;
     window.assign(latency_samples_.begin(),
                   latency_samples_.begin() + static_cast<ptrdiff_t>(filled));
+    // Descending priority — the lanes' dispatch order.
+    for (auto it = priority_buckets_.rbegin(); it != priority_buckets_.rend();
+         ++it) {
+      const PriorityBucket& bucket = it->second;
+      PriorityClassStats row;
+      row.priority = it->first;
+      row.served = bucket.served;
+      row.shed_deadline = bucket.shed;
+      row.qps = static_cast<double>(bucket.served) / std::max(elapsed, 1e-9);
+      row.p50_latency_seconds = Quantile(bucket.samples, 0.50);
+      row.p99_latency_seconds = Quantile(bucket.samples, 0.99);
+      stats.priority_classes.push_back(row);
+    }
   }
   stats.p50_latency_seconds = Quantile(window, 0.50);
   stats.p99_latency_seconds = Quantile(std::move(window), 0.99);

@@ -46,6 +46,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -123,6 +124,7 @@ class QueryServer {
   /// epoch, and demultiplexes results to the subscribers' promises.
   void Dispatch(std::vector<QueuedRequest>* batch);
   void RecordLatency(const QueuedRequest& request);
+  void RecordShed(int priority);
 
   Engine* const engine_;
   const QueryServerOptions options_;
@@ -146,6 +148,21 @@ class QueryServer {
   std::vector<double> latency_samples_;
   size_t latency_next_ = 0;
   bool latency_wrapped_ = false;
+
+  /// Per-priority-class counters and latency rings (same window policy as
+  /// the global ring), guarded by latency_mu_. Keys are whatever classes
+  /// requests were submitted with; the map stays tiny.
+  struct PriorityBucket {
+    uint64_t served = 0;
+    uint64_t shed = 0;
+    /// Grows to the window size, then overwrites at `next` (ring).
+    std::vector<double> samples;
+    size_t next = 0;
+  };
+  std::map<int, PriorityBucket> priority_buckets_;
+  /// Server birth, the denominator of per-class qps.
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace hytgraph

@@ -8,8 +8,28 @@
 #define HYTGRAPH_SERVING_SERVING_STATS_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace hytgraph {
+
+/// Serving metrics of one priority class (classes are whatever integers
+/// callers submitted with; a server with no explicit priorities has the
+/// single class 0).
+struct PriorityClassStats {
+  int priority = 0;
+  /// Requests of this class fulfilled (completed or failed — they paid the
+  /// same queueing).
+  uint64_t served = 0;
+  /// Requests of this class shed past their deadline.
+  uint64_t shed_deadline = 0;
+  /// Served requests per second of server lifetime — the per-class
+  /// throughput the EDF/priority dispatch order actually delivered.
+  double qps = 0;
+  /// Admission-to-fulfillment latency quantiles over this class's recent
+  /// window.
+  double p50_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+};
 
 struct ServingStats {
   /// Submit() calls, including rejected ones.
@@ -43,6 +63,10 @@ struct ServingStats {
   /// window of completed requests (seconds; 0 before any completion).
   double p50_latency_seconds = 0;
   double p99_latency_seconds = 0;
+
+  /// Per-priority-class breakdown, descending priority (dispatch order).
+  /// Empty until a request of some class is served or shed.
+  std::vector<PriorityClassStats> priority_classes;
 
   /// Fraction of served (non-shed) requests that did not pay their own
   /// solver run: 1 - executed/served. 0 when nothing was served.

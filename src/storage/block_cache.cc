@@ -1,0 +1,235 @@
+#include "storage/block_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hytgraph {
+
+BlockRef& BlockRef::operator=(BlockRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = std::move(other.cache_);
+    data_ = std::move(other.data_);
+    store_id_ = other.store_id_;
+    block_ = other.block_;
+  }
+  return *this;
+}
+
+void BlockRef::Release() {
+  if (data_ == nullptr) return;
+  cache_->Unpin(store_id_, block_);
+  data_.reset();
+  cache_.reset();
+}
+
+BlockCache::BlockCache(uint64_t budget_bytes, int sections)
+    : budget_bytes_(budget_bytes),
+      section_budget_(std::max<uint64_t>(
+          1, budget_bytes / static_cast<uint64_t>(std::max(1, sections)))),
+      sections_(static_cast<size_t>(std::max(1, sections))) {}
+
+uint32_t BlockCache::RegisterStore() {
+  return next_store_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlockCache::Section& BlockCache::SectionOf(uint64_t key) const {
+  // Fibonacci hash over the packed key: blocks of one store spread across
+  // sections instead of striding into the same one.
+  const uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  return sections_[(h >> 32) % sections_.size()];
+}
+
+void BlockCache::DropStore(uint32_t store_id) {
+  for (Section& section : sections_) {
+    std::lock_guard<std::mutex> lock(section.mu);
+    for (auto it = section.blocks.begin(); it != section.blocks.end();) {
+      if ((it->first >> 32) != store_id) {
+        ++it;
+        continue;
+      }
+      Entry& entry = it->second;
+      if (entry.in_lru) section.lru.erase(entry.lru_it);
+      section.bytes -= entry.bytes;
+      it = section.blocks.erase(it);
+    }
+    // A waiter on a loading entry of this store sees it vanish and retries
+    // as a miss.
+    section.loaded_cv.notify_all();
+  }
+}
+
+Status BlockCache::Acquire(uint32_t store_id, uint32_t block,
+                           const Loader& loader, BlockRef* ref) {
+  ref->Release();
+  const uint64_t key = Key(store_id, block);
+  Section& section = SectionOf(key);
+  std::unique_lock<std::mutex> lock(section.mu);
+  while (true) {
+    auto it = section.blocks.find(key);
+    if (it == section.blocks.end()) break;  // miss: load below
+    Entry& entry = it->second;
+    if (entry.loading) {
+      // Someone (demand or prefetch) is already reading this block;
+      // coalesce onto their IO.
+      section.loaded_cv.wait(lock);
+      continue;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.prefetched) {
+      entry.prefetched = false;
+      prefetch_useful_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++entry.pins;
+    if (entry.in_lru) {  // touch: most-recently used
+      section.lru.splice(section.lru.end(), section.lru, entry.lru_it);
+    }
+    ref->cache_ = shared_from_this();
+    ref->data_ = entry.data;
+    ref->store_id_ = store_id;
+    ref->block_ = block;
+    return Status::OK();
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Entry& placeholder = section.blocks[key];
+  placeholder.loading = true;
+  lock.unlock();
+
+  Result<BlockData> loaded = loader();
+
+  lock.lock();
+  auto it = section.blocks.find(key);
+  if (!loaded.ok()) {
+    if (it != section.blocks.end() && it->second.loading) {
+      section.blocks.erase(it);
+    }
+    section.loaded_cv.notify_all();
+    return loaded.status();
+  }
+  if (it == section.blocks.end()) {
+    // DropStore raced the load; publish nothing, but still serve the
+    // caller. Release's unpin finds no entry and no-ops.
+    ref->cache_ = shared_from_this();
+    ref->data_ = std::make_shared<const BlockData>(std::move(loaded).value());
+    ref->store_id_ = store_id;
+    ref->block_ = block;
+    return Status::OK();
+  }
+  Entry& entry = it->second;
+  entry.data = std::make_shared<const BlockData>(std::move(loaded).value());
+  entry.bytes = entry.data->bytes();
+  entry.loading = false;
+  entry.pins = 1;
+  entry.lru_it = section.lru.insert(section.lru.end(), key);
+  entry.in_lru = true;
+  section.bytes += entry.bytes;
+  bytes_read_.fetch_add(entry.bytes, std::memory_order_relaxed);
+  EvictLocked(&section, key);
+  ref->cache_ = shared_from_this();
+  ref->data_ = entry.data;
+  ref->store_id_ = store_id;
+  ref->block_ = block;
+  section.loaded_cv.notify_all();
+  return Status::OK();
+}
+
+void BlockCache::Prefetch(uint32_t store_id, uint32_t block,
+                          const Loader& loader) {
+  const uint64_t key = Key(store_id, block);
+  Section& section = SectionOf(key);
+  std::unique_lock<std::mutex> lock(section.mu);
+  if (section.blocks.count(key) != 0) return;  // resident or in flight
+  prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  Entry& placeholder = section.blocks[key];
+  placeholder.loading = true;
+  lock.unlock();
+
+  Result<BlockData> loaded = loader();
+
+  lock.lock();
+  auto it = section.blocks.find(key);
+  if (it == section.blocks.end()) {  // DropStore raced
+    section.loaded_cv.notify_all();
+    return;
+  }
+  if (!loaded.ok()) {
+    HYT_LOG(Warning) << "prefetch read failed (block " << block
+                     << " of store " << store_id
+                     << "): " << loaded.status().ToString();
+    if (it->second.loading) section.blocks.erase(it);
+    section.loaded_cv.notify_all();
+    return;
+  }
+  Entry& entry = it->second;
+  entry.data = std::make_shared<const BlockData>(std::move(loaded).value());
+  entry.bytes = entry.data->bytes();
+  entry.loading = false;
+  entry.prefetched = true;
+  entry.lru_it = section.lru.insert(section.lru.end(), key);
+  entry.in_lru = true;
+  section.bytes += entry.bytes;
+  bytes_read_.fetch_add(entry.bytes, std::memory_order_relaxed);
+  EvictLocked(&section, key);
+  section.loaded_cv.notify_all();
+}
+
+bool BlockCache::Contains(uint32_t store_id, uint32_t block) const {
+  const uint64_t key = Key(store_id, block);
+  Section& section = SectionOf(key);
+  std::lock_guard<std::mutex> lock(section.mu);
+  return section.blocks.count(key) != 0;
+}
+
+void BlockCache::EvictLocked(Section* section, uint64_t protect) {
+  auto it = section->lru.begin();
+  while (section->bytes > section_budget_ && it != section->lru.end()) {
+    const uint64_t key = *it;
+    if (key == protect) {
+      ++it;
+      continue;
+    }
+    Entry& entry = section->blocks.at(key);
+    if (entry.pins > 0 || entry.loading) {
+      ++it;
+      continue;
+    }
+    it = section->lru.erase(it);
+    section->bytes -= entry.bytes;
+    section->blocks.erase(key);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BlockCache::Unpin(uint32_t store_id, uint32_t block) {
+  const uint64_t key = Key(store_id, block);
+  Section& section = SectionOf(key);
+  std::lock_guard<std::mutex> lock(section.mu);
+  auto it = section.blocks.find(key);
+  if (it == section.blocks.end()) return;  // dropped while leased
+  if (it->second.pins > 0) --it->second.pins;
+  if (it->second.pins == 0 && section.bytes > section_budget_) {
+    EvictLocked(&section, /*protect=*/~uint64_t{0});
+  }
+}
+
+StorageStats BlockCache::stats() const {
+  StorageStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  stats.bytes_spilled = bytes_spilled_.load(std::memory_order_relaxed);
+  stats.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  stats.prefetch_useful = prefetch_useful_.load(std::memory_order_relaxed);
+  stats.budget_bytes = budget_bytes_;
+  for (const Section& section : sections_) {
+    std::lock_guard<std::mutex> lock(section.mu);
+    stats.resident_bytes += section.bytes;
+  }
+  return stats;
+}
+
+}  // namespace hytgraph

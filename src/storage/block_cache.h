@@ -1,0 +1,172 @@
+// Sectioned LRU block cache with pin counts — the in-memory side of the
+// out-of-core edge-block store, in the style of SAGE's multi-section LRU
+// vertex cache. Keys are (store id, block id) so one engine-wide cache
+// serves every spilled CSR (base, reverse transpose, hub-relabeled copies)
+// under a single byte budget.
+//
+//  * Sections. The budget is split over N independently locked sections
+//    (key-hashed), so demand fetches from kernel shards and prefetcher IO
+//    threads do not serialize on one mutex.
+//
+//  * Pins. Acquire pins the block into a BlockRef lease; pinned entries are
+//    never evicted, so an in-flight kernel cannot lose the block mid-scan.
+//    Releasing the lease unpins. Block payloads are additionally held by
+//    shared_ptr, so even DropStore (store teardown) cannot free bytes a
+//    straggling reader still sees.
+//
+//  * Miss coalescing. A block being loaded (by demand or prefetch) is
+//    present in Loading state; concurrent requesters wait on the section's
+//    condition variable instead of issuing duplicate reads.
+//
+//  * Prefetch accounting. Blocks inserted by the prefetcher are flagged;
+//    the first demand hit consumes the flag and counts prefetch_useful —
+//    accuracy = useful / issued distinguishes read-ahead that hid IO from
+//    read-ahead the LRU threw away unused.
+
+#ifndef HYTGRAPH_STORAGE_BLOCK_CACHE_H_
+#define HYTGRAPH_STORAGE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "storage/storage_options.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// One cached block: the edge targets (and weights, when the spilled graph
+/// is weighted) of a contiguous vertex range.
+struct BlockData {
+  std::vector<VertexId> targets;
+  std::vector<Weight> weights;  // empty for unweighted stores
+
+  uint64_t bytes() const {
+    return targets.size() * sizeof(VertexId) +
+           weights.size() * sizeof(Weight);
+  }
+};
+
+class BlockCache;
+
+/// A pinned lease on one cached block. Movable, not copyable; releasing
+/// (or destroying) unpins. Kernels keep one lease per worker and re-point
+/// it as their vertex scan crosses block boundaries, so consecutive
+/// vertices of the same block pay a single cache acquire.
+class BlockRef {
+ public:
+  BlockRef() = default;
+  ~BlockRef() { Release(); }
+
+  BlockRef(BlockRef&& other) noexcept { *this = std::move(other); }
+  BlockRef& operator=(BlockRef&& other) noexcept;
+
+  BlockRef(const BlockRef&) = delete;
+  BlockRef& operator=(const BlockRef&) = delete;
+
+  bool Holds(uint32_t store_id, uint32_t block) const {
+    return data_ != nullptr && store_id_ == store_id && block_ == block;
+  }
+  const BlockData* data() const { return data_.get(); }
+
+  void Release();
+
+ private:
+  friend class BlockCache;
+
+  std::shared_ptr<BlockCache> cache_;
+  std::shared_ptr<const BlockData> data_;
+  uint32_t store_id_ = 0;
+  uint32_t block_ = 0;
+};
+
+class BlockCache : public std::enable_shared_from_this<BlockCache> {
+ public:
+  BlockCache(uint64_t budget_bytes, int sections);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  using Loader = std::function<Result<BlockData>()>;
+
+  /// Issues a store id for key namespacing.
+  uint32_t RegisterStore();
+
+  /// Drops every block of `store_id` (store teardown). Outstanding leases
+  /// keep their payloads alive; their Release becomes a no-op unpin.
+  void DropStore(uint32_t store_id);
+
+  /// Demand fetch: pins (store_id, block) into `*ref`, running `loader` on
+  /// the calling thread on a miss (concurrent requesters coalesce onto one
+  /// load). Any previous lease in `*ref` is released first.
+  Status Acquire(uint32_t store_id, uint32_t block, const Loader& loader,
+                 BlockRef* ref);
+
+  /// Read-ahead insert, called from prefetcher IO threads: loads and
+  /// publishes the block unpinned unless it is already present or loading.
+  /// Load failures are dropped (the demand path will retry and surface).
+  void Prefetch(uint32_t store_id, uint32_t block, const Loader& loader);
+
+  /// True when the block is resident or already being loaded.
+  bool Contains(uint32_t store_id, uint32_t block) const;
+
+  void AddSpilledBytes(uint64_t bytes) {
+    bytes_spilled_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+  StorageStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const BlockData> data;  // null while loading
+    uint64_t bytes = 0;
+    uint32_t pins = 0;
+    bool loading = false;
+    bool prefetched = false;
+    std::list<uint64_t>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  struct Section {
+    mutable std::mutex mu;
+    std::condition_variable loaded_cv;
+    std::unordered_map<uint64_t, Entry> blocks;
+    std::list<uint64_t> lru;  // front = coldest
+    uint64_t bytes = 0;
+  };
+
+  static uint64_t Key(uint32_t store_id, uint32_t block) {
+    return (static_cast<uint64_t>(store_id) << 32) | block;
+  }
+  Section& SectionOf(uint64_t key) const;
+
+  /// Evicts cold unpinned entries until the section fits its budget share.
+  /// `protect` (the entry just published) is never evicted by its own
+  /// insert even when unpinned. Requires section.mu held.
+  void EvictLocked(Section* section, uint64_t protect);
+
+  void Unpin(uint32_t store_id, uint32_t block);
+  friend class BlockRef;
+
+  const uint64_t budget_bytes_;
+  const uint64_t section_budget_;
+  mutable std::vector<Section> sections_;
+
+  std::atomic<uint32_t> next_store_id_{0};
+  std::atomic<uint64_t> hits_{0}, misses_{0}, evictions_{0};
+  std::atomic<uint64_t> bytes_read_{0}, bytes_spilled_{0};
+  std::atomic<uint64_t> prefetch_issued_{0}, prefetch_useful_{0};
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_STORAGE_BLOCK_CACHE_H_

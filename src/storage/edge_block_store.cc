@@ -1,0 +1,284 @@
+#include "storage/edge_block_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hytgraph {
+
+namespace {
+
+Status WriteFully(int fd, uint64_t offset, const void* data, uint64_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pwrite(fd, p, bytes, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("block file write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    bytes -= static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadFully(int fd, uint64_t offset, void* data, uint64_t bytes) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("block file read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) return Status::IOError("block file truncated");
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    bytes -= static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+uint64_t ResolveBlockBytes(const StorageOptions& options,
+                           uint64_t edge_bytes) {
+  if (options.block_bytes != 0) return options.block_bytes;
+  // Mirror the partitioner's auto sizing: ~256 blocks, clamped so tiny
+  // graphs keep whole-run blocks and huge ones stay prefetchable.
+  constexpr uint64_t kMin = 64ull << 10;
+  constexpr uint64_t kMax = 4ull << 20;
+  return std::clamp(edge_bytes / 256, kMin, kMax);
+}
+
+}  // namespace
+
+/// One virtual spindle: concurrent reads queue behind each other, so
+/// simulated disk time is additive no matter how many threads read — the
+/// property the prefetch-overlap bench assertions rely on.
+class EdgeBlockStore::IoThrottle {
+ public:
+  explicit IoThrottle(uint64_t bytes_per_second)
+      : seconds_per_byte_(bytes_per_second == 0
+                              ? 0.0
+                              : 1.0 / static_cast<double>(bytes_per_second)) {}
+
+  void Charge(uint64_t bytes) {
+    if (seconds_per_byte_ == 0.0) return;
+    std::chrono::steady_clock::time_point until;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = std::chrono::steady_clock::now();
+      if (busy_until_ < now) busy_until_ = now;
+      busy_until_ +=
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(static_cast<double>(bytes) *
+                                            seconds_per_byte_));
+      until = busy_until_;
+    }
+    std::this_thread::sleep_until(until);
+  }
+
+ private:
+  const double seconds_per_byte_;
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point busy_until_{};
+};
+
+EdgeBlockStore::EdgeBlockStore(std::shared_ptr<const CsrGraph> graph,
+                               std::shared_ptr<BlockCache> cache,
+                               std::shared_ptr<Prefetcher> prefetcher,
+                               StorageOptions options)
+    : graph_(std::move(graph)),
+      cache_(std::move(cache)),
+      prefetcher_(std::move(prefetcher)),
+      options_(options),
+      throttle_(std::make_shared<IoThrottle>(options.throttle_bytes_per_second)),
+      id_(cache_->RegisterStore()),
+      weighted_(graph_->is_weighted()) {
+  const uint64_t per_edge =
+      kBytesPerNeighbor + (weighted_ ? sizeof(Weight) : 0);
+  const uint64_t target = ResolveBlockBytes(options_, graph_->EdgeDataBytes());
+  const VertexId n = graph_->num_vertices();
+
+  block_start_.push_back(0);
+  uint64_t current = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t run = graph_->out_degree(v) * per_edge;
+    if (current > 0 && current + run > target) {
+      block_start_.push_back(v);
+      current = 0;
+    }
+    current += run;
+  }
+  block_start_.push_back(n);
+  if (n == 0) block_start_ = {0, 0};
+
+  file_offset_.resize(block_start_.size());
+  file_offset_[0] = 0;
+  for (size_t b = 0; b + 1 < block_start_.size(); ++b) {
+    const uint64_t edges = graph_->edge_begin(block_start_[b + 1]) -
+                           graph_->edge_begin(block_start_[b]);
+    file_offset_[b + 1] = file_offset_[b] + edges * per_edge;
+  }
+}
+
+EdgeBlockStore::~EdgeBlockStore() {
+  cache_->DropStore(id_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::shared_ptr<EdgeBlockStore>> EdgeBlockStore::Spill(
+    std::shared_ptr<const CsrGraph> graph, std::shared_ptr<BlockCache> cache,
+    std::shared_ptr<Prefetcher> prefetcher, const StorageOptions& options) {
+  HYT_CHECK(graph != nullptr && graph->edges_resident())
+      << "Spill needs the in-memory edge arrays";
+  std::shared_ptr<EdgeBlockStore> store(new EdgeBlockStore(
+      std::move(graph), std::move(cache), std::move(prefetcher), options));
+  HYT_RETURN_NOT_OK(store->SpillToFile());
+  return store;
+}
+
+Result<std::shared_ptr<EdgeBlockStore>> EdgeBlockStore::SpillSibling(
+    std::shared_ptr<const CsrGraph> sibling) const {
+  HYT_ASSIGN_OR_RETURN(
+      std::shared_ptr<EdgeBlockStore> store,
+      Spill(std::move(sibling), cache_, prefetcher_, options_));
+  store->throttle_ = throttle_;  // one virtual spindle per engine
+  return store;
+}
+
+Status EdgeBlockStore::SpillToFile() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                     "/hytgraph_blocks_XXXXXX";
+  fd_ = ::mkstemp(path.data());
+  if (fd_ < 0) {
+    return Status::IOError("cannot create block file in " + path + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  // Unlink immediately: the file lives exactly as long as this store's fd.
+  ::unlink(path.c_str());
+
+  const CsrGraph& graph = *graph_;
+  for (uint32_t b = 0; b < num_blocks(); ++b) {
+    const EdgeId first = graph.edge_begin(block_start_[b]);
+    const EdgeId last = graph.edge_begin(block_start_[b + 1]);
+    const uint64_t edges = last - first;
+    if (edges == 0) continue;
+    uint64_t offset = file_offset_[b];
+    HYT_RETURN_NOT_OK(WriteFully(fd_, offset,
+                                 graph.column_index().data() + first,
+                                 edges * sizeof(VertexId)));
+    offset += edges * sizeof(VertexId);
+    if (weighted_) {
+      HYT_RETURN_NOT_OK(WriteFully(fd_, offset,
+                                   graph.edge_weights().data() + first,
+                                   edges * sizeof(Weight)));
+    }
+  }
+  cache_->AddSpilledBytes(file_offset_.back());
+  return Status::OK();
+}
+
+Result<BlockData> EdgeBlockStore::ReadBlock(uint32_t block) const {
+  const EdgeId first = graph_->edge_begin(block_start_[block]);
+  const EdgeId last = graph_->edge_begin(block_start_[block + 1]);
+  const uint64_t edges = last - first;
+  BlockData data;
+  data.targets.resize(edges);
+  if (weighted_) data.weights.resize(edges);
+  throttle_->Charge(data.bytes());
+  uint64_t offset = file_offset_[block];
+  HYT_RETURN_NOT_OK(
+      ReadFully(fd_, offset, data.targets.data(), edges * sizeof(VertexId)));
+  if (weighted_) {
+    offset += edges * sizeof(VertexId);
+    HYT_RETURN_NOT_OK(
+        ReadFully(fd_, offset, data.weights.data(), edges * sizeof(Weight)));
+  }
+  return data;
+}
+
+uint32_t EdgeBlockStore::BlockOf(VertexId v) const {
+  const auto it =
+      std::upper_bound(block_start_.begin(), block_start_.end(), v);
+  return static_cast<uint32_t>(it - block_start_.begin()) - 1;
+}
+
+uint64_t EdgeBlockStore::block_bytes(uint32_t block) const {
+  return file_offset_[block + 1] - file_offset_[block];
+}
+
+AdjacencyRun EdgeBlockStore::Fetch(VertexId v, BlockRef* lease) const {
+  const EdgeId deg = graph_->out_degree(v);
+  if (deg == 0) return {};
+  const uint32_t block = BlockOf(v);
+  if (!lease->Holds(id_, block)) {
+    const Status status = cache_->Acquire(
+        id_, block, [this, block] { return ReadBlock(block); }, lease);
+    HYT_CHECK(status.ok()) << "block fetch failed: " << status.ToString();
+  }
+  const BlockData& data = *lease->data();
+  const EdgeId off = graph_->edge_begin(v) - graph_->edge_begin(block_start_[block]);
+  AdjacencyRun run;
+  run.targets = std::span<const VertexId>(data.targets.data() + off, deg);
+  if (weighted_) {
+    run.weights = std::span<const Weight>(data.weights.data() + off, deg);
+  }
+  return run;
+}
+
+bool EdgeBlockStore::RangeResident(VertexId first, VertexId last) const {
+  if (num_blocks() == 0 || first > last) return true;
+  const uint32_t b0 = BlockOf(first);
+  const uint32_t b1 = BlockOf(last);
+  for (uint32_t b = b0; b <= b1; ++b) {
+    if (block_bytes(b) != 0 && !IsResident(b)) return false;
+  }
+  return true;
+}
+
+void EdgeBlockStore::BlocksForRange(VertexId first, VertexId last,
+                                    std::vector<uint32_t>* out) const {
+  if (num_blocks() == 0 || first > last) return;
+  const uint32_t b1 = BlockOf(last);
+  for (uint32_t b = BlockOf(first); b <= b1; ++b) {
+    if (out->empty() || out->back() != b) out->push_back(b);
+  }
+}
+
+void EdgeBlockStore::PostPrefetch(const std::vector<uint32_t>& blocks) const {
+  if (!options_.prefetch || blocks.empty()) return;
+  // Cap read-ahead at half the budget so a huge hint set (e.g. an all-
+  // active PageRank frontier over a 4x-oversubscribed graph) cannot churn
+  // the cache evicting its own prefetches before they serve a hit.
+  const uint64_t cap = cache_->budget_bytes() / 2;
+  uint64_t posted_bytes = 0;
+  std::weak_ptr<const EdgeBlockStore> weak = weak_from_this();
+  for (const uint32_t block : blocks) {
+    if (IsResident(block)) continue;
+    const uint64_t bytes = block_bytes(block);
+    if (bytes == 0) continue;
+    if (posted_bytes + bytes > cap && posted_bytes > 0) break;
+    posted_bytes += bytes;
+    prefetcher_->Submit([weak, block] {
+      const std::shared_ptr<const EdgeBlockStore> store = weak.lock();
+      if (store == nullptr) return;  // store retired before the job ran
+      store->cache_->Prefetch(store->id_, block,
+                              [&store, block] { return store->ReadBlock(block); });
+    });
+  }
+}
+
+}  // namespace hytgraph

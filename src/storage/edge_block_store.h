@@ -1,0 +1,130 @@
+// Partition-granular edge-block store: the on-disk half of out-of-core
+// execution. Spill() writes a CSR's edge-associated arrays (column index +
+// weights) to an unlinked temporary block file — blocks are contiguous
+// vertex ranges cut at ~block_bytes of edge data, so a vertex's whole
+// neighbour run always lives inside one block — after which the caller
+// drops the in-memory arrays (CsrGraph::ReleaseEdgeData) and every
+// adjacency read goes through Fetch(): a BlockRef-leased, pin-counted
+// block-cache lookup that demand-loads with pread on miss.
+//
+// PostPrefetch() turns the solver's next-frontier knowledge into async
+// read-ahead: the hinted blocks are loaded on the prefetcher's IO threads
+// while the current iteration's kernels still compute — the paper's
+// PCIe-transfer/kernel overlap, reenacted between disk and RAM.
+//
+// One engine shares a single cache and prefetcher across every spilled
+// graph (base, reverse transpose, hub-relabeled copies) via SpillSibling,
+// so the memory budget is global, not per-file.
+
+#ifndef HYTGRAPH_STORAGE_EDGE_BLOCK_STORE_H_
+#define HYTGRAPH_STORAGE_EDGE_BLOCK_STORE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "storage/block_cache.h"
+#include "storage/prefetcher.h"
+#include "storage/storage_options.h"
+#include "util/status.h"
+
+namespace hytgraph {
+
+/// One vertex's adjacency, viewed inside a pinned block.
+struct AdjacencyRun {
+  std::span<const VertexId> targets;
+  std::span<const Weight> weights;  // empty when unweighted
+};
+
+class EdgeBlockStore : public std::enable_shared_from_this<EdgeBlockStore> {
+ public:
+  /// Writes `graph`'s edge arrays (which must still be resident) to a fresh
+  /// unlinked block file. The caller releases the in-memory arrays after
+  /// this returns; the store keeps `graph` for its row offsets.
+  static Result<std::shared_ptr<EdgeBlockStore>> Spill(
+      std::shared_ptr<const CsrGraph> graph,
+      std::shared_ptr<BlockCache> cache,
+      std::shared_ptr<Prefetcher> prefetcher, const StorageOptions& options);
+
+  /// Spills another CSR (reverse transpose, hub-relabeled base) into its
+  /// own block file sharing this store's cache, prefetcher, throttle, and
+  /// options — one global byte budget across all of them.
+  Result<std::shared_ptr<EdgeBlockStore>> SpillSibling(
+      std::shared_ptr<const CsrGraph> sibling) const;
+
+  ~EdgeBlockStore();
+
+  EdgeBlockStore(const EdgeBlockStore&) = delete;
+  EdgeBlockStore& operator=(const EdgeBlockStore&) = delete;
+
+  /// Adjacency of v through the cache. `lease` is re-pinned only when v
+  /// crosses a block boundary, so ascending scans pay one acquire per
+  /// block. Degree-0 vertices return empty spans without touching the
+  /// cache. IO failure mid-kernel is fatal (kernels cannot propagate
+  /// Status), matching the OOM behaviour of the simulated device.
+  AdjacencyRun Fetch(VertexId v, BlockRef* lease) const;
+
+  uint32_t num_blocks() const {
+    return static_cast<uint32_t>(block_start_.size() - 1);
+  }
+  /// Block containing vertex v.
+  uint32_t BlockOf(VertexId v) const;
+  VertexId block_first_vertex(uint32_t block) const {
+    return block_start_[block];
+  }
+  uint64_t block_bytes(uint32_t block) const;
+  bool IsResident(uint32_t block) const {
+    return cache_->Contains(id_, block);
+  }
+  /// True when every block covering vertices [first, last] is resident.
+  bool RangeResident(VertexId first, VertexId last) const;
+
+  /// Posts async read-ahead for `blocks` (deduplicated, already-resident
+  /// blocks skipped), capped at half the cache budget per call so
+  /// read-ahead cannot evict itself before use.
+  void PostPrefetch(const std::vector<uint32_t>& blocks) const;
+
+  /// Appends the blocks covering vertices [first, last] to `out`.
+  void BlocksForRange(VertexId first, VertexId last,
+                      std::vector<uint32_t>* out) const;
+
+  const std::shared_ptr<BlockCache>& cache() const { return cache_; }
+  const std::shared_ptr<Prefetcher>& prefetcher() const {
+    return prefetcher_;
+  }
+  const StorageOptions& options() const { return options_; }
+  bool prefetch_enabled() const { return options_.prefetch; }
+  const CsrGraph& graph() const { return *graph_; }
+
+ private:
+  /// Serializes simulated-disk time: reads queue on one virtual spindle.
+  class IoThrottle;
+
+  EdgeBlockStore(std::shared_ptr<const CsrGraph> graph,
+                 std::shared_ptr<BlockCache> cache,
+                 std::shared_ptr<Prefetcher> prefetcher,
+                 StorageOptions options);
+
+  Status SpillToFile();
+  Result<BlockData> ReadBlock(uint32_t block) const;
+
+  std::shared_ptr<const CsrGraph> graph_;
+  std::shared_ptr<BlockCache> cache_;
+  std::shared_ptr<Prefetcher> prefetcher_;
+  StorageOptions options_;
+  std::shared_ptr<IoThrottle> throttle_;
+
+  uint32_t id_ = 0;
+  bool weighted_ = false;
+  int fd_ = -1;
+  /// block b covers vertices [block_start_[b], block_start_[b+1]).
+  std::vector<VertexId> block_start_;
+  /// Byte offset of block b in the file; size num_blocks()+1.
+  std::vector<uint64_t> file_offset_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_STORAGE_EDGE_BLOCK_STORE_H_

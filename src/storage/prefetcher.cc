@@ -1,0 +1,64 @@
+#include "storage/prefetcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hytgraph {
+
+Prefetcher::Prefetcher(int io_threads) {
+  const int n = std::max(1, io_threads);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Prefetcher::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void Prefetcher::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t Prefetcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + static_cast<size_t>(active_);
+}
+
+void Prefetcher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    job();
+    // Release the job's captures before reporting inactive: WaitIdle
+    // callers rely on "idle" meaning no job-held references survive.
+    job = nullptr;
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace hytgraph

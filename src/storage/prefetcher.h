@@ -1,0 +1,52 @@
+// Asynchronous IO workers for the block store. The process-wide ThreadPool
+// deliberately exposes only ParallelFor (fork-join compute); read-ahead
+// needs fire-and-forget jobs that outlive the posting iteration, so the
+// prefetcher owns its own small thread group — IO parked on these threads
+// never steals a compute lane from the kernels it is supposed to overlap.
+
+#ifndef HYTGRAPH_STORAGE_PREFETCHER_H_
+#define HYTGRAPH_STORAGE_PREFETCHER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hytgraph {
+
+class Prefetcher {
+ public:
+  explicit Prefetcher(int io_threads);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Enqueues a job; runs on some IO thread in FIFO order. Jobs posted
+  /// after destruction began are dropped.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is executing (tests and
+  /// cold-cache bench arms use it as a barrier).
+  void WaitIdle();
+
+  size_t pending() const;
+  int io_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_STORAGE_PREFETCHER_H_

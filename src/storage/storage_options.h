@@ -1,0 +1,77 @@
+// Out-of-core execution knobs and counters. When memory_budget_bytes is
+// nonzero the Engine spills the base CSR's edge arrays to a partition-
+// granular block file (storage/edge_block_store.h) and serves adjacency
+// through a bounded block cache — the real-IO analogue of the paper's
+// host-to-GPU transfer management: resident blocks play the role of
+// GPU-resident partitions, streamed blocks the role of transferred ones,
+// and the async prefetcher overlaps IO with compute exactly as the paper
+// overlaps PCIe transfer with kernels.
+
+#ifndef HYTGRAPH_STORAGE_STORAGE_OPTIONS_H_
+#define HYTGRAPH_STORAGE_STORAGE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace hytgraph {
+
+struct StorageOptions {
+  /// Byte budget of the in-memory block cache. 0 = out-of-core execution
+  /// disabled (every byte stays in RAM; all other knobs are ignored).
+  uint64_t memory_budget_bytes = 0;
+
+  /// Post asynchronous read-ahead for next iteration's active blocks at the
+  /// solver's iteration barrier. Off = pure demand paging (the bench's
+  /// control arm).
+  bool prefetch = true;
+
+  /// IO worker threads backing the prefetcher.
+  int io_threads = 2;
+
+  /// LRU sections of the block cache (sharded locking; each section owns
+  /// budget/sections bytes).
+  int cache_sections = 8;
+
+  /// Edge-data bytes per block. 0 = auto: edge_bytes / 256 clamped to
+  /// [64 KiB, 4 MiB] — the same ~256-block regime as the partitioner, so
+  /// blocks and cost-model partitions stay commensurate.
+  uint64_t block_bytes = 0;
+
+  /// Simulated sequential-disk bandwidth for block reads; 0 = no throttle.
+  /// Reads serialize on one virtual spindle, which makes prefetch-overlap
+  /// benches deterministic on fast (page-cached) local disks.
+  uint64_t throttle_bytes_per_second = 0;
+
+  bool enabled() const { return memory_budget_bytes > 0; }
+};
+
+/// Cache/IO counters, snapshotted by Engine::storage_stats() the same way
+/// ServingStats snapshots the query server. All zero when storage is off.
+struct StorageStats {
+  uint64_t hits = 0;         // block served from cache (incl. in-flight)
+  uint64_t misses = 0;       // block demand-loaded from the file
+  uint64_t evictions = 0;    // blocks dropped by the LRU for budget
+  uint64_t bytes_read = 0;   // bytes read back from the block file
+  uint64_t bytes_spilled = 0;  // bytes written at spill time
+  uint64_t prefetch_issued = 0;  // blocks the prefetcher loaded ahead
+  uint64_t prefetch_useful = 0;  // prefetched blocks later hit by demand
+  uint64_t resident_bytes = 0;   // cache occupancy at snapshot time
+  uint64_t budget_bytes = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  /// Fraction of prefetched blocks that served at least one demand fetch
+  /// before eviction.
+  double PrefetchAccuracy() const {
+    return prefetch_issued == 0
+               ? 0.0
+               : static_cast<double>(prefetch_useful) /
+                     static_cast<double>(prefetch_issued);
+  }
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_STORAGE_STORAGE_OPTIONS_H_

@@ -1,0 +1,235 @@
+// Out-of-core execution equivalence: with the block cache budgeted below
+// 25% of the base CSR's edge bytes, every algorithm must return the same
+// values as the fully in-memory engine — on the static graph, under a
+// pending mutation overlay, after a fold, and with pull-direction queries
+// that stream the reverse transpose. Plus a concurrency stress: readers
+// fault blocks in and out while background compaction republishes spilled
+// snapshots underneath them.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/engine.h"
+#include "dynamic/mutation.h"
+#include "test_graphs.h"
+#include "util/random.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+/// Storage options that force real streaming on a test-sized graph: budget
+/// under 25% of the edge bytes, blocks small enough that the CSR spans
+/// many of them.
+StorageOptions TightStorage(const CsrGraph& graph) {
+  StorageOptions storage;
+  storage.memory_budget_bytes = std::max<uint64_t>(1, graph.EdgeDataBytes() / 5);
+  storage.block_bytes = 4096;
+  storage.cache_sections = 4;
+  storage.io_threads = 2;
+  return storage;
+}
+
+/// Values must match bitwise for the u32 (value-selection) family; the f64
+/// (delta-accumulation) family tolerates the atomic-add reassociation and
+/// sub-epsilon residual deltas that any two runs — in-memory or not —
+/// already exhibit (same tolerance as the concurrency stress test).
+void ExpectSameValues(const QueryResult& mem, const QueryResult& ooc,
+                      const char* label) {
+  ASSERT_EQ(mem.is_f64(), ooc.is_f64()) << label;
+  if (!mem.is_f64()) {
+    EXPECT_EQ(mem.u32(), ooc.u32()) << label;
+    return;
+  }
+  ASSERT_EQ(mem.f64().size(), ooc.f64().size()) << label;
+  double max_ref = 1.0;
+  for (const double v : mem.f64()) max_ref = std::max(max_ref, std::abs(v));
+  for (size_t v = 0; v < mem.f64().size(); ++v) {
+    ASSERT_NEAR(mem.f64()[v], ooc.f64()[v], 1e-3 * max_ref)
+        << label << " diverges at vertex " << v;
+  }
+}
+
+/// ~75% inserts, 25% deletions of existing base edges.
+MutationBatch MixedBatch(const CsrGraph& base, uint64_t count, uint64_t seed) {
+  Rng rng(seed);
+  MutationBatch batch;
+  const VertexId n = base.num_vertices();
+  for (uint64_t i = 0; i < count; ++i) {
+    if (i % 4 == 3) {
+      const auto src = static_cast<VertexId>(rng.NextBounded(n));
+      const auto nbrs = base.neighbors(src);
+      if (!nbrs.empty()) {
+        batch.DeleteEdge(src, nbrs[rng.NextBounded(nbrs.size())]);
+        continue;
+      }
+    }
+    batch.InsertEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                     static_cast<VertexId>(rng.NextBounded(n)),
+                     static_cast<Weight>(1 + rng.NextBounded(32)));
+  }
+  return batch;
+}
+
+class OutOfCoreSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OutOfCoreSweepTest, AllAlgorithmsMatchInMemoryStaticAndMutated) {
+  const CsrGraph graph = SmallRmat(10, 8, GetParam());
+  const StorageOptions storage = TightStorage(graph);
+  ASSERT_LT(storage.memory_budget_bytes, graph.EdgeDataBytes() / 4);
+
+  Engine mem{CsrGraph(graph)};
+  Engine ooc(CsrGraph(graph), SolverOptions::Defaults(SystemKind::kHyTGraph),
+             CompactionPolicy{}, storage);
+  ASSERT_TRUE(ooc.out_of_core());
+  const VertexId source = mem.DefaultSource();
+  ASSERT_EQ(source, ooc.DefaultSource());
+
+  for (const AlgorithmId algorithm : kAllAlgorithms) {
+    Query query;
+    query.algorithm = algorithm;
+    query.source = source;
+    auto expected = mem.Run(query);
+    auto streamed = ooc.Run(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ExpectSameValues(*expected, *streamed, AlgorithmName(algorithm));
+  }
+  const StorageStats after_static = ooc.storage_stats();
+  EXPECT_GT(after_static.misses, 0u) << "nothing actually streamed";
+  EXPECT_GT(after_static.evictions, 0u) << "budget never bound";
+
+  // Same batch lands on both engines; queries now run over base + overlay
+  // (the overlay stays in memory, only base blocks stream).
+  const MutationBatch batch =
+      MixedBatch(graph, std::max<uint64_t>(64, graph.num_edges() / 50),
+                 GetParam() + 1);
+  ASSERT_TRUE(mem.ApplyMutations(batch).ok());
+  ASSERT_TRUE(ooc.ApplyMutations(batch).ok());
+  for (const AlgorithmId algorithm : kAllAlgorithms) {
+    Query query;
+    query.algorithm = algorithm;
+    query.source = source;
+    auto expected = mem.Run(query);
+    auto streamed = ooc.Run(query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ExpectSameValues(*expected, *streamed,
+                     (std::string(AlgorithmName(algorithm)) + " (mutated)")
+                         .c_str());
+  }
+
+  // Fold: the compacted snapshot spills too, and stays equivalent.
+  ASSERT_TRUE(mem.Compact().ok());
+  ASSERT_TRUE(ooc.Compact().ok());
+  EXPECT_TRUE(ooc.out_of_core());
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = source;
+  auto expected = mem.Run(query);
+  auto streamed = ooc.Run(query);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(streamed.ok());
+  ExpectSameValues(*expected, *streamed, "SSSP (folded)");
+}
+
+TEST_P(OutOfCoreSweepTest, PullDirectionStreamsReverseTranspose) {
+  const CsrGraph graph = SmallRmat(10, 8, GetParam());
+  Engine mem{CsrGraph(graph)};
+  Engine ooc(CsrGraph(graph), SolverOptions::Defaults(SystemKind::kHyTGraph),
+             CompactionPolicy{}, TightStorage(graph));
+  ASSERT_TRUE(ooc.out_of_core());
+
+  SolverOptions pull = SolverOptions::Defaults(SystemKind::kHyTGraph);
+  pull.direction = TraversalDirection::kAuto;
+  for (const AlgorithmId algorithm :
+       {AlgorithmId::kBfs, AlgorithmId::kSssp, AlgorithmId::kCc}) {
+    Query query;
+    query.algorithm = algorithm;
+    query.source = mem.DefaultSource();
+    auto expected = mem.Run(query, pull);
+    auto streamed = ooc.Run(query, pull);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    ExpectSameValues(*expected, *streamed, AlgorithmName(algorithm));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutOfCoreSweepTest,
+                         ::testing::Values(3, 17, 99));
+
+TEST(OutOfCoreConcurrencyTest, ReadersRaceBackgroundCompactionAndEviction) {
+  // Readers continuously fault blocks in (and evict each other's) while a
+  // mutator streams batches and the background worker folds + re-spills
+  // snapshots underneath them. Verifies pins hold payloads alive across
+  // DropStore and that every published view stays internally consistent
+  // (TSan-checked via the storage_ suites in the sanitizer CI job).
+  const CsrGraph graph = SmallRmat(9, 8, 5);
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kBackground;
+  policy.min_delta_edges = 256;
+  policy.delta_fraction = 0.0;
+  Engine ooc(CsrGraph(graph), SolverOptions::Defaults(SystemKind::kHyTGraph),
+             policy, TightStorage(graph));
+  ASSERT_TRUE(ooc.out_of_core());
+  const VertexId source = ooc.DefaultSource();
+
+  std::atomic<bool> failed{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      Query query;
+      query.algorithm =
+          r % 2 == 0 ? AlgorithmId::kBfs : AlgorithmId::kSssp;
+      query.source = source;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!ooc.Run(query).ok()) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int b = 0; b < 12; ++b) {
+      if (!ooc.ApplyMutations(MixedBatch(graph, 128, 100 + b)).ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ooc.WaitForCompaction();
+    stop.store(true);
+  });
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed) << "a concurrent Run or ApplyMutations errored";
+  ASSERT_GE(ooc.compactor_stats().folds, 1u)
+      << "stress never exercised a background fold";
+  EXPECT_TRUE(ooc.out_of_core()) << "folds lost the block store";
+
+  // Settled state must equal a from-scratch in-memory engine on the
+  // materialized final graph.
+  auto folded = ooc.View().Materialize();
+  ASSERT_TRUE(folded.ok());
+  Engine reference(std::move(folded).value());
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = source;
+  auto expected = reference.Run(query);
+  auto streamed = ooc.Run(query);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(expected->u32(), streamed->u32());
+}
+
+}  // namespace
+}  // namespace hytgraph
