@@ -21,10 +21,19 @@ std::vector<Task> CombineTasks(const std::vector<Partition>& partitions,
                                const IterationState& state,
                                const std::vector<PartitionCosts>& costs,
                                const TaskCombinerOptions& options) {
+  return CombineTasks(partitions, state, costs, options, 0,
+                      static_cast<uint32_t>(partitions.size()));
+}
+
+std::vector<Task> CombineTasks(const std::vector<Partition>& partitions,
+                               const IterationState& state,
+                               const std::vector<PartitionCosts>& costs,
+                               const TaskCombinerOptions& options,
+                               uint32_t p_begin, uint32_t p_end) {
   std::vector<Task> tasks;
   if (!options.enabled) {
     // Ablation path: one task per active partition, no merging.
-    for (uint32_t p = 0; p < partitions.size(); ++p) {
+    for (uint32_t p = p_begin; p < p_end; ++p) {
       if (!state.stats[p].HasWork()) continue;
       Task task;
       task.engine = costs[p].choice;
@@ -51,7 +60,7 @@ std::vector<Task> CombineTasks(const std::vector<Partition>& partitions,
     }
   };
 
-  for (uint32_t p = 0; p < partitions.size(); ++p) {
+  for (uint32_t p = p_begin; p < p_end; ++p) {
     if (!state.stats[p].HasWork()) continue;
     switch (costs[p].choice) {
       case EngineKind::kFilter:

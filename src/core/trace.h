@@ -59,6 +59,22 @@ struct RunTrace {
   double total_sim_seconds = 0;
   bool converged = false;
 
+  /// --- Parallel partition execution (SolverOptions::num_workers) ---
+  /// Lanes the run executed with (1 = sequential reference path).
+  int num_lanes = 1;
+  /// Sum over iterations of per-lane measured execute-phase wall time,
+  /// summed across lanes (total work) and max across lanes (critical
+  /// path). Utilization = busy / (critical * lanes); 1.0 = perfectly
+  /// balanced lanes.
+  double lane_busy_seconds = 0;
+  double lane_critical_seconds = 0;
+
+  /// Lane utilization in [0, 1]; 0 when the run did no lane work.
+  double LaneUtilization() const {
+    if (num_lanes <= 1 || lane_critical_seconds <= 0) return 0;
+    return lane_busy_seconds / (lane_critical_seconds * num_lanes);
+  }
+
   uint64_t TotalTransferredBytes() const;
   uint64_t TotalKernelEdges() const;
   double TotalTransferSeconds() const;

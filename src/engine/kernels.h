@@ -64,9 +64,13 @@ concept PullCapableProgram =
 /// direction decision reads it in O(1) instead of rescanning the bitmap.
 /// The degree lookup runs once per *newly activated* vertex (the bitmap
 /// filters re-activations), not per edge.
-template <typename Program>
+///
+/// `Sink` is anything with Frontier's Activate(v) / Activate(v, degree)
+/// surface: the global Frontier on the sequential path, a lane-local sink
+/// (core/lane_state.h) under parallel partition execution.
+template <typename Program, typename Sink = Frontier>
 uint64_t RunKernel(const GraphView& view, std::span<const VertexId> actives,
-                   Program& program, Frontier* next) {
+                   Program& program, Sink* next) {
   if (actives.empty()) return 0;
   std::atomic<uint64_t> edges_processed{0};
   ThreadPool::Default()->ParallelFor(
@@ -150,13 +154,9 @@ uint64_t RunKernel(const CsrGraph& graph, std::span<const VertexId> actives,
 /// honest work unit pull is judged by.
 template <typename Program>
   requires PullCapableProgram<Program>
-uint64_t RunPullKernel(const GraphView& view, const Frontier& current,
-                       Program& program, Frontier* next) {
+typename Program::PullBound PullIterationFloor(const Frontier& current,
+                                               Program& program) {
   using Bound = typename Program::PullBound;
-  const VertexId n = view.num_vertices();
-  if (n == 0) return 0;
-  view.EnsureReverse();
-
   // Iteration floor: reduce the per-vertex potentials over the frontier
   // bitmap (per-shard partials, combined in shard order — deterministic).
   const auto words = current.Words();
@@ -182,34 +182,64 @@ uint64_t RunPullKernel(const GraphView& view, const Frontier& current,
       /*min_grain=*/256);
   Bound floor = Program::WorstBound();
   for (const Bound b : shard_bounds) floor = Program::BetterBound(floor, b);
+  return floor;
+}
+
+/// Serial pull gather over the candidate range [v_begin, v_end) against a
+/// precomputed iteration floor. The parallel-lane pull path hands each lane
+/// a disjoint candidate slice of this scan; RunPullKernel composes it with
+/// pool sharding for the sequential path. Activations into `next` are plain
+/// Activate(v) (scout-invalidating — pull iterations rebuild m_f by scan).
+template <typename Program>
+  requires PullCapableProgram<Program>
+uint64_t RunPullKernelRange(const GraphView& view, const Frontier& current,
+                            Program& program, Frontier* next,
+                            typename Program::PullBound floor,
+                            VertexId v_begin, VertexId v_end) {
+  uint64_t local_edges = 0;
+  // One lease for the whole slice: the dense ascending scan re-pins the
+  // transpose block only on boundary crossings when it streams.
+  BlockRef lease;
+  for (VertexId v = v_begin; v < v_end; ++v) {
+    if (program.SettledAt(v, floor)) continue;
+    bool changed = false;
+    view.ForEachInNeighborWhileLeased(v, &lease, [&](VertexId u, Weight w) {
+      ++local_edges;
+      if (!current.IsActive(u)) return true;
+      typename Program::VertexContext ctx;
+      if (!program.BeginVertex(u, &ctx)) return true;
+      if (program.ProcessEdge(ctx, u, v, w)) {
+        changed = true;
+        // Settled at the floor: no remaining in-neighbour can offer
+        // better — stop the scan.
+        if (program.SettledAt(v, floor)) return false;
+      }
+      return true;
+    });
+    if (changed) next->Activate(v);
+  }
+  return local_edges;
+}
+
+template <typename Program>
+  requires PullCapableProgram<Program>
+uint64_t RunPullKernel(const GraphView& view, const Frontier& current,
+                       Program& program, Frontier* next) {
+  const VertexId n = view.num_vertices();
+  if (n == 0) return 0;
+  view.EnsureReverse();
+
+  const auto floor = PullIterationFloor(current, program);
 
   std::atomic<uint64_t> edges_processed{0};
   ThreadPool::Default()->ParallelFor(
       n,
       [&](int /*shard*/, uint64_t begin, uint64_t end) {
-        uint64_t local_edges = 0;
-        // One lease per shard: the dense ascending scan re-pins the
-        // transpose block only on boundary crossings when it streams.
-        BlockRef lease;
-        for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
-          if (program.SettledAt(v, floor)) continue;
-          bool changed = false;
-          view.ForEachInNeighborWhileLeased(v, &lease, [&](VertexId u, Weight w) {
-            ++local_edges;
-            if (!current.IsActive(u)) return true;
-            typename Program::VertexContext ctx;
-            if (!program.BeginVertex(u, &ctx)) return true;
-            if (program.ProcessEdge(ctx, u, v, w)) {
-              changed = true;
-              // Settled at the floor: no remaining in-neighbour can offer
-              // better — stop the scan.
-              if (program.SettledAt(v, floor)) return false;
-            }
-            return true;
-          });
-          if (changed) next->Activate(v);
-        }
-        edges_processed.fetch_add(local_edges, std::memory_order_relaxed);
+        edges_processed.fetch_add(
+            RunPullKernelRange(view, current, program, next, floor,
+                               static_cast<VertexId>(begin),
+                               static_cast<VertexId>(end)),
+            std::memory_order_relaxed);
       },
       /*min_grain=*/256);
   return edges_processed.load();
@@ -220,9 +250,9 @@ uint64_t RunPullKernel(const GraphView& view, const Frontier& current,
 /// `view` is the graph the sub-CSR was compacted from — activations carry
 /// its degrees so the scout count stays exact (targets can lie outside the
 /// compacted vertex set, so the sub-CSR's own offsets can't supply them).
-template <typename Program>
+template <typename Program, typename Sink = Frontier>
 uint64_t RunKernelOnSubCsr(const GraphView& view, const SubCsr& sub,
-                           Program& program, Frontier* next) {
+                           Program& program, Sink* next) {
   if (sub.vertices.empty()) return 0;
   std::atomic<uint64_t> edges_processed{0};
   ThreadPool::Default()->ParallelFor(

@@ -38,7 +38,8 @@ QueryServer::QueryServer(Engine* engine, QueryServerOptions options)
     lanes_.emplace_back();
     Lane& lane = lanes_.back();
     lane.algorithm = algorithm;
-    lane.queue = std::make_unique<RequestQueue>(options_.lane_capacity);
+    lane.queue = std::make_unique<RequestQueue>(options_.lane_capacity,
+                                                options_.dispatch_window);
   }
   // Threads start only after every lane's queue exists — LaneLoop touches
   // nothing but its own lane and the (const-after-construction) options.
@@ -237,6 +238,9 @@ ServingStats QueryServer::stats() const {
   stats.fused_requests = fused_requests_.load(std::memory_order_relaxed);
   stats.dispatch_batches =
       dispatch_batches_.load(std::memory_order_relaxed);
+  for (const Lane& lane : lanes_) {
+    stats.dispatch_holds += lane.queue->dispatch_holds();
+  }
   stats.queue_depth_high_water =
       queue_depth_high_water_.load(std::memory_order_relaxed);
 

@@ -78,6 +78,12 @@ struct QueryServerOptions {
   /// Off = the naive baseline: one Engine::Run per request, no dedup, no
   /// epoch pinning across requests (bench_query_throughput's control arm).
   bool enable_fusion = true;
+  /// Adaptive dispatch window: under sustained load (back-to-back
+  /// admissions within one window), a lane holds itself open for up to
+  /// this long before draining, so a live burst fuses into one batch
+  /// without explicit Pause/Resume. Zero (the default) disables the hold;
+  /// isolated requests never pay it either way.
+  std::chrono::microseconds dispatch_window{0};
   /// Latency samples retained for the p50/p99 estimate (ring buffer).
   size_t latency_window = 8192;
 };

@@ -30,6 +30,14 @@ Status RequestQueue::Push(QueuedRequest* request) {
   }
   request->seq = next_seq_++;
   request->admitted_at = std::chrono::steady_clock::now();
+  if (hold_window_.count() > 0) {
+    // Sustained-load detector for the adaptive dispatch window: back-to-
+    // back admissions (gap within one window) mean more work is likely
+    // imminent, so a dispatcher that briefly holds will fuse it.
+    sustained_ = last_push_.time_since_epoch().count() != 0 &&
+                 request->admitted_at - last_push_ <= hold_window_;
+    last_push_ = request->admitted_at;
+  }
   items_.push_back(std::move(*request));
   nonempty_.notify_one();
   return Status::OK();
@@ -39,9 +47,25 @@ bool RequestQueue::PopBatch(size_t max_batch,
                             std::vector<QueuedRequest>* out) {
   out->clear();
   std::unique_lock<std::mutex> lock(mu_);
-  nonempty_.wait(lock, [this] {
-    return closed_ || (!paused_ && !items_.empty());
-  });
+  for (;;) {
+    nonempty_.wait(lock, [this] {
+      return closed_ || (!paused_ && !items_.empty());
+    });
+    if (closed_) break;  // drain whatever is left, then exit below
+    // Adaptive dispatch window: under sustained load, keep the lane open
+    // for up to one window so the burst in flight lands in THIS batch
+    // instead of fragmenting across dispatch cycles. A full batch, Close,
+    // or Pause ends the hold early; an isolated request (not sustained)
+    // skips it entirely and dispatches at once.
+    if (hold_window_.count() > 0 && sustained_ && items_.size() < max_batch) {
+      ++dispatch_holds_;
+      nonempty_.wait_for(lock, hold_window_, [this, max_batch] {
+        return closed_ || paused_ || items_.size() >= max_batch;
+      });
+    }
+    if (paused_ && !closed_) continue;  // paused mid-hold: back to waiting
+    break;
+  }
   if (items_.empty()) return false;  // closed and drained
 
   const size_t take = std::min(max_batch, items_.size());
@@ -84,6 +108,11 @@ size_t RequestQueue::size() const {
 bool RequestQueue::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
+}
+
+uint64_t RequestQueue::dispatch_holds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_holds_;
 }
 
 }  // namespace hytgraph

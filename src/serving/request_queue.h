@@ -6,6 +6,14 @@
 // priority class first (higher value = more urgent), earliest deadline
 // first within a class (EDF), submission order among ties. The dispatcher
 // decides what to do with expired deadlines; the queue only orders.
+//
+// Adaptive dispatch window: with a nonzero hold_window, PopBatch that
+// finds work under *sustained* load (the last two admissions arrived
+// within one window of each other) holds the lane open for up to the
+// window before draining, so a burst accumulates into one fused batch
+// without the explicit Pause/Resume choreography. An isolated request —
+// arrival gap wider than the window — dispatches immediately and never
+// pays the hold; a filled batch, Close, or Pause ends the hold early.
 
 #ifndef HYTGRAPH_SERVING_REQUEST_QUEUE_H_
 #define HYTGRAPH_SERVING_REQUEST_QUEUE_H_
@@ -42,7 +50,13 @@ struct QueuedRequest {
 
 class RequestQueue {
  public:
-  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+  /// `hold_window` = 0 disables the adaptive dispatch window (every
+  /// PopBatch drains as soon as work is visible — the historical
+  /// behaviour).
+  explicit RequestQueue(size_t capacity,
+                        std::chrono::microseconds hold_window =
+                            std::chrono::microseconds{0})
+      : capacity_(capacity), hold_window_(hold_window) {}
 
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
@@ -77,14 +91,26 @@ class RequestQueue {
   size_t capacity() const { return capacity_; }
   bool closed() const;
 
+  /// Dispatch holds taken (PopBatch waited out a window under sustained
+  /// load before draining) — the observability hook for the adaptive
+  /// window's fusion benefit.
+  uint64_t dispatch_holds() const;
+
  private:
   const size_t capacity_;
+  /// Adaptive dispatch window; zero = drain immediately.
+  const std::chrono::microseconds hold_window_;
   mutable std::mutex mu_;
   std::condition_variable nonempty_;
   std::vector<QueuedRequest> items_;
   uint64_t next_seq_ = 0;
   bool closed_ = false;
   bool paused_ = false;
+  /// True when the last two Pushes arrived within hold_window_ of each
+  /// other — the load signal that makes a hold worth its latency.
+  bool sustained_ = false;
+  std::chrono::steady_clock::time_point last_push_{};
+  uint64_t dispatch_holds_ = 0;
 };
 
 }  // namespace hytgraph

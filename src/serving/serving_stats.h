@@ -55,6 +55,10 @@ struct ServingStats {
   /// Dispatch cycles (one fused RunBatchPinned, or one drain in
   /// unfused mode).
   uint64_t dispatch_batches = 0;
+  /// Adaptive dispatch-window holds: dispatch cycles that waited out a
+  /// window under sustained load so the in-flight burst fused into one
+  /// batch (0 when QueryServerOptions::dispatch_window is 0).
+  uint64_t dispatch_holds = 0;
 
   /// Highest total queued-request count observed across all lanes.
   uint64_t queue_depth_high_water = 0;

@@ -82,6 +82,7 @@ Status BlockCache::Acquire(uint32_t store_id, uint32_t block,
       entry.prefetched = false;
       prefetch_useful_.fetch_add(1, std::memory_order_relaxed);
     }
+    TouchEpochLocked(&entry);
     ++entry.pins;
     if (entry.in_lru) {  // touch: most-recently used
       section.lru.splice(section.lru.end(), section.lru, entry.lru_it);
@@ -127,6 +128,7 @@ Status BlockCache::Acquire(uint32_t store_id, uint32_t block,
   entry.in_lru = true;
   section.bytes += entry.bytes;
   bytes_read_.fetch_add(entry.bytes, std::memory_order_relaxed);
+  TouchEpochLocked(&entry);
   EvictLocked(&section, key);
   ref->cache_ = shared_from_this();
   ref->data_ = entry.data;
@@ -201,6 +203,13 @@ void BlockCache::EvictLocked(Section* section, uint64_t protect) {
     section->blocks.erase(key);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void BlockCache::RotateEpoch() {
+  last_epoch_touched_bytes_.store(
+      epoch_touched_bytes_.exchange(0, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BlockCache::Unpin(uint32_t store_id, uint32_t block) {

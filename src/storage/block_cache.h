@@ -121,6 +121,20 @@ class BlockCache : public std::enable_shared_from_this<BlockCache> {
     bytes_spilled_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  /// Closes the current IO epoch (the solver calls this at each iteration
+  /// barrier): the bytes demand-touched since the previous rotation become
+  /// the measured working set WorkingSetBytes() reports, and a fresh epoch
+  /// begins. Demand-touched = acquired by a kernel (hit or miss); prefetch
+  /// inserts count only once a kernel actually reads them.
+  void RotateEpoch();
+
+  /// Distinct bytes demand-touched during the last completed epoch — the
+  /// measured per-iteration working set. 0 until the first rotation with
+  /// traffic (callers treat 0 as "unmeasured").
+  uint64_t WorkingSetBytes() const {
+    return last_epoch_touched_bytes_.load(std::memory_order_relaxed);
+  }
+
   uint64_t budget_bytes() const { return budget_bytes_; }
 
   StorageStats stats() const;
@@ -132,6 +146,9 @@ class BlockCache : public std::enable_shared_from_this<BlockCache> {
     uint32_t pins = 0;
     bool loading = false;
     bool prefetched = false;
+    /// Last IO epoch a demand acquire touched this block (0 = never);
+    /// dedups the per-epoch working-set byte count.
+    uint64_t touch_epoch = 0;
     std::list<uint64_t>::iterator lru_it;
     bool in_lru = false;
   };
@@ -154,6 +171,16 @@ class BlockCache : public std::enable_shared_from_this<BlockCache> {
   /// insert even when unpinned. Requires section.mu held.
   void EvictLocked(Section* section, uint64_t protect);
 
+  /// Marks a demand touch of `entry` in the current epoch (the entry's
+  /// section mutex must be held); the first touch per epoch adds the
+  /// block's bytes to the epoch's working-set measure.
+  void TouchEpochLocked(Entry* entry) {
+    const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    if (entry->touch_epoch == epoch) return;
+    entry->touch_epoch = epoch;
+    epoch_touched_bytes_.fetch_add(entry->bytes, std::memory_order_relaxed);
+  }
+
   void Unpin(uint32_t store_id, uint32_t block);
   friend class BlockRef;
 
@@ -165,6 +192,12 @@ class BlockCache : public std::enable_shared_from_this<BlockCache> {
   std::atomic<uint64_t> hits_{0}, misses_{0}, evictions_{0};
   std::atomic<uint64_t> bytes_read_{0}, bytes_spilled_{0};
   std::atomic<uint64_t> prefetch_issued_{0}, prefetch_useful_{0};
+
+  /// Working-set measurement: epochs rotate at the solver's iteration
+  /// barrier. Starts at 1 so Entry::touch_epoch == 0 means "never".
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> epoch_touched_bytes_{0};
+  std::atomic<uint64_t> last_epoch_touched_bytes_{0};
 };
 
 }  // namespace hytgraph

@@ -262,8 +262,19 @@ void EdgeBlockStore::PostPrefetch(const std::vector<uint32_t>& blocks) const {
   if (!options_.prefetch || blocks.empty()) return;
   // Cap read-ahead at half the budget so a huge hint set (e.g. an all-
   // active PageRank frontier over a 4x-oversubscribed graph) cannot churn
-  // the cache evicting its own prefetches before they serve a hit.
-  const uint64_t cap = cache_->budget_bytes() / 2;
+  // the cache evicting its own prefetches before they serve a hit — then
+  // shrink it to the budget's headroom over the measured per-iteration
+  // working set (last barrier-to-barrier demand-touched bytes). Below the
+  // relaxation window (working set >= budget) read-ahead can only evict
+  // blocks the running iteration still needs, so post nothing and let
+  // demand paging win.
+  const uint64_t budget = cache_->budget_bytes();
+  uint64_t cap = budget / 2;
+  const uint64_t working_set = cache_->WorkingSetBytes();
+  if (working_set > 0) {
+    cap = working_set >= budget ? 0 : std::min(cap, budget - working_set);
+  }
+  if (cap == 0) return;
   uint64_t posted_bytes = 0;
   std::weak_ptr<const EdgeBlockStore> weak = weak_from_this();
   for (const uint32_t block : blocks) {

@@ -82,9 +82,18 @@ class EdgeBlockStore : public std::enable_shared_from_this<EdgeBlockStore> {
   bool RangeResident(VertexId first, VertexId last) const;
 
   /// Posts async read-ahead for `blocks` (deduplicated, already-resident
-  /// blocks skipped), capped at half the cache budget per call so
-  /// read-ahead cannot evict itself before use.
+  /// blocks skipped). The per-call byte cap adapts to the cache's measured
+  /// per-iteration working set: at most half the budget, shrunk to the
+  /// budget's headroom over the working set so read-ahead never evicts the
+  /// blocks the current iteration is still relaxing over. When the working
+  /// set fills the whole budget (tiny-budget regime) nothing is posted —
+  /// demand paging wins there, and measured read-ahead would only churn
+  /// the cache.
   void PostPrefetch(const std::vector<uint32_t>& blocks) const;
+
+  /// Iteration-barrier hook: rotates the cache's IO epoch so the working
+  /// set PostPrefetch sizes against is the last barrier-to-barrier window.
+  void BeginIoEpoch() const { cache_->RotateEpoch(); }
 
   /// Appends the blocks covering vertices [first, last] to `out`.
   void BlocksForRange(VertexId first, VertexId last,

@@ -51,6 +51,13 @@ class ThreadPool {
   /// ParallelFor calls from workers run serially.
   static bool InWorkerThread();
 
+  /// Marks the calling thread as a pool worker without it belonging to any
+  /// pool. Solver lane threads (core/lane_team.h) call this at entry so
+  /// kernel-level ParallelFor degrades to a serial loop inside each lane —
+  /// lanes are the parallel unit; nesting pool batches under them would
+  /// serialize every lane on the pool's submission lock.
+  static void MarkWorkerThread();
+
  private:
   struct TaskBatch;
 

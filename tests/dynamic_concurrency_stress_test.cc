@@ -158,7 +158,12 @@ void VerifyObservations(const std::vector<Observation>& observations,
   }
 }
 
-TEST(DynamicConcurrencyStressTest, EveryQueryMatchesItsPinnedEpoch) {
+/// The pinned-epoch stress body, parameterized by the solver's worker-lane
+/// count: num_workers=1 is the historical sequential-solver stress;
+/// num_workers=4 adds per-partition lanes INSIDE each racing query, so
+/// lane threads, mutators, and the background compactor all contend on
+/// the same engine at once.
+void RunPinnedEpochStress(int num_workers) {
   const CsrGraph base = SmallRmat(8, 8, /*seed=*/21);
   const VertexId n = base.num_vertices();
 
@@ -166,8 +171,11 @@ TEST(DynamicConcurrencyStressTest, EveryQueryMatchesItsPinnedEpoch) {
   policy.mode = CompactionMode::kBackground;
   policy.min_delta_edges = 128;  // folds stay almost always in flight
   policy.delta_fraction = 0.0;
-  Engine engine(SmallRmat(8, 8, 21),
-                SolverOptions::Defaults(SystemKind::kCpu), policy);
+  SolverOptions options = SolverOptions::Defaults(SystemKind::kCpu);
+  options.num_workers = num_workers;
+  // Small partitions so the tiny stress graph still splits across lanes.
+  options.partition_bytes = 2 << 10;
+  Engine engine(SmallRmat(8, 8, 21), options, policy);
 
   // Epoch -> the batch that produced it, recorded by the mutators. The
   // engine serializes batch application, so epoch order is application
@@ -233,6 +241,14 @@ TEST(DynamicConcurrencyStressTest, EveryQueryMatchesItsPinnedEpoch) {
             static_cast<size_t>(kReaderThreads * kQueriesPerReader));
   VerifyObservations(observations, [] { return SmallRmat(8, 8, 21); },
                      batch_log);
+}
+
+TEST(DynamicConcurrencyStressTest, EveryQueryMatchesItsPinnedEpoch) {
+  RunPinnedEpochStress(/*num_workers=*/1);
+}
+
+TEST(DynamicConcurrencyStressTest, ParallelLaneQueriesMatchPinnedEpochs) {
+  RunPinnedEpochStress(/*num_workers=*/4);
 }
 
 // The serving layer under the same fire: concurrent clients submit mixed
