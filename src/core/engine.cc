@@ -45,6 +45,7 @@ Engine::Engine(CsrGraph graph, SolverOptions default_options,
     }
   }
   base_ = std::move(base);
+  num_vertices_ = base_->num_vertices();
   // Created non-const (stored through a pointer-to-const): the in-place
   // publication path writes through a const_cast, which is only defined
   // for objects that were not created const.
@@ -58,6 +59,11 @@ Engine::Engine(CsrGraph graph, SolverOptions default_options,
     background_ = std::make_unique<BackgroundCompactor>(
         [this] { BackgroundFoldCycle(); });
   }
+  // The ingest drainer exists in every mode (its worker sleeps until the
+  // first EnqueueMutations), so the wait-free admission path needs no
+  // policy opt-in.
+  ingest_ =
+      std::make_unique<BackgroundCompactor>([this] { IngestCycle(); });
 }
 
 bool Engine::out_of_core() const {
@@ -89,7 +95,10 @@ std::shared_ptr<const EdgeBlockStore> Engine::MaybeSpill(
 }
 
 Engine::~Engine() {
-  // Join the fold worker before any member it touches is destroyed.
+  // Join the ingest drainer first (its cycle can enqueue folds on the
+  // fold worker), then the fold worker, before any member they touch is
+  // destroyed. Batches still queued at teardown are dropped.
+  ingest_.reset();
   background_.reset();
   // Drain in-flight read-ahead while this engine still holds its store
   // references. A running job briefly owns a strong store ref; if the
@@ -116,11 +125,13 @@ Engine::ViewRef Engine::CurrentViewRef() const {
 void Engine::RepairDefaultSourceIfDirty() const {
   GraphView view;
   uint64_t epoch = 0;
+  uint64_t layout = 0;
   {
     std::shared_lock<std::shared_mutex> lock(graph_mu_);
     if (!default_source_dirty_) return;
     view = view_;
     epoch = epoch_;
+    layout = layout_version_;
   }
   // The O(V) rescan runs on the pinned view with no lock held — mutators
   // are never blocked on it.
@@ -128,13 +139,19 @@ void Engine::RepairDefaultSourceIfDirty() const {
   const EdgeId degree =
       best == kInvalidVertex ? 0 : view.out_degree(best);
   std::unique_lock<std::shared_mutex> lock(graph_mu_);
-  if (default_source_dirty_ && epoch_ == epoch) {
+  // Install only when NEITHER the epoch nor the layout moved under the
+  // rescan. The epoch check alone is not enough: a background fold (or an
+  // inline chain collapse) republishes the view with the same epoch but a
+  // new layout, and a batch replayed onto the folded base during the fold
+  // window can change degrees the rescan never saw — installing the stale
+  // argmax would pin a wrong default source until the next deletion.
+  if (default_source_dirty_ && epoch_ == epoch && layout_version_ == layout) {
     default_source_ = best;
     default_source_degree_ = degree;
     default_source_dirty_ = false;
   }
-  // A mutation raced the rescan: leave the entry dirty; the next reader
-  // repairs against the newer epoch.
+  // A mutation or fold raced the rescan: leave the entry dirty; the next
+  // reader repairs against the newer snapshot.
 }
 
 const CsrGraph& Engine::graph() const {
@@ -211,12 +228,17 @@ void Engine::WaitForCompaction() {
 void Engine::BackgroundFoldCycle() {
   std::shared_ptr<const DeltaOverlay> captured;
   std::shared_ptr<const EdgeBlockStore> old_store;
+  // The capture is read off-lock by Materialize below; the pin makes
+  // racing ApplyMutations land in tail layers instead of mutating the
+  // captured chain in place (same discipline as a pinned query view).
+  OverlayPin fold_pin;
   {
     std::unique_lock<std::shared_mutex> lock(graph_mu_);
     if (overlay_->empty()) return;
     fold_in_flight_ = true;
     fold_window_.clear();
     captured = overlay_;
+    fold_pin = OverlayPin(captured);
     old_store = store_;
   }
 
@@ -292,19 +314,29 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
 
   // In-flight queries iterate the published overlay without
   // synchronization, so a batch may only land on an overlay object no
-  // reader can observe. Readers pin the overlay by copying its shared_ptr
-  // under the shared lock, which cannot run concurrently with this
-  // exclusive section — so a use count of at most 2 (overlay_ itself plus
-  // view_'s copy) proves nobody outside this Engine holds it, and the
-  // batch can land in place, O(|batch|). Otherwise (a pinned query, a
-  // prepared-cache entry, or a background fold's capture) the batch lands
-  // on a private O(delta) copy published only when complete.
+  // reader can observe. Every reader holds an OverlayPin (views pin at
+  // construction, under the shared lock or by copying a still-live
+  // view; the background fold pins its capture), so a pin count at the
+  // engine's own baseline — view_'s single pin, or zero while view_ is
+  // transparent over an empty overlay — proves nobody outside this
+  // Engine can traverse it, and the batch can land in place,
+  // O(|batch|). The acquire load pairs with the release-decrement in
+  // ~OverlayPin: a reader that dropped its pin just before this check
+  // has all of its traversal ordered before the in-place writes.
+  // (shared_ptr::use_count() cannot stand in — it is a relaxed load
+  // with no such edge.) Otherwise (a pinned query, a prepared-cache
+  // entry, or a background fold's capture) the batch lands in a fresh
+  // O(1) *tail layer* chained over the pinned overlay
+  // (DeltaOverlay::NewTail), published only when complete — never an
+  // O(delta) copy, so publication latency is independent of how much
+  // delta the racing readers have pinned.
   std::shared_ptr<DeltaOverlay> next_overlay;
   DeltaOverlay* target;
-  if (overlay_.use_count() <= 2) {
+  const int64_t own_pins = view_.has_overlay() ? 1 : 0;
+  if (overlay_->reader_pins_acquire() <= own_pins) {
     target = const_cast<DeltaOverlay*>(overlay_.get());
   } else {
-    next_overlay = std::make_shared<DeltaOverlay>(*overlay_);
+    next_overlay = DeltaOverlay::NewTail(overlay_);
     target = next_overlay.get();
   }
   HYT_ASSIGN_OR_RETURN(DeltaOverlay::ApplyStats applied,
@@ -337,10 +369,11 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
 
   EpochDelta log_entry;
   log_entry.epoch = epoch_;
-  log_entry.structural_deletes = applied.deleted > 0;
+  log_entry.deletes = std::move(applied.deleted_edges);
   for (const EdgeMutation& m : batch.mutations()) {
     if (m.op == MutationOp::kInsertEdge) {
-      log_entry.insert_sources.push_back(m.src);
+      log_entry.inserts.push_back(
+          {m.src, m.dst, base_->is_weighted() ? m.weight : Weight{1}});
     }
   }
   mutation_log_.push_back(std::move(log_entry));
@@ -381,6 +414,31 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
       result.compacted = true;
     }
   }
+  // Bound the tail-layer chain: each layer adds a constant per-vertex
+  // lookup to overlay iteration, so past a small depth the chain is merged
+  // back into one layer. Background mode hands it to the fold worker
+  // (whose rebuild flattens everything anyway); otherwise the merge runs
+  // inline — O(delta), but only once per kMaxOverlayDepth racing batches,
+  // and only when long-pinned readers forced the chain to grow. The
+  // logical graph is unchanged, so the epoch stays put; the layout bump
+  // retires prepared-cache entries still pinning the deep chain.
+  constexpr int kMaxOverlayDepth = 8;
+  if (overlay_->depth() > kMaxOverlayDepth && !result.compacted) {
+    if (background_ != nullptr) {
+      background_->RequestFold();
+      result.fold_scheduled = true;
+    } else if (!fold_in_flight_) {
+      overlay_ = overlay_->Collapsed();
+      const std::shared_ptr<const CsrGraph> collapse_reverse =
+          view_.reverse_base_if_built();
+      const std::shared_ptr<const EdgeBlockStore> collapse_reverse_store =
+          view_.reverse_store_if_built();
+      view_ = GraphView(base_, overlay_);
+      view_.SeedReverseBase(collapse_reverse, collapse_reverse_store);
+      ++layout_version_;
+      ClearPreparedCache();
+    }
+  }
   result.pending_delta_edges = overlay_->delta_edges();
   return result;
 }
@@ -407,6 +465,45 @@ void Engine::UpdateDefaultSourceLocked(const MutationBatch& batch) {
       default_source_degree_ = degree;
     }
   }
+}
+
+Status Engine::EnqueueMutations(MutationBatch batch) {
+  // Validate on the producer, against the immutable vertex count: the only
+  // way a batch can be malformed is out-of-range endpoints, so admission
+  // can reject it here and the drain can never fail on producer input.
+  HYT_RETURN_NOT_OK(batch.Validate(num_vertices_));
+  if (batch.empty()) return Status::OK();
+  ingest_queue_.Push(std::move(batch));
+  // Wake the drainer. RequestFold is a cheap coalescing flag set — the
+  // producer never blocks on graph_mu_, a fold, or another producer.
+  ingest_->RequestFold();
+  return Status::OK();
+}
+
+void Engine::IngestCycle() {
+  for (MutationBatch& batch : ingest_queue_.DrainAll()) {
+    const Result<MutationResult> applied = ApplyMutations(batch);
+    if (applied.ok()) {
+      ingested_batches_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Admission already validated the batch, so this is internal
+      // invariant breakage; count it and keep draining.
+      ingest_failures_.fetch_add(1, std::memory_order_relaxed);
+      HYT_LOG(Warning) << "ingest drain failed: "
+                       << applied.status().ToString();
+    }
+  }
+}
+
+void Engine::WaitForIngest() { ingest_->WaitIdle(); }
+
+uint64_t Engine::ingested_batches() const {
+  return ingested_batches_.load(std::memory_order_relaxed);
+}
+
+int Engine::overlay_depth() const {
+  std::shared_lock<std::shared_mutex> lock(graph_mu_);
+  return overlay_->depth();
 }
 
 Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
@@ -549,106 +646,172 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
         info->name);
   }
 
+  // Capture a consistent snapshot of (view, epoch, delta-since-previous)
+  // under the lock, then propagate without it — the view pins the graph.
+  ViewRef ref;
+  bool log_retired = false;
+  std::vector<EdgeRecord> inserts;
+  std::vector<EdgeRecord> deletes;
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_mu_);
+    if (previous.epoch > epoch_) {
+      return Status::InvalidArgument(
+          "previous result is from epoch " +
+          std::to_string(previous.epoch) + ", engine is at epoch " +
+          std::to_string(epoch_));
+    }
+    // Full field-wise init: a positional {view, epoch, source} here once
+    // landed default_source_ in ViewRef::layout, leaving default_source
+    // invalid — harmless at the time, but a trap for any code that later
+    // trusts ref.layout against the prepared cache's layout guard.
+    ref.view = view_;
+    ref.epoch = epoch_;
+    ref.layout = layout_version_;
+    ref.default_source = default_source_;
+    if (previous.epoch < log_floor_epoch_) {
+      // Snapshot GC retired the log entries needed to reconstruct the
+      // delta since `previous` — warm-starting from the stale values is
+      // unsound without knowing what changed. Fall back.
+      log_retired = true;
+    } else {
+      for (const EpochDelta& delta : mutation_log_) {
+        if (delta.epoch <= previous.epoch) continue;
+        inserts.insert(inserts.end(), delta.inserts.begin(),
+                       delta.inserts.end());
+        deletes.insert(deletes.end(), delta.deletes.begin(),
+                       delta.deletes.end());
+      }
+    }
+  }
+
+  const VertexId n = ref.view.num_vertices();
+  const CompactionPolicy& policy = compactor_.policy();
+
+  // Warm starts are only valid for the exact query the previous result
+  // answered: same algorithm (checked above) and same source. A query
+  // without an explicit source inherits the previous result's.
+  VertexId source = kInvalidVertex;
+  if (info->needs_source) {
+    source =
+        query.source == kInvalidVertex ? previous.source : query.source;
+    if (source == kInvalidVertex || source >= n) {
+      return Status::InvalidArgument(
+          std::string(info->name) +
+          " incremental query needs a source vertex in [0, " +
+          std::to_string(n) + ")");
+    }
+    if (previous.source != source) {
+      return Status::InvalidArgument(
+          "previous result is for source " +
+          std::to_string(previous.source) + ", query names source " +
+          std::to_string(source));
+    }
+  }
+
+  // Transparent full recompute, carrying the reason in the trace so
+  // callers (and the dynamic test suite) can tell *why* the warm start
+  // was abandoned rather than silently observing a slow path.
+  auto fallback = [&](IncrementalFallback reason) -> Result<QueryResult> {
+    HYT_ASSIGN_OR_RETURN(QueryResult full, Run(query));
+    full.trace.incremental_fallback = reason;
+    return full;
+  };
+
+  if (log_retired) return fallback(IncrementalFallback::kRetiredLog);
+
   if (SupportsIncremental(query.algorithm)) {
-    // Capture a consistent snapshot of (view, epoch, delta-since-previous)
-    // under the lock, then propagate without it — the view pins the graph.
-    ViewRef ref;
-    bool deletes_since = false;
-    bool log_retired = false;
-    std::vector<VertexId> seeds;
-    {
-      std::shared_lock<std::shared_mutex> lock(graph_mu_);
-      if (previous.epoch > epoch_) {
-        return Status::InvalidArgument(
-            "previous result is from epoch " +
-            std::to_string(previous.epoch) + ", engine is at epoch " +
-            std::to_string(epoch_));
-      }
-      // Full field-wise init: a positional {view, epoch, source} here once
-      // landed default_source_ in ViewRef::layout, leaving default_source
-      // invalid — harmless at the time, but a trap for any code that later
-      // trusts ref.layout against the prepared cache's layout guard.
-      ref.view = view_;
-      ref.epoch = epoch_;
-      ref.layout = layout_version_;
-      ref.default_source = default_source_;
-      if (previous.epoch < log_floor_epoch_) {
-        // Snapshot GC retired the log entries needed to reconstruct the
-        // delta since `previous` — warm-starting is still *sound* (the
-        // graph only gained edges or we'd fall back anyway), but the seed
-        // set is unknown. Fall back to a full recompute.
-        log_retired = true;
-      } else {
-        for (const EpochDelta& delta : mutation_log_) {
-          if (delta.epoch <= previous.epoch) continue;
-          if (delta.structural_deletes) {
-            deletes_since = true;
-            break;
-          }
-          seeds.insert(seeds.end(), delta.insert_sources.begin(),
-                       delta.insert_sources.end());
-        }
-      }
-    }
-
-    const VertexId n = ref.view.num_vertices();
-
-    // Warm starts are only valid for the exact query the previous result
-    // answered: same algorithm (checked above) and same source. A query
-    // without an explicit source inherits the previous result's.
-    VertexId source = kInvalidVertex;
-    if (info->needs_source) {
-      source =
-          query.source == kInvalidVertex ? previous.source : query.source;
-      if (source == kInvalidVertex || source >= n) {
-        return Status::InvalidArgument(
-            std::string(info->name) +
-            " incremental query needs a source vertex in [0, " +
-            std::to_string(n) + ")");
-      }
-      if (previous.source != source) {
-        return Status::InvalidArgument(
-            "previous result is for source " +
-            std::to_string(previous.source) + ", query names source " +
-            std::to_string(source));
-      }
-    }
     if (previous.is_f64() || previous.u32().size() != n) {
       return Status::InvalidArgument(
           "previous values do not match this engine's graph (" +
           std::to_string(n) + " vertices)");
     }
-
-    if (!deletes_since && !log_retired) {
-      QueryResult result;
-      result.algorithm = query.algorithm;
-      result.source = info->needs_source ? source : kInvalidVertex;
-      result.epoch = ref.epoch;
-      result.incremental = true;
-
-      std::vector<uint32_t> values = previous.u32();
-      if (previous.epoch < ref.epoch) {
-        HYT_ASSIGN_OR_RETURN(
-            IncrementalStats stats,
-            IncrementalRecompute(ref.view, query.algorithm, source, seeds,
-                                 &values));
-        IterationTrace it;
-        it.active_vertices = stats.relaxed_vertices;
-        it.active_edges = stats.traversed_edges;
-        result.trace.iterations.push_back(it);
-      }
-      // previous.epoch == epoch: the graph is unchanged, the previous
-      // values already are the fixpoint.
-      result.trace.converged = true;
-      result.values = std::move(values);
-      result.cache_stats = cache_stats();
-      return result;
+    if (!deletes.empty() && !policy.incremental_deletion_cone) {
+      return fallback(IncrementalFallback::kDeletionDelta);
     }
+
+    QueryResult result;
+    result.algorithm = query.algorithm;
+    result.source = info->needs_source ? source : kInvalidVertex;
+    result.epoch = ref.epoch;
+    result.incremental = true;
+
+    std::vector<uint32_t> values = previous.u32();
+    // Carry the dependency forest along the chain: deletions flood only
+    // the severed subtrees when it is present; when it is not, the
+    // deletion path derives it once (a certification pass) and every
+    // later epoch rides the cheap tree path. Insert-only epochs update a
+    // forest they inherited but never build one — the insert path must
+    // stay O(delta).
+    std::vector<VertexId> parents;
+    const bool have_parents = previous.dependency_parents != nullptr &&
+                              previous.dependency_parents->size() == n;
+    if (have_parents) parents = *previous.dependency_parents;
+    bool parents_valid = have_parents;
+    if (previous.epoch < ref.epoch) {
+      IncrementalStats stats;
+      if (deletes.empty()) {
+        std::vector<VertexId> seeds;
+        seeds.reserve(inserts.size());
+        for (const EdgeRecord& e : inserts) seeds.push_back(e.src);
+        HYT_ASSIGN_OR_RETURN(
+            stats,
+            IncrementalRecompute(ref.view, query.algorithm, source, seeds,
+                                 &values, have_parents ? &parents : nullptr));
+      } else {
+        HYT_ASSIGN_OR_RETURN(
+            stats, DeletionAwareRecompute(ref.view, query.algorithm, source,
+                                          inserts, deletes, &values,
+                                          &parents));
+        parents_valid = true;
+      }
+      IterationTrace it;
+      it.active_vertices = stats.relaxed_vertices;
+      it.active_edges = stats.traversed_edges;
+      result.trace.iterations.push_back(it);
+    }
+    if (parents_valid) {
+      result.dependency_parents =
+          std::make_shared<const std::vector<VertexId>>(std::move(parents));
+    }
+    // previous.epoch == epoch: the graph is unchanged, the previous
+    // values already are the fixpoint.
+    result.trace.converged = true;
+    result.values = std::move(values);
+    result.cache_stats = cache_stats();
+    return result;
   }
 
-  // Fallback: PR/PHP (no monotone warm start), a delta with deletions, or
-  // a previous epoch older than the retained mutation log.
-  return Run(query);
+  // Accumulation family (PR/PHP): Maiter-style residual re-injection.
+  if (!policy.incremental_accumulative) {
+    return fallback(IncrementalFallback::kUnsupportedAlgorithm);
+  }
+  if (!previous.is_f64() || previous.f64().size() != n) {
+    return Status::InvalidArgument(
+        "previous values do not match this engine's graph (" +
+        std::to_string(n) + " vertices)");
+  }
+
+  QueryResult result;
+  result.algorithm = query.algorithm;
+  result.source = info->needs_source ? source : kInvalidVertex;
+  result.epoch = ref.epoch;
+  result.incremental = true;
+
+  std::vector<double> values = previous.f64();
+  if (previous.epoch < ref.epoch) {
+    HYT_ASSIGN_OR_RETURN(
+        IncrementalStats stats,
+        AccumulativeRecompute(ref.view, query.algorithm, source,
+                              query.params, inserts, deletes, &values));
+    IterationTrace it;
+    it.active_vertices = stats.relaxed_vertices;
+    it.active_edges = stats.traversed_edges;
+    result.trace.iterations.push_back(it);
+  }
+  result.trace.converged = true;
+  result.values = std::move(values);
+  result.cache_stats = cache_stats();
+  return result;
 }
 
 Result<std::vector<QueryResult>> Engine::RunBatch(

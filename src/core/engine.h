@@ -45,12 +45,23 @@
 //    overlay patches per-vertex degree deltas incrementally, the view's
 //    logical offsets are a lazily built sparse index (no O(V) prefix
 //    rebuild under the write lock), and the default source tracks the
-//    degree argmax incrementally. RunIncremental recomputes
-//    BFS/SSSP/CC/SSWP after insert-only deltas by warm-starting from a
-//    previous result and re-activating only the touched vertices (falling
-//    back to a full recompute for PR/PHP, when the delta contains
-//    deletions, or when the previous epoch's mutation-log entries were
-//    retired by the snapshot GC horizon).
+//    degree argmax incrementally — batches racing a pinned reader land in
+//    an O(1) layered tail overlay (DeltaOverlay::NewTail) instead of an
+//    O(delta) copy, so publication latency is independent of how much
+//    delta the readers have pinned. Deep layer chains are collapsed off
+//    the write path (background worker) or inline past a small depth cap.
+//    EnqueueMutations is the wait-free admission path on top: batches go
+//    into a lock-free MPSC queue and a dedicated ingest worker drains them
+//    through ApplyMutations in FIFO order, so producers never contend on
+//    graph_mu_ at all. RunIncremental advances a previous result to the
+//    current epoch: insert-only deltas warm-start BFS/SSSP/CC/SSWP from
+//    the previous values; deltas with deletions invalidate only the
+//    affected cone (KickStarter-style) and re-seed from its boundary;
+//    PR/PHP re-inject the mutated edges' residual contributions
+//    Maiter-style. A full recompute remains the fallback — when the
+//    policy disables a path or the snapshot GC retired the needed
+//    mutation-log entries — and RunTrace::incremental_fallback reports
+//    which reason triggered it.
 //
 // Direction-optimizing queries (SolverOptions::direction = pull/auto) pull
 // over the view's reverse side. The reverse transpose is built lazily on
@@ -70,6 +81,7 @@
 #ifndef HYTGRAPH_CORE_ENGINE_H_
 #define HYTGRAPH_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -87,6 +99,7 @@
 #include "dynamic/background_compactor.h"
 #include "dynamic/delta_overlay.h"
 #include "dynamic/mutation.h"
+#include "dynamic/mutation_queue.h"
 #include "dynamic/snapshot_compactor.h"
 #include "graph/csr_graph.h"
 #include "graph/graph_view.h"
@@ -134,6 +147,14 @@ struct QueryResult {
   /// True when the result came from an incremental warm-start rather than
   /// a full solver run.
   bool incremental = false;
+  /// Dependency forest for the monotone family: parents[v] is the
+  /// in-neighbor whose relaxation produced v's value (kInvalidVertex for
+  /// axioms). Attached by RunIncremental after a deletion-aware warm
+  /// start and carried forward through the chain, so each subsequent
+  /// deletion invalidates only the severed subtrees instead of paying a
+  /// full certification pass. Null on full runs and insert-only chains
+  /// that never met a deletion.
+  std::shared_ptr<const std::vector<VertexId>> dependency_parents;
 
   bool is_f64() const {
     return std::holds_alternative<std::vector<double>>(values);
@@ -225,6 +246,32 @@ class Engine {
   /// from older epochs are invalidated lazily on their next lookup.
   Result<MutationResult> ApplyMutations(const MutationBatch& batch);
 
+  /// Wait-free mutation admission: validates `batch` against the vertex
+  /// count (immutable for the engine's lifetime), pushes it onto a
+  /// lock-free MPSC queue, and returns — no graph_mu_, no allocation
+  /// proportional to the pending delta, no fold. A dedicated ingest
+  /// worker drains the queue in FIFO order through ApplyMutations;
+  /// producers therefore never contend with queries, folds, or each
+  /// other. Epoch assignment happens at drain time, in queue order.
+  /// Failures past admission (internal invariant breakage) are counted
+  /// and logged by the worker, not reported to the producer.
+  Status EnqueueMutations(MutationBatch batch);
+
+  /// Ingest barrier: blocks until every batch enqueued before the call has
+  /// been drained and applied (epochs assigned, views published). Queries
+  /// issued after it observe all prior EnqueueMutations calls.
+  void WaitForIngest();
+
+  /// Batches admitted through EnqueueMutations and applied by the ingest
+  /// worker so far.
+  uint64_t ingested_batches() const;
+
+  /// Current depth of the published overlay's layer chain (1 = flat). A
+  /// depth above 1 means batches landed in O(1) tail layers while readers
+  /// pinned older layers; chains are collapsed when readers drain or the
+  /// depth cap trips.
+  int overlay_depth() const;
+
   /// Explicitly folds the pending delta into a fresh base snapshot (no-op
   /// when none is pending). The logical graph and the epoch are unchanged —
   /// only the physical layout moves. Cached preparations are dropped so
@@ -248,13 +295,21 @@ class Engine {
   Result<QueryResult> Run(const Query& query, const SolverOptions& options);
 
   /// Advances `previous` (a result for the same query from an earlier
-  /// epoch) to the current epoch. When the algorithm is monotone under the
-  /// delta (BFS/SSSP/CC/SSWP, insert-only mutations since previous.epoch),
-  /// this warm-starts from the previous values and re-activates only the
-  /// vertices touched by the delta — no CSR rebuild, no full traversal.
-  /// Otherwise (PR/PHP, or the delta contains deletions) it transparently
-  /// falls back to a full recompute; QueryResult::incremental reports which
-  /// path ran. Values are identical to a full recompute either way.
+  /// epoch) to the current epoch without a full traversal:
+  ///  * BFS/SSSP/CC/SSWP, insert-only delta — warm-start from the previous
+  ///    values, re-activating only the inserted edges' sources;
+  ///  * BFS/SSSP/CC/SSWP, delta with deletions — invalidate only the cone
+  ///    of vertices whose values may have derived through a deleted edge
+  ///    and re-seed from its boundary (dynamic/incremental.h);
+  ///  * PR/PHP — re-inject the mutated edges' residual contributions and
+  ///    propagate the delta chaotically (Maiter-style).
+  /// A full recompute remains the transparent fallback when the policy
+  /// disables a path (CompactionPolicy::incremental_deletion_cone /
+  /// incremental_accumulative) or the snapshot GC retired the mutation-log
+  /// entries since previous.epoch; RunTrace::incremental_fallback carries
+  /// the reason and QueryResult::incremental reports which path ran.
+  /// Values match a full recompute either way (bitwise for the monotone
+  /// family, up to the kernels' epsilon residual for PR/PHP).
   Result<QueryResult> RunIncremental(const Query& query,
                                      const QueryResult& previous);
 
@@ -321,13 +376,14 @@ class Engine {
     VertexId source = kInvalidVertex;
   };
 
-  /// Per-epoch record of what changed, for incremental seed computation.
+  /// Per-epoch record of what changed, for incremental recomputation: the
+  /// edges inserted (as applied) and the concrete edge instances removed
+  /// (with the weights they carried — the deletion cone needs them to test
+  /// derivation consistency).
   struct EpochDelta {
     uint64_t epoch = 0;
-    /// Whether any edge was actually removed this epoch (forces fallback).
-    bool structural_deletes = false;
-    /// Sources of the inserted edges (the incremental seed set).
-    std::vector<VertexId> insert_sources;
+    std::vector<EdgeRecord> inserts;
+    std::vector<EdgeRecord> deletes;
   };
 
   /// Returns the current-epoch live view (no fold, ever — a lock-shared
@@ -339,6 +395,10 @@ class Engine {
   /// Folds the pending overlay and promotes the result to the new base.
   /// graph_mu_ must be held exclusively.
   Status CompactLocked();
+
+  /// One ingest drain: pops every queued batch in FIFO order and applies
+  /// it through ApplyMutations. Runs on the ingest worker.
+  void IngestCycle();
 
   /// One background fold: captures the overlay under the write lock,
   /// materializes the new base off every lock, then republishes —
@@ -381,6 +441,10 @@ class Engine {
       const std::shared_ptr<const EdgeBlockStore>& sibling_of) const;
 
   SolverOptions default_options_;
+
+  /// Immutable for the engine's lifetime (mutations add/remove edges, not
+  /// vertices) — EnqueueMutations validates against it without any lock.
+  VertexId num_vertices_ = 0;
 
   /// Out-of-core state. The cache and prefetcher are shared by every
   /// EdgeBlockStore this engine ever creates (base, reverse transpose,
@@ -433,10 +497,21 @@ class Engine {
   std::map<std::string, CacheEntry> prepared_;
   EngineCacheStats stats_;
 
+  /// Wait-free ingest state: producers push here (EnqueueMutations), the
+  /// ingest worker drains through ApplyMutations. The queue has its own
+  /// internal synchronization; the counters are plain atomics.
+  MutationQueue ingest_queue_;
+  std::atomic<uint64_t> ingested_batches_{0};
+  std::atomic<uint64_t> ingest_failures_{0};
+
   /// The fold-queue worker (CompactionMode::kBackground only, null
   /// otherwise). Declared last and reset first in ~Engine: the worker's
   /// fold cycle touches every member above.
   std::unique_ptr<BackgroundCompactor> background_;
+  /// The ingest-drain worker (always present; idle until the first
+  /// EnqueueMutations). Reset before background_ in ~Engine — its drain
+  /// cycle can enqueue folds on the fold worker.
+  std::unique_ptr<BackgroundCompactor> ingest_;
 };
 
 }  // namespace hytgraph

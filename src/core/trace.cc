@@ -2,6 +2,20 @@
 
 namespace hytgraph {
 
+const char* IncrementalFallbackName(IncrementalFallback reason) {
+  switch (reason) {
+    case IncrementalFallback::kNone:
+      return "none";
+    case IncrementalFallback::kUnsupportedAlgorithm:
+      return "unsupported-algorithm";
+    case IncrementalFallback::kDeletionDelta:
+      return "deletion-delta";
+    case IncrementalFallback::kRetiredLog:
+      return "retired-log";
+  }
+  return "unknown";
+}
+
 uint64_t RunTrace::TotalTransferredBytes() const {
   uint64_t total = 0;
   for (const IterationTrace& it : iterations) {

@@ -14,6 +14,24 @@
 
 namespace hytgraph {
 
+/// Why Engine::RunIncremental transparently ran a full recompute instead
+/// of a warm start. kNone means the incremental path ran (or the run was
+/// not an incremental request at all).
+enum class IncrementalFallback : uint8_t {
+  kNone = 0,
+  /// The algorithm has no incremental path under the current policy
+  /// (PR/PHP with CompactionPolicy::incremental_accumulative off).
+  kUnsupportedAlgorithm = 1,
+  /// The delta since the previous result contains deletions and the
+  /// deletion-cone path is off (CompactionPolicy::incremental_deletion_cone).
+  kDeletionDelta = 2,
+  /// Snapshot GC retired the mutation-log entries needed to reconstruct
+  /// the delta since the previous result's epoch.
+  kRetiredLog = 3,
+};
+
+const char* IncrementalFallbackName(IncrementalFallback reason);
+
 struct IterationTrace {
   uint64_t active_vertices = 0;
   /// Out-edges of the frontier (m_f). Pull iterations record it only when
@@ -58,6 +76,10 @@ struct RunTrace {
   /// End-to-end simulated runtime (sum of iteration makespans).
   double total_sim_seconds = 0;
   bool converged = false;
+
+  /// Set by Engine::RunIncremental when the warm start was abandoned for a
+  /// full recompute; kNone on the incremental path and on plain runs.
+  IncrementalFallback incremental_fallback = IncrementalFallback::kNone;
 
   /// --- Parallel partition execution (SolverOptions::num_workers) ---
   /// Lanes the run executed with (1 = sequential reference path).

@@ -9,9 +9,37 @@
 // bound and the new fixpoint, and termination means no edge is violated.
 //
 // Edge deletion breaks the bound (a value may have depended on the removed
-// edge), and the value-accumulation family (PR, PHP) has no per-vertex
-// monotone bound at all; both fall back to full recomputation in the
-// Engine (Engine::RunIncremental).
+// edge). DeletionAwareRecompute handles it KickStarter-style with an
+// explicit dependency forest: `parents[v]` names the in-neighbor whose
+// relaxation produced v's current value (kInvalidVertex for axioms —
+// the source, identity-valued vertices, the unreached). A deletion
+// invalidates exactly the subtrees rooted at deleted TREE edges: the cone
+// floods forward along parent pointers only, its members reset to the
+// identity value, and the frontier re-seeds from the cone's non-cone
+// in-neighbors plus the delta's insert sources. Everything outside the
+// cone keeps its parent chain — an intact derivation of its exact value
+// from an axiom through surviving edges, which deletions cannot beat and
+// insert-driven improvements reach through the re-seeded frontier.
+//
+// The forest matters because consistency alone over-floods: CC's
+// candidate equals the label itself and SSWP's bottleneck widths tie
+// freely, so "y is consistent with a cone member" sweeps whole label
+// classes into the cone. Parent pointers are tie-free (each vertex has
+// ONE recorded deriver, and chains are acyclic by construction — a parent
+// reached its value strictly before its child), so the cone is the true
+// dependency cone. When the caller has no forest (the previous result
+// came from a full solver run), one certification pass derives it: BFS
+// from the axioms along consistency edges over the post-delta view
+// assigns parents, and whatever it cannot certify *is* the cone.
+//
+// The value-accumulation family (PR, PHP) has no per-vertex monotone
+// bound; AccumulativeRecompute advances it Maiter-style instead: the new
+// fixpoint r' of r = b + d·Aᵀr differs from the old one by
+// δ = d·A'ᵀδ + d·(A' − A)ᵀr, so re-injecting each mutated vertex's
+// contribution change (computed from the previous values) and running
+// chaotic delta propagation on the *current* graph converges to the new
+// fixpoint up to the epsilon residual — the same tolerance the push
+// kernels terminate with.
 //
 // The propagation iterates GraphView adjacency directly (merged base +
 // overlay), so an incremental run after a small delta touches only the
@@ -42,6 +70,12 @@ struct IncrementalStats {
   uint64_t traversed_edges = 0;
   uint64_t improved_vertices = 0;  // value-change events
   uint64_t rounds = 0;
+  /// Vertices invalidated by the deletion cone (0 on the insert-only and
+  /// accumulative paths).
+  uint64_t cone_vertices = 0;
+  /// True when the dependency forest was rebuilt by a certification pass
+  /// (the caller supplied no parents), rather than reused and patched.
+  bool forest_derived = false;
 };
 
 /// Advances `values` (the previous fixpoint, indexed by vertex id, size
@@ -53,10 +87,15 @@ struct IncrementalStats {
 ///
 /// Precondition: the deltas between the previous fixpoint's graph and
 /// `graph` are insert-only (callers enforce this; see Engine).
-Result<IncrementalStats> IncrementalRecompute(const GraphView& graph,
-                                              AlgorithmId id, VertexId source,
-                                              std::span<const VertexId> seeds,
-                                              std::vector<uint32_t>* values);
+///
+/// When `parents` is non-null (size num_vertices), the dependency forest
+/// is kept consistent with the advanced values: every improvement records
+/// its deriver. Callers chaining into DeletionAwareRecompute later MUST
+/// pass it — stale parents under-invalidate.
+Result<IncrementalStats> IncrementalRecompute(
+    const GraphView& graph, AlgorithmId id, VertexId source,
+    std::span<const VertexId> seeds, std::vector<uint32_t>* values,
+    std::vector<VertexId>* parents = nullptr);
 
 /// DeltaOverlay convenience overload (tests, direct callers): a non-owning
 /// view over `overlay`, which must outlive the call.
@@ -66,6 +105,37 @@ inline Result<IncrementalStats> IncrementalRecompute(
   return IncrementalRecompute(GraphView::Wrap(overlay), id, source, seeds,
                               values);
 }
+
+/// Advances `values` across a delta that CONTAINS DELETIONS (and possibly
+/// inserts) for the monotone family: dependency-cone invalidation +
+/// boundary re-seeding, exact against a full recompute. `inserted_edges`
+/// / `deleted_edges` are the per-epoch mutation-log records since the
+/// previous fixpoint, in application order; `graph` is the post-delta
+/// view. Builds the reverse side on first use (EnsureReverse) for the
+/// boundary scan.
+///
+/// `parents` is the in/out dependency forest. Sized num_vertices and
+/// consistent with `values` on entry → the cone is the exact forward
+/// closure of the deleted tree edges (cheap). Any other size → one O(E)
+/// certification pass rebuilds it and discovers the cone at the same
+/// time. On return it is consistent with the advanced values, ready for
+/// the next epoch.
+Result<IncrementalStats> DeletionAwareRecompute(
+    const GraphView& graph, AlgorithmId id, VertexId source,
+    std::span<const EdgeRecord> inserted_edges,
+    std::span<const EdgeRecord> deleted_edges,
+    std::vector<uint32_t>* values, std::vector<VertexId>* parents);
+
+/// Advances the previous PR/PHP fixpoint in `values` across an arbitrary
+/// insert/delete delta by residual re-injection (see the header comment).
+/// Exact up to the kernels' epsilon residual; `params` must match the
+/// options the previous result was computed with. `source` is the PHP
+/// source (ignored for PR).
+Result<IncrementalStats> AccumulativeRecompute(
+    const GraphView& graph, AlgorithmId id, VertexId source,
+    const AlgoParams& params, std::span<const EdgeRecord> inserted_edges,
+    std::span<const EdgeRecord> deleted_edges,
+    std::vector<double>* values);
 
 }  // namespace hytgraph
 

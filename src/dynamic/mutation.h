@@ -25,6 +25,19 @@ enum class MutationOp : uint8_t {
 
 const char* MutationOpName(MutationOp op);
 
+/// One concrete edge instance, as recorded in the Engine's per-epoch
+/// mutation log: an insert as applied, or a removed edge with the weight it
+/// actually carried (base weight for suppressed base edges, insert weight
+/// for erased overlay inserts; 1 on unweighted graphs). The deletion-aware
+/// incremental paths replay these records to bound invalidation.
+struct EdgeRecord {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1;
+
+  bool operator==(const EdgeRecord&) const = default;
+};
+
 /// One edge mutation. Deletion removes *all* current src->dst edges
 /// (parallel edges included); insertion appends one edge. `weight` is
 /// meaningful only for insertions, and only when the target graph is

@@ -1,0 +1,48 @@
+#include "dynamic/mutation_queue.h"
+
+#include <utility>
+
+namespace hytgraph {
+
+MutationQueue::~MutationQueue() {
+  Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+  while (node != nullptr) {
+    Node* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void MutationQueue::Push(MutationBatch batch) {
+  Node* node = new Node{std::move(batch), nullptr};
+  node->next = head_.load(std::memory_order_relaxed);
+  // Release on success: the consumer's acquire exchange sees the batch's
+  // contents. On failure the CAS reloads head_ into node->next.
+  while (!head_.compare_exchange_weak(node->next, node,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+  }
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<MutationBatch> MutationQueue::DrainAll() {
+  Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+  // The detached list is newest-first; reverse into submission order.
+  std::vector<MutationBatch> batches;
+  Node* reversed = nullptr;
+  while (node != nullptr) {
+    Node* next = node->next;
+    node->next = reversed;
+    reversed = node;
+    node = next;
+  }
+  while (reversed != nullptr) {
+    batches.push_back(std::move(reversed->batch));
+    Node* next = reversed->next;
+    delete reversed;
+    reversed = next;
+  }
+  return batches;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,65 @@
+// MutationQueue: a lock-free multi-producer / single-consumer queue of
+// MutationBatches — the admission side of the Engine's wait-free ingest
+// path. Producers (EnqueueMutations, the serving layer's SubmitMutation)
+// push with one CAS loop and never block on the snapshot lock, a running
+// fold, or each other; the single consumer (the ingest worker) drains the
+// whole queue with one atomic exchange and applies the batches in
+// submission order.
+//
+// The push side is a Treiber stack (CAS the new node onto head_); the
+// drain side exchanges head_ with null and reverses the detached list to
+// FIFO. There is no interior pop, so the classic ABA hazard does not
+// apply: a CAS that links onto a recycled node address still links onto a
+// live, reachable node.
+//
+// Thread safety: Push from any number of threads; DrainAll from one
+// consumer at a time. Destruction frees undrained batches.
+
+#ifndef HYTGRAPH_DYNAMIC_MUTATION_QUEUE_H_
+#define HYTGRAPH_DYNAMIC_MUTATION_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/mutation.h"
+
+namespace hytgraph {
+
+class MutationQueue {
+ public:
+  MutationQueue() = default;
+  MutationQueue(const MutationQueue&) = delete;
+  MutationQueue& operator=(const MutationQueue&) = delete;
+  ~MutationQueue();
+
+  /// Lock-free producer push. Each producer's batches drain in its own
+  /// submission order; batches of different producers interleave in CAS
+  /// linearization order.
+  void Push(MutationBatch batch);
+
+  /// Detaches everything pushed so far and returns it oldest-first.
+  /// Single consumer; O(drained).
+  std::vector<MutationBatch> DrainAll();
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+  /// Batches ever pushed (monotone; drained or not).
+  uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    MutationBatch batch;
+    Node* next = nullptr;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<uint64_t> pushed_{0};
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_DYNAMIC_MUTATION_QUEUE_H_

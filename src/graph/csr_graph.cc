@@ -31,16 +31,17 @@ Result<CsrGraph> CsrGraph::Create(std::vector<EdgeId> row_offsets,
 }
 
 const std::vector<uint32_t>& CsrGraph::in_degrees() const {
-  if (in_degrees_.empty() && num_vertices() > 0) {
+  std::call_once(in_degrees_->once, [&] {
+    if (num_vertices() == 0) return;
     HYT_CHECK(edges_resident_)
         << "in_degrees requested after ReleaseEdgeData without a "
            "materialized cache";
-    in_degrees_.assign(num_vertices(), 0);
+    in_degrees_->degrees.assign(num_vertices(), 0);
     for (VertexId dst : column_index_) {
-      ++in_degrees_[dst];
+      ++in_degrees_->degrees[dst];
     }
-  }
-  return in_degrees_;
+  });
+  return in_degrees_->degrees;
 }
 
 void CsrGraph::ReleaseEdgeData() {

@@ -8,6 +8,8 @@
 #define HYTGRAPH_GRAPH_CSR_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -120,8 +122,17 @@ class CsrGraph {
   bool weighted_ = false;
   bool edges_resident_ = true;
 
-  // Lazy caches; logically const.
-  mutable std::vector<uint32_t> in_degrees_;
+  // Lazy caches; logically const. The in-degree cache builds once under
+  // a once_flag: concurrent preparations (QueryServer lanes hub-scoring
+  // the same snapshot) may all ask first. Heap-held behind a shared_ptr
+  // so the graph stays movable (once_flag is not) and copies share the
+  // built cache — copies have identical adjacency, so sharing is sound.
+  struct InDegreeCache {
+    std::once_flag once;
+    std::vector<uint32_t> degrees;
+  };
+  std::shared_ptr<InDegreeCache> in_degrees_ =
+      std::make_shared<InDegreeCache>();
 };
 
 }  // namespace hytgraph

@@ -28,6 +28,7 @@ GraphView::GraphView(std::shared_ptr<const CsrGraph> base,
   if (base_ != nullptr) reverse_ = std::make_shared<ReverseIndex>();
   if (overlay_ != nullptr && overlay_->empty()) overlay_.reset();
   if (overlay_ == nullptr) return;
+  pin_ = OverlayPin(overlay_);
   HYT_CHECK(&overlay_->base() == base_.get())
       << "overlay is anchored on a different base snapshot";
   index_ = std::make_shared<OffsetIndex>();

@@ -399,6 +399,12 @@ class GraphView {
 
   std::shared_ptr<const CsrGraph> base_;
   std::shared_ptr<const DeltaOverlay> overlay_;  // null = transparent
+  /// Reader pin on overlay_ — one per live view instance (copies pin
+  /// again, moves transfer). Engine::ApplyMutations checks the overlay's
+  /// pin count under its exclusive lock to decide whether an in-place
+  /// batch apply can race nobody; the pin's release-on-drop is what
+  /// orders a finished reader's traversal before those in-place writes.
+  OverlayPin pin_;
   /// Streams base adjacency when the base is out of core; null otherwise.
   std::shared_ptr<const EdgeBlockStore> storage_;
   std::shared_ptr<OffsetIndex> index_;           // non-null iff overlay_

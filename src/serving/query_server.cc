@@ -69,7 +69,18 @@ Result<std::future<Result<QueryResult>>> QueryServer::Submit(
   queued.query = request.query;
   queued.priority = request.priority;
   if (request.deadline.count() > 0) {
-    queued.deadline = std::chrono::steady_clock::now() + request.deadline;
+    // Saturating add: a huge relative deadline (e.g. microseconds::max(),
+    // the natural "effectively none" spelling) would overflow the clock
+    // rep, wrap *before* now, sort ahead of every real deadline in the
+    // EDF order, and get shed at dispatch as already-expired. Clamp to
+    // time_point::max() — the same "no deadline" the default carries,
+    // which sorts after every real deadline.
+    const auto now = std::chrono::steady_clock::now();
+    const auto headroom = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::time_point::max() - now);
+    queued.deadline = request.deadline >= headroom
+                          ? std::chrono::steady_clock::time_point::max()
+                          : now + request.deadline;
   }
   std::future<Result<QueryResult>> future = queued.promise.get_future();
 
@@ -87,6 +98,22 @@ Result<std::future<Result<QueryResult>>> QueryServer::Submit(
                              high, depth, std::memory_order_relaxed)) {
   }
   return future;
+}
+
+Status QueryServer::SubmitMutation(MutationBatch batch) {
+  mutations_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    mutations_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("query server is shut down");
+  }
+  const uint64_t edges = batch.size();
+  const Status admitted = engine_->EnqueueMutations(std::move(batch));
+  if (!admitted.ok()) {
+    mutations_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return admitted;
+  }
+  mutation_edges_.fetch_add(edges, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 void QueryServer::Pause() {
@@ -238,6 +265,11 @@ ServingStats QueryServer::stats() const {
   stats.fused_requests = fused_requests_.load(std::memory_order_relaxed);
   stats.dispatch_batches =
       dispatch_batches_.load(std::memory_order_relaxed);
+  stats.mutations_submitted =
+      mutations_submitted_.load(std::memory_order_relaxed);
+  stats.mutations_rejected =
+      mutations_rejected_.load(std::memory_order_relaxed);
+  stats.mutation_edges = mutation_edges_.load(std::memory_order_relaxed);
   for (const Lane& lane : lanes_) {
     stats.dispatch_holds += lane.queue->dispatch_holds();
   }

@@ -104,6 +104,16 @@ class QueryServer {
   /// algorithm.
   Result<std::future<Result<QueryResult>>> Submit(ServingRequest request);
 
+  /// Admits a mutation batch alongside the query stream: validated and
+  /// pushed onto the engine's wait-free ingest queue
+  /// (Engine::EnqueueMutations), so writers never contend with the query
+  /// lanes — queries keep executing on their pinned epochs while the
+  /// ingest worker drains. Fails with FailedPrecondition after Shutdown
+  /// and InvalidArgument for out-of-range endpoints; OK means the batch
+  /// will be applied in admission order (Engine::WaitForIngest is the
+  /// barrier).
+  Status SubmitMutation(MutationBatch batch);
+
   /// Gates all lane dispatchers (admission stays open) / releases them.
   void Pause();
   void Resume();
@@ -148,6 +158,8 @@ class QueryServer {
   std::atomic<uint64_t> shed_deadline_{0}, completed_{0}, failed_{0};
   std::atomic<uint64_t> executed_queries_{0}, fused_requests_{0};
   std::atomic<uint64_t> dispatch_batches_{0};
+  std::atomic<uint64_t> mutations_submitted_{0}, mutations_rejected_{0};
+  std::atomic<uint64_t> mutation_edges_{0};
 
   /// Latency ring buffer (seconds), guarded by latency_mu_.
   mutable std::mutex latency_mu_;

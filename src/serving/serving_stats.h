@@ -63,6 +63,13 @@ struct ServingStats {
   /// Highest total queued-request count observed across all lanes.
   uint64_t queue_depth_high_water = 0;
 
+  /// Mutation batches admitted through SubmitMutation onto the engine's
+  /// wait-free ingest queue, batches bounced (shutdown or invalid
+  /// endpoints), and total mutations across the admitted batches.
+  uint64_t mutations_submitted = 0;
+  uint64_t mutations_rejected = 0;
+  uint64_t mutation_edges = 0;
+
   /// Admission-to-fulfillment latency quantiles over the most recent
   /// window of completed requests (seconds; 0 before any completion).
   double p50_latency_seconds = 0;

@@ -26,6 +26,7 @@
 
 #include "algorithms/reference.h"
 #include "core/engine.h"
+#include "graph/degree_stats.h"
 #include "serving/query_server.h"
 #include "test_graphs.h"
 
@@ -350,6 +351,84 @@ TEST(DynamicConcurrencyStressTest, QueryServerClientsMatchPinnedEpochs) {
 
   VerifyObservations(observations, [] { return SmallRmat(8, 8, 45); },
                      batch_log);
+}
+
+// Regression stress for the default-source lazy rescan: mutators keep
+// deleting edges of the CURRENT argmax vertex (each deletion dirties the
+// incremental degree tracker and forces readers into the O(V) rescan)
+// while background folds republish the view and other inserts move the
+// leadership around. The repair path installs its rescan result only when
+// neither the epoch nor the layout moved underneath it — the epoch check
+// alone missed fold-window replays, which change degrees at an unchanged
+// epoch, and a stale install pinned a wrong default source until the next
+// deletion. After quiescing, the tracked source must equal the true
+// degree argmax of the live view.
+TEST(DynamicConcurrencyStressTest, DefaultSourceSurvivesArgmaxDeletionRaces) {
+  constexpr int kReaders = 3;
+  constexpr int kMutators = 2;
+  constexpr int kBatches = 300;
+
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kBackground;
+  policy.min_delta_edges = 64;  // folds stay almost always in flight
+  policy.delta_fraction = 0.0;
+  Engine engine(SmallRmat(8, 8, /*seed=*/51),
+                SolverOptions::Defaults(SystemKind::kCpu), policy);
+  const VertexId n = engine.graph().num_vertices();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      // Hammer the repair path: every deletion-dirtied read runs the
+      // unlocked rescan and races its install against the mutators.
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)engine.DefaultSource();
+      }
+    });
+  }
+
+  std::vector<std::thread> mutators;
+  for (int m = 0; m < kMutators; ++m) {
+    mutators.emplace_back([&, m] {
+      uint64_t state = 17 + static_cast<uint64_t>(m);
+      auto next = [&]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+      };
+      for (int i = 0; i < kBatches && !failed; ++i) {
+        MutationBatch batch;
+        // Attack the current argmax: deleting its edges is exactly what
+        // flips default_source_dirty_.
+        const VertexId victim = engine.DefaultSource();
+        std::vector<VertexId> targets;
+        engine.View().ForEachNeighbor(victim, [&](VertexId d, Weight) {
+          if (targets.size() < 2) targets.push_back(d);
+        });
+        for (VertexId d : targets) batch.DeleteEdge(victim, d);
+        // And crown pretenders elsewhere so leadership keeps moving.
+        const auto riser = static_cast<VertexId>(next() % n);
+        batch.InsertEdge(riser, static_cast<VertexId>(next() % n));
+        batch.InsertEdge(riser, static_cast<VertexId>(next() % n));
+        if (!engine.ApplyMutations(batch).ok()) {
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : mutators) t.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  ASSERT_FALSE(failed) << "a concurrent ApplyMutations errored";
+
+  engine.WaitForCompaction();  // quiesce: no further layout changes
+  const VertexId settled = engine.DefaultSource();
+  EXPECT_EQ(settled, HighestOutDegreeVertex(engine.View()))
+      << "the lazily repaired default source diverged from the true"
+      << " degree argmax after quiescing";
 }
 
 }  // namespace

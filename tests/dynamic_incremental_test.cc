@@ -1,8 +1,10 @@
-// Incremental recomputation: after insert-only mutation batches, the
-// warm-started BFS/SSSP/CC/SSWP runs must produce values identical to a
-// full recompute on the mutated graph (the acceptance property of the
-// dynamic subsystem), with automatic fallback for deletions and for the
-// accumulation family (PR/PHP).
+// Incremental recomputation: warm-started runs must produce values
+// identical to a full recompute on the mutated graph (the acceptance
+// property of the dynamic subsystem) — insert-only warm starts and
+// deletion-cone recomputes for BFS/SSSP/CC/SSWP, residual re-injection
+// for the accumulation family (PR/PHP). When the policy disables a path
+// or the mutation log was retired, the transparent full-recompute
+// fallback must report its reason in RunTrace::incremental_fallback.
 
 #include "dynamic/incremental.h"
 
@@ -136,7 +138,7 @@ TEST(IncrementalEngineTest, SameEpochReturnsPreviousValuesWithoutWork) {
   EXPECT_EQ(again->trace.NumIterations(), 0u);  // nothing re-propagated
 }
 
-TEST(IncrementalEngineTest, DeletionFallsBackToFullRecompute) {
+TEST(IncrementalEngineTest, DeletionRunsTheConeIncrementalPath) {
   Engine engine(PaperFigure1Graph(), CpuDefaults());
   Query query;
   query.algorithm = AlgorithmId::kSssp;
@@ -145,14 +147,16 @@ TEST(IncrementalEngineTest, DeletionFallsBackToFullRecompute) {
   ASSERT_TRUE(initial.ok());
 
   // Deleting a->b (the shortest-path tree edge) must *increase* distances;
-  // a warm start would be wrong, so the engine must fall back.
+  // the deletion cone invalidates b's subtree and re-seeds from its
+  // boundary — exact against a full recompute, no fallback.
   MutationBatch batch;
   batch.DeleteEdge(0, 1);
   ASSERT_TRUE(engine.ApplyMutations(batch).ok());
 
   auto rerun = engine.RunIncremental(query, *initial);
   ASSERT_TRUE(rerun.ok());
-  EXPECT_FALSE(rerun->incremental);
+  EXPECT_TRUE(rerun->incremental);
+  EXPECT_EQ(rerun->trace.incremental_fallback, IncrementalFallback::kNone);
   auto full = engine.Run(query);
   ASSERT_TRUE(full.ok());
   EXPECT_EQ(rerun->u32(), full->u32());
@@ -160,7 +164,58 @@ TEST(IncrementalEngineTest, DeletionFallsBackToFullRecompute) {
   EXPECT_NE(rerun->u32(), initial->u32());
 }
 
-TEST(IncrementalEngineTest, DeleteThenInsertStaysFallenBackUntilCaughtUp) {
+TEST(IncrementalEngineTest, DeletionPolicyOffReportsTheFallbackReason) {
+  CompactionPolicy policy;
+  policy.incremental_deletion_cone = false;
+  Engine engine(PaperFigure1Graph(), CpuDefaults(), policy);
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 0;
+  auto initial = engine.Run(query);
+  ASSERT_TRUE(initial.ok());
+
+  MutationBatch batch;
+  batch.DeleteEdge(0, 1);
+  ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+
+  auto rerun = engine.RunIncremental(query, *initial);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_FALSE(rerun->incremental);
+  EXPECT_EQ(rerun->trace.incremental_fallback,
+            IncrementalFallback::kDeletionDelta);
+  auto full = engine.Run(query);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(rerun->u32(), full->u32());
+}
+
+TEST(IncrementalEngineTest, RetiredMutationLogReportsTheFallbackReason) {
+  CompactionPolicy policy;
+  policy.mutation_log_horizon = 1;  // retire aggressively
+  Engine engine(SmallRmat(8, 5, 5), CpuDefaults(), policy);
+  const VertexId n = engine.graph().num_vertices();
+  Rng rng(17);
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  auto initial = engine.Run(query);
+  ASSERT_TRUE(initial.ok());
+  query.source = initial->source;
+
+  // Two epochs with horizon 1: the epoch-1 entry is retired when epoch 2
+  // lands, so the delta since epoch 0 can no longer be reconstructed.
+  ASSERT_TRUE(engine.ApplyMutations(RandomInserts(n, 8, &rng)).ok());
+  ASSERT_TRUE(engine.ApplyMutations(RandomInserts(n, 8, &rng)).ok());
+
+  auto rerun = engine.RunIncremental(query, *initial);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_FALSE(rerun->incremental);
+  EXPECT_EQ(rerun->trace.incremental_fallback,
+            IncrementalFallback::kRetiredLog);
+  auto full = engine.Run(query);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(rerun->u32(), full->u32());
+}
+
+TEST(IncrementalEngineTest, DeleteThenInsertChainsIncrementally) {
   Engine engine(SmallRmat(8, 5, 5), CpuDefaults());
   const VertexId n = engine.graph().num_vertices();
   Rng rng(99);
@@ -170,20 +225,28 @@ TEST(IncrementalEngineTest, DeleteThenInsertStaysFallenBackUntilCaughtUp) {
   ASSERT_TRUE(initial.ok());
   query.source = initial->source;
 
-  // Epoch 1 deletes; epoch 2 inserts. A warm start from epoch 0 must fall
-  // back (the delta spans a deletion) ...
+  // Epoch 1 deletes; epoch 2 inserts. A warm start from epoch 0 spans a
+  // deletion, so the cone path (not the insert-only path) must run — and
+  // still match the full recompute exactly.
   MutationBatch deletes;
   deletes.DeleteEdge(query.source, engine.graph().neighbors(query.source)[0]);
   ASSERT_TRUE(engine.ApplyMutations(deletes).ok());
   ASSERT_TRUE(engine.ApplyMutations(RandomInserts(n, 8, &rng)).ok());
 
-  auto fallback = engine.RunIncremental(query, *initial);
-  ASSERT_TRUE(fallback.ok());
-  EXPECT_FALSE(fallback->incremental);
+  auto warm = engine.RunIncremental(query, *initial);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->incremental);
+  EXPECT_EQ(warm->trace.incremental_fallback, IncrementalFallback::kNone);
+  {
+    auto full = engine.Run(query);
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(warm->u32(), full->u32());
+  }
 
-  // ... but a warm start from the caught-up result is incremental again.
+  // Chaining from the caught-up result across an insert-only epoch takes
+  // the plain warm-start path.
   ASSERT_TRUE(engine.ApplyMutations(RandomInserts(n, 8, &rng)).ok());
-  auto incremental = engine.RunIncremental(query, *fallback);
+  auto incremental = engine.RunIncremental(query, *warm);
   ASSERT_TRUE(incremental.ok());
   EXPECT_TRUE(incremental->incremental);
   auto full = engine.Run(query);
@@ -191,8 +254,35 @@ TEST(IncrementalEngineTest, DeleteThenInsertStaysFallenBackUntilCaughtUp) {
   EXPECT_EQ(incremental->u32(), full->u32());
 }
 
-TEST(IncrementalEngineTest, AccumulationFamilyAlwaysFallsBack) {
+TEST(IncrementalEngineTest, AccumulationFamilyRunsResidualReinjection) {
   Engine engine(SmallRmat(8, 5, 7), CpuDefaults());
+  Query query;
+  query.algorithm = AlgorithmId::kPageRank;
+  auto initial = engine.Run(query);
+  ASSERT_TRUE(initial.ok());
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 1, 1);
+  batch.DeleteEdge(1, 2);
+  ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+
+  auto rerun = engine.RunIncremental(query, *initial);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_TRUE(rerun->incremental);
+  EXPECT_EQ(rerun->trace.incremental_fallback, IncrementalFallback::kNone);
+  ASSERT_TRUE(rerun->is_f64());
+  auto full = engine.Run(query);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(rerun->f64().size(), full->f64().size());
+  for (size_t v = 0; v < full->f64().size(); ++v) {
+    EXPECT_NEAR(rerun->f64()[v], full->f64()[v], 1e-4) << "vertex " << v;
+  }
+}
+
+TEST(IncrementalEngineTest, AccumulativePolicyOffReportsTheFallbackReason) {
+  CompactionPolicy policy;
+  policy.incremental_accumulative = false;
+  Engine engine(SmallRmat(8, 5, 7), CpuDefaults(), policy);
   Query query;
   query.algorithm = AlgorithmId::kPageRank;
   auto initial = engine.Run(query);
@@ -205,6 +295,8 @@ TEST(IncrementalEngineTest, AccumulationFamilyAlwaysFallsBack) {
   auto rerun = engine.RunIncremental(query, *initial);
   ASSERT_TRUE(rerun.ok());
   EXPECT_FALSE(rerun->incremental);
+  EXPECT_EQ(rerun->trace.incremental_fallback,
+            IncrementalFallback::kUnsupportedAlgorithm);
   EXPECT_TRUE(rerun->is_f64());
 }
 

@@ -181,6 +181,38 @@ TEST(QueryServerTest, ExpiredDeadlinesAreShedWithExplicitStatus) {
   EXPECT_GT(stats.ShedRate(), 0.0);
 }
 
+TEST(QueryServerTest, EffectivelyUnboundedDeadlineIsNotShed) {
+  // Regression: deadline = microseconds::max() (the natural "effectively
+  // none" spelling) used to overflow `now + deadline`, wrap before now,
+  // jump ahead of every real deadline in the EDF order, AND get shed at
+  // dispatch as already-expired. The saturating clamp in Submit makes it
+  // behave exactly like no deadline: sorted last, dispatched, never shed.
+  Engine engine(SmallRmat(/*scale=*/7, /*edge_factor=*/6, /*seed=*/37));
+  QueryServer server(&engine);
+
+  server.Pause();
+  ServingRequest relaxed = Request(AlgorithmId::kBfs, 1);
+  relaxed.deadline = std::chrono::microseconds::max();
+  auto relaxed_future = server.Submit(relaxed);
+  ASSERT_TRUE(relaxed_future.ok());
+  // Same priority, real (and expiring) deadline: the mixed batch must shed
+  // only the genuinely expired request.
+  ServingRequest doomed = Request(AlgorithmId::kBfs, 2);
+  doomed.deadline = std::chrono::microseconds(1);
+  auto doomed_future = server.Submit(doomed);
+  ASSERT_TRUE(doomed_future.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Resume();
+
+  Result<QueryResult> relaxed_result = relaxed_future->get();
+  EXPECT_TRUE(relaxed_result.ok()) << relaxed_result.status().ToString();
+  EXPECT_TRUE(doomed_future->get().status().IsDeadlineExceeded());
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.shed_deadline, 1u);
+}
+
 TEST(QueryServerTest, ShutdownDrainsBacklogAndRejectsNewWork) {
   Engine engine(SmallRmat(/*scale=*/7, /*edge_factor=*/6, /*seed=*/23));
   auto server = std::make_unique<QueryServer>(&engine);

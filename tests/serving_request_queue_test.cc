@@ -86,6 +86,28 @@ TEST(RequestQueueTest, EarliestDeadlineFirstWithinPriorityClass) {
   EXPECT_EQ(Sources(batch), (std::vector<VertexId>{2, 1, 3}));
 }
 
+TEST(RequestQueueTest, MixedDeadlineAndNoDeadlineAtEqualPriority) {
+  // Regression: a no-deadline request (time_point::max(), whether from the
+  // QueuedRequest default or QueryServer::Submit's saturating clamp of an
+  // overflowing relative deadline) must sort after EVERY real deadline,
+  // and ties among no-deadline requests fall back to submission order.
+  RequestQueue queue(8);
+  const auto now = steady_clock::now();
+  QueuedRequest none = MakeRequest(1, 0);  // default: no deadline
+  QueuedRequest soon = MakeRequest(2, 0, now + std::chrono::seconds(5));
+  QueuedRequest clamped =
+      MakeRequest(3, 0, steady_clock::time_point::max());  // Submit's clamp
+  QueuedRequest far =
+      MakeRequest(4, 0, now + std::chrono::hours(24 * 365));
+  ASSERT_TRUE(queue.Push(&none).ok());
+  ASSERT_TRUE(queue.Push(&clamped).ok());
+  ASSERT_TRUE(queue.Push(&far).ok());
+  ASSERT_TRUE(queue.Push(&soon).ok());
+  std::vector<QueuedRequest> batch;
+  ASSERT_TRUE(queue.PopBatch(10, &batch));
+  EXPECT_EQ(Sources(batch), (std::vector<VertexId>{2, 4, 1, 3}));
+}
+
 TEST(RequestQueueTest, PriorityDominatesDeadline) {
   RequestQueue queue(8);
   const auto now = steady_clock::now();

@@ -1,0 +1,447 @@
+// Streaming ingest: the wait-free mutation pipeline. Covers the lock-free
+// MPSC MutationQueue, the layered tail overlay (DeltaOverlay::NewTail /
+// Collapsed) against single-layer reference semantics, the Engine's
+// EnqueueMutations admission path, and the serving layer's SubmitMutation.
+// The acceptance property throughout: the logical graph read through any
+// layering equals the graph of the same mutations applied to one flat
+// overlay.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "dynamic/delta_overlay.h"
+#include "dynamic/mutation_queue.h"
+#include "serving/query_server.h"
+#include "test_graphs.h"
+#include "util/random.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::SmallRmat;
+
+SolverOptions CpuDefaults() {
+  return SolverOptions::Defaults(SystemKind::kCpu);
+}
+
+MutationBatch SingleInsert(VertexId src, VertexId dst, Weight w = 1) {
+  MutationBatch batch;
+  batch.InsertEdge(src, dst, w);
+  return batch;
+}
+
+std::vector<VertexId> Neighbors(const CsrGraph& graph, VertexId v) {
+  const auto span = graph.neighbors(v);
+  return {span.begin(), span.end()};
+}
+
+std::vector<Weight> Weights(const CsrGraph& graph, VertexId v) {
+  const auto span = graph.weights(v);
+  return {span.begin(), span.end()};
+}
+
+// ---------------------------------------------------------------------------
+// MutationQueue
+
+TEST(MutationQueueTest, DrainsInFifoOrder) {
+  MutationQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  for (VertexId i = 0; i < 5; ++i) queue.Push(SingleInsert(i, i + 1));
+  EXPECT_FALSE(queue.Empty());
+  EXPECT_EQ(queue.pushed(), 5u);
+
+  std::vector<MutationBatch> drained = queue.DrainAll();
+  ASSERT_EQ(drained.size(), 5u);
+  for (VertexId i = 0; i < 5; ++i) {
+    ASSERT_EQ(drained[i].size(), 1u);
+    EXPECT_EQ(drained[i].mutations()[0].src, i);
+  }
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_TRUE(queue.DrainAll().empty());
+}
+
+TEST(MutationQueueTest, MultiProducerKeepsPerProducerOrder) {
+  MutationQueue queue;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Encode (producer, sequence) in the edge so the drain can check
+        // that each producer's batches come out in its push order.
+        queue.Push(SingleInsert(static_cast<VertexId>(p),
+                                static_cast<VertexId>(i)));
+      }
+    });
+  }
+  // Drain concurrently with the producers (single consumer), then once
+  // more after the join to catch the stragglers.
+  std::vector<MutationBatch> all;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<MutationBatch> drained = queue.DrainAll();
+    std::move(drained.begin(), drained.end(), std::back_inserter(all));
+  }
+  for (std::thread& t : producers) t.join();
+  std::vector<MutationBatch> drained = queue.DrainAll();
+  std::move(drained.begin(), drained.end(), std::back_inserter(all));
+
+  ASSERT_EQ(all.size(),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(queue.pushed(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  std::vector<VertexId> next_seq(kProducers, 0);
+  for (const MutationBatch& batch : all) {
+    const EdgeMutation& m = batch.mutations()[0];
+    EXPECT_EQ(m.dst, next_seq[m.src]) << "producer " << m.src;
+    ++next_seq[m.src];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layered DeltaOverlay vs single-layer reference semantics
+
+/// Applies `batches` one per layer (chained) and, in parallel, all of them
+/// to one flat overlay; asserts the two read identically everywhere.
+void ExpectChainMatchesFlat(const CsrGraph& graph,
+                            const std::vector<MutationBatch>& batches) {
+  auto base = std::make_shared<const CsrGraph>(graph);
+  auto chained = std::make_shared<DeltaOverlay>(base);
+  auto flat = std::make_shared<DeltaOverlay>(base);
+  for (const MutationBatch& batch : batches) {
+    chained = DeltaOverlay::NewTail(chained);
+    ASSERT_TRUE(chained->Apply(batch).ok());
+    ASSERT_TRUE(flat->Apply(batch).ok());
+  }
+
+  ASSERT_EQ(chained->num_edges(), flat->num_edges());
+  ASSERT_EQ(chained->delta_edges(), flat->delta_edges());
+  for (VertexId v = 0; v < base->num_vertices(); ++v) {
+    ASSERT_EQ(chained->out_degree(v), flat->out_degree(v)) << "vertex " << v;
+    std::vector<std::pair<VertexId, Weight>> chain_edges;
+    std::vector<std::pair<VertexId, Weight>> flat_edges;
+    chained->ForEachNeighbor(
+        v, [&](VertexId d, Weight w) { chain_edges.emplace_back(d, w); });
+    flat->ForEachNeighbor(
+        v, [&](VertexId d, Weight w) { flat_edges.emplace_back(d, w); });
+    // Base edges come out in CSR order either way; inserts in application
+    // order. Compare as multisets to stay robust to insert interleaving
+    // across layers.
+    std::sort(chain_edges.begin(), chain_edges.end());
+    std::sort(flat_edges.begin(), flat_edges.end());
+    ASSERT_EQ(chain_edges, flat_edges) << "vertex " << v;
+  }
+
+  // The collapsed chain is a single layer with the same logical graph.
+  std::shared_ptr<DeltaOverlay> collapsed = chained->Collapsed();
+  EXPECT_EQ(collapsed->depth(), 1);
+  EXPECT_EQ(collapsed->parent(), nullptr);
+  auto chain_csr = chained->Materialize();
+  auto collapsed_csr = collapsed->Materialize();
+  auto flat_csr = flat->Materialize();
+  ASSERT_TRUE(chain_csr.ok());
+  ASSERT_TRUE(collapsed_csr.ok());
+  ASSERT_TRUE(flat_csr.ok());
+  EXPECT_EQ(chain_csr->num_edges(), flat_csr->num_edges());
+  const auto sorted_row = [](const CsrGraph& csr, VertexId v) {
+    std::vector<std::pair<VertexId, Weight>> row;
+    const auto nbrs = csr.neighbors(v);
+    const auto wts = csr.weights(v);
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      row.emplace_back(nbrs[e], wts.empty() ? Weight{1} : wts[e]);
+    }
+    std::sort(row.begin(), row.end());
+    return row;
+  };
+  for (VertexId v = 0; v < base->num_vertices(); ++v) {
+    const auto want = sorted_row(*flat_csr, v);
+    ASSERT_EQ(sorted_row(*chain_csr, v), want) << "vertex " << v;
+    ASSERT_EQ(sorted_row(*collapsed_csr, v), want) << "vertex " << v;
+  }
+}
+
+TEST(LayeredOverlayTest, NewTailOverEmptyOverlayStaysFlat) {
+  auto base = std::make_shared<const CsrGraph>(PaperFigure1Graph());
+  auto overlay = std::make_shared<DeltaOverlay>(base);
+  auto tail = DeltaOverlay::NewTail(overlay);
+  EXPECT_EQ(tail->depth(), 1);
+  EXPECT_EQ(tail->parent(), nullptr);
+}
+
+TEST(LayeredOverlayTest, TailDeleteSuppressesParentInsertAndBase) {
+  auto base = std::make_shared<const CsrGraph>(PaperFigure1Graph());
+  auto layer1 = std::make_shared<DeltaOverlay>(base);
+  MutationBatch inserts;
+  inserts.InsertEdge(0, 1, 9);  // parallel to the base edge a->b
+  ASSERT_TRUE(layer1->Apply(inserts).ok());
+
+  auto layer2 = DeltaOverlay::NewTail(layer1);
+  ASSERT_EQ(layer2->depth(), 2);
+  MutationBatch deletes;
+  deletes.DeleteEdge(0, 1);  // must kill the base edge AND the insert
+  auto stats = layer2->Apply(deletes);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->deleted, 2u);
+  ASSERT_EQ(stats->deleted_edges.size(), 2u);
+  // Both removed instances are recorded with their actual weights.
+  std::vector<Weight> weights;
+  for (const EdgeRecord& e : stats->deleted_edges) {
+    EXPECT_EQ(e.src, 0u);
+    EXPECT_EQ(e.dst, 1u);
+    weights.push_back(e.weight);
+  }
+  std::sort(weights.begin(), weights.end());
+  EXPECT_EQ(weights, (std::vector<Weight>{2, 9}));
+
+  EXPECT_EQ(layer2->out_degree(0), 1u);  // only a->c survives
+  std::vector<VertexId> targets;
+  layer2->ForEachNeighbor(0,
+                          [&](VertexId d, Weight) { targets.push_back(d); });
+  EXPECT_EQ(targets, (std::vector<VertexId>{2}));
+
+  // The pinned parent layer is untouched: it still sees both a->b edges.
+  EXPECT_EQ(layer1->out_degree(0), 3u);
+}
+
+TEST(LayeredOverlayTest, ReinsertAfterCrossLayerDeleteStaysAlive) {
+  auto base = std::make_shared<const CsrGraph>(PaperFigure1Graph());
+  std::vector<MutationBatch> batches(3);
+  batches[0].InsertEdge(5, 3, 7);
+  batches[1].DeleteEdge(5, 3);
+  batches[2].InsertEdge(5, 3, 4);  // re-insert after the tail delete
+  ExpectChainMatchesFlat(*base, batches);
+}
+
+TEST(LayeredOverlayTest, ThreeLayerMixedChainMatchesFlat) {
+  std::vector<MutationBatch> batches(3);
+  batches[0].InsertEdge(0, 4, 2);
+  batches[0].DeleteEdge(0, 2);
+  batches[1].InsertEdge(0, 2, 5);
+  batches[1].DeleteEdge(1, 3);
+  batches[2].DeleteEdge(0, 4);
+  batches[2].InsertEdge(3, 0, 1);
+  ExpectChainMatchesFlat(PaperFigure1Graph(), batches);
+}
+
+TEST(LayeredOverlayTest, RandomizedChainsMatchFlatOverlay) {
+  const CsrGraph graph = SmallRmat(7, 6, 21);
+  const VertexId n = graph.num_vertices();
+  for (uint64_t seed : {1u, 13u, 47u}) {
+    Rng rng(seed);
+    std::vector<MutationBatch> batches(6);
+    for (MutationBatch& batch : batches) {
+      for (int i = 0; i < 24; ++i) {
+        const auto src = static_cast<VertexId>(rng.NextBounded(n));
+        const auto dst = static_cast<VertexId>(rng.NextBounded(n));
+        if (rng.NextBounded(3) == 0) {
+          batch.DeleteEdge(src, dst);
+        } else {
+          batch.InsertEdge(src, dst,
+                           static_cast<Weight>(1 + rng.NextBounded(9)));
+        }
+      }
+    }
+    ExpectChainMatchesFlat(graph, batches);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine: wait-free admission and tail-layer publication
+
+TEST(EngineIngestTest, EnqueueMatchesDirectApply) {
+  Engine streamed(SmallRmat(7, 6, 31), CpuDefaults());
+  Engine direct(SmallRmat(7, 6, 31), CpuDefaults());
+  const VertexId n = streamed.graph().num_vertices();
+  Rng rng(5);
+
+  std::vector<MutationBatch> batches(10);
+  for (MutationBatch& batch : batches) {
+    for (int i = 0; i < 16; ++i) {
+      const auto src = static_cast<VertexId>(rng.NextBounded(n));
+      const auto dst = static_cast<VertexId>(rng.NextBounded(n));
+      if (rng.NextBounded(4) == 0) {
+        batch.DeleteEdge(src, dst);
+      } else {
+        batch.InsertEdge(src, dst,
+                         static_cast<Weight>(1 + rng.NextBounded(9)));
+      }
+    }
+  }
+  for (const MutationBatch& batch : batches) {
+    ASSERT_TRUE(streamed.EnqueueMutations(batch).ok());
+    ASSERT_TRUE(direct.ApplyMutations(batch).ok());
+  }
+  streamed.WaitForIngest();
+  EXPECT_EQ(streamed.ingested_batches(), batches.size());
+  EXPECT_EQ(streamed.epoch(), direct.epoch());
+
+  auto streamed_csr = streamed.View().Materialize();
+  auto direct_csr = direct.View().Materialize();
+  ASSERT_TRUE(streamed_csr.ok());
+  ASSERT_TRUE(direct_csr.ok());
+  ASSERT_EQ(streamed_csr->num_edges(), direct_csr->num_edges());
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(Neighbors(*streamed_csr, v), Neighbors(*direct_csr, v));
+    ASSERT_EQ(Weights(*streamed_csr, v), Weights(*direct_csr, v));
+  }
+}
+
+TEST(EngineIngestTest, EnqueueRejectsOutOfRangeOnTheProducer) {
+  Engine engine(PaperFigure1Graph(), CpuDefaults());
+  MutationBatch bad;
+  bad.InsertEdge(0, 99);
+  EXPECT_TRUE(engine.EnqueueMutations(std::move(bad))
+                  .IsInvalidArgument());
+  engine.WaitForIngest();
+  EXPECT_EQ(engine.ingested_batches(), 0u);
+  EXPECT_EQ(engine.epoch(), 0u);
+}
+
+TEST(EngineIngestTest, PublicationUnderPinnedReaderLandsInTailLayer) {
+  Engine engine(SmallRmat(7, 6, 3), CpuDefaults());
+  EXPECT_EQ(engine.overlay_depth(), 1);
+
+  // Grow a pending delta first so a COW would be measurably non-trivial.
+  MutationBatch first;
+  for (VertexId i = 0; i + 1 < 64; ++i) first.InsertEdge(i, i + 1);
+  ASSERT_TRUE(engine.ApplyMutations(first).ok());
+  EXPECT_EQ(engine.overlay_depth(), 1);  // no reader: in-place
+
+  const GraphView pinned = engine.View();  // outside reader pins the overlay
+  const EdgeId pinned_edges = pinned.num_edges();
+  // DeleteEdge removes every (0, 1) instance — base parallels included —
+  // so count them first to predict the post-batch edge total.
+  EdgeId zero_one = 0;
+  pinned.ForEachNeighbor(0, [&](VertexId d, Weight) {
+    if (d == 1) ++zero_one;
+  });
+  ASSERT_GE(zero_one, 1u);  // the first batch inserted 0->1
+
+  MutationBatch second;
+  second.InsertEdge(0, 2, 3);
+  second.DeleteEdge(0, 1);
+  ASSERT_TRUE(engine.ApplyMutations(second).ok());
+
+  // The batch landed in a fresh tail layer — not a clone of the pinned
+  // delta — and the pinned view is bit-for-bit unchanged.
+  EXPECT_EQ(engine.overlay_depth(), 2);
+  EXPECT_EQ(pinned.num_edges(), pinned_edges);
+  EXPECT_EQ(engine.View().num_edges(), pinned_edges + 1 - zero_one);
+}
+
+TEST(EngineIngestTest, DeepChainsCollapseAtTheDepthCap) {
+  Engine engine(SmallRmat(7, 6, 9), CpuDefaults());
+  Engine mirror(SmallRmat(7, 6, 9), CpuDefaults());
+
+  // Pin the CURRENT overlay after every batch: each subsequent batch then
+  // races a live reader and must land in a fresh tail layer, growing the
+  // chain until the depth cap folds it back down.
+  std::vector<GraphView> pins;
+  int max_depth = 0;
+  for (VertexId i = 0; i < 24; ++i) {
+    MutationBatch batch;
+    batch.InsertEdge(i % 100, (i * 7 + 1) % 100);
+    ASSERT_TRUE(engine.ApplyMutations(batch).ok());
+    ASSERT_TRUE(mirror.ApplyMutations(batch).ok());
+    pins.push_back(engine.View());
+    max_depth = std::max(max_depth, engine.overlay_depth());
+  }
+  // The chain grew under the pin but the cap folded it back down.
+  EXPECT_GT(max_depth, 1);
+  EXPECT_LE(max_depth, 9);
+  EXPECT_LT(engine.overlay_depth(), 9);
+
+  auto got = engine.View().Materialize();
+  auto want = mirror.View().Materialize();
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(got->num_edges(), want->num_edges());
+  for (VertexId v = 0; v < got->num_vertices(); ++v) {
+    auto got_nbrs = Neighbors(*got, v);
+    auto want_nbrs = Neighbors(*want, v);
+    std::sort(got_nbrs.begin(), got_nbrs.end());
+    std::sort(want_nbrs.begin(), want_nbrs.end());
+    ASSERT_EQ(got_nbrs, want_nbrs) << "vertex " << v;
+  }
+}
+
+TEST(EngineIngestTest, ConcurrentProducersAllLand) {
+  Engine engine(SmallRmat(7, 6, 13), CpuDefaults());
+  const VertexId n = engine.graph().num_vertices();
+  const EdgeId base_edges = engine.graph().num_edges();
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 40;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, n, p] {
+      Rng rng(static_cast<uint64_t>(p) * 97 + 1);
+      for (int i = 0; i < kPerProducer; ++i) {
+        MutationBatch batch;
+        batch.InsertEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                         static_cast<VertexId>(rng.NextBounded(n)));
+        ASSERT_TRUE(engine.EnqueueMutations(std::move(batch)).ok());
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  engine.WaitForIngest();
+
+  EXPECT_EQ(engine.ingested_batches(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(engine.epoch(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(engine.View().num_edges(),
+            base_edges + kProducers * kPerProducer);
+}
+
+// ---------------------------------------------------------------------------
+// Serving: mutations admitted alongside queries
+
+TEST(ServerIngestTest, SubmitMutationFlowsThroughTheEngine) {
+  Engine engine(PaperFigure1Graph(), CpuDefaults());
+  QueryServer server(&engine);
+
+  MutationBatch batch;
+  batch.InsertEdge(0, 3, 1);
+  ASSERT_TRUE(server.SubmitMutation(std::move(batch)).ok());
+  engine.WaitForIngest();
+  EXPECT_EQ(engine.epoch(), 1u);
+
+  MutationBatch bad;
+  bad.InsertEdge(0, 99);
+  EXPECT_TRUE(server.SubmitMutation(std::move(bad)).IsInvalidArgument());
+
+  ServingRequest request;
+  request.query.algorithm = AlgorithmId::kSssp;
+  request.query.source = 0;
+  auto future = server.Submit(std::move(request));
+  ASSERT_TRUE(future.ok());
+  auto result = future->get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->epoch, 1u);
+  // The inserted a->d edge (weight 1) shortens d from 3 to 1.
+  EXPECT_EQ(result->u32()[3], 1u);
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.mutations_submitted, 2u);
+  EXPECT_EQ(stats.mutations_rejected, 1u);
+  EXPECT_EQ(stats.mutation_edges, 1u);
+
+  server.Shutdown();
+  MutationBatch late;
+  late.InsertEdge(1, 0, 1);
+  EXPECT_TRUE(server.SubmitMutation(std::move(late)).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace hytgraph
