@@ -1,10 +1,13 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "dynamic/incremental.h"
 #include "graph/degree_stats.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -57,13 +60,13 @@ Engine::Engine(CsrGraph graph, SolverOptions default_options,
   }
   if (compaction.mode == CompactionMode::kBackground) {
     background_ = std::make_unique<BackgroundCompactor>(
-        [this] { BackgroundFoldCycle(); });
+        std::function<CycleResult()>([this] { return BackgroundFoldCycle(); }));
   }
   // The ingest drainer exists in every mode (its worker sleeps until the
   // first EnqueueMutations), so the wait-free admission path needs no
   // policy opt-in.
-  ingest_ =
-      std::make_unique<BackgroundCompactor>([this] { IngestCycle(); });
+  ingest_ = std::make_unique<BackgroundCompactor>(
+      std::function<CycleResult()>([this] { return IngestCycle(); }));
 }
 
 bool Engine::out_of_core() const {
@@ -73,6 +76,25 @@ bool Engine::out_of_core() const {
 
 StorageStats Engine::storage_stats() const {
   return block_cache_ == nullptr ? StorageStats{} : block_cache_->stats();
+}
+
+EngineHealth Engine::Health() const { return health_.Snapshot(); }
+
+uint64_t Engine::StorageFailureMark() const {
+  return block_cache_ == nullptr ? 0 : block_cache_->fetch_failures();
+}
+
+Status Engine::CheckStorageSince(uint64_t mark, const char* what) const {
+  if (block_cache_ == nullptr) return Status::OK();
+  if (block_cache_->fetch_failures() == mark) {
+    health_.ReportSuccess("storage");
+    return Status::OK();
+  }
+  const Status cause = block_cache_->last_fetch_error();
+  health_.ReportFailure("storage", cause.ToString());
+  return Status::Unavailable(std::string(what) +
+                             " aborted: a block load failed (" +
+                             cause.ToString() + ")");
 }
 
 std::shared_ptr<const EdgeBlockStore> Engine::MaybeSpill(
@@ -187,7 +209,12 @@ SnapshotCompactor::Stats Engine::compactor_stats() const {
 
 Status Engine::CompactLocked() {
   if (overlay_->empty()) return Status::OK();
+  const uint64_t mark = StorageFailureMark();
   HYT_ASSIGN_OR_RETURN(CsrGraph folded, compactor_.Fold(*overlay_));
+  // A block that never arrived during the fold must not publish a base
+  // missing edges; nothing has been published yet, so failing here leaves
+  // the pre-fold state intact.
+  HYT_RETURN_NOT_OK(CheckStorageSince(mark, "compaction"));
   auto fresh = std::make_shared<CsrGraph>(std::move(folded));
   // Out of core: the folded snapshot spills to its own block file sharing
   // the engine's cache/prefetcher/throttle (the old store's file is
@@ -225,7 +252,25 @@ void Engine::WaitForCompaction() {
   if (background_ != nullptr) background_->WaitIdle();
 }
 
-void Engine::BackgroundFoldCycle() {
+CycleResult Engine::BackgroundFoldCycle() {
+  // Supervisor plumbing: a failed fold degrades the compactor and parks a
+  // retry with a backoff ladder keyed off the failure streak. The live
+  // overlay still holds every mutation (the fold only moves the physical
+  // layout), so abandoning a capture is always safe — queries keep
+  // serving on the unfolded chain and WaitIdle does not block on the
+  // parked retry.
+  auto fail = [&](const Status& status) -> CycleResult {
+    health_.ReportFailure("compactor", status.ToString());
+    HYT_LOG(Warning) << "background fold failed: " << status.ToString();
+    const uint64_t streak =
+        std::min<uint64_t>(health_.ConsecutiveFailures("compactor"), 8);
+    return CycleResult{true, std::chrono::microseconds{200ull << streak}};
+  };
+  {
+    const Status fault = HYT_FAULT_POINT(faults::kCompactorFold);
+    if (!fault.ok()) return fail(fault);
+  }
+
   std::shared_ptr<const DeltaOverlay> captured;
   std::shared_ptr<const EdgeBlockStore> old_store;
   // The capture is read off-lock by Materialize below; the pin makes
@@ -234,23 +279,41 @@ void Engine::BackgroundFoldCycle() {
   OverlayPin fold_pin;
   {
     std::unique_lock<std::shared_mutex> lock(graph_mu_);
-    if (overlay_->empty()) return;
+    if (overlay_->empty()) {
+      health_.ReportSuccess("compactor");
+      return CycleResult{};
+    }
     fold_in_flight_ = true;
     fold_window_.clear();
     captured = overlay_;
     fold_pin = OverlayPin(captured);
     old_store = store_;
   }
+  // Any exit below that does not publish must clear the fold window, or
+  // batches buffered for a fold that never lands would leak until the next
+  // capture overwrites them.
+  auto abandon = [&](const Status& status) -> CycleResult {
+    std::unique_lock<std::shared_mutex> lock(graph_mu_);
+    fold_in_flight_ = false;
+    fold_window_.clear();
+    lock.unlock();
+    return fail(status);
+  };
 
   // The O(E) rebuild — off graph_mu_ entirely, so concurrent
-  // Run/RunBatch/ApplyMutations callers never wait on it.
+  // Run/RunBatch/ApplyMutations callers never wait on it. Deletions in
+  // the overlay stream base blocks through the store, so bracket the
+  // rebuild with a storage-failure mark: a block that never arrived must
+  // abandon the fold, not publish a base missing edges.
   WallTimer timer;
+  const uint64_t mark = StorageFailureMark();
   Result<CsrGraph> folded = captured->Materialize();
   const double fold_seconds = timer.Seconds();
-  HYT_CHECK(folded.ok())
-      // Materialize only fails on internal invariant breakage; surface it
-      // loudly rather than silently dropping folds forever.
-      << "background fold failed: " << folded.status().ToString();
+  if (!folded.ok()) return abandon(folded.status());
+  {
+    const Status storage = CheckStorageSince(mark, "background fold");
+    if (!storage.ok()) return abandon(storage);
+  }
 
   auto new_base = std::make_shared<CsrGraph>(std::move(folded).value());
   // Spill the folded snapshot off-lock too — the O(E) block-file write
@@ -264,11 +327,11 @@ void Engine::BackgroundFoldCycle() {
   // were assigned when the batches first landed). Chase the window's tail
   // with the lock dropped so the exclusive publication section below pays
   // only for the last sliver of raced batches, not the whole fold's worth.
-  auto replay = [&](const MutationBatch& batch) {
+  auto replay = [&](const MutationBatch& batch) -> Status {
+    const uint64_t replay_mark = StorageFailureMark();
     Result<DeltaOverlay::ApplyStats> reapplied = new_overlay->Apply(batch);
-    HYT_CHECK(reapplied.ok())
-        << "replaying a raced batch onto the folded base failed: "
-        << reapplied.status().ToString();
+    if (!reapplied.ok()) return reapplied.status();
+    return CheckStorageSince(replay_mark, "fold replay");
   };
   size_t replayed = 0;
   for (int pass = 0; pass < 4; ++pass) {
@@ -279,15 +342,25 @@ void Engine::BackgroundFoldCycle() {
       tail.assign(fold_window_.begin() + static_cast<ptrdiff_t>(replayed),
                   fold_window_.end());
     }
-    for (const MutationBatch& batch : tail) replay(batch);
+    for (const MutationBatch& batch : tail) {
+      const Status status = replay(batch);
+      if (!status.ok()) return abandon(status);
+    }
     replayed += tail.size();
   }
 
   std::unique_lock<std::shared_mutex> lock(graph_mu_);
-  fold_in_flight_ = false;
   for (; replayed < fold_window_.size(); ++replayed) {
-    replay(fold_window_[replayed]);
+    const Status status = replay(fold_window_[replayed]);
+    if (!status.ok()) {
+      // Already under the exclusive lock: abandon inline.
+      fold_in_flight_ = false;
+      fold_window_.clear();
+      lock.unlock();
+      return fail(status);
+    }
   }
+  fold_in_flight_ = false;
   fold_window_.clear();
   base_ = std::move(new_base);
   store_ = std::move(new_store);
@@ -300,6 +373,9 @@ void Engine::BackgroundFoldCycle() {
   // layout-version bump lazily invalidates any entry a racing plan
   // re-inserts against the old layout.
   ClearPreparedCache();
+  lock.unlock();
+  health_.ReportSuccess("compactor");
+  return CycleResult{};
 }
 
 Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
@@ -339,12 +415,21 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
     next_overlay = DeltaOverlay::NewTail(overlay_);
     target = next_overlay.get();
   }
+  // Deletions stream base blocks through the store; a block that never
+  // arrived makes its deletions silently miss (Fetch returns an empty
+  // run). Bracket the apply so that case surfaces as kUnavailable — after
+  // publication completes, since inserts may already have landed in place
+  // and rolling back is impossible. Callers must treat a failed
+  // ApplyMutations as possibly partially applied (not retryable).
+  const uint64_t storage_mark = StorageFailureMark();
   HYT_ASSIGN_OR_RETURN(DeltaOverlay::ApplyStats applied,
                        target->Apply(batch));
   if (applied.inserted == 0 && applied.deleted == 0) {
     // Every mutation was a no-op (deletions of absent edges): the graph is
     // unchanged, so don't bump the epoch — a bump would force a pointless
-    // re-preparation on the next query.
+    // re-preparation on the next query. Unless a block load failed, in
+    // which case "absent" is unproven and the no-op claim would be a lie.
+    HYT_RETURN_NOT_OK(CheckStorageSince(storage_mark, "mutation apply"));
     result.epoch = epoch_;
     result.pending_delta_edges = overlay_->delta_edges();
     return result;
@@ -440,6 +525,10 @@ Result<MutationResult> Engine::ApplyMutations(const MutationBatch& batch) {
     }
   }
   result.pending_delta_edges = overlay_->delta_edges();
+  // Publication is complete (epoch bumped, view rebuilt, log appended);
+  // reporting the storage failure now keeps the engine consistent while
+  // still refusing to claim a clean apply.
+  HYT_RETURN_NOT_OK(CheckStorageSince(storage_mark, "mutation apply"));
   return result;
 }
 
@@ -480,22 +569,49 @@ Status Engine::EnqueueMutations(MutationBatch batch) {
   return Status::OK();
 }
 
-void Engine::IngestCycle() {
+CycleResult Engine::IngestCycle() {
+  // Move queued batches behind the worker-local backlog so a batch parked
+  // by a failed cycle keeps its FIFO seat ahead of later arrivals.
   for (MutationBatch& batch : ingest_queue_.DrainAll()) {
-    const Result<MutationResult> applied = ApplyMutations(batch);
+    ingest_backlog_.push_back(std::move(batch));
+  }
+  while (!ingest_backlog_.empty()) {
+    // The drain fault fires BEFORE ApplyMutations touches the batch, so a
+    // tripped cycle leaves the head batch untouched — requeueing it is
+    // exactly once, never a double apply.
+    const Status fault = HYT_FAULT_POINT(faults::kIngestDrain);
+    if (!fault.ok()) {
+      health_.ReportFailure("ingest", fault.ToString());
+      const uint64_t streak =
+          std::min<uint64_t>(health_.ConsecutiveFailures("ingest"), 8);
+      return CycleResult{true, std::chrono::microseconds{100ull << streak}};
+    }
+    const Result<MutationResult> applied =
+        ApplyMutations(ingest_backlog_.front());
+    ingest_backlog_.pop_front();
     if (applied.ok()) {
       ingested_batches_.fetch_add(1, std::memory_order_relaxed);
+      health_.ReportSuccess("ingest");
     } else {
-      // Admission already validated the batch, so this is internal
-      // invariant breakage; count it and keep draining.
+      // A mid-apply failure is not retryable: the batch may be partially
+      // applied, and replaying it would double-apply its inserts. Count
+      // it, degrade, keep draining — the engine stays consistent (the
+      // publication path completes before the failure is reported).
       ingest_failures_.fetch_add(1, std::memory_order_relaxed);
+      health_.ReportFailure("ingest", applied.status().ToString());
       HYT_LOG(Warning) << "ingest drain failed: "
                        << applied.status().ToString();
     }
   }
+  return CycleResult{};
 }
 
-void Engine::WaitForIngest() { ingest_->WaitIdle(); }
+void Engine::WaitForIngest() {
+  // WaitSettled, not WaitIdle: a batch parked for retry still holds
+  // unpublished mutations, and the ingest barrier promises they are
+  // observable on return.
+  ingest_->WaitSettled();
+}
 
 uint64_t Engine::ingested_batches() const {
   return ingested_batches_.load(std::memory_order_relaxed);
@@ -539,8 +655,12 @@ Result<std::shared_ptr<const PreparedGraph>> Engine::GetPrepared(
   // cache exists to amortize, and holding mu_ across it would block every
   // concurrent cache-hit query. Two threads racing on the same key build
   // twice; the first insert wins and the loser's copy is discarded.
+  const uint64_t mark = StorageFailureMark();
   HYT_ASSIGN_OR_RETURN(PreparedGraph prepared,
                        PreparedGraph::Make(snapshot.view, effective));
+  // The hub sort streams adjacency; a preparation built over a block that
+  // never arrived must not enter the cache.
+  HYT_RETURN_NOT_OK(CheckStorageSince(mark, "graph preparation"));
   auto shared = std::make_shared<const PreparedGraph>(std::move(prepared));
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -604,10 +724,15 @@ Result<Engine::PlannedQuery> Engine::PlanOn(const Query& query,
 }
 
 Result<QueryResult> Engine::Execute(const PlannedQuery& plan) const {
+  // Kernels skip blocks that failed to load (empty adjacency runs), so a
+  // run that lost a block converges on a subgraph. The mark check turns
+  // that into kUnavailable instead of returning silently wrong values.
+  const uint64_t mark = StorageFailureMark();
   HYT_ASSIGN_OR_RETURN(
       AlgorithmRun run,
       RunAlgorithmOn(*plan.prepared, plan.query.algorithm, plan.source,
                      plan.query.params, plan.options));
+  HYT_RETURN_NOT_OK(CheckStorageSince(mark, "query execution"));
   QueryResult result;
   result.algorithm = plan.query.algorithm;
   result.source =
@@ -686,6 +811,9 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
 
   const VertexId n = ref.view.num_vertices();
   const CompactionPolicy& policy = compactor_.policy();
+  // Incremental recomputes traverse the pinned view directly; bracket them
+  // like Execute does so a lost block aborts with kUnavailable.
+  const uint64_t storage_mark = StorageFailureMark();
 
   // Warm starts are only valid for the exact query the previous result
   // answered: same algorithm (checked above) and same source. A query
@@ -775,6 +903,8 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
     }
     // previous.epoch == epoch: the graph is unchanged, the previous
     // values already are the fixpoint.
+    HYT_RETURN_NOT_OK(
+        CheckStorageSince(storage_mark, "incremental recompute"));
     result.trace.converged = true;
     result.values = std::move(values);
     result.cache_stats = cache_stats();
@@ -808,6 +938,8 @@ Result<QueryResult> Engine::RunIncremental(const Query& query,
     it.active_edges = stats.traversed_edges;
     result.trace.iterations.push_back(it);
   }
+  HYT_RETURN_NOT_OK(
+      CheckStorageSince(storage_mark, "incremental recompute"));
   result.trace.converged = true;
   result.values = std::move(values);
   result.cache_stats = cache_stats();

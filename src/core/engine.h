@@ -107,6 +107,7 @@
 #include "storage/edge_block_store.h"
 #include "storage/prefetcher.h"
 #include "storage/storage_options.h"
+#include "util/health.h"
 #include "util/status.h"
 
 namespace hytgraph {
@@ -335,6 +336,14 @@ class Engine {
 
   EngineCacheStats cache_stats() const;
 
+  /// Point-in-time health of the supervised subsystems ("ingest",
+  /// "compactor", "storage"). A degraded subsystem keeps the engine
+  /// serving: a parked fold leaves queries on the unfolded overlay chain,
+  /// a parked ingest batch retries with backoff, and storage failures
+  /// surface as kUnavailable query errors. Healing (first success after a
+  /// failure streak) flips the subsystem back to healthy.
+  EngineHealth Health() const;
+
   /// Fold statistics of the snapshot compactor (write- plus read-triggered).
   SnapshotCompactor::Stats compactor_stats() const;
 
@@ -396,16 +405,33 @@ class Engine {
   /// graph_mu_ must be held exclusively.
   Status CompactLocked();
 
-  /// One ingest drain: pops every queued batch in FIFO order and applies
-  /// it through ApplyMutations. Runs on the ingest worker.
-  void IngestCycle();
+  /// One ingest drain: moves queued batches onto the worker-local backlog
+  /// and applies them front-first through ApplyMutations. A pre-apply
+  /// failure (injected drain fault) leaves the batch at the backlog head
+  /// and asks the supervisor for a retry with backoff; a mid-apply failure
+  /// is not retryable (the batch may be partially applied — a replay would
+  /// double-apply its inserts) and is counted and dropped instead. Runs on
+  /// the ingest worker.
+  CycleResult IngestCycle();
 
   /// One background fold: captures the overlay under the write lock,
   /// materializes the new base off every lock, then republishes —
   /// re-applying the mutation batches that landed during the fold onto a
-  /// fresh overlay over the new base. Runs on the BackgroundCompactor
-  /// worker.
-  void BackgroundFoldCycle();
+  /// fresh overlay over the new base. A failed fold (injected fault,
+  /// storage failure during Materialize or replay) abandons the capture —
+  /// the live overlay still holds every mutation — and retries with
+  /// backoff; queries keep serving on the unfolded chain meanwhile. Runs
+  /// on the BackgroundCompactor worker.
+  CycleResult BackgroundFoldCycle();
+
+  /// Storage-failure bracketing: kernels fetch adjacency through a void
+  /// interface, so a failed block load surfaces as a bump of the block
+  /// cache's fetch-failure counter rather than a Status. Take a mark
+  /// before a fallible region and check it after: an increase converts to
+  /// kUnavailable (conservative — a concurrent caller's failure trips the
+  /// check too, which costs a spurious-but-safe retryable abort).
+  uint64_t StorageFailureMark() const;
+  Status CheckStorageSince(uint64_t mark, const char* what) const;
 
   /// Maintains the incremental degree argmax across `batch`'s touched
   /// sources. graph_mu_ must be held exclusively; O(|batch|).
@@ -503,6 +529,14 @@ class Engine {
   MutationQueue ingest_queue_;
   std::atomic<uint64_t> ingested_batches_{0};
   std::atomic<uint64_t> ingest_failures_{0};
+  /// Batches drained from ingest_queue_ but not yet applied — the retry
+  /// seat for pre-apply failures. Touched only by the ingest worker
+  /// thread, so it needs no lock.
+  std::deque<MutationBatch> ingest_backlog_;
+
+  /// Per-subsystem failure accounting behind Health(). Mutable: storage
+  /// failures are detected inside const query paths.
+  mutable HealthTracker health_;
 
   /// The fold-queue worker (CompactionMode::kBackground only, null
   /// otherwise). Declared last and reset first in ~Engine: the worker's

@@ -1,11 +1,14 @@
 #include "dynamic/background_compactor.h"
 
+#include <exception>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace hytgraph {
 
-BackgroundCompactor::BackgroundCompactor(std::function<void()> fold_cycle)
-    : fold_cycle_(std::move(fold_cycle)),
+BackgroundCompactor::BackgroundCompactor(std::function<CycleResult()> cycle)
+    : cycle_(std::move(cycle)),
       worker_([this] { Loop(); }) {}
 
 BackgroundCompactor::~BackgroundCompactor() { Stop(); }
@@ -34,12 +37,20 @@ void BackgroundCompactor::WaitIdle() {
                 [&] { return stop_ || (pending_ == 0 && !cycle_running_); });
 }
 
+void BackgroundCompactor::WaitSettled() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] {
+    return stop_ || (pending_ == 0 && !cycle_running_ && !retry_armed_);
+  });
+}
+
 void BackgroundCompactor::Stop() {
   std::thread worker;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
     pending_ = 0;
+    retry_armed_ = false;
     // Claim the join under the lock so concurrent Stop calls cannot both
     // join; the loser swaps an empty handle.
     worker.swap(worker_);
@@ -54,19 +65,52 @@ BackgroundCompactor::Stats BackgroundCompactor::stats() const {
   return stats_;
 }
 
+CycleResult BackgroundCompactor::RunCycleGuarded() {
+  // The worker is the last line of defense: a cycle that throws must not
+  // take the process (or this thread) down — park it for retry like any
+  // other failure.
+  try {
+    return cycle_();
+  } catch (const std::exception& e) {
+    HYT_LOG(Warning) << "background cycle threw: " << e.what();
+  } catch (...) {
+    HYT_LOG(Warning) << "background cycle threw a non-std exception";
+  }
+  return CycleResult{true, std::chrono::microseconds{1000}};
+}
+
 void BackgroundCompactor::Loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    wake_cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+    if (retry_armed_) {
+      // Parked after a failure: wake at the backoff deadline, or earlier
+      // for a fresh request / shutdown.
+      wake_cv_.wait_until(lock, retry_at_,
+                          [&] { return stop_ || pending_ > 0; });
+    } else {
+      wake_cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+    }
     if (stop_) return;
+    const bool retry_due =
+        retry_armed_ && std::chrono::steady_clock::now() >= retry_at_;
+    if (pending_ == 0 && !retry_due) continue;  // spurious / early wake
     pending_ = 0;
+    retry_armed_ = false;
     cycle_running_ = true;
     ++stats_.started;
     lock.unlock();
-    fold_cycle_();
+    const CycleResult result = RunCycleGuarded();
     lock.lock();
     cycle_running_ = false;
-    ++stats_.completed;
+    if (result.retry && !stop_) {
+      ++stats_.retries;
+      retry_armed_ = true;
+      retry_at_ = std::chrono::steady_clock::now() + result.backoff;
+    } else {
+      ++stats_.completed;
+    }
+    // A parked retry is idle for WaitIdle (degraded-but-serving) yet still
+    // settling for WaitSettled; both predicates re-check under the lock.
     if (pending_ == 0) idle_cv_.notify_all();
   }
 }

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "algorithms/registry.h"
 #include "serving/fusion_planner.h"
+#include "util/fault_injection.h"
 
 namespace hytgraph {
 
@@ -84,9 +87,8 @@ Result<std::future<Result<QueryResult>>> QueryServer::Submit(
   }
   std::future<Result<QueryResult>> future = queued.promise.get_future();
 
-  RequestQueue& queue =
-      *lanes_[static_cast<size_t>(request.query.algorithm)].queue;
-  const Status pushed = queue.Push(&queued);
+  Lane& lane = lanes_[static_cast<size_t>(request.query.algorithm)];
+  const Status pushed = lane.queue->Push(&queued);
   if (!pushed.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return pushed;
@@ -97,6 +99,7 @@ Result<std::future<Result<QueryResult>>> QueryServer::Submit(
   while (depth > high && !queue_depth_high_water_.compare_exchange_weak(
                              high, depth, std::memory_order_relaxed)) {
   }
+  MaybeShedOverload(lane);
   return future;
 }
 
@@ -178,6 +181,28 @@ void QueryServer::Dispatch(std::vector<QueuedRequest>* batch) {
     }
   }
 
+  // A requeued request will be re-popped immediately by this same lane
+  // thread; one retry_backoff pause per failing dispatch keeps a degraded
+  // engine probed at a bounded cadence instead of a hot spin.
+  bool requeued = false;
+  const auto pace = [&] {
+    if (requeued && options_.retry_backoff.count() > 0 &&
+        !shutdown_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(options_.retry_backoff);
+    }
+  };
+
+  // Injected dispatch failure (chaos testing): the whole live batch takes
+  // the same retry-or-fail path a real engine failure would.
+  const Status dispatch_fault = HYT_FAULT_POINT(faults::kServingDispatch);
+  if (!dispatch_fault.ok()) {
+    for (QueuedRequest& request : live) {
+      requeued |= Resolve(std::move(request), dispatch_fault);
+    }
+    pace();
+    return;
+  }
+
   const FusionPlan plan =
       FusionPlanner::Plan(live, default_source, options_.enable_fusion);
   executed_queries_.fetch_add(plan.queries.size(),
@@ -189,11 +214,9 @@ void QueryServer::Dispatch(std::vector<QueuedRequest>* batch) {
     // Naive serving: one engine call per request, no shared epoch pin.
     for (QueuedRequest& request : live) {
       Result<QueryResult> result = engine_->Run(request.query);
-      (result.ok() ? completed_ : failed_)
-          .fetch_add(1, std::memory_order_relaxed);
-      RecordLatency(request);
-      request.promise.set_value(std::move(result));
+      requeued |= Resolve(std::move(request), std::move(result));
     }
+    pace();
     return;
   }
 
@@ -204,27 +227,101 @@ void QueryServer::Dispatch(std::vector<QueuedRequest>* batch) {
   if (!results.ok()) {
     // Batch-level failure (first failing query's status): every
     // subscriber learns it — per-request granularity is traded for the
-    // shared execution, and a failing query in a fused group is a
-    // configuration error, not a data-dependent one.
+    // shared execution. A retryable status (a block load that failed under
+    // the engine's retry policy) sends each subscriber back through its
+    // lane; anything else is a configuration error and fails them all.
     for (QueuedRequest& request : live) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      RecordLatency(request);
-      request.promise.set_value(results.status());
+      requeued |= Resolve(std::move(request), results.status());
     }
+    pace();
     return;
   }
   for (size_t q = 0; q < plan.queries.size(); ++q) {
     const std::vector<size_t>& subs = plan.subscribers[q];
     for (size_t s = 0; s < subs.size(); ++s) {
       QueuedRequest& request = live[subs[s]];
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      RecordLatency(request);
       if (s + 1 == subs.size()) {
-        request.promise.set_value(std::move((*results)[q]));
+        Resolve(std::move(request), std::move((*results)[q]));
       } else {
-        request.promise.set_value((*results)[q]);  // demux copy
+        Resolve(std::move(request), (*results)[q]);  // demux copy
       }
     }
+  }
+}
+
+bool QueryServer::Resolve(QueuedRequest&& request,
+                          Result<QueryResult> result) {
+  if (result.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    RecordLatency(request);
+    request.promise.set_value(std::move(result));
+    return false;
+  }
+  const Status& status = result.status();
+  if (status.IsRetryable() && request.attempts < options_.retry_budget &&
+      !shutdown_.load(std::memory_order_acquire) &&
+      request.deadline > std::chrono::steady_clock::now()) {
+    ++request.attempts;
+    RequestQueue& queue =
+        *lanes_[static_cast<size_t>(request.query.algorithm)].queue;
+    const Status pushed = queue.Push(&request);
+    if (pushed.ok()) {
+      retried_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t depth =
+          queued_now_.fetch_add(1, std::memory_order_relaxed) + 1;
+      uint64_t high = queue_depth_high_water_.load(std::memory_order_relaxed);
+      while (depth > high && !queue_depth_high_water_.compare_exchange_weak(
+                                 high, depth, std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+    // Lane closed or full mid-retry: Push handed the request back
+    // untouched — fall through to a terminal failure with the original
+    // cause (the admission failure is circumstance, not the answer).
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  if (status.IsUnavailable()) {
+    failed_unavailable_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RecordLatency(request);
+  request.promise.set_value(std::move(result));
+  return false;
+}
+
+void QueryServer::MaybeShedOverload(Lane& lane) {
+  if (options_.overload_high_water == 0) return;
+  std::atomic<int64_t>& since_us = *lane.overload_since_us;
+  if (lane.queue->size() < options_.overload_high_water) {
+    since_us.store(0, std::memory_order_relaxed);  // breach ended: disarm
+    return;
+  }
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  int64_t first = since_us.load(std::memory_order_relaxed);
+  if (first == 0) {
+    // First observer of the breach arms the window; the CAS keeps the
+    // earliest timestamp when submitters race (max with 1 so "now" can
+    // never collide with the disarmed sentinel).
+    since_us.compare_exchange_strong(first, std::max<int64_t>(now_us, 1),
+                                     std::memory_order_relaxed);
+    if (options_.overload_window.count() > 0) return;
+    first = since_us.load(std::memory_order_relaxed);
+  }
+  if (now_us - first < options_.overload_window.count()) return;
+  // The breach persisted a full window: shed everything beyond the
+  // high-water mark, lowest dispatch order first, and re-arm from scratch.
+  std::vector<QueuedRequest> shed =
+      lane.queue->ShedLowestPriority(options_.overload_high_water);
+  since_us.store(0, std::memory_order_relaxed);
+  for (QueuedRequest& request : shed) {
+    queued_now_.fetch_sub(1, std::memory_order_relaxed);
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    RecordShedOverload(request.priority);
+    request.promise.set_value(Status::Unavailable(
+        std::string(AlgorithmName(request.query.algorithm)) +
+        " request shed: lane held above its overload high-water mark"));
   }
 }
 
@@ -252,14 +349,23 @@ void QueryServer::RecordShed(int priority) {
   ++priority_buckets_[priority].shed;
 }
 
+void QueryServer::RecordShedOverload(int priority) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  ++priority_buckets_[priority].shed_overload;
+}
+
 ServingStats QueryServer::stats() const {
   ServingStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.admitted = admitted_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.failed_unavailable =
+      failed_unavailable_.load(std::memory_order_relaxed);
+  stats.retried = retried_.load(std::memory_order_relaxed);
   stats.executed_queries =
       executed_queries_.load(std::memory_order_relaxed);
   stats.fused_requests = fused_requests_.load(std::memory_order_relaxed);
@@ -293,6 +399,7 @@ ServingStats QueryServer::stats() const {
       row.priority = it->first;
       row.served = bucket.served;
       row.shed_deadline = bucket.shed;
+      row.shed_overload = bucket.shed_overload;
       row.qps = static_cast<double>(bucket.served) / std::max(elapsed, 1e-9);
       row.p50_latency_seconds = Quantile(bucket.samples, 0.50);
       row.p99_latency_seconds = Quantile(bucket.samples, 0.99);

@@ -31,6 +31,16 @@
 //    Engine::Run calls on that epoch (bitwise for the value-selection
 //    family).
 //
+//  * Degradation under faults. A dispatch attempt that fails with a
+//    retryable status (kUnavailable / kResourceExhausted — storage
+//    failures surface this way) re-enters its lane up to retry_budget
+//    times before the future resolves with the error; the deadline and
+//    latency clock keep running from first admission, so a retried
+//    request can still be shed. When a lane's queue depth holds at or
+//    above overload_high_water for a full overload_window, the lane sheds
+//    its lowest-dispatch-order tail with kUnavailable instead of letting
+//    the backlog age into mass deadline misses.
+//
 // Pause()/Resume() gate the lane dispatchers while admission stays open —
 // the deterministic way to accumulate a burst into one fused batch (tests,
 // benches, and batch-oriented replay use it; a live server never needs it).
@@ -86,6 +96,25 @@ struct QueryServerOptions {
   std::chrono::microseconds dispatch_window{0};
   /// Latency samples retained for the p50/p99 estimate (ring buffer).
   size_t latency_window = 8192;
+  /// Extra dispatch attempts granted to a request whose execution failed
+  /// with a retryable status (kUnavailable / kResourceExhausted). The
+  /// request re-enters its lane queue with its original admission time —
+  /// deadline shedding still applies — and the future only resolves with
+  /// the error once the budget is spent. 0 = fail fast.
+  int retry_budget = 2;
+  /// Pause taken by a lane after a batch-level retryable failure, so a
+  /// persistently failing engine is probed at this cadence instead of a
+  /// hot requeue/fail spin.
+  std::chrono::microseconds retry_backoff{200};
+  /// Overload shedding: when a lane's queue depth stays at or above this
+  /// for longer than overload_window, the tail beyond the high-water mark
+  /// is shed (lowest dispatch order first) with kUnavailable. 0 (default)
+  /// disables shedding — backpressure at lane_capacity still applies.
+  size_t overload_high_water = 0;
+  /// How long the high-water breach must persist before a shed. Zero
+  /// sheds on the first breach (only meaningful with a nonzero
+  /// overload_high_water).
+  std::chrono::microseconds overload_window{0};
 };
 
 class QueryServer {
@@ -133,14 +162,29 @@ class QueryServer {
     AlgorithmId algorithm;
     std::unique_ptr<RequestQueue> queue;
     std::thread dispatcher;
+    /// Microseconds since server start when this lane's queue depth first
+    /// breached overload_high_water (0 = not currently breached). Heap-
+    /// allocated so Lane stays movable. Submitters race on it with CAS.
+    std::unique_ptr<std::atomic<int64_t>> overload_since_us =
+        std::make_unique<std::atomic<int64_t>>(0);
   };
 
   void LaneLoop(Lane* lane);
   /// Sheds expired requests, fuses the rest, executes on one pinned
   /// epoch, and demultiplexes results to the subscribers' promises.
   void Dispatch(std::vector<QueuedRequest>* batch);
+  /// Settles one request's dispatch attempt: fulfills the promise on
+  /// success or terminal failure, re-queues (consuming retry budget) on a
+  /// retryable one. The single exit point for executed requests. Returns
+  /// true when the request was re-queued — the lane uses it to take one
+  /// retry_backoff pause instead of hot-spinning on a failing engine.
+  bool Resolve(QueuedRequest&& request, Result<QueryResult> result);
+  /// Submit-side overload check: arms/advances the lane's breach window
+  /// and sheds the beyond-high-water tail once the window has persisted.
+  void MaybeShedOverload(Lane& lane);
   void RecordLatency(const QueuedRequest& request);
   void RecordShed(int priority);
+  void RecordShedOverload(int priority);
 
   Engine* const engine_;
   const QueryServerOptions options_;
@@ -156,6 +200,7 @@ class QueryServer {
   /// Counters (relaxed atomics: monotone event counts).
   std::atomic<uint64_t> submitted_{0}, admitted_{0}, rejected_{0};
   std::atomic<uint64_t> shed_deadline_{0}, completed_{0}, failed_{0};
+  std::atomic<uint64_t> shed_overload_{0}, retried_{0}, failed_unavailable_{0};
   std::atomic<uint64_t> executed_queries_{0}, fused_requests_{0};
   std::atomic<uint64_t> dispatch_batches_{0};
   std::atomic<uint64_t> mutations_submitted_{0}, mutations_rejected_{0};
@@ -173,6 +218,7 @@ class QueryServer {
   struct PriorityBucket {
     uint64_t served = 0;
     uint64_t shed = 0;
+    uint64_t shed_overload = 0;
     /// Grows to the window size, then overwrites at `next` (ring).
     std::vector<double> samples;
     size_t next = 0;

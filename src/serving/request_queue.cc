@@ -29,7 +29,11 @@ Status RequestQueue::Push(QueuedRequest* request) {
         " requests) — retry after backlog drains");
   }
   request->seq = next_seq_++;
-  request->admitted_at = std::chrono::steady_clock::now();
+  // Retries re-enter with admitted_at already stamped; their latency (and
+  // deadline) is measured from first admission, not the re-queue.
+  if (request->admitted_at.time_since_epoch().count() == 0) {
+    request->admitted_at = std::chrono::steady_clock::now();
+  }
   if (hold_window_.count() > 0) {
     // Sustained-load detector for the adaptive dispatch window: back-to-
     // back admissions (gap within one window) mean more work is likely
@@ -98,6 +102,20 @@ std::vector<QueuedRequest> RequestQueue::DrainAll() {
   std::vector<QueuedRequest> drained = std::move(items_);
   items_.clear();
   return drained;
+}
+
+std::vector<QueuedRequest> RequestQueue::ShedLowestPriority(size_t keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.size() <= keep) return {};
+  // Sort into dispatch order and cut the tail: the requests shed are
+  // exactly the ones that would have dispatched last.
+  std::sort(items_.begin(), items_.end(), DispatchBefore);
+  std::vector<QueuedRequest> shed;
+  shed.reserve(items_.size() - keep);
+  std::move(items_.begin() + static_cast<ptrdiff_t>(keep), items_.end(),
+            std::back_inserter(shed));
+  items_.erase(items_.begin() + static_cast<ptrdiff_t>(keep), items_.end());
+  return shed;
 }
 
 size_t RequestQueue::size() const {

@@ -45,6 +45,9 @@ struct QueuedRequest {
   std::chrono::steady_clock::time_point admitted_at;
   /// Admission sequence number: the submission-order tiebreak.
   uint64_t seq = 0;
+  /// Dispatch attempts so far (retry accounting — a request re-admitted
+  /// after a retryable failure keeps its original admitted_at).
+  int attempts = 0;
   std::promise<Result<QueryResult>> promise;
 };
 
@@ -61,10 +64,12 @@ class RequestQueue {
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
-  /// Admits `request`, stamping seq and admitted_at. Fails with
-  /// ResourceExhausted at capacity and FailedPrecondition after Close();
-  /// on failure the request (and its promise) is handed back untouched in
-  /// `*request` for the caller to fulfill.
+  /// Admits `request`, stamping seq and — only when unset — admitted_at,
+  /// so a retried request keeps the admission time its latency is measured
+  /// against. Fails with ResourceExhausted at capacity and
+  /// FailedPrecondition after Close(); on failure the request (and its
+  /// promise) is handed back untouched in `*request` for the caller to
+  /// fulfill.
   Status Push(QueuedRequest* request);
 
   /// Blocks until the queue is nonempty or closed, then moves up to
@@ -86,6 +91,13 @@ class RequestQueue {
   /// Drains every queued request without dispatch order (shutdown path:
   /// the caller cancels their promises). Does not block.
   std::vector<QueuedRequest> DrainAll();
+
+  /// Overload shedding: removes queued requests beyond the `keep` that
+  /// would dispatch first (dispatch order: priority desc, EDF, seq) and
+  /// returns them — the lowest-priority tail — for the caller to fail
+  /// with kUnavailable. No-op (empty return) when at most `keep` requests
+  /// are queued. Does not block.
+  std::vector<QueuedRequest> ShedLowestPriority(size_t keep);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }

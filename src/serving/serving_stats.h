@@ -1,8 +1,9 @@
 // Counters and latency quantiles of one QueryServer, snapshotted by
 // QueryServer::stats(). Every admitted request ends in exactly one of
-// {completed, failed, shed_deadline} — shutdown drains gracefully, so no
-// admitted request is ever dropped; fusion efficiency is the gap between
-// served requests and executed solver queries.
+// {completed, failed, shed_deadline, shed_overload} — shutdown drains
+// gracefully, so no admitted request is ever dropped; fusion efficiency is
+// the gap between served requests and executed solver queries; retries are
+// additional dispatch attempts, not additional requests.
 
 #ifndef HYTGRAPH_SERVING_SERVING_STATS_H_
 #define HYTGRAPH_SERVING_SERVING_STATS_H_
@@ -22,6 +23,9 @@ struct PriorityClassStats {
   uint64_t served = 0;
   /// Requests of this class shed past their deadline.
   uint64_t shed_deadline = 0;
+  /// Requests of this class shed under sustained overload (lowest
+  /// dispatch order first; their futures carry Status::Unavailable).
+  uint64_t shed_overload = 0;
   /// Served requests per second of server lifetime — the per-class
   /// throughput the EDF/priority dispatch order actually delivered.
   double qps = 0;
@@ -41,10 +45,23 @@ struct ServingStats {
   /// Requests shed at dispatch because their deadline had already passed
   /// (their futures resolve to Status::DeadlineExceeded).
   uint64_t shed_deadline = 0;
+  /// Requests shed under sustained overload: a lane whose depth held at or
+  /// above the high-water mark for a full overload window drops its
+  /// lowest-dispatch-order tail with Status::Unavailable — callers can
+  /// retry; the queue never silently grows into its capacity wall.
+  uint64_t shed_overload = 0;
   /// Requests fulfilled with a QueryResult.
   uint64_t completed = 0;
   /// Requests fulfilled with a non-deadline error status.
   uint64_t failed = 0;
+  /// The subset of `failed` whose final status was kUnavailable (storage
+  /// or injected transient failure that outlived the retry budget).
+  uint64_t failed_unavailable = 0;
+  /// Re-dispatches of requests whose attempt failed with a retryable
+  /// status (kUnavailable / kResourceExhausted) within the per-request
+  /// retry budget. A request retried twice counts twice here but once in
+  /// completed/failed.
+  uint64_t retried = 0;
 
   /// Solver queries actually executed (after fusion dedup). Without
   /// fusion this equals completed + failed.

@@ -1,6 +1,8 @@
 #include "storage/block_cache.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
@@ -99,7 +101,19 @@ Status BlockCache::Acquire(uint32_t store_id, uint32_t block,
   placeholder.loading = true;
   lock.unlock();
 
-  Result<BlockData> loaded = loader();
+  // A loader that throws must not leak the Loading placeholder: coalesced
+  // waiters are parked on loaded_cv and would block forever. Convert the
+  // exception into a load failure so the erase-and-notify path below runs.
+  Result<BlockData> loaded = [&]() -> Result<BlockData> {
+    try {
+      return loader();
+    } catch (const std::exception& e) {
+      return Status::Unavailable(std::string("block loader threw: ") +
+                                 e.what());
+    } catch (...) {
+      return Status::Unavailable("block loader threw a non-std exception");
+    }
+  }();
 
   lock.lock();
   auto it = section.blocks.find(key);
@@ -149,7 +163,18 @@ void BlockCache::Prefetch(uint32_t store_id, uint32_t block,
   placeholder.loading = true;
   lock.unlock();
 
-  Result<BlockData> loaded = loader();
+  // Same placeholder-leak guard as Acquire: a throwing loader must still
+  // erase the Loading entry and wake coalesced waiters.
+  Result<BlockData> loaded = [&]() -> Result<BlockData> {
+    try {
+      return loader();
+    } catch (const std::exception& e) {
+      return Status::Unavailable(std::string("block loader threw: ") +
+                                 e.what());
+    } catch (...) {
+      return Status::Unavailable("block loader threw a non-std exception");
+    }
+  }();
 
   lock.lock();
   auto it = section.blocks.find(key);
@@ -233,6 +258,10 @@ StorageStats BlockCache::stats() const {
   stats.bytes_spilled = bytes_spilled_.load(std::memory_order_relaxed);
   stats.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
   stats.prefetch_useful = prefetch_useful_.load(std::memory_order_relaxed);
+  stats.read_retries = read_retries_.load(std::memory_order_relaxed);
+  stats.checksum_failures =
+      checksum_failures_.load(std::memory_order_relaxed);
+  stats.fetch_failures = fetch_failures_.load(std::memory_order_relaxed);
   stats.budget_bytes = budget_bytes_;
   for (const Section& section : sections_) {
     std::lock_guard<std::mutex> lock(section.mu);

@@ -137,6 +137,36 @@ class BlockCache : public std::enable_shared_from_this<BlockCache> {
 
   uint64_t budget_bytes() const { return budget_bytes_; }
 
+  /// Failure accounting. Kernels fetch adjacency through a void interface
+  /// and cannot return Status, so the store reports terminal demand-load
+  /// failures here and the Engine compares fetch_failures() before/after a
+  /// fallible region to convert "a block never arrived" into kUnavailable.
+  void RecordFetchFailure(const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(fetch_error_mu_);
+      last_fetch_error_ = status;
+    }
+    fetch_failures_.fetch_add(1, std::memory_order_release);
+  }
+  void RecordRetry() {
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordChecksumFailure() {
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Monotone count of demand loads that failed after exhausting retries.
+  /// Acquire-ordered so a reader that observes the bump also observes the
+  /// error recorded before it.
+  uint64_t fetch_failures() const {
+    return fetch_failures_.load(std::memory_order_acquire);
+  }
+  /// The most recent terminal load failure (OK if none ever happened).
+  Status last_fetch_error() const {
+    std::lock_guard<std::mutex> lock(fetch_error_mu_);
+    return last_fetch_error_;
+  }
+
   StorageStats stats() const;
 
  private:
@@ -192,6 +222,10 @@ class BlockCache : public std::enable_shared_from_this<BlockCache> {
   std::atomic<uint64_t> hits_{0}, misses_{0}, evictions_{0};
   std::atomic<uint64_t> bytes_read_{0}, bytes_spilled_{0};
   std::atomic<uint64_t> prefetch_issued_{0}, prefetch_useful_{0};
+  std::atomic<uint64_t> read_retries_{0}, checksum_failures_{0};
+  std::atomic<uint64_t> fetch_failures_{0};
+  mutable std::mutex fetch_error_mu_;
+  Status last_fetch_error_;  // guarded by fetch_error_mu_
 
   /// Working-set measurement: epochs rotate at the solver's iteration
   /// barrier. Starts at 1 so Entry::touch_epoch == 0 means "never".

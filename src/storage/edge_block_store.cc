@@ -12,6 +12,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/fault_injection.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace hytgraph {
@@ -171,6 +173,7 @@ Status EdgeBlockStore::SpillToFile() {
   ::unlink(path.c_str());
 
   const CsrGraph& graph = *graph_;
+  block_checksum_.assign(num_blocks(), 0);
   for (uint32_t b = 0; b < num_blocks(); ++b) {
     const EdgeId first = graph.edge_begin(block_start_[b]);
     const EdgeId last = graph.edge_begin(block_start_[b + 1]);
@@ -180,18 +183,24 @@ Status EdgeBlockStore::SpillToFile() {
     HYT_RETURN_NOT_OK(WriteFully(fd_, offset,
                                  graph.column_index().data() + first,
                                  edges * sizeof(VertexId)));
+    uint64_t checksum = Checksum64(graph.column_index().data() + first,
+                                   edges * sizeof(VertexId));
     offset += edges * sizeof(VertexId);
     if (weighted_) {
       HYT_RETURN_NOT_OK(WriteFully(fd_, offset,
                                    graph.edge_weights().data() + first,
                                    edges * sizeof(Weight)));
+      checksum = Checksum64(graph.edge_weights().data() + first,
+                            edges * sizeof(Weight), checksum);
     }
+    block_checksum_[b] = checksum;
   }
   cache_->AddSpilledBytes(file_offset_.back());
   return Status::OK();
 }
 
 Result<BlockData> EdgeBlockStore::ReadBlock(uint32_t block) const {
+  HYT_RETURN_NOT_OK(HYT_FAULT_POINT(faults::kStorageBlockRead));
   const EdgeId first = graph_->edge_begin(block_start_[block]);
   const EdgeId last = graph_->edge_begin(block_start_[block + 1]);
   const uint64_t edges = last - first;
@@ -207,7 +216,43 @@ Result<BlockData> EdgeBlockStore::ReadBlock(uint32_t block) const {
     HYT_RETURN_NOT_OK(
         ReadFully(fd_, offset, data.weights.data(), edges * sizeof(Weight)));
   }
+  if (options_.verify_checksums && edges > 0) {
+    uint64_t checksum =
+        Checksum64(data.targets.data(), edges * sizeof(VertexId));
+    if (weighted_) {
+      checksum =
+          Checksum64(data.weights.data(), edges * sizeof(Weight), checksum);
+    }
+    const Status fault = HYT_FAULT_POINT(faults::kStorageChecksum);
+    if (!fault.ok() || checksum != block_checksum_[block]) {
+      cache_->RecordChecksumFailure();
+      return Status::Unavailable(
+          "checksum mismatch on block " + std::to_string(block) +
+          " of store " + std::to_string(id_) +
+          (fault.ok() ? "" : " (" + fault.message() + ")"));
+    }
+  }
   return data;
+}
+
+Result<BlockData> EdgeBlockStore::LoadBlockWithRetry(uint32_t block) const {
+  const RetryPolicy& retry = options_.retry;
+  const int attempts = std::max(1, retry.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      cache_->RecordRetry();
+      const auto backoff = retry.BackoffFor(attempt - 1);
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+    Result<BlockData> loaded = ReadBlock(block);
+    if (loaded.ok()) return loaded;
+    last = loaded.status();
+  }
+  return Status::Unavailable("block " + std::to_string(block) +
+                             " unavailable after " +
+                             std::to_string(attempts) +
+                             " attempts: " + last.ToString());
 }
 
 uint32_t EdgeBlockStore::BlockOf(VertexId v) const {
@@ -226,8 +271,17 @@ AdjacencyRun EdgeBlockStore::Fetch(VertexId v, BlockRef* lease) const {
   const uint32_t block = BlockOf(v);
   if (!lease->Holds(id_, block)) {
     const Status status = cache_->Acquire(
-        id_, block, [this, block] { return ReadBlock(block); }, lease);
-    HYT_CHECK(status.ok()) << "block fetch failed: " << status.ToString();
+        id_, block, [this, block] { return LoadBlockWithRetry(block); },
+        lease);
+    if (!status.ok()) {
+      // Kernels cannot propagate Status; report the terminal failure to
+      // the cache (the Engine samples its counter around each fallible
+      // region) and hand back an empty run, which every kernel skips.
+      cache_->RecordFetchFailure(status);
+      HYT_LOG(Warning) << "block fetch failed (block " << block
+                       << " of store " << id_ << "): " << status.ToString();
+      return {};
+    }
   }
   const BlockData& data = *lease->data();
   const EdgeId off = graph_->edge_begin(v) - graph_->edge_begin(block_start_[block]);
@@ -237,6 +291,19 @@ AdjacencyRun EdgeBlockStore::Fetch(VertexId v, BlockRef* lease) const {
     run.weights = std::span<const Weight>(data.weights.data() + off, deg);
   }
   return run;
+}
+
+Status EdgeBlockStore::CorruptBlockForTest(uint32_t block) {
+  const uint64_t bytes = block_bytes(block);
+  if (bytes == 0) {
+    return Status::InvalidArgument("block " + std::to_string(block) +
+                                   " is empty; nothing to corrupt");
+  }
+  const uint64_t span = std::min<uint64_t>(bytes, 8);
+  char buf[8];
+  HYT_RETURN_NOT_OK(ReadFully(fd_, file_offset_[block], buf, span));
+  for (uint64_t i = 0; i < span; ++i) buf[i] = static_cast<char>(~buf[i]);
+  return WriteFully(fd_, file_offset_[block], buf, span);
 }
 
 bool EdgeBlockStore::RangeResident(VertexId first, VertexId last) const {
@@ -286,8 +353,14 @@ void EdgeBlockStore::PostPrefetch(const std::vector<uint32_t>& blocks) const {
     prefetcher_->Submit([weak, block] {
       const std::shared_ptr<const EdgeBlockStore> store = weak.lock();
       if (store == nullptr) return;  // store retired before the job ran
+      // Prefetch is single-attempt: a dropped read-ahead costs only a
+      // demand load (with retries) later.
       store->cache_->Prefetch(store->id_, block,
-                              [&store, block] { return store->ReadBlock(block); });
+                              [&store, block]() -> Result<BlockData> {
+                                HYT_RETURN_NOT_OK(
+                                    HYT_FAULT_POINT(faults::kPrefetchLoad));
+                                return store->ReadBlock(block);
+                              });
     });
   }
 }

@@ -62,8 +62,11 @@ class EdgeBlockStore : public std::enable_shared_from_this<EdgeBlockStore> {
   /// Adjacency of v through the cache. `lease` is re-pinned only when v
   /// crosses a block boundary, so ascending scans pay one acquire per
   /// block. Degree-0 vertices return empty spans without touching the
-  /// cache. IO failure mid-kernel is fatal (kernels cannot propagate
-  /// Status), matching the OOM behaviour of the simulated device.
+  /// cache. A load that fails after the retry policy is exhausted returns
+  /// an empty run (kernels skip it) and bumps the cache's fetch-failure
+  /// counter — the Engine samples that counter around each fallible region
+  /// and converts an increase into kUnavailable, so IO failure surfaces as
+  /// a retryable query error instead of a crash or a partial buffer.
   AdjacencyRun Fetch(VertexId v, BlockRef* lease) const;
 
   uint32_t num_blocks() const {
@@ -99,6 +102,11 @@ class EdgeBlockStore : public std::enable_shared_from_this<EdgeBlockStore> {
   void BlocksForRange(VertexId first, VertexId last,
                       std::vector<uint32_t>* out) const;
 
+  /// Test hook: flips bytes at the start of `block` in the spilled file
+  /// (the file is unlinked, so corruption must go through the fd). The
+  /// next uncached load of this block fails checksum verification.
+  Status CorruptBlockForTest(uint32_t block);
+
   const std::shared_ptr<BlockCache>& cache() const { return cache_; }
   const std::shared_ptr<Prefetcher>& prefetcher() const {
     return prefetcher_;
@@ -117,7 +125,12 @@ class EdgeBlockStore : public std::enable_shared_from_this<EdgeBlockStore> {
                  StorageOptions options);
 
   Status SpillToFile();
+  /// One read attempt: pread targets+weights, then verify the spill-time
+  /// checksum (when enabled). Both storage fault points fire in here.
   Result<BlockData> ReadBlock(uint32_t block) const;
+  /// Demand-path read: ReadBlock under options_.retry with exponential
+  /// backoff; terminal failure is wrapped in kUnavailable.
+  Result<BlockData> LoadBlockWithRetry(uint32_t block) const;
 
   std::shared_ptr<const CsrGraph> graph_;
   std::shared_ptr<BlockCache> cache_;
@@ -132,6 +145,9 @@ class EdgeBlockStore : public std::enable_shared_from_this<EdgeBlockStore> {
   std::vector<VertexId> block_start_;
   /// Byte offset of block b in the file; size num_blocks()+1.
   std::vector<uint64_t> file_offset_;
+  /// Content checksum of block b, computed at spill time; size
+  /// num_blocks(). Immutable after SpillToFile.
+  std::vector<uint64_t> block_checksum_;
 };
 
 }  // namespace hytgraph

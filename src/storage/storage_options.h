@@ -10,9 +10,37 @@
 #ifndef HYTGRAPH_STORAGE_STORAGE_OPTIONS_H_
 #define HYTGRAPH_STORAGE_STORAGE_OPTIONS_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 
 namespace hytgraph {
+
+/// Bounded retry with exponential backoff for demand block loads. A read
+/// that fails (IO error, checksum mismatch, injected fault) is retried up
+/// to max_attempts total attempts; the sleep before attempt k+1 is
+/// initial_backoff * multiplier^(k-1), capped at max_backoff. When every
+/// attempt fails the load surfaces as kUnavailable — queries abort with a
+/// retryable status instead of crashing or returning a partial buffer.
+struct RetryPolicy {
+  int max_attempts = 3;
+  std::chrono::microseconds initial_backoff{100};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{5000};
+
+  /// Backoff before retry `attempt` (1-based: the sleep after the
+  /// attempt-th failure). Zero when retries are exhausted or disabled.
+  std::chrono::microseconds BackoffFor(int attempt) const {
+    if (attempt < 1 || attempt >= max_attempts) {
+      return std::chrono::microseconds{0};
+    }
+    double scaled = static_cast<double>(initial_backoff.count());
+    for (int i = 1; i < attempt; ++i) scaled *= multiplier;
+    const auto capped = std::min<double>(
+        scaled, static_cast<double>(max_backoff.count()));
+    return std::chrono::microseconds{static_cast<int64_t>(capped)};
+  }
+};
 
 struct StorageOptions {
   /// Byte budget of the in-memory block cache. 0 = out-of-core execution
@@ -41,6 +69,15 @@ struct StorageOptions {
   /// benches deterministic on fast (page-cached) local disks.
   uint64_t throttle_bytes_per_second = 0;
 
+  /// Verify per-block checksums (written at spill) on every load. A
+  /// mismatch counts as a failed read: it goes through `retry` and, if it
+  /// persists, surfaces as kUnavailable — never a partial buffer.
+  bool verify_checksums = true;
+
+  /// Retry/backoff for demand block loads. Prefetch loads are single-
+  /// attempt (a dropped prefetch just means a demand load later).
+  RetryPolicy retry;
+
   bool enabled() const { return memory_budget_bytes > 0; }
 };
 
@@ -56,6 +93,9 @@ struct StorageStats {
   uint64_t prefetch_useful = 0;  // prefetched blocks later hit by demand
   uint64_t resident_bytes = 0;   // cache occupancy at snapshot time
   uint64_t budget_bytes = 0;
+  uint64_t read_retries = 0;     // demand-load attempts beyond the first
+  uint64_t checksum_failures = 0;  // blocks rejected by checksum verify
+  uint64_t fetch_failures = 0;   // demand loads that failed after retries
 
   double HitRate() const {
     const uint64_t total = hits + misses;

@@ -1,0 +1,93 @@
+#include "util/fault_injection.h"
+
+namespace hytgraph {
+
+Status FaultPoint::Check() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++hits_since_arm_;
+
+  bool trip = false;
+  switch (schedule_.kind) {
+    case FaultSchedule::Kind::kNth:
+      trip = hits_since_arm_ == schedule_.nth;
+      break;
+    case FaultSchedule::Kind::kCount:
+      trip = trips_since_arm_ < schedule_.fail_count;
+      break;
+    case FaultSchedule::Kind::kProbability:
+      if (schedule_.probability >= 1.0) {
+        trip = true;
+      } else if (schedule_.probability > 0.0) {
+        trip = std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+               schedule_.probability;
+      }
+      break;
+  }
+  if (!trip) return Status::OK();
+  ++trips_since_arm_;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  return Status(schedule_.code,
+                "injected fault at " + name_ + " (hit " +
+                    std::to_string(hits_since_arm_) + " since arm)");
+}
+
+void FaultPoint::Arm(const FaultSchedule& schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_ = schedule;
+  hits_since_arm_ = 0;
+  trips_since_arm_ = 0;
+  rng_.seed(schedule.seed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultPoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();  // never destroyed
+  return *registry;
+}
+
+FaultPoint& FaultRegistry::GetOrCreate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(name));
+  if (it == points_.end()) {
+    std::string key(name);
+    it = points_.emplace(key, std::make_unique<FaultPoint>(key)).first;
+  }
+  return *it->second;
+}
+
+FaultPoint* FaultRegistry::Find(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(name));
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+std::vector<std::string> FaultRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+size_t FaultRegistry::ArmedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t armed = 0;
+  for (const auto& [name, point] : points_) {
+    if (point->armed()) ++armed;
+  }
+  return armed;
+}
+
+}  // namespace hytgraph

@@ -1,0 +1,111 @@
+// Checksum64: a fast 64-bit non-cryptographic content hash in the xxhash
+// family (wide multiply-and-rotate lane mixing over 8-byte stripes, length
+// and seed folded in, strong final avalanche). Used for per-block spill
+// checksums in the edge-block store: fast enough to hash every block at
+// spill and verify on every load, strong enough that a flipped byte in a
+// spilled block is detected with 2^-64 false-negative odds.
+
+#ifndef HYTGRAPH_UTIL_HASH_H_
+#define HYTGRAPH_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hytgraph {
+
+namespace hash_internal {
+
+inline uint64_t Rotl64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+inline constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+inline constexpr uint64_t kPrime3 = 0x165667B19E3779F9ull;
+inline constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ull;
+inline constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ull;
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl64(acc, 31);
+  return acc * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t lane) {
+  acc ^= Round(0, lane);
+  return acc * kPrime1 + kPrime4;
+}
+
+inline uint64_t Load64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Load32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace hash_internal
+
+/// 64-bit content checksum of `len` bytes at `data`, mixed with `seed`.
+/// Deterministic across runs and platforms (little-endian loads via
+/// memcpy); empty input hashes to a seed-dependent constant.
+inline uint64_t Checksum64(const void* data, size_t len, uint64_t seed = 0) {
+  using namespace hash_internal;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = Round(v1, Load64(p));
+      v2 = Round(v2, Load64(p + 8));
+      v3 = Round(v3, Load64(p + 16));
+      v4 = Round(v4, Load64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl64(v1, 1) + Rotl64(v2, 7) + Rotl64(v3, 12) + Rotl64(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= Round(0, Load64(p));
+    h = Rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    h = Rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = Rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_HASH_H_

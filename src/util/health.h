@@ -1,0 +1,115 @@
+// Subsystem health tracking for worker supervision. Supervised workers
+// (ingest drain, background fold) and the storage layer report per-cycle
+// success/failure; Engine::Health() snapshots the tracker so serving
+// infrastructure can observe a degraded engine (compactor parked in
+// retry-backoff, ingest requeueing a poisoned batch, storage returning
+// kUnavailable) without scraping logs. A subsystem is degraded while its
+// consecutive-failure count is nonzero and heals on the first success.
+
+#ifndef HYTGRAPH_UTIL_HEALTH_H_
+#define HYTGRAPH_UTIL_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hytgraph {
+
+enum class HealthState {
+  kHealthy = 0,
+  kDegraded = 1,
+};
+
+inline const char* HealthStateToString(HealthState state) {
+  return state == HealthState::kHealthy ? "healthy" : "degraded";
+}
+
+struct SubsystemHealth {
+  std::string subsystem;
+  HealthState state = HealthState::kHealthy;
+  /// Failures since the last success (0 while healthy) — the supervisor's
+  /// backoff ladder is keyed off this.
+  uint64_t consecutive_failures = 0;
+  /// Lifetime failures (monotone; survives healing).
+  uint64_t total_failures = 0;
+  /// The most recent failure's description; kept after healing so the last
+  /// incident stays observable.
+  std::string last_failure_reason;
+};
+
+/// Point-in-time health of an Engine: overall state is degraded when any
+/// subsystem is.
+struct EngineHealth {
+  HealthState state = HealthState::kHealthy;
+  /// Sorted by subsystem name.
+  std::vector<SubsystemHealth> subsystems;
+
+  bool healthy() const { return state == HealthState::kHealthy; }
+  const SubsystemHealth* Find(std::string_view subsystem) const {
+    for (const SubsystemHealth& s : subsystems) {
+      if (s.subsystem == subsystem) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Thread-safe failure/success accounting, one entry per subsystem name.
+/// Reporting is cheap (one small mutex) and happens once per worker cycle
+/// or failed query, never per edge.
+class HealthTracker {
+ public:
+  void ReportFailure(std::string_view subsystem, std::string reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[std::string(subsystem)];
+    ++entry.consecutive_failures;
+    ++entry.total_failures;
+    entry.last_failure_reason = std::move(reason);
+  }
+
+  void ReportSuccess(std::string_view subsystem) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[std::string(subsystem)].consecutive_failures = 0;
+  }
+
+  uint64_t ConsecutiveFailures(std::string_view subsystem) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(std::string(subsystem));
+    return it == entries_.end() ? 0 : it->second.consecutive_failures;
+  }
+
+  EngineHealth Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    EngineHealth health;
+    for (const auto& [name, entry] : entries_) {
+      SubsystemHealth s;
+      s.subsystem = name;
+      s.consecutive_failures = entry.consecutive_failures;
+      s.total_failures = entry.total_failures;
+      s.last_failure_reason = entry.last_failure_reason;
+      s.state = entry.consecutive_failures > 0 ? HealthState::kDegraded
+                                               : HealthState::kHealthy;
+      if (s.state == HealthState::kDegraded) {
+        health.state = HealthState::kDegraded;
+      }
+      health.subsystems.push_back(std::move(s));
+    }
+    return health;
+  }
+
+ private:
+  struct Entry {
+    uint64_t consecutive_failures = 0;
+    uint64_t total_failures = 0;
+    std::string last_failure_reason;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace hytgraph
+
+#endif  // HYTGRAPH_UTIL_HEALTH_H_

@@ -24,6 +24,10 @@ enum class StatusCode {
   kInternal = 7,
   kResourceExhausted = 8,   // admission queue full (serving backpressure)
   kDeadlineExceeded = 9,    // request shed past its deadline (serving)
+  kUnavailable = 10,        // transient failure (IO fault, retry exhausted,
+                            // overload shed) — safe to retry
+  kAborted = 11,            // request abandoned mid-flight (e.g. a retry
+                            // raced shutdown); not retried here
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -74,6 +78,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -98,6 +108,17 @@ class Status {
   }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+
+  /// True for transient errors a caller may retry without changing the
+  /// request: kUnavailable (the failure may heal) and kResourceExhausted
+  /// (backpressure — capacity may free up). Deadline and precondition
+  /// failures are terminal for the request that hit them.
+  bool IsRetryable() const {
+    return code() == StatusCode::kUnavailable ||
+           code() == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<code name>: <message>".

@@ -1,0 +1,567 @@
+// Chaos suite: seeded randomized fault schedules armed on every registered
+// fault point while concurrent clients, a mutator, background compaction,
+// and out-of-core block streaming all run at once. The invariants:
+//
+//  * Completed requests are identical to the serial reference replayed on
+//    their pinned epoch — faults may slow or fail a request, never corrupt
+//    one.
+//  * Failed requests carry a typed, retryable status (kUnavailable, or
+//    kAborted when shutdown interrupts a retry) — never a crash, never a
+//    partial buffer.
+//  * The server always drains on Shutdown and the engine always joins its
+//    supervised workers — no hangs, no orphaned threads (TSan-checked in
+//    the chaos-smoke CI job).
+//  * Degraded subsystems keep the rest serving (a parked fold leaves
+//    queries on the overlay chain) and heal when the fault clears.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <future>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/reference.h"
+#include "core/engine.h"
+#include "serving/query_server.h"
+#include "test_graphs.h"
+#include "util/fault_injection.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+class FaultChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+/// Insert-only batch: inserts always advance the epoch and never read the
+/// block store, so a single mutator's k-th admitted batch IS epoch k — the
+/// property the identity verification replays against.
+MutationBatch InsertOnlyBatch(VertexId n, uint64_t seed, uint64_t count) {
+  MutationBatch batch;
+  uint64_t state = seed;
+  auto next = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (uint64_t i = 0; i < count; ++i) {
+    batch.InsertEdge(static_cast<VertexId>(next() % n),
+                     static_cast<VertexId>(next() % n),
+                     static_cast<Weight>(1 + next() % 32));
+  }
+  return batch;
+}
+
+bool WaitUntil(const std::function<bool()>& pred,
+               std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+struct Observation {
+  AlgorithmId algorithm;
+  VertexId source;
+  uint64_t epoch;
+  QueryValues values;
+};
+
+/// Replays batches 1..epoch on a fresh base and checks each observation
+/// against the serial reference (same idiom as the dynamic concurrency
+/// stress — graphs and references memoized per epoch).
+void VerifyObservations(const std::vector<Observation>& observations,
+                        const std::function<CsrGraph()>& make_base,
+                        const std::map<uint64_t, MutationBatch>& batch_log) {
+  std::map<uint64_t, std::shared_ptr<const CsrGraph>> graph_at_epoch;
+  auto reconstruct = [&](uint64_t epoch) -> const CsrGraph& {
+    auto it = graph_at_epoch.find(epoch);
+    if (it != graph_at_epoch.end()) return *it->second;
+    auto snapshot = std::make_shared<const CsrGraph>(make_base());
+    DeltaOverlay overlay(snapshot);
+    for (const auto& [e, batch] : batch_log) {
+      if (e > epoch) break;
+      HYT_CHECK(overlay.Apply(batch).ok());
+    }
+    auto folded = overlay.Materialize();
+    HYT_CHECK(folded.ok());
+    auto shared = std::make_shared<const CsrGraph>(std::move(folded).value());
+    graph_at_epoch.emplace(epoch, shared);
+    return *shared;
+  };
+
+  struct RefKey {
+    uint64_t epoch;
+    AlgorithmId algorithm;
+    VertexId source;
+    bool operator<(const RefKey& o) const {
+      return std::tie(epoch, algorithm, source) <
+             std::tie(o.epoch, o.algorithm, o.source);
+    }
+  };
+  std::map<RefKey, QueryValues> reference;
+  auto reference_for = [&](const Observation& obs) -> const QueryValues& {
+    const RefKey key{obs.epoch, obs.algorithm, obs.source};
+    auto it = reference.find(key);
+    if (it != reference.end()) return it->second;
+    const CsrGraph& graph = reconstruct(obs.epoch);
+    QueryValues values;
+    switch (obs.algorithm) {
+      case AlgorithmId::kBfs:
+        values = ReferenceBfs(graph, obs.source);
+        break;
+      case AlgorithmId::kSssp:
+        values = ReferenceSssp(graph, obs.source);
+        break;
+      case AlgorithmId::kCc:
+        values = ReferenceCc(graph);
+        break;
+      case AlgorithmId::kSswp:
+        values = ReferenceSswp(graph, obs.source);
+        break;
+      case AlgorithmId::kPageRank:
+        values = ReferencePageRank(graph);
+        break;
+      case AlgorithmId::kPhp:
+        values = ReferencePhp(graph, obs.source);
+        break;
+    }
+    return reference.emplace(key, std::move(values)).first->second;
+  };
+
+  for (const Observation& obs : observations) {
+    const QueryValues& want = reference_for(obs);
+    if (std::holds_alternative<std::vector<uint32_t>>(obs.values)) {
+      EXPECT_EQ(std::get<std::vector<uint32_t>>(obs.values),
+                std::get<std::vector<uint32_t>>(want))
+          << AlgorithmName(obs.algorithm) << " source " << obs.source
+          << " diverged from its pinned epoch " << obs.epoch
+          << " under injected faults";
+    } else {
+      const auto& got = std::get<std::vector<double>>(obs.values);
+      const auto& exp = std::get<std::vector<double>>(want);
+      ASSERT_EQ(got.size(), exp.size());
+      double max_ref = 1e-12;
+      for (double v : exp) max_ref = std::max(max_ref, std::abs(v));
+      for (size_t v = 0; v < got.size(); ++v) {
+        ASSERT_NEAR(got[v], exp[v], 1e-3 * max_ref)
+            << AlgorithmName(obs.algorithm) << " vertex " << v << " epoch "
+            << obs.epoch;
+      }
+    }
+  }
+}
+
+/// Arms every registered fault point with a seeded probability schedule
+/// (storage points gentler — each query hits them hundreds of times).
+void ArmAllPoints(uint64_t seed) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  registry.Arm(faults::kStorageBlockRead,
+               FaultSchedule::FailWithProbability(0.02, seed + 1));
+  registry.Arm(faults::kStorageChecksum,
+               FaultSchedule::FailWithProbability(0.01, seed + 2));
+  registry.Arm(faults::kPrefetchLoad,
+               FaultSchedule::FailWithProbability(0.10, seed + 3));
+  registry.Arm(faults::kIngestDrain,
+               FaultSchedule::FailWithProbability(0.20, seed + 4));
+  registry.Arm(faults::kCompactorFold,
+               FaultSchedule::FailWithProbability(0.30, seed + 5));
+  registry.Arm(faults::kServingDispatch,
+               FaultSchedule::FailWithProbability(0.05, seed + 6));
+}
+
+uint64_t TotalTrips() {
+  uint64_t trips = 0;
+  FaultRegistry& registry = FaultRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    if (FaultPoint* point = registry.Find(name)) trips += point->trips();
+  }
+  return trips;
+}
+
+// --- The capstone: identity under seeded chaos. -------------------------
+
+class FaultChaosSeedTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_P(FaultChaosSeedTest, CompletedRequestsMatchSerialReference) {
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 24;
+  constexpr uint64_t kBatches = 30;
+  constexpr uint64_t kInsertsPerBatch = 8;
+  const uint64_t seed = GetParam();
+  const CsrGraph base = SmallRmat(8, 8, 33);
+  const VertexId n = base.num_vertices();
+
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kBackground;
+  policy.min_delta_edges = 64;
+  policy.delta_fraction = 0.0;
+  StorageOptions storage;  // out-of-core so the storage points really fire
+  storage.memory_budget_bytes = std::max<uint64_t>(1, base.EdgeDataBytes() / 5);
+  storage.block_bytes = 4096;
+  storage.retry.initial_backoff = std::chrono::microseconds{10};
+  Engine engine(SmallRmat(8, 8, 33),
+                SolverOptions::Defaults(SystemKind::kHyTGraph), policy,
+                storage);
+  ASSERT_TRUE(engine.out_of_core());
+  QueryServerOptions server_options;
+  server_options.lane_capacity = 256;
+  QueryServer server(&engine, server_options);
+
+  ArmAllPoints(seed);
+
+  // Single mutator, insert-only batches through the serving layer: batch k
+  // (1-based admission order) produces epoch k, whatever faults delay it.
+  std::map<uint64_t, MutationBatch> batch_log;
+  for (uint64_t b = 0; b < kBatches; ++b) {
+    const MutationBatch batch =
+        InsertOnlyBatch(n, seed * 977 + b, kInsertsPerBatch);
+    ASSERT_TRUE(server.SubmitMutation(batch).ok());
+    batch_log.emplace(b + 1, batch);
+  }
+
+  std::mutex obs_mu;
+  std::vector<Observation> observations;
+  std::atomic<uint64_t> typed_failures{0};
+  std::atomic<bool> untyped_failure{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<Observation> local;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServingRequest request;
+        request.query.algorithm =
+            kAllAlgorithms[(c + i) % std::size(kAllAlgorithms)];
+        if (GetAlgorithmInfo(request.query.algorithm).needs_source) {
+          request.query.source = static_cast<VertexId>((c + i) % 2);
+        }
+        request.priority = i % 3;
+        auto submitted = server.Submit(request);
+        if (!submitted.ok()) {
+          untyped_failure = true;  // capacity admits everything
+          return;
+        }
+        Result<QueryResult> result = submitted->get();
+        if (result.ok()) {
+          local.push_back(Observation{result->algorithm, result->source,
+                                      result->epoch,
+                                      std::move(result->values)});
+        } else if (result.status().IsUnavailable() ||
+                   result.status().IsAborted()) {
+          typed_failures.fetch_add(1);  // legitimate chaos outcome
+        } else {
+          ADD_FAILURE() << "untyped failure under chaos: "
+                        << result.status().ToString();
+          untyped_failure = true;
+          return;
+        }
+      }
+      std::lock_guard<std::mutex> lock(obs_mu);
+      for (auto& obs : local) observations.push_back(std::move(obs));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_FALSE(untyped_failure);
+  EXPECT_GT(TotalTrips(), 0u) << "chaos ran but no fault ever fired";
+
+  // Heal, settle, and verify: every queued batch must still apply (in
+  // admission order) and every completed request must match the serial
+  // reference on its pinned epoch.
+  FaultRegistry::Global().DisarmAll();
+  engine.WaitForIngest();
+  server.Shutdown();  // drains: every future above already resolved
+  engine.WaitForCompaction();
+
+  Query probe;
+  probe.algorithm = AlgorithmId::kBfs;
+  probe.source = 0;
+  auto settled = engine.Run(probe);
+  ASSERT_TRUE(settled.ok()) << settled.status().ToString();
+  EXPECT_EQ(settled->epoch, kBatches) << "a mutation batch was lost";
+
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.completed, observations.size());
+  EXPECT_EQ(stats.failed, typed_failures.load());
+  EXPECT_EQ(stats.completed + stats.failed,
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_GT(observations.size(), static_cast<size_t>(kClients))
+      << "chaos failed nearly everything; schedules too hostile to verify";
+
+  VerifyObservations(observations, [] { return SmallRmat(8, 8, 33); },
+                     batch_log);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosSeedTest,
+                         ::testing::Values(101, 202, 303));
+
+// --- Shutdown and teardown under permanent faults. ----------------------
+
+TEST_F(FaultChaosTest, ShutdownUnderPermanentFaultResolvesEveryFuture) {
+  Engine engine(SmallRmat(7, 8, 9));
+  QueryServer server(&engine);
+  FaultRegistry::Global().Arm(faults::kServingDispatch,
+                              FaultSchedule::FailAlways());
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 48; ++i) {
+    ServingRequest request;
+    request.query.algorithm = kAllAlgorithms[i % std::size(kAllAlgorithms)];
+    if (GetAlgorithmInfo(request.query.algorithm).needs_source) {
+      request.query.source = 0;
+    }
+    auto submitted = server.Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  server.Shutdown();  // must drain and return — this line IS the assertion
+
+  size_t resolved = 0;
+  for (auto& future : futures) {
+    Result<QueryResult> result = future.get();  // would hang on a dropped one
+    ++resolved;
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsUnavailable() ||
+                  result.status().IsAborted())
+          << result.status().ToString();
+    }
+  }
+  EXPECT_EQ(resolved, futures.size());
+}
+
+TEST_F(FaultChaosTest, EngineDestructionUnderFaultsJoinsWorkersCleanly) {
+  // Permanent ingest + fold faults park both supervised workers in their
+  // retry loops; destroying the engine mid-park must join each exactly
+  // once — no hang, no double-join, no orphaned thread.
+  FaultRegistry::Global().Arm(faults::kIngestDrain,
+                              FaultSchedule::FailAlways());
+  FaultRegistry::Global().Arm(faults::kCompactorFold,
+                              FaultSchedule::FailAlways());
+  {
+    CompactionPolicy policy;
+    policy.mode = CompactionMode::kBackground;
+    policy.min_delta_edges = 1;
+    policy.delta_fraction = 0.0;
+    Engine engine(SmallRmat(7, 8, 11),
+                  SolverOptions::Defaults(SystemKind::kCpu), policy);
+    const VertexId n = engine.graph().num_vertices();
+    for (uint64_t b = 0; b < 4; ++b) {
+      ASSERT_TRUE(
+          engine.EnqueueMutations(InsertOnlyBatch(n, 50 + b, 8)).ok());
+    }
+    // Let the workers hit their faults and park before teardown races in.
+    ASSERT_TRUE(WaitUntil(
+        [&] {
+          const EngineHealth health = engine.Health();
+          const SubsystemHealth* ingest = health.Find("ingest");
+          return ingest != nullptr && ingest->state == HealthState::kDegraded;
+        },
+        std::chrono::seconds(10)));
+  }  // ~Engine with both workers parked: the scope exit is the assertion
+}
+
+// --- Graceful degradation and healing. ----------------------------------
+
+TEST_F(FaultChaosTest, DegradedCompactorKeepsServingOnOverlayChain) {
+  CompactionPolicy policy;
+  policy.mode = CompactionMode::kBackground;
+  policy.min_delta_edges = 1;  // every batch wants a fold
+  policy.delta_fraction = 0.0;
+  Engine engine(SmallRmat(7, 8, 13),
+                SolverOptions::Defaults(SystemKind::kCpu), policy);
+  const VertexId n = engine.graph().num_vertices();
+  FaultRegistry::Global().Arm(faults::kCompactorFold,
+                              FaultSchedule::FailAlways());
+
+  ASSERT_TRUE(engine.ApplyMutations(InsertOnlyBatch(n, 61, 64)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        const EngineHealth health = engine.Health();
+        const SubsystemHealth* compactor = health.Find("compactor");
+        return compactor != nullptr &&
+               compactor->state == HealthState::kDegraded &&
+               compactor->consecutive_failures >= 1;
+      },
+      std::chrono::seconds(10)))
+      << "the failing fold never degraded the compactor subsystem";
+  EXPECT_FALSE(engine.Health().healthy());
+
+  // A parked fold is idle, not busy: the barrier returns instead of
+  // deadlocking readers behind a fold that can never finish...
+  engine.WaitForCompaction();
+  // ...and queries keep serving off the unfolded overlay chain.
+  Query query;
+  query.algorithm = AlgorithmId::kSssp;
+  query.source = 0;
+  auto degraded_run = engine.Run(query);
+  ASSERT_TRUE(degraded_run.ok()) << degraded_run.status().ToString();
+  EXPECT_EQ(degraded_run->epoch, 1u);
+
+  // Heal: the parked retry wakes, folds, and flips health back.
+  const uint64_t folds_before = engine.compactor_stats().folds;
+  FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(WaitUntil(
+      [&] { return engine.compactor_stats().folds > folds_before; },
+      std::chrono::seconds(10)))
+      << "the parked fold never retried after the fault cleared";
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        const EngineHealth health = engine.Health();
+        const SubsystemHealth* compactor = health.Find("compactor");
+        return compactor != nullptr &&
+               compactor->state == HealthState::kHealthy;
+      },
+      std::chrono::seconds(10)));
+  auto healed_run = engine.Run(query);
+  ASSERT_TRUE(healed_run.ok());
+  EXPECT_EQ(healed_run->u32(), degraded_run->u32())
+      << "the fold changed values — overlay-chain serving was not isolated";
+}
+
+TEST_F(FaultChaosTest, DegradedIngestRetriesAndAppliesAfterHeal) {
+  Engine engine(SmallRmat(7, 8, 17), SolverOptions::Defaults(SystemKind::kCpu),
+                CompactionPolicy{});
+  const VertexId n = engine.graph().num_vertices();
+  FaultRegistry::Global().Arm(faults::kIngestDrain,
+                              FaultSchedule::FailAlways());
+
+  ASSERT_TRUE(engine.EnqueueMutations(InsertOnlyBatch(n, 71, 8)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        const EngineHealth health = engine.Health();
+        const SubsystemHealth* ingest = health.Find("ingest");
+        return ingest != nullptr &&
+               ingest->state == HealthState::kDegraded &&
+               ingest->consecutive_failures >= 2;  // really retrying
+      },
+      std::chrono::seconds(10)));
+  const SubsystemHealth* ingest = nullptr;
+  const EngineHealth degraded = engine.Health();
+  ingest = degraded.Find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_FALSE(ingest->last_failure_reason.empty());
+
+  // The pre-apply fault is retryable: nothing was applied, nothing lost.
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = 0;
+  auto before = engine.Run(query);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->epoch, 0u) << "a failed drain partially applied";
+
+  FaultRegistry::Global().DisarmAll();
+  engine.WaitForIngest();  // settles parked retries once healed
+  auto after = engine.Run(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->epoch, 1u) << "the parked batch never applied";
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        const EngineHealth health = engine.Health();
+        const SubsystemHealth* healed = health.Find("ingest");
+        return healed != nullptr && healed->state == HealthState::kHealthy;
+      },
+      std::chrono::seconds(10)));
+}
+
+TEST_F(FaultChaosTest, ServingRetryRecoversTransientDispatchFault) {
+  Engine engine(SmallRmat(7, 8, 19));
+  QueryServer server(&engine);
+  // The first dispatch attempt fails; the request's retry (budget 2)
+  // re-enters the lane and the second attempt serves it.
+  FaultRegistry::Global().Arm(faults::kServingDispatch,
+                              FaultSchedule::FailCount(1));
+
+  ServingRequest request;
+  request.query.algorithm = AlgorithmId::kBfs;
+  request.query.source = 0;
+  auto submitted = server.Submit(request);
+  ASSERT_TRUE(submitted.ok());
+  Result<QueryResult> result = submitted->get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const ServingStats stats = server.stats();
+  EXPECT_GE(stats.retried, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+
+  // Exhausted budget surfaces the typed error instead.
+  FaultRegistry::Global().Arm(faults::kServingDispatch,
+                              FaultSchedule::FailAlways());
+  auto doomed = server.Submit(request);
+  ASSERT_TRUE(doomed.ok());
+  Result<QueryResult> failed = doomed->get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsUnavailable()) << failed.status().ToString();
+  EXPECT_GE(server.stats().failed_unavailable, 1u);
+}
+
+TEST_F(FaultChaosTest, OverloadShedDropsLowestPriorityTail) {
+  Engine engine(SmallRmat(7, 8, 23));
+  QueryServerOptions options;
+  options.overload_high_water = 4;
+  options.overload_window = std::chrono::microseconds{0};  // shed on breach
+  QueryServer server(&engine, options);
+  server.Pause();  // hold dispatch so the lane really backs up
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    ServingRequest request;
+    request.query.algorithm = AlgorithmId::kBfs;
+    request.query.source = 0;
+    request.priority = i;  // later = more urgent: the early ones shed
+    auto submitted = server.Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  server.Resume();
+
+  int completed = 0, shed = 0;
+  std::vector<int> shed_priorities;
+  for (int i = 0; i < kRequests; ++i) {
+    Result<QueryResult> result = futures[static_cast<size_t>(i)].get();
+    if (result.ok()) {
+      ++completed;
+    } else {
+      ASSERT_TRUE(result.status().IsUnavailable())
+          << result.status().ToString();
+      ++shed;
+      shed_priorities.push_back(i);
+    }
+  }
+  const ServingStats stats = server.stats();
+  EXPECT_EQ(stats.shed_overload, static_cast<uint64_t>(shed));
+  EXPECT_GT(shed, 0) << "the held lane never breached its high water";
+  EXPECT_GE(completed, 4) << "shedding ate the kept head of the queue";
+  // Sheds are lowest-dispatch-order: every shed priority is strictly below
+  // every completed one at the moment it was dropped — with monotonically
+  // rising priorities that means the shed set is a prefix.
+  for (size_t i = 0; i < shed_priorities.size(); ++i) {
+    EXPECT_EQ(shed_priorities[i], static_cast<int>(i))
+        << "a high-priority request was shed ahead of lower-priority ones";
+  }
+  uint64_t per_class_shed = 0;
+  for (const PriorityClassStats& row : stats.priority_classes) {
+    per_class_shed += row.shed_overload;
+  }
+  EXPECT_EQ(per_class_shed, stats.shed_overload);
+}
+
+}  // namespace
+}  // namespace hytgraph

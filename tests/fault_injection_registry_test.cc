@@ -1,0 +1,136 @@
+// FaultPoint/FaultRegistry semantics: schedule determinism, arm/disarm
+// life cycle, per-arm counter resets, and the disarmed fast path of the
+// HYT_FAULT_POINT macro. The chaos suite exercises the wired-in points;
+// this file proves the primitive they all rely on.
+
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace hytgraph {
+namespace {
+
+/// Each test uses its own point name so the process-wide registry never
+/// couples tests; teardown disarms everything anyway.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedPointAlwaysPasses) {
+  FaultPoint& point = FaultRegistry::Global().GetOrCreate("test.disarmed");
+  EXPECT_FALSE(point.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(HYT_FAULT_POINT("test.disarmed").ok());
+  }
+  // Disarmed hits are not counted — the fast path never reaches Check.
+  EXPECT_EQ(point.hits(), 0u);
+  EXPECT_EQ(point.trips(), 0u);
+}
+
+TEST_F(FaultInjectionTest, FailNthFailsExactlyTheNthHit) {
+  FaultPoint& point = FaultRegistry::Global().GetOrCreate("test.nth");
+  point.Arm(FaultSchedule::FailNth(3));
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 6; ++i) outcomes.push_back(point.Check().ok());
+  EXPECT_EQ(outcomes,
+            (std::vector<bool>{true, true, false, true, true, true}));
+  EXPECT_EQ(point.hits(), 6u);
+  EXPECT_EQ(point.trips(), 1u);
+}
+
+TEST_F(FaultInjectionTest, FailCountFailsThenHeals) {
+  FaultPoint& point = FaultRegistry::Global().GetOrCreate("test.count");
+  point.Arm(FaultSchedule::FailCount(2));
+  EXPECT_FALSE(point.Check().ok());
+  EXPECT_FALSE(point.Check().ok());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(point.Check().ok());
+  EXPECT_EQ(point.trips(), 2u);
+}
+
+TEST_F(FaultInjectionTest, FailAlwaysFailsUntilDisarm) {
+  FaultPoint& point = FaultRegistry::Global().GetOrCreate("test.always");
+  point.Arm(FaultSchedule::FailAlways());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(point.Check().ok());
+  point.Disarm();
+  EXPECT_FALSE(point.armed());
+  EXPECT_TRUE(HYT_FAULT_POINT("test.always").ok());
+}
+
+TEST_F(FaultInjectionTest, ProbabilityScheduleIsSeedDeterministic) {
+  FaultPoint& point = FaultRegistry::Global().GetOrCreate("test.prob");
+  const auto run = [&point](uint64_t seed) {
+    point.Arm(FaultSchedule::FailWithProbability(0.5, seed));
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) outcomes.push_back(point.Check().ok());
+    return outcomes;
+  };
+  const std::vector<bool> first = run(42);
+  const std::vector<bool> again = run(42);
+  EXPECT_EQ(first, again);  // same seed → identical fault sequence
+  const std::vector<bool> other = run(43);
+  EXPECT_NE(first, other);  // different seed → different sequence
+  // p=0.5 over 64 draws: both outcomes must appear (probability of an
+  // all-one-way run is 2^-63 per seed; these seeds are pinned).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FaultInjectionTest, ArmResetsPerArmCounters) {
+  FaultPoint& point = FaultRegistry::Global().GetOrCreate("test.rearm");
+  point.Arm(FaultSchedule::FailNth(2));
+  EXPECT_TRUE(point.Check().ok());
+  EXPECT_FALSE(point.Check().ok());
+  // Re-arming restarts the hit index: the 2nd hit after THIS arm fails.
+  point.Arm(FaultSchedule::FailNth(2));
+  EXPECT_TRUE(point.Check().ok());
+  EXPECT_FALSE(point.Check().ok());
+  // Lifetime counters are monotone across arm cycles.
+  EXPECT_EQ(point.hits(), 4u);
+  EXPECT_EQ(point.trips(), 2u);
+}
+
+TEST_F(FaultInjectionTest, InjectedStatusCarriesCodeAndPointName) {
+  FaultPoint& point = FaultRegistry::Global().GetOrCreate("test.status");
+  point.Arm(FaultSchedule::FailCount(1, StatusCode::kIOError));
+  const Status status = point.Check();
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.message().find("test.status"), std::string::npos);
+  // Default code is kUnavailable — the retryable one.
+  point.Arm(FaultSchedule::FailCount(1));
+  EXPECT_TRUE(point.Check().IsRetryable());
+}
+
+TEST_F(FaultInjectionTest, RegistryTracksNamesAndArmedCount) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  registry.GetOrCreate("test.reg_a");
+  registry.GetOrCreate("test.reg_b");
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.reg_a"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.reg_b"), names.end());
+
+  EXPECT_EQ(registry.ArmedCount(), 0u);
+  registry.Arm("test.reg_a", FaultSchedule::FailAlways());
+  registry.Arm("test.reg_b", FaultSchedule::FailAlways());
+  EXPECT_EQ(registry.ArmedCount(), 2u);
+  registry.DisarmAll();
+  EXPECT_EQ(registry.ArmedCount(), 0u);
+  EXPECT_TRUE(registry.GetOrCreate("test.reg_a").Check().ok());
+
+  // Find is lookup-only: it never creates.
+  EXPECT_EQ(registry.Find("test.never_created"), nullptr);
+  EXPECT_NE(registry.Find("test.reg_a"), nullptr);
+}
+
+TEST_F(FaultInjectionTest, GetOrCreateReturnsStableAddress) {
+  FaultPoint& first = FaultRegistry::Global().GetOrCreate("test.stable");
+  FaultPoint& again = FaultRegistry::Global().GetOrCreate("test.stable");
+  EXPECT_EQ(&first, &again);  // call sites cache the reference in a static
+}
+
+}  // namespace
+}  // namespace hytgraph

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <memory>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -146,6 +147,98 @@ TEST(BlockCacheTest, DropStoreLeavesOutstandingLeasesValid) {
   ASSERT_TRUE(
       cache->Acquire(next, 5, MakeLoader(11, kWordsPerBlock), &ref).ok());
   EXPECT_EQ(ref.data()->targets[0], 11u);
+}
+
+TEST(BlockCacheTest, FailedLoadClearsPlaceholderSoRetrySucceeds) {
+  // Regression: a loader failure must erase the Loading placeholder, or
+  // every later Acquire of the block coalesces onto a tombstone and waits
+  // forever. The retry here would hang (then fail) if it did.
+  auto cache = std::make_shared<BlockCache>(64 * kBlockBytes, /*sections=*/1);
+  const uint32_t store = cache->RegisterStore();
+  BlockRef ref;
+  const Status failed = cache->Acquire(
+      store, 9, []() -> Result<BlockData> {
+        return Status::Unavailable("injected load failure");
+      },
+      &ref);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE(cache->Contains(store, 9));
+  ASSERT_TRUE(
+      cache->Acquire(store, 9, MakeLoader(9, kWordsPerBlock), &ref).ok());
+  EXPECT_EQ(ref.data()->targets[0], 9u);
+}
+
+TEST(BlockCacheTest, ThrowingLoaderFailsAcquireAndClearsPlaceholder) {
+  // Regression: an exception escaping the loader used to propagate out of
+  // Acquire with the Loading placeholder still in the map — poisoning the
+  // block for every future reader. It must surface as a Status instead.
+  auto cache = std::make_shared<BlockCache>(64 * kBlockBytes, /*sections=*/1);
+  const uint32_t store = cache->RegisterStore();
+  BlockRef ref;
+  const Status thrown = cache->Acquire(
+      store, 4, []() -> Result<BlockData> {
+        throw std::runtime_error("loader blew up");
+      },
+      &ref);
+  ASSERT_FALSE(thrown.ok());
+  EXPECT_TRUE(thrown.IsUnavailable());
+  EXPECT_FALSE(cache->Contains(store, 4));
+  ASSERT_TRUE(
+      cache->Acquire(store, 4, MakeLoader(4, kWordsPerBlock), &ref).ok());
+  EXPECT_EQ(ref.data()->targets[0], 4u);
+}
+
+TEST(BlockCacheTest, CoalescedWaitersWakeAndRetryAfterLoadFailure) {
+  // One slow failing load with waiters piled on the same block: every
+  // waiter must wake (never block forever on the cleared placeholder) and
+  // its own retry load must succeed.
+  auto cache = std::make_shared<BlockCache>(64 * kBlockBytes, /*sections=*/1);
+  const uint32_t store = cache->RegisterStore();
+  std::atomic<int> loads{0};
+  auto flaky_loader = [&loads]() -> Result<BlockData> {
+    // Only the very first (coalesced-leader) load fails; retries succeed.
+    if (loads.fetch_add(1, std::memory_order_relaxed) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return Status::Unavailable("first load fails");
+    }
+    BlockData data;
+    data.targets.assign(kWordsPerBlock, 13);
+    return data;
+  };
+  std::vector<std::thread> threads;
+  std::atomic<int> succeeded{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      // Retry until the block loads: a waiter that saw the failed load
+      // re-enters Acquire, which must be able to start a fresh load.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        BlockRef ref;
+        if (cache->Acquire(store, 13, flaky_loader, &ref).ok()) {
+          EXPECT_EQ(ref.data()->targets[0], 13u);
+          succeeded.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(succeeded.load(), 8);
+  EXPECT_GE(loads.load(), 2);  // the failure plus at least one retry
+}
+
+TEST(BlockCacheTest, FetchFailureCounterAndLastErrorAreVisible) {
+  auto cache = std::make_shared<BlockCache>(64 * kBlockBytes, /*sections=*/1);
+  EXPECT_EQ(cache->fetch_failures(), 0u);
+  EXPECT_TRUE(cache->last_fetch_error().ok());
+  cache->RecordFetchFailure(Status::Unavailable("block 2 unreadable"));
+  EXPECT_EQ(cache->fetch_failures(), 1u);
+  EXPECT_TRUE(cache->last_fetch_error().IsUnavailable());
+  cache->RecordRetry();
+  cache->RecordChecksumFailure();
+  const StorageStats stats = cache->stats();
+  EXPECT_EQ(stats.fetch_failures, 1u);
+  EXPECT_EQ(stats.read_retries, 1u);
+  EXPECT_EQ(stats.checksum_failures, 1u);
 }
 
 TEST(BlockCacheTest, ConcurrentReadersSeeConsistentDataUnderEviction) {

@@ -1,0 +1,204 @@
+// Checksummed storage: per-block checksums computed at spill time are
+// verified on every uncached load. A corrupt block surfaces as a typed
+// kUnavailable (empty adjacency run + fetch-failure counter) — never as
+// garbage neighbours — and transient read faults heal inside the store's
+// retry/backoff budget. The engine converts an unhealed failure into a
+// retryable kUnavailable query error.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "storage/edge_block_store.h"
+#include "storage/prefetcher.h"
+#include "test_graphs.h"
+#include "util/fault_injection.h"
+
+namespace hytgraph {
+namespace {
+
+using testing::SmallRmat;
+
+class StorageChecksumTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+/// A spilled store plus the still-resident source graph to compare
+/// against. Small blocks so the graph spans many of them.
+struct SpilledFixture {
+  std::shared_ptr<const CsrGraph> graph;
+  std::shared_ptr<BlockCache> cache;
+  std::shared_ptr<EdgeBlockStore> store;
+};
+
+SpilledFixture MakeSpilled(uint64_t seed,
+                           StorageOptions options = StorageOptions{}) {
+  SpilledFixture f;
+  f.graph = std::make_shared<CsrGraph>(SmallRmat(9, 8, seed));
+  if (options.memory_budget_bytes == 0) {
+    options.memory_budget_bytes = 64ull << 20;
+  }
+  if (options.block_bytes == 0) options.block_bytes = 4096;
+  f.cache = std::make_shared<BlockCache>(options.memory_budget_bytes,
+                                         options.cache_sections);
+  auto spilled = EdgeBlockStore::Spill(
+      f.graph, f.cache, std::make_shared<Prefetcher>(1), options);
+  EXPECT_TRUE(spilled.ok()) << spilled.status().ToString();
+  f.store = std::move(spilled).value();
+  return f;
+}
+
+/// First vertex with out-degree > 0 (SmallRmat always has one).
+VertexId FirstNonIsolated(const CsrGraph& graph) {
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.out_degree(v) > 0) return v;
+  }
+  return kInvalidVertex;
+}
+
+TEST_F(StorageChecksumTest, RoundTripServesIdenticalAdjacency) {
+  const SpilledFixture f = MakeSpilled(7);
+  ASSERT_GT(f.store->num_blocks(), 4u) << "graph fits one block; no coverage";
+  BlockRef lease;
+  for (VertexId v = 0; v < f.graph->num_vertices(); ++v) {
+    const AdjacencyRun run = f.store->Fetch(v, &lease);
+    const auto expected = f.graph->neighbors(v);
+    ASSERT_EQ(run.targets.size(), expected.size()) << "vertex " << v;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(run.targets[i], expected[i]) << "vertex " << v;
+    }
+    if (f.graph->is_weighted()) {
+      ASSERT_EQ(run.weights.size(), expected.size()) << "vertex " << v;
+    }
+  }
+  const StorageStats stats = f.cache->stats();
+  EXPECT_GT(stats.misses, 0u) << "nothing actually loaded from disk";
+  EXPECT_EQ(stats.checksum_failures, 0u);
+  EXPECT_EQ(stats.fetch_failures, 0u);
+}
+
+TEST_F(StorageChecksumTest, CorruptBlockSurfacesUnavailableNotGarbage) {
+  const SpilledFixture f = MakeSpilled(11);
+  const VertexId victim = FirstNonIsolated(*f.graph);
+  ASSERT_NE(victim, kInvalidVertex);
+  const uint32_t block = f.store->BlockOf(victim);
+  ASSERT_TRUE(f.store->CorruptBlockForTest(block).ok());
+
+  BlockRef lease;
+  const AdjacencyRun run = f.store->Fetch(victim, &lease);
+  EXPECT_TRUE(run.targets.empty())
+      << "corrupt block served data instead of failing";
+  const StorageStats stats = f.cache->stats();
+  // Every retry attempt re-reads the corrupt bytes and fails verification.
+  EXPECT_GE(stats.checksum_failures, 1u);
+  EXPECT_GE(stats.read_retries, 1u);
+  EXPECT_EQ(stats.fetch_failures, 1u);
+  const Status last = f.cache->last_fetch_error();
+  EXPECT_TRUE(last.IsUnavailable()) << last.ToString();
+  EXPECT_NE(last.message().find("checksum"), std::string::npos)
+      << last.ToString();
+
+  // Other blocks are untouched: the failure is contained, not systemic.
+  for (VertexId v = 0; v < f.graph->num_vertices(); ++v) {
+    if (f.store->BlockOf(v) == block || f.graph->out_degree(v) == 0) continue;
+    const AdjacencyRun other = f.store->Fetch(v, &lease);
+    ASSERT_EQ(other.targets.size(), f.graph->neighbors(v).size());
+    break;
+  }
+}
+
+TEST_F(StorageChecksumTest, TransientReadFaultHealsWithinRetryBudget) {
+  StorageOptions options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = std::chrono::microseconds{1};
+  const SpilledFixture f = MakeSpilled(13, options);
+  const VertexId victim = FirstNonIsolated(*f.graph);
+
+  // First two read attempts fail, the third succeeds — inside the budget.
+  FaultRegistry::Global().Arm(faults::kStorageBlockRead,
+                              FaultSchedule::FailCount(2));
+  BlockRef lease;
+  const AdjacencyRun run = f.store->Fetch(victim, &lease);
+  const auto expected = f.graph->neighbors(victim);
+  ASSERT_EQ(run.targets.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(run.targets[i], expected[i]);
+  }
+  const StorageStats stats = f.cache->stats();
+  EXPECT_EQ(stats.read_retries, 2u);
+  EXPECT_EQ(stats.fetch_failures, 0u) << "healed load must not count";
+}
+
+TEST_F(StorageChecksumTest, ExhaustedRetriesFailTypedThenHealAfterDisarm) {
+  StorageOptions options;
+  options.retry.initial_backoff = std::chrono::microseconds{1};
+  const SpilledFixture f = MakeSpilled(17, options);
+  const VertexId victim = FirstNonIsolated(*f.graph);
+
+  FaultRegistry::Global().Arm(faults::kStorageBlockRead,
+                              FaultSchedule::FailAlways());
+  BlockRef lease;
+  EXPECT_TRUE(f.store->Fetch(victim, &lease).targets.empty());
+  EXPECT_EQ(f.cache->fetch_failures(), 1u);
+  EXPECT_TRUE(f.cache->last_fetch_error().IsUnavailable());
+
+  // The failed load left no Loading tombstone: the same block loads fine
+  // the moment the fault clears.
+  FaultRegistry::Global().DisarmAll();
+  const AdjacencyRun healed = f.store->Fetch(victim, &lease);
+  EXPECT_EQ(healed.targets.size(), f.graph->neighbors(victim).size());
+}
+
+TEST_F(StorageChecksumTest, VerificationKnobGatesTheChecksumCost) {
+  StorageOptions options;
+  options.verify_checksums = false;
+  const SpilledFixture f = MakeSpilled(19, options);
+  const VertexId victim = FirstNonIsolated(*f.graph);
+  ASSERT_TRUE(
+      f.store->CorruptBlockForTest(f.store->BlockOf(victim)).ok());
+  // With verification off the corrupt bytes sail through — the knob really
+  // does gate the check (and its read-path cost).
+  BlockRef lease;
+  const AdjacencyRun run = f.store->Fetch(victim, &lease);
+  EXPECT_EQ(run.targets.size(), f.graph->neighbors(victim).size());
+  EXPECT_EQ(f.cache->stats().checksum_failures, 0u);
+}
+
+TEST_F(StorageChecksumTest, EngineTurnsUnhealedLoadFailureIntoUnavailable) {
+  const CsrGraph graph = SmallRmat(9, 8, 23);
+  StorageOptions storage;
+  storage.memory_budget_bytes =
+      std::max<uint64_t>(1, graph.EdgeDataBytes() / 5);
+  storage.block_bytes = 4096;
+  storage.retry.initial_backoff = std::chrono::microseconds{1};
+  Engine mem{CsrGraph(graph)};
+  Engine ooc(CsrGraph(graph), SolverOptions::Defaults(SystemKind::kHyTGraph),
+             CompactionPolicy{}, storage);
+  ASSERT_TRUE(ooc.out_of_core());
+  Query query;
+  query.algorithm = AlgorithmId::kBfs;
+  query.source = ooc.DefaultSource();
+
+  FaultRegistry::Global().Arm(faults::kStorageChecksum,
+                              FaultSchedule::FailAlways());
+  const auto degraded = ooc.Run(query);
+  ASSERT_FALSE(degraded.ok()) << "query served off unverifiable blocks";
+  EXPECT_TRUE(degraded.status().IsUnavailable())
+      << degraded.status().ToString();
+  EXPECT_TRUE(degraded.status().IsRetryable());
+
+  // Disarmed, the very next run of the same query serves correct values.
+  FaultRegistry::Global().DisarmAll();
+  const auto healed = ooc.Run(query);
+  const auto expected = mem.Run(query);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(healed->u32(), expected->u32());
+}
+
+}  // namespace
+}  // namespace hytgraph

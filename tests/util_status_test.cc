@@ -28,6 +28,33 @@ TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, UnavailableAndAbortedCarryMessages) {
+  const Status u = Status::Unavailable("block 3 failed checksum");
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: block 3 failed checksum");
+  const Status a = Status::Aborted("retry abandoned");
+  EXPECT_EQ(a.code(), StatusCode::kAborted);
+  EXPECT_EQ(a.ToString(), "Aborted: retry abandoned");
+}
+
+TEST(StatusTest, RetryablePartition) {
+  // Retryable = transient: the same request may succeed if re-issued.
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  // Everything else is deterministic — retrying cannot help.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::IOError("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::Aborted("x").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsRetryable());
 }
 
 TEST(StatusTest, CopySemantics) {
@@ -52,6 +79,8 @@ TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "Out of memory");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
 }
 
 TEST(ResultTest, HoldsValue) {
